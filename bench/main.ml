@@ -1,0 +1,80 @@
+(* The benchmark harness.
+
+   Part 1 regenerates every experiment table (E1-E12) - the reproduction of
+   the paper's quantitative content.  Pass --quick to trim the sweeps.
+
+   Part 2 runs bechamel micro-benchmarks of the computational kernels: the
+   fault-tolerant averaging function (the paper's "heart of the
+   algorithm"), the event engine, and a full simulated round. *)
+
+open Bechamel
+open Toolkit
+
+let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
+
+let bench_multiset =
+  let rng = Csync_sim.Rng.create 1 in
+  let data n = Csync_multiset.of_array (Array.init n (fun _ -> Csync_sim.Rng.float rng)) in
+  let small = data 7 and medium = data 100 and large = data 10_000 in
+  Test.make_grouped ~name:"averaging"
+    [
+      Test.make ~name:"mid-reduce-n7"
+        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:2 small)));
+      Test.make ~name:"mid-reduce-n100"
+        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:33 medium)));
+      Test.make ~name:"mid-reduce-n10k"
+        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:3333 large)));
+      Test.make ~name:"sort-n10k"
+        (Staged.stage (fun () ->
+             ignore (Csync_multiset.of_array (Csync_multiset.to_array large))));
+    ]
+
+let bench_engine =
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"schedule-pop-1k"
+        (Staged.stage (fun () ->
+             let e = Csync_sim.Engine.create () in
+             for i = 0 to 999 do
+               Csync_sim.Engine.schedule e ~time:(float_of_int (i mod 97)) i
+             done;
+             let count = ref 0 in
+             ignore
+               (Csync_sim.Engine.drain e
+                  ~handler:(fun _ _ -> incr count)
+                  ~max_events:10_000)));
+    ]
+
+let bench_round =
+  let params = Csync_harness.Defaults.base () in
+  Test.make_grouped ~name:"simulation"
+    [
+      Test.make ~name:"five-rounds-n7"
+        (Staged.stage (fun () ->
+             let scenario =
+               {
+                 (Csync_harness.Scenario.default params) with
+                 Csync_harness.Scenario.rounds = 5;
+                 samples_per_round = 2;
+               }
+             in
+             ignore (Csync_harness.Scenario.run scenario)));
+    ]
+
+let run_bechamel test =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) -> Format.printf "  %-36s %a@." name Analyze.OLS.pp ols)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+let () =
+  Format.printf "=== Welch-Lynch clock synchronization: experiment suite ===@.";
+  Format.printf "(mode: %s)@." (if quick then "quick" else "full");
+  Csync_harness.Registry.render_all Format.std_formatter ~quick;
+  Format.printf "@.######## Micro-benchmarks (bechamel, ns per run)@.";
+  List.iter run_bechamel [ bench_multiset; bench_engine; bench_round ]

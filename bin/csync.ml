@@ -1,0 +1,215 @@
+(* Command-line interface to the Welch-Lynch clock-synchronization
+   reproduction: list and run the paper's experiments, inspect parameter
+   sets, and run ad-hoc simulations. *)
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Trim sweeps and horizons (seconds instead of minutes of CPU)." in
+  Arg.(value & flag & info [ "quick"; "q" ] ~doc)
+
+(* csync list *)
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-4s %-60s [%s]@." e.Csync_harness.Experiment.id
+          e.Csync_harness.Experiment.title e.Csync_harness.Experiment.paper_ref)
+      Csync_harness.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the paper experiments (E1-E12).")
+    Term.(const run $ const ())
+
+(* csync run [IDS...] *)
+let run_cmd =
+  let ids_arg =
+    let doc = "Experiment ids to run (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let run quick ids =
+    match ids with
+    | [] ->
+      Csync_harness.Registry.render_all Format.std_formatter ~quick;
+      `Ok ()
+    | ids ->
+      let rec go = function
+        | [] -> `Ok ()
+        | id :: rest -> (
+          match Csync_harness.Registry.find id with
+          | Some e ->
+            Csync_harness.Experiment.render Format.std_formatter ~quick e;
+            go rest
+          | None -> `Error (false, Printf.sprintf "unknown experiment %S" id))
+      in
+      go ids
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run experiments by id (all of them when no id is given).")
+    Term.(ret (const run $ quick_arg $ ids_arg))
+
+(* csync params *)
+let params_cmd =
+  let float_opt name ~doc ~default =
+    Arg.(value & opt float default & info [ name ] ~doc)
+  in
+  let run n f rho delta eps big_p =
+    match Csync_core.Params.auto ~n ~f ~rho ~delta ~eps ~big_p () with
+    | Error errs ->
+      List.iter
+        (fun e -> Format.eprintf "error: %a@." Csync_core.Params.pp_error e)
+        errs;
+      `Error (false, "invalid parameter combination")
+    | Ok p ->
+      let open Csync_core.Params in
+      Format.printf "%a@." pp p;
+      Format.printf "derived:@.";
+      Format.printf "  beta (chosen minimal)   = %.6g s@." p.beta;
+      Format.printf "  gamma (agreement bound) = %.6g s@." (gamma p);
+      Format.printf "  adjustment bound        = %.6g s@." (adjustment_bound p);
+      Format.printf "  lambda (shortest round) = %.6g s@." (lambda p);
+      let a1, a2, a3 = validity p in
+      Format.printf "  validity (a1, a2, a3)   = (%.8f, %.8f, %.3g)@." a1 a2 a3;
+      Format.printf "  P admissible in         = [%.6g, %.6g]@."
+        (p_min ~rho ~delta ~eps ~beta:p.beta)
+        (p_max ~rho ~delta ~eps ~beta:p.beta);
+      `Ok ()
+  in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Fault budget.") in
+  Cmd.v
+    (Cmd.info "params"
+       ~doc:
+         "Compute the Section 5.2 parameter calculus for a configuration: \
+          minimal beta, gamma, validity coefficients, admissible P range.")
+    Term.(
+      ret
+        (const run $ n $ f
+        $ float_opt "rho" ~doc:"Drift bound." ~default:1e-6
+        $ float_opt "delta" ~doc:"Median message delay (s)." ~default:1e-3
+        $ float_opt "eps" ~doc:"Delay uncertainty (s)." ~default:1e-4
+        $ float_opt "P" ~doc:"Round length (s, local time)." ~default:0.5))
+
+(* csync simulate *)
+let simulate_cmd =
+  let run quick seed n f rounds faults trace =
+    let params = Csync_harness.Defaults.base ~n ~f () in
+    let scenario =
+      { (Csync_harness.Scenario.default ~seed params) with
+        Csync_harness.Scenario.rounds = (if quick then min rounds 10 else rounds);
+        trace = trace > 0 }
+    in
+    let scenario =
+      if faults then Csync_harness.Scenario.with_standard_faults scenario
+      else scenario
+    in
+    let r = Csync_harness.Scenario.run scenario in
+    Format.printf "%a@." Csync_core.Params.pp params;
+    Format.printf "nonfaulty processes : %s@."
+      (String.concat ", " (List.map string_of_int r.Csync_harness.Scenario.nonfaulty));
+    Format.printf "max skew            : %.3e s (gamma = %.3e s)@."
+      r.Csync_harness.Scenario.max_skew
+      (Csync_core.Params.gamma params);
+    Format.printf "steady skew         : %.3e s@." r.Csync_harness.Scenario.steady_skew;
+    Format.printf "max |ADJ|           : %.3e s (bound = %.3e s)@."
+      (Csync_metrics.Stats.maximum r.Csync_harness.Scenario.adjustments)
+      (Csync_core.Params.adjustment_bound params);
+    Format.printf "validity            : %s@."
+      (match r.Csync_harness.Scenario.validity with
+       | `Holds -> "holds"
+       | `Violated _ -> "VIOLATED");
+    Format.printf "messages sent       : %d@." r.Csync_harness.Scenario.messages;
+    if trace > 0 then begin
+      let entries = r.Csync_harness.Scenario.trace in
+      let skip = max 0 (List.length entries - trace) in
+      Format.printf "last %d trace entries:@." (min trace (List.length entries));
+      List.iteri
+        (fun i (time, msg) ->
+          if i >= skip then Format.printf "  [%12.6f] %s@." time msg)
+        entries
+    end;
+    `Ok ()
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"RNG seed.") in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Fault budget.") in
+  let rounds = Arg.(value & opt int 30 & info [ "rounds" ] ~doc:"Rounds to run.") in
+  let faults =
+    Arg.(value & flag & info [ "faults" ] ~doc:"Enable the standard Byzantine cast.")
+  in
+  let trace =
+    Arg.(
+      value & opt int 0
+      & info [ "trace" ]
+          ~doc:"Print the last N delivery-trace entries after the run.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one ad-hoc maintenance simulation.")
+    Term.(ret (const run $ quick_arg $ seed $ n $ f $ rounds $ faults $ trace))
+
+(* csync export *)
+let export_cmd =
+  let dir_arg =
+    Arg.(value & opt string "results" & info [ "out"; "o" ] ~doc:"Output directory.")
+  in
+  let ids_arg =
+    let doc = "Experiment ids to export (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let sanitize name =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '_')
+      name
+  in
+  let run quick dir ids =
+    let experiments =
+      match ids with
+      | [] -> Ok Csync_harness.Registry.all
+      | ids ->
+        List.fold_left
+          (fun acc id ->
+            match (acc, Csync_harness.Registry.find id) with
+            | Error e, _ -> Error e
+            | Ok l, Some e -> Ok (l @ [ e ])
+            | Ok _, None -> Error (Printf.sprintf "unknown experiment %S" id))
+          (Ok []) ids
+    in
+    match experiments with
+    | Error msg -> `Error (false, msg)
+    | Ok experiments ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun e ->
+          let tables = e.Csync_harness.Experiment.run ~quick in
+          List.iteri
+            (fun i tbl ->
+              let file =
+                Printf.sprintf "%s/%s_%d_%s.csv" dir
+                  e.Csync_harness.Experiment.id i
+                  (sanitize (Csync_metrics.Table.title tbl))
+              in
+              let oc = open_out file in
+              output_string oc (Csync_metrics.Table.to_csv tbl);
+              close_out oc;
+              Format.printf "wrote %s@." file)
+            tables)
+        experiments;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Run experiments and write each table as CSV into a directory.")
+    Term.(ret (const run $ quick_arg $ dir_arg $ ids_arg))
+
+let main_cmd =
+  let doc =
+    "Fault-tolerant clock synchronization (Welch & Lynch 1984/1988) - \
+     simulator, experiments, and parameter calculus."
+  in
+  Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; params_cmd; simulate_cmd; export_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

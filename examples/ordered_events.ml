@@ -1,0 +1,65 @@
+(* Why synchronized clocks matter: globally ordering distributed events.
+
+   The paper's opening sentence: "Keeping the local times of processes in
+   a distributed system synchronized in the presence of arbitrary faults
+   is important in many applications".  This example shows the canonical
+   application: nodes stamp their local events with synchronized time, and
+   any two events separated by more than gamma in real time are ordered
+   correctly by timestamp alone - no communication needed at read time.
+
+   We run the maintenance algorithm, then generate pairs of events at
+   different nodes with controlled real-time gaps and check whether the
+   timestamp order matches the real order:
+
+   - gaps > gamma:  always ordered correctly (the guarantee);
+   - gaps <= gamma: may be misordered - and we measure how often, which is
+     exactly why gamma is the "causality horizon" of a synchronized
+     system.
+
+   Run with:  dune exec examples/ordered_events.exe *)
+
+module Params = Csync_core.Params
+module Scenario = Csync_harness.Scenario
+module Rng = Csync_sim.Rng
+
+let () =
+  let params = Csync_harness.Defaults.base () in
+  let gamma = Params.gamma params in
+  Format.printf "gamma = %.3e s: events farther apart than this are safely ordered@.@."
+    gamma;
+  let rng = Rng.create 99 in
+  let trial gap =
+    (* Deterministic replay, then sample p at t and q at t + gap. *)
+    let seed = Rng.int rng 100_000 in
+    let s =
+      Scenario.with_standard_faults
+        { (Scenario.default ~seed params) with Scenario.rounds = 8 }
+    in
+    (* We reuse the sampling machinery: skew at warm time bounds the
+       misordering window; directly estimate via min/max locals. *)
+    let res = Scenario.run s in
+    let samples = res.Scenario.sampling.Csync_harness.Sampling.samples in
+    let warm = samples.(Array.length samples / 2) in
+    (* Event A gets the slowest clock's stamp at t; event B the fastest
+       clock's stamp at t + gap: the worst case for ordering. *)
+    let stamp_a = warm.Csync_harness.Sampling.max_local in
+    let stamp_b = warm.Csync_harness.Sampling.min_local +. gap in
+    stamp_b > stamp_a
+  in
+  let trials = 60 in
+  List.iter
+    (fun gap_factor ->
+      let gap = gap_factor *. gamma in
+      let ok = ref 0 in
+      for _ = 1 to trials do
+        if trial gap then incr ok
+      done;
+      Format.printf
+        "real-time gap = %.2f * gamma: %3d/%d event pairs ordered correctly%s@."
+        gap_factor !ok trials
+        (if gap_factor > 1. then "  (guaranteed)" else ""))
+    [ 0.25; 0.5; 0.9; 1.1; 2.0 ];
+  Format.printf
+    "@.Above gamma the ordering is certain; below it, it can fail - the \
+     agreement bound is precisely the resolution of synchronized-clock \
+     timestamps.@."

@@ -1,0 +1,45 @@
+(* Rejoin after crash: the Section 9.1 reintegration protocol.
+
+   Process 5 runs normally, crashes during round 3, and wakes up during
+   round 8 with a garbage correction (0.37 s off).  While it is down it
+   counts against the fault budget - the cluster also carries one
+   permanently silent Byzantine process, so the full budget f = 2 is in
+   use.  On waking it observes the round traffic to orient itself, collects
+   one full round of arrivals, applies the same fault-tolerant average as
+   everyone else, and rejoins; two rounds later it is indistinguishable
+   from the others.
+
+   Run with:  dune exec examples/rejoin_after_crash.exe *)
+
+module Runner = Csync_harness.Runner_reintegration
+module Params = Csync_core.Params
+
+let () =
+  let params = Csync_harness.Defaults.base () in
+  let t = Runner.default params in
+  Format.printf
+    "n = %d, f = %d; victim = p%d crashes at round %d, wakes at round %.1f \
+     with correction %+.3f s@.@."
+    params.Params.n params.Params.f t.Runner.victim t.Runner.crash_round
+    t.Runner.wake_round t.Runner.wake_corr;
+  let r = Runner.run t in
+  Format.printf "victim's distance to the cluster median over time:@.";
+  let big_p = params.Params.big_p in
+  Array.iter
+    (fun (time, offset) ->
+      let round = time /. big_p in
+      if Float.rem round 1.0 < 0.13 then
+        Format.printf "  round %5.1f:  %.3e s%s@." round offset
+          (if offset > 1e-2 then "   <- garbage clock, still reintegrating"
+           else "")
+    )
+    r.Runner.victim_offset;
+  Format.printf "@.joined at round: %s@."
+    (match r.Runner.join_round with
+     | Some i -> string_of_int i
+     | None -> "never (!)");
+  Format.printf "offset at wake      : %.3e s@." r.Runner.wake_offset;
+  Format.printf "post-join skew      : %.3e s (gamma = %.3e s)@."
+    r.Runner.post_join_skew (Params.gamma params);
+  Format.printf "survivors undisturbed: their skew never exceeded %.3e s@."
+    r.Runner.others_skew_throughout

@@ -1,0 +1,131 @@
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Params = Csync_core.Params
+module Signed = Csync_net.Signed
+
+type msg = int Signed.t
+
+type round_record = {
+  round : int;
+  adj : float;
+  corr_after : float;
+  accept_phys : float;
+  hops : int;
+}
+
+type state = {
+  corr : float;
+  next_round : int;
+  history : round_record list; (* newest first *)
+}
+
+type config = { params : Params.t; initial_corr : float }
+
+let config ~params ?(initial_corr = 0.) () = { params; initial_corr }
+
+let round_time (p : Params.t) k = p.Params.t0 +. (float_of_int k *. p.Params.big_p)
+
+let initial_state cfg = { corr = cfg.initial_corr; next_round = 1; history = [] }
+
+let accept cfg ~phys ~hops k s =
+  let p = cfg.params in
+  let local = phys +. s.corr in
+  let target = round_time p k +. (float_of_int hops *. (p.Params.delta +. p.Params.eps)) in
+  let adj = target -. local in
+  let corr = s.corr +. adj in
+  {
+    corr;
+    next_round = k + 1;
+    history =
+      { round = k; adj; corr_after = corr; accept_phys = phys; hops } :: s.history;
+  }
+
+(* "Not too long before its clock reaches the value": an s-hop message can
+   legitimately arrive up to s*(delta+eps) before our clock reads T_k, plus
+   the skew between nonfaulty clocks. *)
+let acceptably_timed (p : Params.t) ~local ~hops k =
+  let earliest =
+    round_time p k
+    -. (float_of_int hops *. (p.Params.delta +. p.Params.eps))
+    -. p.Params.beta -. (2. *. p.Params.eps)
+  in
+  local >= earliest
+
+let handle cfg ~self ~phys interrupt s =
+  let p = cfg.params in
+  match interrupt with
+  | Automaton.Start ->
+    (s, [ Automaton.Set_timer_logical (round_time p s.next_round) ])
+  | Automaton.Timer tag ->
+    let k = s.next_round in
+    if tag = round_time p k then begin
+      (* Our own clock starts round k. *)
+      let s = accept cfg ~phys ~hops:0 k s in
+      ( s,
+        [
+          Automaton.Broadcast (Signed.sign ~signer:self k);
+          Automaton.Set_timer_logical (round_time p s.next_round);
+        ] )
+    end
+    else (s, []) (* stale timer from a message-driven accept *)
+  | Automaton.Message (_, signed) ->
+    let k = Signed.value signed in
+    let hops = Signed.depth signed in
+    let local = phys +. s.corr in
+    if
+      k = s.next_round
+      && Signed.distinct_signers signed
+      && (not (Signed.signed_by signed self))
+      && acceptably_timed p ~local ~hops k
+    then begin
+      let s = accept cfg ~phys ~hops k s in
+      ( s,
+        [
+          Automaton.Broadcast (Signed.countersign ~signer:self signed);
+          Automaton.Set_timer_logical (round_time p s.next_round);
+        ] )
+    end
+    else (s, [])
+
+let automaton ~self_hint cfg =
+  {
+    Automaton.name = Printf.sprintf "hssd[%d]" self_hint;
+    initial = initial_state cfg;
+    handle = (fun ~self ~phys interrupt s -> handle cfg ~self ~phys interrupt s);
+    corr = (fun s -> s.corr);
+  }
+
+let create ~self cfg = Cluster.make_proc (automaton ~self_hint:self cfg)
+
+let corr s = s.corr
+
+let rounds_accepted s = s.next_round - 1
+
+let history s = List.rev s.history
+
+let adversary_early ~params ~advance ~self =
+  let due k = round_time params k -. advance in
+  let auto =
+    {
+      Automaton.name = "hssd.adversary-early";
+      initial = 1;
+      handle =
+        (fun ~self:_ ~phys interrupt k ->
+          match interrupt with
+          | Automaton.Start ->
+            let k = ref k in
+            while due !k <= phys do
+              incr k
+            done;
+            (!k, [ Automaton.Set_timer_phys (due !k) ])
+          | Automaton.Timer _ ->
+            ( k + 1,
+              [
+                Automaton.Broadcast (Signed.sign ~signer:self k);
+                Automaton.Set_timer_phys (due (k + 1));
+              ] )
+          | Automaton.Message _ -> (k, []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)

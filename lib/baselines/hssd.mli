@@ -1,0 +1,50 @@
+(** The Halpern-Simons-Strong-Dolev algorithm [HSSD] (Section 10), using
+    simulated unforgeable signatures ({!Csync_net.Signed}).
+
+    When a process' clock reaches the next agreed value T_k = T0 + k P it
+    begins round k by broadcasting the signed value.  A process receiving a
+    validly signed (k) message with s distinct signatures "not too long
+    before its clock reaches T_k" updates its clock to T_k + s * (delta +
+    eps) (the maximal age of an s-hop message), countersigns, and relays.
+
+    Section 10's estimates: agreement about delta + eps; adjustment about
+    (f+1)(delta + eps); and the documented weakness that faulty processes
+    sending early can speed up the nonfaulty clocks - the slope of the
+    synchronized clocks can exceed 1 by an amount growing with f, which
+    experiment E5's fault runs measure via {!adversary_early}. *)
+
+type msg = int Csync_net.Signed.t
+(** A signed round index. *)
+
+type round_record = {
+  round : int;
+  adj : float;
+  corr_after : float;
+  accept_phys : float;
+  hops : int;  (** signature-chain length of the accepted message; 0 when
+                   the round was started by our own clock *)
+}
+
+type state
+
+type config
+
+val config : params:Csync_core.Params.t -> ?initial_corr:float -> unit -> config
+
+val create : self:int -> config -> msg Csync_process.Cluster.proc * (unit -> state)
+
+val automaton : self_hint:int -> config -> (state, msg) Csync_process.Automaton.t
+
+val corr : state -> float
+
+val rounds_accepted : state -> int
+
+val history : state -> round_record list
+(** Oldest first. *)
+
+val adversary_early :
+  params:Csync_core.Params.t -> advance:float -> self:int -> msg Csync_process.Cluster.proc
+(** A faulty origin that signs and broadcasts (round k) [advance] before
+    T_k on its own clock.  Because its signature is genuine, receivers
+    within the acceptance window follow it - the "speed up" attack the
+    paper describes.  [advance] beyond the window is rejected. *)

@@ -1,0 +1,23 @@
+module Params = Csync_core.Params
+
+type config = Convergence_round.config
+
+let egocentric_average ~threshold ~f:_ est =
+  let n = Array.length est in
+  let sum =
+    Array.fold_left
+      (fun acc e -> if Float.abs e <= threshold then acc +. e else acc)
+      0. est
+  in
+  sum /. float_of_int n
+
+let default_threshold (p : Params.t) =
+  (2. *. (p.Params.beta +. p.Params.eps)) +. (2. *. p.Params.rho *. p.Params.delta)
+
+let config ~params ?threshold ?(initial_corr = 0.) () =
+  let threshold = Option.value threshold ~default:(default_threshold params) in
+  Convergence_round.config ~params
+    ~update:(fun ~f est -> egocentric_average ~threshold ~f est)
+    ~name:"lm-cnv" ~initial_corr ()
+
+let create ~self cfg = Convergence_round.create ~self cfg

@@ -1,0 +1,31 @@
+(** The interactive convergence algorithm (CNV) of Lamport and
+    Melliar-Smith [LM], the algorithm Welch-Lynch builds on and compares
+    against (Sections 1 and 10).
+
+    Each round, each process obtains a value for every other process' clock
+    and sets its clock to the {e egocentric average}: the mean over all n
+    processes of the estimated clock differences, where any estimate farther
+    than [threshold] from the process' own value (zero) is replaced by
+    zero.  Missing estimates count as own-value too.
+
+    Section 10's estimates for CNV: agreement about 2 n eps', adjustment
+    about (2n + 1) eps'. *)
+
+type config = Convergence_round.config
+
+val config :
+  params:Csync_core.Params.t ->
+  ?threshold:float ->
+  ?initial_corr:float ->
+  unit ->
+  config
+(** [threshold] is CNV's Delta, the "not too different from its own" cutoff;
+    it defaults to 2 (beta + eps) + delta * rho-terms, generous enough to
+    keep all nonfaulty readings. *)
+
+val create :
+  self:int -> config -> float Csync_process.Cluster.proc * (unit -> Convergence_round.state)
+
+val egocentric_average : threshold:float -> f:int -> float array -> float
+(** The update rule, exposed for unit tests: mean over all entries with
+    out-of-threshold (or missing) entries replaced by 0. *)

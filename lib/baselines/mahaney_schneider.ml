@@ -1,0 +1,30 @@
+module Params = Csync_core.Params
+
+type config = Convergence_round.config
+
+let accepted_mean ~tolerance ~f est =
+  let n = Array.length est in
+  let support v =
+    Array.fold_left
+      (fun acc w -> if Float.abs (v -. w) <= tolerance then acc + 1 else acc)
+      0 est
+  in
+  let sum = ref 0. and count = ref 0 in
+  Array.iter
+    (fun v ->
+      if support v >= n - f then begin
+        sum := !sum +. v;
+        incr count
+      end)
+    est;
+  if !count = 0 then 0. else !sum /. float_of_int !count
+
+let default_tolerance (p : Params.t) = p.Params.beta +. (2. *. p.Params.eps)
+
+let config ~params ?tolerance ?(initial_corr = 0.) () =
+  let tolerance = Option.value tolerance ~default:(default_tolerance params) in
+  Convergence_round.config ~params
+    ~update:(fun ~f est -> accepted_mean ~tolerance ~f est)
+    ~name:"mahaney-schneider" ~initial_corr ()
+
+let create ~self cfg = Convergence_round.create ~self cfg

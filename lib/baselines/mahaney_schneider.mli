@@ -1,0 +1,30 @@
+(** The inexact-agreement algorithm of Mahaney and Schneider [MS]
+    (Section 10).
+
+    Same model and round structure as CNV, different filter: each round a
+    reading is {e accepted} only if it lies within [tolerance] of at least
+    n - f of the readings (itself included) - readings that fewer than
+    n - f processes corroborate are "clearly faulty" and are discarded.
+    The adjustment is the mean of the accepted readings.
+
+    The pleasing property the paper highlights is {e graceful degradation}:
+    with more than f faults the algorithm's error grows but does not
+    explode, which experiment E8 exercises at n = 3f. *)
+
+type config = Convergence_round.config
+
+val config :
+  params:Csync_core.Params.t ->
+  ?tolerance:float ->
+  ?initial_corr:float ->
+  unit ->
+  config
+(** [tolerance] defaults to beta + 2 eps (the spread two nonfaulty readings
+    can exhibit). *)
+
+val create :
+  self:int -> config -> float Csync_process.Cluster.proc * (unit -> Convergence_round.state)
+
+val accepted_mean : tolerance:float -> f:int -> float array -> float
+(** The update rule, exposed for unit tests: mean of the entries having at
+    least n - f entries within [tolerance]; 0 if none qualify. *)

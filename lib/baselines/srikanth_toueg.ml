@@ -1,0 +1,125 @@
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Params = Csync_core.Params
+
+type round_record = {
+  round : int;
+  adj : float;
+  corr_after : float;
+  accept_phys : float;
+  senders_heard : int;
+}
+
+type state = {
+  corr : float;
+  next_round : int; (* next round to accept *)
+  sent_upto : int; (* highest round we have broadcast *)
+  heard : (int * int list) list; (* round -> distinct senders, newest rounds first *)
+  history : round_record list; (* newest first *)
+}
+
+type config = { params : Params.t; initial_corr : float }
+
+let config ~params ?(initial_corr = 0.) () = { params; initial_corr }
+
+let round_time (p : Params.t) k = p.Params.t0 +. (float_of_int k *. p.Params.big_p)
+
+let senders_for heard k =
+  match List.assoc_opt k heard with Some l -> l | None -> []
+
+let record_sender heard k q =
+  let senders = senders_for heard k in
+  if List.mem q senders then (heard, List.length senders)
+  else
+    let senders = q :: senders in
+    ((k, senders) :: List.remove_assoc k heard, List.length senders)
+
+let prune heard next_round = List.filter (fun (k, _) -> k >= next_round) heard
+
+let initial_state cfg =
+  { corr = cfg.initial_corr; next_round = 1; sent_upto = 0; heard = []; history = [] }
+
+let accept cfg ~phys k senders_heard s =
+  let p = cfg.params in
+  let local = phys +. s.corr in
+  let adj = round_time p k +. p.Params.delta -. local in
+  let corr = s.corr +. adj in
+  let next_round = k + 1 in
+  let history =
+    { round = k; adj; corr_after = corr; accept_phys = phys; senders_heard }
+    :: s.history
+  in
+  let s =
+    { s with corr; next_round; heard = prune s.heard next_round; history }
+  in
+  (s, [ Automaton.Set_timer_logical (round_time p next_round) ])
+
+let handle cfg ~self:_ ~phys interrupt s =
+  let p = cfg.params in
+  match interrupt with
+  | Automaton.Start ->
+    (s, [ Automaton.Set_timer_logical (round_time p s.next_round) ])
+  | Automaton.Timer tag ->
+    (* Our clock reached T_k: announce readiness - but only if this is the
+       live timer for the current round.  A stale timer (scheduled before a
+       message-driven accept advanced the round) carries an older T_k tag
+       and must not trigger a premature announcement. *)
+    let k = s.next_round in
+    if tag = round_time p k && s.sent_upto < k then
+      ({ s with sent_upto = k }, [ Automaton.Broadcast k ])
+    else (s, [])
+  | Automaton.Message (q, k) ->
+    if k < s.next_round then (s, [])
+    else begin
+      let heard, count = record_sender s.heard k q in
+      let s = { s with heard } in
+      let relay_actions, s =
+        if count >= p.Params.f + 1 && s.sent_upto < k then
+          ([ Automaton.Broadcast k ], { s with sent_upto = k })
+        else ([], s)
+      in
+      if count >= (2 * p.Params.f) + 1 then begin
+        let s, actions = accept cfg ~phys k count s in
+        (s, relay_actions @ actions)
+      end
+      else (s, relay_actions)
+    end
+
+let automaton ~self_hint cfg =
+  {
+    Automaton.name = Printf.sprintf "srikanth-toueg[%d]" self_hint;
+    initial = initial_state cfg;
+    handle = (fun ~self ~phys interrupt s -> handle cfg ~self ~phys interrupt s);
+    corr = (fun s -> s.corr);
+  }
+
+let create ~self cfg = Cluster.make_proc (automaton ~self_hint:self cfg)
+
+let corr s = s.corr
+
+let rounds_accepted s = s.next_round - 1
+
+let history s = List.rev s.history
+
+let adversary_early ~params ~advance =
+  let auto =
+    {
+      Automaton.name = "st.adversary-early";
+      initial = 1;
+      handle =
+        (fun ~self:_ ~phys interrupt k ->
+          let due round = round_time params round -. advance in
+          match interrupt with
+          | Automaton.Start ->
+            let k = ref k in
+            while due !k <= phys do
+              incr k
+            done;
+            (!k, [ Automaton.Set_timer_phys (due !k) ])
+          | Automaton.Timer _ ->
+            (k + 1, [ Automaton.Broadcast k; Automaton.Set_timer_phys (due (k + 1)) ])
+          | Automaton.Message _ -> (k, []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)

@@ -1,0 +1,49 @@
+(** The Srikanth-Toueg algorithm [ST] (Section 10), in its
+    unauthenticated form (n > 3f, no signatures).
+
+    Rounds are driven by {e consistent broadcast} rather than averaging:
+
+    - when a process' logical clock reaches T_k = T0 + k P it broadcasts
+      (round k), unless it already has;
+    - on receiving (round k) from f+1 {e distinct} senders it knows some
+      nonfaulty process is ready, so it relays (round k) itself;
+    - on receiving (round k) from 2f+1 distinct senders it {e accepts}
+      round k: it sets its clock to T_k + delta (the expected age of the
+      accepted broadcast) and moves to round k+1.
+
+    All nonfaulty processes accept within a small real-time window of each
+    other, giving agreement about delta + eps and adjustment about
+    3 (delta + eps) per Section 10; validity is that of the hardware clocks.
+    The echo rule costs roughly twice the messages of the signed version.
+
+    Messages carry the round index. *)
+
+type round_record = {
+  round : int;
+  adj : float;
+  corr_after : float;
+  accept_phys : float;
+  senders_heard : int;  (** distinct (round k) senders when accepted *)
+}
+
+type state
+
+type config
+
+val config : params:Csync_core.Params.t -> ?initial_corr:float -> unit -> config
+
+val create : self:int -> config -> int Csync_process.Cluster.proc * (unit -> state)
+
+val automaton : self_hint:int -> config -> (state, int) Csync_process.Automaton.t
+
+val corr : state -> float
+
+val rounds_accepted : state -> int
+
+val history : state -> round_record list
+(** Oldest first. *)
+
+val adversary_early : params:Csync_core.Params.t -> advance:float -> int Csync_process.Cluster.proc
+(** A faulty process that broadcasts (round k) at physical time T_k -
+    [advance]: alone (f senders) it cannot force a relay cascade, which is
+    exactly the property E5's fault runs check. *)

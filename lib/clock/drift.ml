@@ -1,0 +1,66 @@
+type t = Constant of float | Piecewise of (float * float) list
+
+let perfect = Constant 1.
+
+let fast ~rho = Constant (1. +. rho)
+
+let slow ~rho = Constant (1. /. (1. +. rho))
+
+let constant ~rate =
+  if rate <= 0. then invalid_arg "Drift.constant: nonpositive rate";
+  Constant rate
+
+let random ~rng ~rho ~segment_duration ~horizon =
+  if segment_duration <= 0. then invalid_arg "Drift.random: nonpositive duration";
+  let lo = 1. /. (1. +. rho) and hi = 1. +. rho in
+  let segments = int_of_float (ceil (horizon /. segment_duration)) in
+  let segments = max segments 1 in
+  Piecewise
+    (List.init segments (fun _ ->
+         (segment_duration, Csync_sim.Rng.uniform rng ~lo ~hi)))
+
+let oscillating ~rho ~period ~steps_per_period ~horizon =
+  if period <= 0. then invalid_arg "Drift.oscillating: nonpositive period";
+  if steps_per_period < 2 then invalid_arg "Drift.oscillating: need >= 2 steps";
+  let lo = 1. /. (1. +. rho) and hi = 1. +. rho in
+  let mid = (lo +. hi) /. 2. and amp = (hi -. lo) /. 2. in
+  let step_duration = period /. float_of_int steps_per_period in
+  let steps = max 1 (int_of_float (ceil (horizon /. step_duration))) in
+  Piecewise
+    (List.init steps (fun i ->
+         let phase = 2. *. Float.pi *. float_of_int i /. float_of_int steps_per_period in
+         (step_duration, mid +. (amp *. sin phase))))
+
+let alternating ~rho ~segment_duration ~horizon =
+  if segment_duration <= 0. then invalid_arg "Drift.alternating: nonpositive duration";
+  let lo = 1. /. (1. +. rho) and hi = 1. +. rho in
+  let segments = max 1 (int_of_float (ceil (horizon /. segment_duration))) in
+  Piecewise
+    (List.init segments (fun i ->
+         (segment_duration, if i mod 2 = 0 then hi else lo)))
+
+let rates = function
+  | Constant r -> [ r ]
+  | Piecewise [] -> [ 1. ]
+  | Piecewise segs -> List.map snd segs
+
+let rate_bounds t =
+  match rates t with
+  | [] -> (1., 1.)
+  | r :: rest ->
+    List.fold_left (fun (lo, hi) r -> (Float.min lo r, Float.max hi r)) (r, r) rest
+
+let is_rho_bounded ~rho t =
+  let lo_bound = 1. /. (1. +. rho) and hi_bound = 1. +. rho in
+  let tol = 4. *. epsilon_float in
+  let lo, hi = rate_bounds t in
+  lo >= lo_bound -. tol && hi <= hi_bound +. tol
+
+let pp ppf = function
+  | Constant r -> Format.fprintf ppf "constant-rate %.9g" r
+  | Piecewise segs ->
+    Format.fprintf ppf "@[<hov 2>piecewise[%a]@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+         (fun ppf (d, r) -> Format.fprintf ppf "%.3gs@@%.9g" d r))
+      segs

@@ -1,0 +1,57 @@
+(** Drift-rate profiles for physical clocks.
+
+    The paper (Section 3.1) requires every clock to be rho-bounded:
+    1/(1+rho) <= dC(t)/dt <= 1+rho at all times.  We realize clocks as
+    piecewise-linear functions, whose segment rates must all lie in that
+    band; this satisfies the rho-bound exactly and keeps the inverse clock
+    (needed to schedule timers) in closed form.
+
+    A profile is a description of the rate as a function of elapsed real
+    time.  Profiles are turned into concrete clocks by
+    {!Hardware_clock.create}. *)
+
+type t =
+  | Constant of float
+      (** Fixed rate forever. *)
+  | Piecewise of (float * float) list
+      (** [(duration, rate)] segments, in order; the final rate extends to
+          +infinity.  Durations must be positive. *)
+
+val perfect : t
+(** Rate exactly 1: the clock tracks real time. *)
+
+val fast : rho:float -> t
+(** The fastest rho-bounded clock: constant rate 1+rho. *)
+
+val slow : rho:float -> t
+(** The slowest rho-bounded clock: constant rate 1/(1+rho). *)
+
+val constant : rate:float -> t
+
+val random :
+  rng:Csync_sim.Rng.t ->
+  rho:float ->
+  segment_duration:float ->
+  horizon:float ->
+  t
+(** Independent uniform rates in [1/(1+rho), 1+rho] on consecutive segments
+    of the given duration, covering [0, horizon]; the last drawn rate
+    extends beyond the horizon. *)
+
+val oscillating : rho:float -> period:float -> steps_per_period:int -> horizon:float -> t
+(** A staircase approximation of a sinusoidal rate oscillating across the
+    full rho-band with the given period. *)
+
+val alternating : rho:float -> segment_duration:float -> horizon:float -> t
+(** Alternates between the fastest and slowest admissible rates - the
+    adversarial "sawtooth" that maximizes relative drift between two
+    clocks. *)
+
+val rate_bounds : t -> float * float
+(** Minimum and maximum rate over the whole profile. *)
+
+val is_rho_bounded : rho:float -> t -> bool
+(** Whether every rate lies in [1/(1+rho), 1+rho] (with a 1 ulp-scale
+    tolerance for rates produced by floating-point arithmetic). *)
+
+val pp : Format.formatter -> t -> unit

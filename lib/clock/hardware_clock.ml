@@ -1,0 +1,80 @@
+(* Piecewise-linear clock: on [t_start_i, t_start_{i+1}),
+   C(t) = c_start_i + rate_i * (t - t_start_i).  The first segment extends to
+   -infinity and the last to +infinity, so the clock is total and invertible. *)
+
+type segment = { t_start : float; c_start : float; rate : float }
+
+type t = { segments : segment array; drift : Drift.t }
+
+let create ?(t0 = 0.) ?(offset = 0.) drift =
+  let pieces =
+    match drift with
+    | Drift.Constant r -> [ (infinity, r) ]
+    | Drift.Piecewise [] -> [ (infinity, 1.) ]
+    | Drift.Piecewise segs -> segs
+  in
+  List.iter
+    (fun (d, r) ->
+      if d <= 0. then invalid_arg "Hardware_clock.create: nonpositive duration";
+      if r <= 0. then invalid_arg "Hardware_clock.create: nonpositive rate")
+    pieces;
+  let n = List.length pieces in
+  let segments = Array.make n { t_start = t0; c_start = t0 +. offset; rate = 1. } in
+  let _ =
+    List.fold_left
+      (fun (i, t_start, c_start) (duration, rate) ->
+        segments.(i) <- { t_start; c_start; rate };
+        (i + 1, t_start +. duration, c_start +. (rate *. duration)))
+      (0, t0, t0 +. offset) pieces
+  in
+  { segments; drift }
+
+(* Index of the segment in effect at real time [t]: the last segment whose
+   t_start <= t, clamped to the first segment for earlier times. *)
+let segment_index_real c t =
+  let segs = c.segments in
+  let n = Array.length segs in
+  if t < segs.(0).t_start then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let midpoint = (!lo + !hi + 1) / 2 in
+      if segs.(midpoint).t_start <= t then lo := midpoint else hi := midpoint - 1
+    done;
+    !lo
+  end
+
+(* Same, searching by clock value: valid because c_start is increasing. *)
+let segment_index_clock c v =
+  let segs = c.segments in
+  let n = Array.length segs in
+  if v < segs.(0).c_start then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let midpoint = (!lo + !hi + 1) / 2 in
+      if segs.(midpoint).c_start <= v then lo := midpoint else hi := midpoint - 1
+    done;
+    !lo
+  end
+
+let time c t =
+  let s = c.segments.(segment_index_real c t) in
+  s.c_start +. (s.rate *. (t -. s.t_start))
+
+let inverse c v =
+  let s = c.segments.(segment_index_clock c v) in
+  s.t_start +. ((v -. s.c_start) /. s.rate)
+
+let rate_at c t = c.segments.(segment_index_real c t).rate
+
+let rate_bounds c = Drift.rate_bounds c.drift
+
+let is_rho_bounded ~rho c = Drift.is_rho_bounded ~rho c.drift
+
+let offset_at c t = time c t -. t
+
+let pp ppf c =
+  let s0 = c.segments.(0) in
+  Format.fprintf ppf "@[<hov 2>clock{Ph(%g)=%g;@ %a}@]" s0.t_start s0.c_start
+    Drift.pp c.drift

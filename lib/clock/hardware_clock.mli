@@ -1,0 +1,37 @@
+(** Read-only physical clocks (Ph_p in the paper, Section 2.1).
+
+    A hardware clock is a monotonically increasing piecewise-linear map from
+    real time to clock time.  It is not under the process' control: the
+    algorithm only ever {e reads} it (via {!time}) or asks the simulator to
+    interrupt when it reaches a value (via {!inverse}).
+
+    Clocks are defined for all real times: the first segment extends
+    backwards and the last forwards, so [time] and [inverse] are total and
+    are exact inverses of each other up to floating-point rounding. *)
+
+type t
+
+val create : ?t0:float -> ?offset:float -> Drift.t -> t
+(** [create ~t0 ~offset profile] is the clock whose rate follows [profile]
+    starting at real time [t0] (default 0) and which reads [t0 +. offset]
+    at real time [t0] (default offset 0). *)
+
+val time : t -> float -> float
+(** [time c t] = Ph(t): the clock reading at real time [t]. *)
+
+val inverse : t -> float -> float
+(** [inverse c v] = Ph^-1(v): the real time at which the clock reads [v]. *)
+
+val rate_at : t -> float -> float
+(** The drift rate in effect at real time [t] (right-continuous at
+    breakpoints). *)
+
+val rate_bounds : t -> float * float
+
+val is_rho_bounded : rho:float -> t -> bool
+(** Whether the clock satisfies the paper's rho-bound (assumption A1). *)
+
+val offset_at : t -> float -> float
+(** [time c t -. t]: how far ahead of real time the clock reads. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+let local_time ph ~corr t = Hardware_clock.time ph t +. corr
+
+let real_time_of_local ph ~corr v = Hardware_clock.inverse ph (v -. corr)
+
+let timer_phys_target ~corr v = v -. corr

@@ -1,0 +1,20 @@
+(** Logical-clock arithmetic (Section 3.2).
+
+    A process' local time is L_p(t) = Ph_p(t) + CORR_p(t); a {e logical
+    clock} C^i_p is Ph_p plus a frozen value of CORR.  These helpers convert
+    between real time and local time for a given correction, and are what
+    the simulator uses both to schedule timers (set-timer(T) fires when the
+    physical clock reads T - CORR) and to sample local times for
+    measurement. *)
+
+val local_time : Hardware_clock.t -> corr:float -> float -> float
+(** [local_time ph ~corr t] = Ph(t) + corr. *)
+
+val real_time_of_local : Hardware_clock.t -> corr:float -> float -> float
+(** [real_time_of_local ph ~corr v] = Ph^-1(v - corr): the real time at
+    which the logical clock with correction [corr] reads [v].  This is the
+    paper's lower-case clock c(T). *)
+
+val timer_phys_target : corr:float -> float -> float
+(** [timer_phys_target ~corr v] = v - corr: the physical-clock value at
+    which a timer for local time [v] must fire (the paper's set-timer). *)

@@ -1,0 +1,296 @@
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Fault = Csync_process.Fault
+module Rng = Csync_sim.Rng
+
+let silent () = fst (Fault.silent ())
+
+(* Round-driven attacker scaffold: fires at physical time
+   T^i + shift(i) for every round i and emits the given actions. *)
+type round_state = { next_round : int }
+
+(* First round index whose firing time is strictly after [phys]; a timer set
+   in the past is silently dropped (Section 2.2), which would wedge the
+   attacker. *)
+let first_live_round (params : Params.t) ~phys ~margin =
+  let p = params.Params.big_p in
+  let i = int_of_float (ceil ((phys +. margin -. params.Params.t0) /. p)) in
+  max 0 i
+
+let round_driven ~name ~(params : Params.t) ~shift ~actions =
+  (* Find the first round whose (shifted) firing time is strictly after
+     [phys] - timers at or before the present are silently dropped by the
+     buffer (Section 2.2) and would wedge the attacker.  [shift] is drawn
+     exactly once per scheduled round (it may be randomized). *)
+  let rec arm ~phys i =
+    let due = Params.round_start params i +. shift i in
+    if due > phys then (i, Automaton.Set_timer_phys due) else arm ~phys (i + 1)
+  in
+  let auto =
+    {
+      Automaton.name;
+      initial = { next_round = 0 };
+      handle =
+        (fun ~self ~phys interrupt state ->
+          match interrupt with
+          | Automaton.Start ->
+            let i, timer = arm ~phys (first_live_round params ~phys ~margin:0.) in
+            ({ next_round = i }, [ timer ])
+          | Automaton.Timer _ ->
+            let i = state.next_round in
+            let next, timer = arm ~phys (i + 1) in
+            ({ next_round = next }, actions ~self ~phys ~round:i @ [ timer ])
+          | Automaton.Message _ -> (state, []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)
+
+let pull ~params ~offset =
+  round_driven ~name:"adversary.pull" ~params
+    ~shift:(fun _ -> offset)
+    ~actions:(fun ~self:_ ~phys:_ ~round ->
+      [ Automaton.Broadcast (Params.round_start params round) ])
+
+let lying_value ~params ~value_offset =
+  round_driven ~name:"adversary.lying-value" ~params
+    ~shift:(fun _ -> 0.)
+    ~actions:(fun ~self:_ ~phys:_ ~round ->
+      [ Automaton.Broadcast (Params.round_start params round +. value_offset) ])
+
+let random_jitter ~params ~rng ~magnitude =
+  (* Pre-drawing per round keeps the timer shift and no other state. *)
+  let shift _ = Rng.uniform rng ~lo:(-.magnitude) ~hi:magnitude in
+  round_driven ~name:"adversary.random-jitter" ~params ~shift
+    ~actions:(fun ~self:_ ~phys:_ ~round ->
+      [ Automaton.Broadcast (Params.round_start params round) ])
+
+let flood ~params ~copies =
+  if copies < 1 then invalid_arg "Adversary.flood: copies must be >= 1";
+  let spacing = params.Params.eps /. 4. in
+  let auto =
+    {
+      Automaton.name = "adversary.flood";
+      initial = (0, 0);
+      (* state: (next_round, copies already sent this round) *)
+      handle =
+        (fun ~self:_ ~phys interrupt (next_round, sent) ->
+          match interrupt with
+          | Automaton.Start ->
+            let next_round =
+              let i = first_live_round params ~phys ~margin:0. in
+              if Params.round_start params i > phys then i else i + 1
+            in
+            ( (next_round, 0),
+              [ Automaton.Set_timer_phys (Params.round_start params next_round) ] )
+          | Automaton.Timer _ ->
+            let value = Params.round_start params next_round in
+            if sent + 1 >= copies then
+              ( (next_round + 1, 0),
+                [
+                  Automaton.Broadcast value;
+                  Automaton.Set_timer_phys (Params.round_start params (next_round + 1));
+                ] )
+            else
+              ( (next_round, sent + 1),
+                [ Automaton.Broadcast value; Automaton.Set_timer_phys (phys +. spacing) ]
+              )
+          | Automaton.Message _ -> ((next_round, sent), []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)
+
+(* Adaptive two-faced: each round it re-measures the honest spread from the
+   arrival times (on its own clock) of honest round messages and places its
+   next round's early/late sends at the measured extremes.  State machine
+   per round k: an Early timer at T^k - spread/2 (re-armed later if the
+   freshly measured spread turned out smaller), sends to group A; a Late
+   timer at T^k + spread/2 sends to group B; arrivals observed in between
+   feed the next round's spread. *)
+type adaptive_state = {
+  a_round : int;
+  a_phase : [ `Early | `Late ];
+  a_lo : float option; (* earliest arrival (phys) of current round's msgs *)
+  a_hi : float option;
+  a_spread : float;
+}
+
+let adaptive_two_faced ~(params : Params.t) ~split ~faulty_from =
+  let n = params.Params.n in
+  let eps = params.Params.eps in
+  let sends_to group value =
+    List.filter_map
+      (fun dst -> if group dst then Some (Automaton.Send (dst, value)) else None)
+      (List.init n Fun.id)
+  in
+  let measured s =
+    match (s.a_lo, s.a_hi) with
+    | Some lo, Some hi -> Float.max (hi -. lo) (4. *. eps)
+    | _ -> s.a_spread
+  in
+  let auto =
+    {
+      Automaton.name = "adversary.adaptive-two-faced";
+      initial =
+        { a_round = 0; a_phase = `Early; a_lo = None; a_hi = None;
+          a_spread = params.Params.beta };
+      handle =
+        (fun ~self:_ ~phys interrupt s ->
+          match interrupt with
+          | Automaton.Start ->
+            let a_round = first_live_round params ~phys ~margin:s.a_spread in
+            let s = { s with a_round; a_phase = `Early } in
+            ( s,
+              [
+                Automaton.Set_timer_phys
+                  (Params.round_start params a_round -. (s.a_spread /. 2.));
+              ] )
+          | Automaton.Message (src, v) ->
+            if src >= faulty_from then (s, [])
+            else if
+              (* Accept the round in progress: its value is a_round's while
+                 we are between Early and Late, and (a_round - 1)'s once the
+                 Late step has advanced the counter. *)
+              v = Params.round_start params s.a_round
+              || v = Params.round_start params (s.a_round - 1)
+            then begin
+              let lo =
+                Some (match s.a_lo with None -> phys | Some x -> Float.min x phys)
+              and hi =
+                Some (match s.a_hi with None -> phys | Some x -> Float.max x phys)
+              in
+              ({ s with a_lo = lo; a_hi = hi }, [])
+            end
+            else (s, [])
+          | Automaton.Timer _ -> (
+            let t_k = Params.round_start params s.a_round in
+            match s.a_phase with
+            | `Early ->
+              let spread = measured s in
+              let desired = t_k -. (spread /. 2.) in
+              if phys +. (eps /. 100.) < desired then
+                (* The spread shrank since this timer was armed: wait for
+                   the refreshed slot. *)
+                ({ s with a_spread = spread }, [ Automaton.Set_timer_phys desired ])
+              else begin
+                let s =
+                  { s with a_spread = spread; a_phase = `Late; a_lo = None; a_hi = None }
+                in
+                ( s,
+                  sends_to (fun dst -> dst < split) t_k
+                  @ [ Automaton.Set_timer_phys (t_k +. (spread /. 2.)) ] )
+              end
+            | `Late ->
+              let next = s.a_round + 1 in
+              let s = { s with a_round = next; a_phase = `Early } in
+              ( s,
+                sends_to (fun dst -> dst >= split) t_k
+                @ [
+                    Automaton.Set_timer_phys
+                      (Params.round_start params next -. (s.a_spread /. 2.));
+                  ] )));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)
+
+let two_faced_late ~(params : Params.t) ~offset_a ~offset_b ~split =
+  if offset_a >= offset_b then
+    invalid_arg "Adversary.two_faced_late: need offset_a < offset_b";
+  if offset_b <= 0. then
+    invalid_arg "Adversary.two_faced_late: offset_b must be positive";
+  let n = params.Params.n in
+  let sends group value =
+    List.filter_map
+      (fun dst -> if group dst then Some (Automaton.Send (dst, value)) else None)
+      (List.init n Fun.id)
+  in
+  let auto =
+    {
+      Automaton.name = "adversary.two-faced-late";
+      initial = (0, `A);
+      handle =
+        (fun ~self:_ ~phys interrupt (round, phase) ->
+          match interrupt with
+          | Automaton.Start ->
+            let a_time r = Params.round_start params r +. offset_a in
+            if a_time 0 > phys then
+              ((0, `A), [ Automaton.Set_timer_phys (a_time 0) ])
+            else begin
+              (* Round 0's early slot has already passed (offset_a may be
+                 negative): cover round 0 with a single send to everyone,
+                 early enough to land inside every round-0 collection
+                 window, then go two-faced from round 1. *)
+              let cover = Float.min offset_b params.Params.eps in
+              ( (0, `Round0),
+                [ Automaton.Set_timer_phys (Params.round_start params 0 +. cover) ] )
+            end
+          | Automaton.Timer _ -> (
+            let value = Params.round_start params round in
+            match phase with
+            | `Round0 ->
+              ( (1, `A),
+                sends (fun _ -> true) value
+                @ [
+                    Automaton.Set_timer_phys
+                      (Params.round_start params 1 +. offset_a);
+                  ] )
+            | `A ->
+              ( (round, `B),
+                sends (fun dst -> dst < split) value
+                @ [ Automaton.Set_timer_phys (value +. offset_b) ] )
+            | `B ->
+              ( (round + 1, `A),
+                sends (fun dst -> dst >= split) value
+                @ [
+                    Automaton.Set_timer_phys
+                      (Params.round_start params (round + 1) +. offset_a);
+                  ] ))
+          | Automaton.Message _ -> ((round, phase), []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)
+
+(* Two-faced: needs two send times per round, so it runs its own two-phase
+   timer schedule: at T^i - spread send to the early group, at T^i + spread
+   to the late group. *)
+type tf_phase = Early | Late
+
+let two_faced ~(params : Params.t) ~spread ~split =
+  if spread < 0. then invalid_arg "Adversary.two_faced: negative spread";
+  let n = params.Params.n in
+  let sends_to group value =
+    List.filter_map
+      (fun dst -> if group dst then Some (Automaton.Send (dst, value)) else None)
+      (List.init n Fun.id)
+  in
+  let early_due i = Params.round_start params i -. spread in
+  let auto =
+    {
+      Automaton.name = "adversary.two-faced";
+      initial = (0, Early);
+      handle =
+        (fun ~self:_ ~phys interrupt (round, phase) ->
+          match interrupt with
+          | Automaton.Start ->
+            let round = first_live_round params ~phys ~margin:spread in
+            ((round, Early), [ Automaton.Set_timer_phys (early_due round) ])
+          | Automaton.Timer _ -> (
+            let value = Params.round_start params round in
+            match phase with
+            | Early ->
+              ( (round, Late),
+                sends_to (fun dst -> dst < split) value
+                @ [ Automaton.Set_timer_phys (Params.round_start params round +. spread) ]
+              )
+            | Late ->
+              ( (round + 1, Early),
+                sends_to (fun dst -> dst >= split) value
+                @ [ Automaton.Set_timer_phys (early_due (round + 1)) ] ))
+          | Automaton.Message _ -> ((round, phase), []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)

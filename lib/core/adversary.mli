@@ -1,0 +1,75 @@
+(** Byzantine strategies specialized to the Welch-Lynch round structure.
+
+    In this algorithm the only lever a faulty process has over a nonfaulty
+    one is the {e arrival time} of its round-i message (the value it carries
+    identifies the round; the receiver records when it arrived).  Since
+    message delays are bounded for everyone (assumption A3), the attacker's
+    freedom is {e when} it sends and {e to whom} - including sending
+    different timings to different recipients (two-faced behaviour), sending
+    nothing, or flooding.
+
+    All strategies keep CORR = 0 and work off their own (rho-bounded, per
+    assumption A1) physical clock; their message type is [float], matching
+    the maintenance protocol. *)
+
+open Csync_process
+
+val silent : unit -> float Cluster.proc
+(** Sends nothing, ever - the omission attacker the reduction must absorb. *)
+
+val pull :
+  params:Params.t -> offset:float -> float Cluster.proc
+(** Participates in every round but broadcasts at physical time
+    T^i + [offset] instead of T^i, trying to drag everyone's average by
+    [offset].  A positive offset simulates a slow clock. *)
+
+val two_faced :
+  params:Params.t -> spread:float -> split:int -> float Cluster.proc
+(** At each round, sends its round message {e early} (at T^i - spread) to
+    processes with id < [split] and {e late} (at T^i + spread) to the rest,
+    trying to push the two groups apart.  The classic attack that a
+    fault-tolerant average must neutralize and that defeats unprotected
+    averages (E12) and n = 3f configurations (E8). *)
+
+val adaptive_two_faced :
+  params:Params.t -> split:int -> faulty_from:int -> float Cluster.proc
+(** The strongest timing attack against the fault-tolerant average: a
+    two-faced sender whose spread {e tracks} the honest processes' current
+    real-time spread (measured from the arrival times of their round
+    messages).  Lies at the honest extremes stay inside the reduced range,
+    so each round the midpoint can be displaced by up to half the honest
+    spread in opposite directions for the two groups - this is the adversary
+    against which Lemma 9's halving bound is tight.  [faulty_from] marks the
+    first colluding pid (their messages are ignored when measuring). *)
+
+val two_faced_late :
+  params:Params.t ->
+  offset_a:float ->
+  offset_b:float ->
+  split:int ->
+  float Cluster.proc
+(** Like {!two_faced} but parameterized by signed offsets (offset_a <
+    offset_b, offset_b > 0): processes below [split] get the round message
+    at T^i + offset_a (possibly early), the rest at T^i + offset_b.  If
+    round 0's early slot is already past at start-up, round 0 is covered by
+    a single send to everyone at the late slot, so every receiver has a
+    fresh round-0 entry - the strategy used by the E12 ablation, where a
+    missing round-0 entry would otherwise collapse the unprotected averages
+    for a trivial reason. *)
+
+val random_jitter :
+  params:Params.t -> rng:Csync_sim.Rng.t -> magnitude:float -> float Cluster.proc
+(** Broadcasts at T^i + uniform(-magnitude, +magnitude), a fresh draw per
+    round. *)
+
+val flood :
+  params:Params.t -> copies:int -> float Cluster.proc
+(** Broadcasts its round message [copies] times in quick succession
+    (physical spacing eps/4): each arrival overwrites ARR, so the effective
+    arrival time is the last one; also pressure-tests the collision model. *)
+
+val lying_value :
+  params:Params.t -> value_offset:float -> float Cluster.proc
+(** Broadcasts on schedule but with a wrong clock value (T^i +
+    [value_offset]).  The maintenance protocol ignores message contents for
+    averaging, so this tests that receivers are indeed content-agnostic. *)

@@ -1,0 +1,55 @@
+module M = Csync_multiset
+
+type adversary = round:int -> faulty:int -> target:int -> float option
+
+let no_adversary ~round:_ ~faulty:_ ~target:_ = None
+
+type result = {
+  rounds : float array list;
+  final : float array;
+  diameters : float list;
+}
+
+let diameter values = M.diameter (M.of_array values)
+
+let run ~n ~f ~rounds ?(averaging = Averaging.midpoint)
+    ?(adversary = no_adversary) ~initial () =
+  if n < (3 * f) + 1 then invalid_arg "Approx_agreement.run: need n >= 3f+1";
+  if Array.length initial <> n - f then
+    invalid_arg "Approx_agreement.run: initial must have n - f entries";
+  if rounds < 0 then invalid_arg "Approx_agreement.run: negative rounds";
+  let honest = n - f in
+  let step round values =
+    Array.init honest (fun target ->
+        let received =
+          List.init honest (fun q -> values.(q))
+          @ List.init f (fun i ->
+                let faulty = honest + i in
+                (* An omitted value is attributed as the recipient's own -
+                   equivalently, a stale slot that the reduction treats as
+                   one more faulty entry inside the known range. *)
+                Option.value
+                  (adversary ~round ~faulty ~target)
+                  ~default:values.(target))
+        in
+        Averaging.apply averaging ~f (M.of_list received))
+  in
+  let rec go round values acc_rounds acc_diams =
+    if round = rounds then
+      {
+        rounds = List.rev acc_rounds;
+        final = values;
+        diameters = List.rev acc_diams;
+      }
+    else begin
+      let next = step round values in
+      go (round + 1) next (next :: acc_rounds) (diameter next :: acc_diams)
+    end
+  in
+  go 0 (Array.copy initial) [] []
+
+let rounds_to_converge ~diam0 ~target =
+  if diam0 <= 0. || target <= 0. then
+    invalid_arg "Approx_agreement.rounds_to_converge: nonpositive input";
+  if target >= diam0 then 0
+  else int_of_float (ceil (Float.log2 (diam0 /. target)))

@@ -1,0 +1,53 @@
+(** Synchronous approximate agreement (Dolev-Lynch-Pinter-Stark-Weihl
+    [DLPSW1/2]), the algorithm family the paper's fault-tolerant averaging
+    function comes from.
+
+    The paper closes by observing that "clock synchronization is shown to
+    be an interesting application for work on approximate agreement"; this
+    module makes the connection concrete by providing the source algorithm
+    in its own right: n processes hold real values, at most f are
+    Byzantine, and in each synchronous round every process broadcasts its
+    value and replaces it with mid(reduce_f(received)).  The validity and
+    convergence properties mirror the clock bounds:
+
+    - every nonfaulty value stays within the initial nonfaulty range;
+    - the nonfaulty diameter at least halves each round (Appendix
+      Lemma 24 with x = 0), so after r rounds it is at most diam0 / 2^r.
+
+    The adversary supplies, per round, the value each faulty process sends
+    to each recipient (two-faced behaviour included); [None] models an
+    omission, which the recipient replaces with its own value (a standard
+    convention that keeps multiset sizes at n, matching the paper's
+    "initially arbitrary" slots being attributed to faulty senders). *)
+
+type adversary = round:int -> faulty:int -> target:int -> float option
+(** What faulty process [faulty] tells process [target] in [round]. *)
+
+val no_adversary : adversary
+(** Faulty processes stay silent. *)
+
+type result = {
+  rounds : float array list;
+      (** Nonfaulty values after each round, oldest first (the initial
+          values are NOT included). *)
+  final : float array;  (** Nonfaulty values after the last round. *)
+  diameters : float list;
+      (** Nonfaulty diameter after each round, oldest first. *)
+}
+
+val run :
+  n:int ->
+  f:int ->
+  rounds:int ->
+  ?averaging:Averaging.t ->
+  ?adversary:adversary ->
+  initial:float array ->
+  unit ->
+  result
+(** [initial] holds the nonfaulty processes' starting values (length
+    n - f; processes 0..n-f-1 are nonfaulty, the rest Byzantine).
+    @raise Invalid_argument if n < 3f + 1 or the lengths disagree. *)
+
+val rounds_to_converge : diam0:float -> target:float -> int
+(** ceil(log2(diam0/target)): the round count the halving guarantee
+    needs.  @raise Invalid_argument on nonpositive inputs. *)

@@ -1,0 +1,36 @@
+module Multiset = Csync_multiset
+
+type combine = Midpoint | Mean | Median
+
+type t = { combine : combine; reduce : bool }
+
+let midpoint = { combine = Midpoint; reduce = true }
+
+let mean = { combine = Mean; reduce = true }
+
+let median = { combine = Median; reduce = true }
+
+let unprotected combine = { combine; reduce = false }
+
+let apply t ~f ms =
+  let ms = if t.reduce then Multiset.reduce ~f ms else ms in
+  match t.combine with
+  | Midpoint -> Multiset.mid ms
+  | Mean -> Multiset.mean ms
+  | Median -> Multiset.median ms
+
+let convergence_rate t ~n ~f =
+  if not t.reduce then 1.
+  else
+    match t.combine with
+    | Midpoint | Median -> 0.5
+    | Mean ->
+      if n <= 2 * f then 1. else float_of_int f /. float_of_int (n - (2 * f))
+
+let name t =
+  let base =
+    match t.combine with Midpoint -> "midpoint" | Mean -> "mean" | Median -> "median"
+  in
+  if t.reduce then base else base ^ "-unprotected"
+
+let pp ppf t = Format.pp_print_string ppf (name t)

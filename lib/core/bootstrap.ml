@@ -1,0 +1,197 @@
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+
+type mode_tag = Establishing | Rescuing | Switched
+
+type mode =
+  | Est of { inner : Establishment.state; claims : (float * int list) list }
+      (* [claims]: identical Time values seen, with their distinct senders -
+         the straggler-rescue detector (grid round messages are the only
+         identical Time values f+1 distinct processes ever send) *)
+  | Rescue of Reintegration.state
+  | Maint of { k : int; inner : Maintenance.state }
+
+type state = { mode : mode }
+
+type config = {
+  est : Establishment.config;
+  maint : Maintenance.config;
+  switch_round : int;
+}
+
+let config ?(switch_round = 40) ~est ~maint () =
+  if switch_round <= 0 then invalid_arg "Bootstrap.config: nonpositive switch round";
+  if est.Establishment.params <> maint.Maintenance.params then
+    invalid_arg "Bootstrap.config: establishment and maintenance params differ";
+  if maint.Maintenance.stagger <> 0. || maint.Maintenance.exchanges <> 1 then
+    invalid_arg "Bootstrap.config: stagger/exchanges not supported at bootstrap";
+  { est; maint; switch_round }
+
+let switch_round_for_spread (p : Params.t) ~initial_spread =
+  let { Params.rho; delta; eps; beta; _ } = p in
+  match
+    Bounds.establishment_rounds_to ~rho ~delta ~eps ~from:initial_spread
+      ~target:beta
+  with
+  | Some k -> k + 1
+  | None ->
+    invalid_arg
+      "Bootstrap.switch_round_for_spread: beta below the establishment floor \
+       (choose a larger beta)"
+
+(* Record that [q] sent Time value [v]; how many distinct senders agree? *)
+let add_claim claims q v =
+  let rec go acc = function
+    | [] -> ((v, [ q ]) :: acc, 1)
+    | (v', senders) :: rest when v' = v ->
+      if List.mem q senders then
+        (List.rev_append acc ((v', senders) :: rest), List.length senders)
+      else
+        let senders = q :: senders in
+        (List.rev_append acc ((v', senders) :: rest), List.length senders)
+    | entry :: rest -> go (entry :: acc) rest
+  in
+  go [] claims
+
+(* Translate a maintenance action list into the bootstrap message type. *)
+let lift_actions actions =
+  List.map
+    (fun a ->
+      match a with
+      | Automaton.Broadcast v -> Automaton.Broadcast (Establishment.Time v)
+      | Automaton.Send (dst, v) -> Automaton.Send (dst, Establishment.Time v)
+      | Automaton.Set_timer_logical v -> Automaton.Set_timer_logical v
+      | Automaton.Set_timer_phys v -> Automaton.Set_timer_phys v)
+    actions
+
+let reintegration_config cfg =
+  Reintegration.config cfg.maint
+
+let handle cfg ~self ~phys interrupt s =
+  match s.mode with
+  | Maint { k; inner } -> (
+    let forward i =
+      let inner, actions = Maintenance.handle cfg.maint ~self ~phys i inner in
+      ({ mode = Maint { k; inner } }, lift_actions actions)
+    in
+    match interrupt with
+    | Automaton.Message (_, Establishment.Ready) -> (s, [])
+    | Automaton.Message (q, Establishment.Time v) ->
+      forward (Automaton.Message (q, v))
+    | Automaton.Start -> forward Automaton.Start
+    | Automaton.Timer tag -> forward (Automaton.Timer tag))
+  | Rescue inner -> (
+    let forward i =
+      let inner, actions =
+        Reintegration.handle (reintegration_config cfg) ~self ~phys i inner
+      in
+      ({ mode = Rescue inner }, lift_actions actions)
+    in
+    match interrupt with
+    | Automaton.Message (_, Establishment.Ready) -> (s, [])
+    | Automaton.Message (q, Establishment.Time v) ->
+      forward (Automaton.Message (q, v))
+    | Automaton.Start -> forward Automaton.Start
+    | Automaton.Timer tag -> forward (Automaton.Timer tag))
+  | Est { inner = est; claims } -> (
+    (* Straggler rescue: the maintenance grid announces itself as identical
+       Time values from f+1 distinct senders (establishment Time values are
+       local-clock readings and never coincide across processes, and the f
+       faulty ones cannot fake the quorum alone).  A process that detects
+       the grid while still establishing reintegrates onto it. *)
+    let p = cfg.est.Establishment.params in
+    let rescue_target =
+      match interrupt with
+      | Automaton.Message (q, Establishment.Time v) ->
+        let claims, count = add_claim claims q v in
+        if count >= p.Params.f + 1 then `Rescue (v +. p.Params.big_p)
+        else `Claims claims
+      | _ -> `Claims claims
+    in
+    match rescue_target with
+    | `Rescue target ->
+      let rcfg =
+        Reintegration.config
+          ~initial_corr:(Establishment.corr est)
+          cfg.maint
+      in
+      ({ mode = Rescue (Reintegration.state_collecting rcfg ~target) }, [])
+    | `Claims claims ->
+    let est, actions = Establishment.handle cfg.est ~self ~phys interrupt est in
+    if Establishment.rounds_completed est < cfg.switch_round then
+      ({ mode = Est { inner = est; claims } }, actions)
+    else begin
+      (* The switch: the round-[switch_round] begin_round just ran (its
+         broadcast and timer are dropped - nobody will finish that round).
+         Quantize to the maintenance grid with at least one round of
+         slack. *)
+      let p = cfg.est.Establishment.params in
+      let corr = Establishment.corr est in
+      let local = phys +. corr in
+      let k =
+        int_of_float
+          (Float.floor ((local -. p.Params.t0) /. p.Params.big_p))
+        + 2
+      in
+      let next_t = p.Params.t0 +. (float_of_int k *. p.Params.big_p) in
+      let inner = Maintenance.state_for_rejoin cfg.maint ~corr ~next_t ~round:k in
+      (* Farewell READY: a straggler may have had this round's READYs
+         consumed by its stale counter; one extra READY from each switcher
+         lets near-synchronous stragglers finish the round normally.  (A
+         straggler further behind is caught by the grid-rescue path.) *)
+      ( { mode = Maint { k; inner } },
+        [ Automaton.Broadcast Establishment.Ready; Automaton.Set_timer_logical next_t ] )
+    end)
+
+let initial_state cfg =
+  {
+    mode =
+      Est
+        {
+          inner = (Establishment.automaton ~self_hint:0 cfg.est).Automaton.initial;
+          claims = [];
+        };
+  }
+
+let automaton ~self_hint cfg =
+  {
+    Automaton.name = Printf.sprintf "wl-bootstrap[%d]" self_hint;
+    initial = initial_state cfg;
+    handle = (fun ~self ~phys interrupt s -> handle cfg ~self ~phys interrupt s);
+    corr =
+      (fun s ->
+        match s.mode with
+        | Est { inner; _ } -> Establishment.corr inner
+        | Rescue r -> Reintegration.corr r
+        | Maint { inner; _ } -> Maintenance.corr inner);
+  }
+
+let create ~self cfg = Cluster.make_proc (automaton ~self_hint:self cfg)
+
+let mode s =
+  match s.mode with
+  | Est _ -> Establishing
+  | Rescue r ->
+    if Reintegration.mode r = Reintegration.Joined then Switched else Rescuing
+  | Maint _ -> Switched
+
+let corr s =
+  match s.mode with
+  | Est { inner; _ } -> Establishment.corr inner
+  | Rescue r -> Reintegration.corr r
+  | Maint { inner; _ } -> Maintenance.corr inner
+
+let establishment_state s =
+  match s.mode with Est { inner; _ } -> Some inner | Rescue _ | Maint _ -> None
+
+let maintenance_state s =
+  match s.mode with
+  | Maint { inner; _ } -> Some inner
+  | Rescue r -> Reintegration.maintenance_state r
+  | Est _ -> None
+
+let maintenance_round_of s =
+  match s.mode with
+  | Maint { k; _ } -> Some k
+  | Rescue r -> Reintegration.join_round r
+  | Est _ -> None

@@ -1,0 +1,81 @@
+(** Establishment followed by maintenance: the paper's second "mode of
+    operation" (Section 9.2: "run the start-up algorithm just until the
+    desired closeness of synchronization is achieved and then switch to the
+    maintenance algorithm.  A protocol to perform the switch between the
+    algorithms may be found in [Lu1].").
+
+    The switch protocol has three mechanisms:
+
+    + {b Quorum switch.}  When a process is about to begin establishment
+      round [switch_round] (by which time Lemma 20 has shrunk the spread
+      below beta), it quantizes its now-synchronized local time to the
+      maintenance grid - T_start = T0 + kP with one full round of slack -
+      and becomes a maintenance process waiting for T_start.  All locals
+      agree within beta << P, so switchers pick the same k.
+    + {b Farewell READY.}  Establishment READYs carry no round number, so
+      when every process is honest (more senders than the n - f threshold)
+      per-round counters can absorb leftover READYs from the previous wave
+      and drift a round apart.  Each switcher broadcasts one extra READY
+      as it leaves, so near-synchronous stragglers still collect n - f and
+      finish their round.
+    + {b Grid rescue.}  A straggler further behind detects the new regime
+      directly: maintenance round messages are the only Time values that
+      f+1 {e distinct} processes ever send with identical payloads
+      (establishment Times are local-clock readings, and the f faulty
+      processes cannot fake the quorum alone).  On detection it
+      reintegrates onto the observed grid exactly like a repaired process
+      (Section 9.1 / {!Reintegration}), joining one round later.
+
+    Choose [switch_round] with {!switch_round_for_spread}.  Messages are
+    establishment messages; after the switch, maintenance round values
+    travel as [Time] and READYs are ignored. *)
+
+type mode_tag =
+  | Establishing
+  | Rescuing
+      (** a straggler that detected the grid and is reintegrating onto it *)
+  | Switched
+
+type state
+
+type config = private {
+  est : Establishment.config;
+  maint : Maintenance.config;
+  switch_round : int;
+}
+
+val config :
+  ?switch_round:int ->
+  est:Establishment.config ->
+  maint:Maintenance.config ->
+  unit ->
+  config
+(** [switch_round] defaults to 40 (enough for a 1e8-second initial spread).
+    @raise Invalid_argument if it is not positive, if the two configs
+    disagree on parameters, or if the maintenance config uses stagger or
+    multiple exchanges. *)
+
+val switch_round_for_spread : Params.t -> initial_spread:float -> int
+(** The smallest round count Lemma 20 needs to bring [initial_spread] under
+    beta (the closeness the maintenance algorithm requires at its start,
+    assumption A4), plus one round of margin.
+    @raise Invalid_argument if beta is below the establishment floor. *)
+
+val create :
+  self:int -> config -> Establishment.msg Csync_process.Cluster.proc * (unit -> state)
+
+val automaton :
+  self_hint:int -> config -> (state, Establishment.msg) Csync_process.Automaton.t
+
+val mode : state -> mode_tag
+
+val corr : state -> float
+
+val establishment_state : state -> Establishment.state option
+(** The embedded state while establishing. *)
+
+val maintenance_state : state -> Maintenance.state option
+(** The embedded state once switched. *)
+
+val maintenance_round_of : state -> int option
+(** The maintenance-grid round index chosen at the switch. *)

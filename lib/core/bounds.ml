@@ -1,0 +1,63 @@
+let maintenance_recurrence ~rho ~delta ~eps ~big_p b =
+  (* Lemma 10 applied at T = T^{i+1}, |T - T^i| <= P + wait window:
+     b/2 + 2 eps + 2 rho |T - T^i| + second-order terms. *)
+  (b /. 2.) +. (2. *. eps)
+  +. (2. *. rho *. big_p)
+  +. (2. *. rho *. ((2. *. b) +. delta +. (2. *. eps)))
+  +. (2. *. rho *. rho *. (b +. delta +. eps))
+
+let maintenance_fixpoint ~rho ~delta ~eps ~big_p =
+  let rec go b remaining =
+    let next = maintenance_recurrence ~rho ~delta ~eps ~big_p b in
+    if remaining = 0 || Float.abs (next -. b) <= 1e-15 *. Float.max 1. next then next
+    else go next (remaining - 1)
+  in
+  go (4. *. eps) 128
+
+let k_exchange_beta ~rho ~eps ~big_p ~k =
+  if k < 1 then invalid_arg "Bounds.k_exchange_beta: k must be >= 1";
+  let pow = Float.of_int (1 lsl k) in
+  (4. *. eps) +. (2. *. rho *. big_p *. pow /. (pow -. 1.))
+
+let mean_fixpoint ~n ~f ~rho ~eps ~big_p =
+  let c =
+    if n <= 2 * f then invalid_arg "Bounds.mean_fixpoint: n <= 2f"
+    else float_of_int f /. float_of_int (n - (2 * f))
+  in
+  if c >= 1. then infinity
+  else ((2. *. eps *. (1. +. c)) +. (2. *. rho *. big_p)) /. (1. -. c)
+
+let establishment_recurrence ~rho ~delta ~eps b =
+  (b /. 2.) +. (2. *. eps) +. (2. *. rho *. ((11. *. delta) +. (39. *. eps)))
+
+let establishment_fixpoint ~rho ~delta ~eps =
+  (4. *. eps) +. (4. *. rho *. ((11. *. delta) +. (39. *. eps)))
+
+let establishment_rounds_to ~rho ~delta ~eps ~from ~target =
+  if target <= establishment_fixpoint ~rho ~delta ~eps then None
+  else begin
+    let rec go b rounds =
+      if b <= target then Some rounds
+      else if rounds > 10_000 then None
+      else go (establishment_recurrence ~rho ~delta ~eps b) (rounds + 1)
+    in
+    go from 0
+  end
+
+let wl_agreement_estimate ~eps = 4. *. eps
+
+let wl_adjustment_estimate ~eps = 5. *. eps
+
+let lm_agreement_estimate ~n ~eps = 2. *. float_of_int n *. eps
+
+let lm_adjustment_estimate ~n ~eps = float_of_int ((2 * n) + 1) *. eps
+
+let hssd_agreement_estimate ~delta ~eps = delta +. eps
+
+let hssd_adjustment_estimate ~f ~delta ~eps = float_of_int (f + 1) *. (delta +. eps)
+
+let st_agreement_estimate ~delta ~eps = delta +. eps
+
+let st_adjustment_estimate ~delta ~eps = 3. *. (delta +. eps)
+
+let messages_per_round ~n = n * n

@@ -1,0 +1,74 @@
+(** Closed-form bounds from the paper's analysis, used by the experiment
+    harness to compare measured behaviour against predictions.
+
+    The {!Params} module carries the bounds tied to a parameter record
+    (gamma, validity, adjustment); this module holds the rest: the per-round
+    convergence recurrences, the k-exchange and establishment formulas, and
+    the Section 10 estimates for the other algorithms. *)
+
+(** {1 Convergence (Lemmas 9/10 and the Section 7 discussion)} *)
+
+val maintenance_recurrence :
+  rho:float -> delta:float -> eps:float -> big_p:float -> float -> float
+(** One round of the maintenance algorithm applied to a real-time closeness
+    [b]: b/2 + 2 eps + 2 rho P + rho-order terms (the end-of-Section-7
+    sketch, with the second-order terms of Lemma 10 included). *)
+
+val maintenance_fixpoint :
+  rho:float -> delta:float -> eps:float -> big_p:float -> float
+(** Limit of iterating {!maintenance_recurrence}: approximately
+    4 eps + 4 rho P - the paper's steady-state closeness along the
+    real-time axis. *)
+
+val k_exchange_beta : rho:float -> eps:float -> big_p:float -> k:int -> float
+(** Section 7: with k exchanges per round,
+    beta >= 4 eps + 2 rho P * 2^k/(2^k - 1) is approachable. *)
+
+val mean_fixpoint :
+  n:int -> f:int -> rho:float -> eps:float -> big_p:float -> float
+(** Steady-state closeness using the mean variant: contraction c = f/(n-2f)
+    gives (2 eps (1 + c) + 2 rho P)/(1 - c), approaching 2 eps for large n
+    (Section 7). *)
+
+(** {1 Establishment (Section 9.2, Lemma 20)} *)
+
+val establishment_recurrence : rho:float -> delta:float -> eps:float -> float -> float
+(** B^{i+1} <= B^i / 2 + 2 eps + 2 rho (11 delta + 39 eps). *)
+
+val establishment_fixpoint : rho:float -> delta:float -> eps:float -> float
+(** Limit of the recurrence: 4 eps + 4 rho (11 delta + 39 eps) -
+    "a closeness of synchronization of about 4 eps". *)
+
+val establishment_rounds_to :
+  rho:float -> delta:float -> eps:float -> from:float -> target:float -> int option
+(** Number of rounds for the recurrence to bring [from] below [target];
+    [None] if [target] is below the fixpoint (unreachable). *)
+
+(** {1 Section 10 estimates for the compared algorithms} *)
+
+val wl_agreement_estimate : eps:float -> float
+(** "Clocks stay synchronized to within about 4 eps." *)
+
+val wl_adjustment_estimate : eps:float -> float
+(** "The size of the adjustment at each round is about 5 eps." *)
+
+val lm_agreement_estimate : n:int -> eps:float -> float
+(** Lamport-Melliar-Smith interactive convergence: about 2 n eps'. *)
+
+val lm_adjustment_estimate : n:int -> eps:float -> float
+(** About (2n + 1) eps'. *)
+
+val hssd_agreement_estimate : delta:float -> eps:float -> float
+(** Halpern-Simons-Strong-Dolev: about delta + eps. *)
+
+val hssd_adjustment_estimate : f:int -> delta:float -> eps:float -> float
+(** About (f + 1)(delta + eps). *)
+
+val st_agreement_estimate : delta:float -> eps:float -> float
+(** Srikanth-Toueg: about delta + eps. *)
+
+val st_adjustment_estimate : delta:float -> eps:float -> float
+(** About 3 (delta + eps). *)
+
+val messages_per_round : n:int -> int
+(** n^2 for the fully-connected broadcast algorithms. *)

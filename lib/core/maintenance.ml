@@ -1,0 +1,194 @@
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Multiset = Csync_multiset
+
+type phase = Bcast | Update
+
+type round_record = {
+  round : int;
+  exchange : int;
+  t_value : float;
+  broadcast_phys : float;
+  update_phys : float;
+  av : float;
+  adj : float;
+  corr_after : float;
+  arrivals : int;
+}
+
+type state = {
+  corr : float;
+  t : float;
+  bcast_at : float; (* local time of this round's broadcast: t + self * stagger *)
+  update_at : float; (* local time of this round's update timer *)
+  flag : phase;
+  arr : float array;
+  fresh : bool array;
+  round : int;
+  exchange : int;
+  broadcast_phys : float; (* phys reading at the last broadcast *)
+  history : round_record list; (* newest first *)
+}
+
+type config = {
+  params : Params.t;
+  averaging : Averaging.t;
+  exchanges : int;
+  stagger : float;
+  record_history : bool;
+  initial_corr : float;
+}
+
+let arr_sentinel = -1e12
+
+(* Slack for comparing local times computed through a clock inverse/forward
+   round-trip; far below any protocol quantity (eps >= 1e-7 in practice). *)
+let local_time_slack = 1e-9
+
+(* Spacing between the k exchanges bunched at the start of each round
+   (Section 7's k-exchange variant): the smallest gap that keeps each
+   exchange a well-formed mini-round. *)
+let exchange_spacing (p : Params.t) =
+  Params.p_min ~rho:p.Params.rho ~delta:p.Params.delta ~eps:p.Params.eps
+    ~beta:p.Params.beta
+
+let config ?(averaging = Averaging.midpoint) ?(exchanges = 1) ?(stagger = 0.)
+    ?(record_history = true) ?(initial_corr = 0.) params =
+  if exchanges < 1 then invalid_arg "Maintenance.config: exchanges must be >= 1";
+  if stagger < 0. then invalid_arg "Maintenance.config: negative stagger";
+  if exchanges > 1 then begin
+    let used =
+      float_of_int (exchanges - 1) *. exchange_spacing params
+      *. 2.
+    in
+    if used >= params.Params.big_p then
+      invalid_arg "Maintenance.config: P too short for this many exchanges"
+  end;
+  { params; averaging; exchanges; stagger; record_history; initial_corr }
+
+(* The local-time window between a broadcast and its update timer.  With
+   staggering, late-offset senders (up to (n-1)*sigma later) must still be
+   heard, so the window stretches accordingly. *)
+let wait_window cfg =
+  let p = cfg.params in
+  let extra = float_of_int (p.Params.n - 1) *. cfg.stagger in
+  (1. +. p.Params.rho) *. (p.Params.beta +. p.Params.delta +. p.Params.eps +. extra)
+
+let initial_state cfg ~self =
+  let n = cfg.params.Params.n in
+  let t = cfg.params.Params.t0 in
+  {
+    corr = cfg.initial_corr;
+    t;
+    bcast_at = t +. (float_of_int self *. cfg.stagger);
+    update_at = nan;
+    flag = Bcast;
+    arr = Array.make n arr_sentinel;
+    fresh = Array.make n false;
+    round = 0;
+    exchange = 0;
+    broadcast_phys = nan;
+    history = [];
+  }
+
+let record_arrival cfg ~src ~local s =
+  (* ARR[q] := local-time(), compensated by the sender's known stagger
+     offset so that averaging is unaffected (Section 9.3). *)
+  let arr = Array.copy s.arr and fresh = Array.copy s.fresh in
+  arr.(src) <- local -. (float_of_int src *. cfg.stagger);
+  fresh.(src) <- true;
+  { s with arr; fresh }
+
+let do_broadcast cfg ~phys s =
+  let fresh = Array.make (Array.length s.fresh) false in
+  let update_at = s.t +. wait_window cfg in
+  ( { s with flag = Update; fresh; broadcast_phys = phys; update_at },
+    [ Automaton.Broadcast s.t; Automaton.Set_timer_logical update_at ] )
+
+let do_update cfg ~phys s =
+  let p = cfg.params in
+  let av = Averaging.apply cfg.averaging ~f:p.Params.f (Multiset.of_array s.arr) in
+  let adj = s.t +. p.Params.delta -. av in
+  let corr = s.corr +. adj in
+  let arrivals = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s.fresh in
+  let history =
+    if cfg.record_history then
+      {
+        round = s.round;
+        exchange = s.exchange;
+        t_value = s.t;
+        broadcast_phys = s.broadcast_phys;
+        update_phys = phys;
+        av;
+        adj;
+        corr_after = corr;
+        arrivals;
+      }
+      :: s.history
+    else s.history
+  in
+  let exchange = s.exchange + 1 in
+  let spacing = exchange_spacing p in
+  (* Exchanges j = 0..k-1 run at T^i + j*spacing; the round then rests until
+     T^{i+1} = T^i + P. *)
+  let round, exchange, t =
+    if exchange = cfg.exchanges then
+      ( s.round + 1,
+        0,
+        s.t -. (float_of_int (cfg.exchanges - 1) *. spacing) +. p.Params.big_p )
+    else (s.round, exchange, s.t +. spacing)
+  in
+  (* Preserve this process' stagger slot relative to the round start. *)
+  let self_offset = s.bcast_at -. s.t in
+  let bcast_at = t +. self_offset in
+  ( { s with corr; t; bcast_at; flag = Bcast; round; exchange; history },
+    [ Automaton.Set_timer_logical bcast_at ] )
+
+let handle cfg ~self:_ ~phys interrupt s =
+  match interrupt with
+  | Automaton.Message (src, _t_value) ->
+    (* receive(m) from q: ARR[q] := local-time() *)
+    (record_arrival cfg ~src ~local:(phys +. s.corr) s, [])
+  | Automaton.Start | Automaton.Timer _ -> (
+    match s.flag with
+    | Bcast ->
+      let local = phys +. s.corr in
+      if local +. local_time_slack >= s.bcast_at then do_broadcast cfg ~phys s
+      else
+        (* Round start reached before this process' stagger slot: wait. *)
+        (s, [ Automaton.Set_timer_logical s.bcast_at ])
+    | Update -> (
+      (* Only the timer armed at this round's broadcast may trigger the
+         update; stale timers (e.g. surviving a mode switch or crash) are
+         ignored - firing early would average an empty round. *)
+      match interrupt with
+      | Automaton.Timer tag when tag = s.update_at -> do_update cfg ~phys s
+      | Automaton.Start | Automaton.Timer _ -> (s, [])
+      | Automaton.Message _ -> assert false (* handled above *)))
+
+let automaton ~self_hint cfg =
+  let initial = initial_state cfg ~self:self_hint in
+  {
+    Automaton.name = Printf.sprintf "wl-maintenance[%d]" self_hint;
+    initial;
+    handle = (fun ~self ~phys interrupt s -> handle cfg ~self ~phys interrupt s);
+    corr = (fun s -> s.corr);
+  }
+
+let create ~self cfg = Cluster.make_proc (automaton ~self_hint:self cfg)
+
+let corr s = s.corr
+
+let current_t s = s.t
+
+let current_phase s = s.flag
+
+let rounds_completed s = s.round
+
+let history s = List.rev s.history
+
+let arr s = Array.copy s.arr
+
+let state_for_rejoin cfg ~corr ~next_t ~round =
+  let base = initial_state cfg ~self:0 in
+  { base with corr; t = next_t; bcast_at = next_t; round; flag = Bcast }

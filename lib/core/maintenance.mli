@@ -1,0 +1,115 @@
+(** The Welch-Lynch clock synchronization maintenance algorithm
+    (Section 4.2), as a process automaton.
+
+    Each process alternates between two phases, toggled by its FLAG:
+
+    - BCAST: when its logical clock reaches T (the round start), it
+      broadcasts T, sets a timer for T + (1+rho)(beta+delta+eps), and flips
+      to UPDATE;
+    - UPDATE: when that timer fires, it averages the recorded arrival times
+      with the fault-tolerant averaging function,
+      AV = mid(reduce(ARR)), computes ADJ = T + delta - AV, adds ADJ to its
+      correction (switching to its next logical clock), advances T by P, and
+      sets a timer for the new T.
+
+    Any arriving ordinary message stores its local arrival time in ARR
+    indexed by sender, exactly as in the paper; entries are never reset, so
+    a silent process leaves a stale (very old) value that the reduction
+    discards as one of the f lowest.
+
+    The messages carry the round's clock value T^i as a float.
+
+    Three paper-described variants are supported through {!config}:
+    - the averaging function can be the mean or median instead of the
+      midpoint (Section 7),
+    - [exchanges] > 1 performs k exchange-and-adjust cycles bunched at the
+      start of each round of length P, spaced by the minimum admissible
+      mini-round gap (Section 7's k-exchange discussion: beta approaches
+      4 eps + 2 rho P 2^k/(2^k - 1)),
+    - [stagger] > 0 makes process p broadcast at T + p*sigma with arrival
+      times compensated by the known offset (the Section 9.3 Ethernet fix).
+*)
+
+type phase = Bcast | Update
+
+type round_record = {
+  round : int;  (** full round index i *)
+  exchange : int;  (** sub-exchange within the round, 0 .. k-1 *)
+  t_value : float;  (** the clock value broadcast (T^i plus sub-offset) *)
+  broadcast_phys : float;  (** physical-clock reading at broadcast *)
+  update_phys : float;  (** physical-clock reading at the update *)
+  av : float;  (** AV: the fault-tolerantly averaged arrival time *)
+  adj : float;  (** ADJ = T + delta - AV *)
+  corr_after : float;  (** CORR after applying ADJ *)
+  arrivals : int;  (** messages recorded since this round's broadcast *)
+}
+
+type state
+
+type config = private {
+  params : Params.t;
+  averaging : Averaging.t;
+  exchanges : int;
+  stagger : float;
+  record_history : bool;
+  initial_corr : float;
+}
+
+val config :
+  ?averaging:Averaging.t ->
+  ?exchanges:int ->
+  ?stagger:float ->
+  ?record_history:bool ->
+  ?initial_corr:float ->
+  Params.t ->
+  config
+(** Defaults: midpoint averaging, one exchange per round, no stagger,
+    history recording on, zero initial correction.
+    @raise Invalid_argument if [exchanges < 1] or [stagger < 0]. *)
+
+val automaton : self_hint:int -> config -> (state, float) Csync_process.Automaton.t
+(** The automaton for one process.  [self_hint] must equal the process id
+    the automaton will run as (it determines the stagger offset and is
+    checked at the first interrupt). *)
+
+val create : self:int -> config -> float Csync_process.Cluster.proc * (unit -> state)
+(** Instantiate for process [self]; the reader exposes the live state. *)
+
+(** {1 State accessors (for instrumentation and tests)} *)
+
+val corr : state -> float
+
+val current_t : state -> float
+(** The T variable: start (in local time) of the current round. *)
+
+val current_phase : state -> phase
+
+val rounds_completed : state -> int
+
+val history : state -> round_record list
+(** Completed exchanges, oldest first.  Empty if [record_history] is off. *)
+
+val arr : state -> float array
+(** Copy of the ARR array (local arrival times; huge-negative sentinel for
+    never-heard-from senders). *)
+
+val arr_sentinel : float
+(** The "initially arbitrary" value entries start at. *)
+
+(** {1 Reintegration support (Section 9.1)} *)
+
+val state_for_rejoin :
+  config -> corr:float -> next_t:float -> round:int -> state
+(** A state ready to resume the main algorithm at round [round] with round
+    start [next_t]: phase BCAST, timer expected at [next_t] (the caller
+    must arrange the timer).  Used by {!Reintegration}. *)
+
+val handle :
+  config ->
+  self:int ->
+  phys:float ->
+  float Csync_process.Automaton.interrupt ->
+  state ->
+  state * float Csync_process.Automaton.action list
+(** The raw transition function (exposed so {!Reintegration} can delegate to
+    it after joining). *)

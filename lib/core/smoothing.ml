@@ -1,0 +1,48 @@
+type jump = { at_phys : float; adj : float }
+
+type t = {
+  slew_interval : float;
+  jumps : jump list; (* newest first, by at_phys *)
+}
+
+let create ~slew_interval =
+  if slew_interval <= 0. then invalid_arg "Smoothing.create: nonpositive interval";
+  { slew_interval; jumps = [] }
+
+let of_params (p : Params.t) = create ~slew_interval:p.Params.big_p
+
+let observe t ~at_phys ~adj =
+  (match t.jumps with
+   | { at_phys = last; _ } :: _ when at_phys < last ->
+     invalid_arg "Smoothing.observe: out-of-order adjustment"
+   | _ -> ());
+  (* Fully-slewed jumps can never influence a later query: drop them. *)
+  let live =
+    List.filter (fun j -> j.at_phys +. t.slew_interval > at_phys) t.jumps
+  in
+  { t with jumps = { at_phys; adj } :: live }
+
+let observe_history t records =
+  List.fold_left
+    (fun t (r : Maintenance.round_record) ->
+      observe t ~at_phys:r.Maintenance.update_phys ~adj:r.Maintenance.adj)
+    t records
+
+(* The raw clock stepped by [adj] at [at_phys]; the smoothed clock replays
+   that step linearly over the slew interval.  The unsurfaced part at time
+   p is adj * (1 - elapsed/interval), clamped to [0, adj]. *)
+let residual t ~phys =
+  List.fold_left
+    (fun acc { at_phys; adj } ->
+      if phys < at_phys then acc (* not applied yet: nothing to hide *)
+      else begin
+        let progress = (phys -. at_phys) /. t.slew_interval in
+        if progress >= 1. then acc else acc +. (adj *. (1. -. progress))
+      end)
+    0. t.jumps
+
+let time t ~phys ~corr = phys +. corr -. residual t ~phys
+
+let is_settled t ~phys = residual t ~phys = 0.
+
+let monotone_slope_bound t ~adj = 1. +. (adj /. t.slew_interval)

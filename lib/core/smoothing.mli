@@ -1,0 +1,61 @@
+(** Amortized clock corrections (Section 4.1: "It is possible for the clock
+    to be set backwards in this algorithm.  However, this is not a real
+    problem, since there are known techniques for stretching a negative
+    adjustment out over the resynchronization interval.").
+
+    This module implements that known technique.  The protocol itself keeps
+    using the discontinuous logical clocks C^i (the analysis depends on
+    them); what applications read is a {e smoothed} local time in which each
+    adjustment ADJ is spread linearly over the [slew_interval] following its
+    application, instead of appearing as a step.  Provided
+    [slew_interval > |ADJ|] - guaranteed when it is at least the round
+    length P, since |ADJ| <= (1+rho)(beta+eps) + rho delta << P - the
+    smoothed time is strictly increasing even for negative adjustments.
+
+    The smoothed time converges to the raw local time within one slew
+    interval of the last adjustment, so agreement degrades by at most one
+    adjustment bound: smoothed skew <= gamma + adjustment bound.
+
+    Monotonicity requires that concurrently-slewing negative adjustments
+    never sum below -slew_interval; with one adjustment per round and
+    [slew_interval = P] (the {!of_params} choice) slews never overlap at
+    all, so Lemma 7's bound makes the slope strictly positive.
+
+    Usage: feed each adjustment as it is applied ({!observe}) and query
+    {!time} with the raw physical reading and current correction, moving
+    forward in time: fully-slewed jumps are pruned at each observation, so
+    queries are only valid at or after the most recent observation
+    (retrospective queries would miss pruned jumps). *)
+
+type t
+
+val create : slew_interval:float -> t
+(** @raise Invalid_argument if the interval is not positive. *)
+
+val of_params : Params.t -> t
+(** Slew over one round length P - always monotone, per Lemma 7. *)
+
+val observe : t -> at_phys:float -> adj:float -> t
+(** Record that ADJ was added to CORR when the physical clock read
+    [at_phys].  Adjustments must be observed in physical-clock order.
+    @raise Invalid_argument on out-of-order observations. *)
+
+val observe_history : t -> Maintenance.round_record list -> t
+(** Fold {!observe} over a maintenance history (oldest first), using each
+    record's update instant. *)
+
+val residual : t -> phys:float -> float
+(** How much of the recent adjustments has {e not yet} been surfaced to
+    applications at physical time [phys]: smoothed time = raw local time -
+    residual.  Zero once every adjustment is fully slewed. *)
+
+val time : t -> phys:float -> corr:float -> float
+(** The application-visible local time: [phys + corr - residual]. *)
+
+val is_settled : t -> phys:float -> bool
+(** True when smoothed and raw time coincide at [phys]. *)
+
+val monotone_slope_bound : t -> adj:float -> float
+(** The minimum instantaneous rate (d smoothed / d phys) while an
+    adjustment of the given size slews: 1 + adj / slew_interval.  Positive
+    iff adj > -slew_interval. *)

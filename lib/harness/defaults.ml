@@ -1,0 +1,17 @@
+module Params = Csync_core.Params
+
+let base ?(n = 7) ?(f = 2) ?(rho = 1e-6) ?(delta = 1e-3) ?(eps = 1e-4)
+    ?(big_p = 0.5) () =
+  match Params.auto ~n ~f ~rho ~delta ~eps ~big_p () with
+  | Ok p -> p
+  | Error errs ->
+    invalid_arg
+      (Format.asprintf "Defaults.base: %a"
+         (Format.pp_print_list
+            ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+            Params.pp_error)
+         errs)
+
+let wide_beta () =
+  Params.make_exn ~n:7 ~f:2 ~rho:1e-7 ~delta:1e-3 ~eps:1e-4 ~beta:0.02
+    ~big_p:0.1 ()

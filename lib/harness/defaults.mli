@@ -1,0 +1,23 @@
+(** Default parameter sets shared by the experiments.
+
+    The scales model a LAN of workstations, the paper's own implementation
+    target (Section 9.3): millisecond message delays, 100-microsecond
+    uncertainty, parts-per-million drift, and a half-second
+    resynchronization interval. *)
+
+val base :
+  ?n:int ->
+  ?f:int ->
+  ?rho:float ->
+  ?delta:float ->
+  ?eps:float ->
+  ?big_p:float ->
+  unit ->
+  Csync_core.Params.t
+(** Defaults: n = 7, f = 2, rho = 1e-6, delta = 1e-3, eps = 1e-4,
+    P = 0.5; beta chosen minimal via {!Csync_core.Params.auto}.
+    @raise Invalid_argument if the combination violates Section 5.2. *)
+
+val wide_beta : unit -> Csync_core.Params.t
+(** A parameter set with a deliberately large beta (0.02 s) for convergence
+    experiments that start far apart: rho = 1e-7, P = 0.1. *)

@@ -1,0 +1,71 @@
+module Rng = Csync_sim.Rng
+module Drift = Csync_clock.Drift
+module Hardware_clock = Csync_clock.Hardware_clock
+module Delay = Csync_net.Delay
+module Params = Csync_core.Params
+
+type clock_kind = Perfect | Drifting | Adversarial_drift
+
+type delay_kind = Constant_delay | Uniform_delay | Extreme_delay
+
+type t = {
+  clocks : Hardware_clock.t array;
+  offsets : float array;
+  delay : Delay.t;
+  nonfaulty : int list;
+  horizon : float;
+  rng : Rng.t;
+}
+
+let make ~params ~seed ~clock_kind ~delay_kind ~is_faulty ~offset_spread ~rounds =
+  let { Params.n; rho; delta; eps; big_p; t0; _ } = params in
+  let rng = Rng.create seed in
+  let clock_rng = Rng.split rng in
+  let delay_rng = Rng.split rng in
+  let offset_rng = Rng.split rng in
+  let spare_rng = Rng.split rng in
+  let nonfaulty = List.filter (fun p -> not (is_faulty p)) (List.init n Fun.id) in
+  if nonfaulty = [] then invalid_arg "Env.make: every process faulty";
+  let offsets =
+    let count = max 1 (List.length nonfaulty - 1) in
+    let rank = Hashtbl.create n in
+    List.iteri (fun i p -> Hashtbl.add rank p i) nonfaulty;
+    Array.init n (fun pid ->
+        match Hashtbl.find_opt rank pid with
+        | Some i ->
+          let cell = offset_spread /. float_of_int count in
+          let base = float_of_int i *. cell in
+          if i = 0 || i = count then base
+          else base +. (Rng.uniform offset_rng ~lo:(-0.25) ~hi:0.25 *. cell)
+        | None -> offset_spread /. 2.)
+  in
+  let horizon =
+    (float_of_int (rounds + 2) *. big_p *. (1. +. (2. *. rho))) +. 1.
+  in
+  let clocks =
+    Array.init n (fun pid ->
+        let profile =
+          match clock_kind with
+          | Perfect -> Drift.perfect
+          | Drifting ->
+            Drift.random ~rng:clock_rng ~rho ~segment_duration:(big_p /. 3.)
+              ~horizon
+          | Adversarial_drift ->
+            if pid mod 2 = 0 then Drift.fast ~rho else Drift.slow ~rho
+        in
+        Hardware_clock.create ~t0:offsets.(pid) ~offset:(t0 -. offsets.(pid)) profile)
+  in
+  let delay =
+    match delay_kind with
+    | Constant_delay -> Delay.constant delta
+    | Uniform_delay -> Delay.uniform ~delta ~eps ~rng:delay_rng
+    | Extreme_delay -> Delay.extremes ~delta ~eps ~rng:delay_rng
+  in
+  { clocks; offsets; delay; nonfaulty; horizon; rng = spare_rng }
+
+let fold_offsets t f init =
+  List.fold_left (fun acc p -> f acc t.offsets.(p)) init t.nonfaulty
+
+let tmin0 t = fold_offsets t Float.min infinity
+
+let tmax0 t = fold_offsets t Float.max neg_infinity

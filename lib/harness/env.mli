@@ -1,0 +1,42 @@
+(** Shared environment construction for all runners: hardware clocks,
+    initial wake-up offsets, and the delay model, derived deterministically
+    from a seed.
+
+    Offsets realize assumption A4: nonfaulty process p's clock reads T0 at
+    real time o_p, with the o_p spread across [0, offset_spread] on a
+    deterministic grid (so the configured spread is actually attained) with
+    intra-cell jitter.  Faulty processes wake mid-pack. *)
+
+type clock_kind =
+  | Perfect
+  | Drifting
+  | Adversarial_drift
+
+type delay_kind =
+  | Constant_delay
+  | Uniform_delay
+  | Extreme_delay
+
+type t = {
+  clocks : Csync_clock.Hardware_clock.t array;
+  offsets : float array;  (** real time at which each initial clock reads T0 *)
+  delay : Csync_net.Delay.t;
+  nonfaulty : int list;
+  horizon : float;  (** real-time horizon the clocks are defined out to *)
+  rng : Csync_sim.Rng.t;  (** spare stream for fault strategies etc. *)
+}
+
+val make :
+  params:Csync_core.Params.t ->
+  seed:int ->
+  clock_kind:clock_kind ->
+  delay_kind:delay_kind ->
+  is_faulty:(int -> bool) ->
+  offset_spread:float ->
+  rounds:int ->
+  t
+
+val tmin0 : t -> float
+(** Earliest nonfaulty wake-up (real time). *)
+
+val tmax0 : t -> float

@@ -1,0 +1,3 @@
+(** E12 - ablation of the fault-tolerant averaging function. *)
+
+val experiment : Experiment.t

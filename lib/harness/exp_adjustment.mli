@@ -1,0 +1,3 @@
+(** E2 - adjustment size per round (Thm 4(a)/Lemma 7). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,7 @@
+(** E1 - gamma-agreement (Theorem 16): measured skew vs the bound across an
+    (eps, rho, P) sweep. *)
+
+val sweep : quick:bool -> (float * float * float) list
+(** The (eps, rho, P) configurations, shared with E2. *)
+
+val experiment : Experiment.t

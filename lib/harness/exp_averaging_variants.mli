@@ -1,0 +1,3 @@
+(** E6 - midpoint vs mean vs median (Section 7). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,79 @@
+(* E11 - the Ethernet pathology and the staggered-broadcast fix
+   (Section 9.3).
+
+   Receivers have a bounded buffer (3 datagrams per half-delta window).
+   With simultaneous broadcasts, a well-synchronized system jams its own
+   receivers - "when the system behaves well, it is punished": messages
+   drop, fewer than n - f arrivals survive, and synchronization degrades
+   or collapses.  Staggering process p's broadcast to T^i + p*sigma
+   spreads the arrivals, eliminating drops while (for sigma comparable to
+   eps) keeping the skew at the fault-free level. *)
+
+module Table = Csync_metrics.Table
+module Params = Csync_core.Params
+
+let run ~quick =
+  let params = Defaults.base () in
+  let { Params.n; delta; eps; _ } = params in
+  let capacity = 3 and window = delta /. 2. in
+  let sigmas =
+    if quick then [ 0.; 4. *. eps ] else [ 0.; eps; 4. *. eps; delta ]
+  in
+  let table =
+    Table.make
+      ~title:"E11: bounded receive buffers - simultaneous vs staggered broadcast"
+      ~columns:
+        [ "stagger sigma"; "msgs sent"; "dropped"; "drop %"; "rounds done";
+          "steady skew"; "gamma" ]
+      ()
+  in
+  let table =
+    List.fold_left
+      (fun table sigma ->
+        let scenario =
+          {
+            (Scenario.default params) with
+            Scenario.stagger = sigma;
+            collision = Some (capacity, window);
+            rounds = (if quick then 12 else 25);
+          }
+        in
+        let r = Scenario.run scenario in
+        let rounds_done =
+          List.fold_left
+            (fun acc (_, records) -> min acc (List.length records))
+            max_int r.Scenario.histories
+        in
+        let drop_pct =
+          100. *. float_of_int r.Scenario.dropped
+          /. float_of_int (max 1 r.Scenario.messages)
+        in
+        Table.add_row table
+          [
+            Table.cell_e sigma;
+            string_of_int r.Scenario.messages;
+            string_of_int r.Scenario.dropped;
+            Printf.sprintf "%.1f" drop_pct;
+            string_of_int rounds_done;
+            Table.cell_e r.Scenario.steady_skew;
+            Table.cell_e (Params.gamma params);
+          ])
+      table sigmas
+  in
+  [
+    Table.note table
+      (Printf.sprintf
+         "Buffer: %d datagrams per %.1e s per receiver, n = %d.  At sigma=0 \
+          all broadcasts land together and overflow the buffer; staggering \
+          spreads them out and restores loss-free synchronization \
+          (Section 9.3's fix, implemented at AT&T Bell Labs in 1986)."
+         capacity window n);
+  ]
+
+let experiment =
+  {
+    Experiment.id = "E11";
+    title = "Datagram collisions and staggered broadcasts";
+    paper_ref = "Section 9.3 (implementation on Suns + Ethernet)";
+    run;
+  }

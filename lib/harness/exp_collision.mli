@@ -1,0 +1,3 @@
+(** E11 - datagram collisions and staggered broadcasts (Section 9.3). *)
+
+val experiment : Experiment.t

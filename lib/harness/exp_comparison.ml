@@ -1,0 +1,95 @@
+(* E5 - the Section 10 comparison.
+
+   Runs all five algorithms (plus the drift-only control) under the same
+   clock/delay environment and fault budget, across an n-sweep, reporting
+   the three measures Section 10 compares: agreement (steady skew),
+   adjustment size, and messages per round - side by side with the paper's
+   worst-case estimates.  Absolute values needn't match the estimates
+   (those are worst cases; the simulation draws random delays), but the
+   ordering and scaling should: WL/MS hold eps-scale agreement under
+   Byzantine faults, ST/HSSD sit at delta+eps scale, HSSD's slope exceeds
+   1 under the early-broadcast attack, and everything beats the control. *)
+
+module Table = Csync_metrics.Table
+module Params = Csync_core.Params
+module Bounds = Csync_core.Bounds
+module R = Runner_baseline
+
+let estimate ~params algo =
+  let { Params.n; f; delta; eps; _ } = params in
+  match algo with
+  | R.Welch_lynch ->
+    ( Bounds.wl_agreement_estimate ~eps,
+      Bounds.wl_adjustment_estimate ~eps )
+  | R.Lm_cnv ->
+    (Bounds.lm_agreement_estimate ~n ~eps, Bounds.lm_adjustment_estimate ~n ~eps)
+  | R.Mahaney_schneider -> (Bounds.wl_agreement_estimate ~eps, nan)
+  | R.Marzullo -> (nan, nan) (* [M]'s analysis is probabilistic (Section 10) *)
+  | R.Srikanth_toueg ->
+    (Bounds.st_agreement_estimate ~delta ~eps, Bounds.st_adjustment_estimate ~delta ~eps)
+  | R.Hssd ->
+    ( Bounds.hssd_agreement_estimate ~delta ~eps,
+      Bounds.hssd_adjustment_estimate ~f ~delta ~eps )
+  | R.Unsynchronized -> (nan, nan)
+
+let cell_or_dash v = if Float.is_nan v then "-" else Table.cell_e v
+
+let one_n ~rounds ~faults ~n table =
+  let f = (n - 1) / 3 in
+  let params = Defaults.base ~n ~f () in
+  List.fold_left
+    (fun table algo ->
+      let r = R.run ~algo ~params ~seed:11 ~faults ~rounds in
+      let est_skew, est_adj = estimate ~params algo in
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int f;
+          R.algo_name algo;
+          Table.cell_e r.R.steady_skew;
+          cell_or_dash est_skew;
+          Table.cell_e r.R.max_adjustment;
+          cell_or_dash est_adj;
+          Printf.sprintf "%.0f" r.R.messages_per_round;
+          string_of_int (Bounds.messages_per_round ~n);
+          Printf.sprintf "%.6f" r.R.slope_max;
+        ])
+    table R.all_algos
+
+let columns =
+  [ "n"; "f"; "algorithm"; "skew"; "paper est."; "max adj"; "adj est.";
+    "msgs/rd"; "n^2"; "slope max" ]
+
+let run ~quick =
+  let rounds = if quick then 15 else 30 in
+  let ns = if quick then [ 7 ] else [ 4; 7; 10; 13 ] in
+  let faulty =
+    List.fold_left
+      (fun table n -> one_n ~rounds ~faults:R.Standard_faults ~n table)
+      (Table.make
+         ~title:"E5a: Section 10 comparison, f Byzantine faults active"
+         ~columns ())
+      ns
+  in
+  let faulty =
+    Table.note faulty
+      "Paper estimates are worst cases; measured values come from random \
+       delays, so expect measured <= estimate with the same ordering: \
+       WL/MS at eps scale, ST/HSSD at (delta+eps) scale, HSSD slope > 1 \
+       under its early-broadcast attack."
+  in
+  let fault_free =
+    List.fold_left
+      (fun table n -> one_n ~rounds ~faults:R.No_faults ~n table)
+      (Table.make ~title:"E5b: same comparison, fault-free" ~columns ())
+      (if quick then [ 7 ] else [ 7; 13 ])
+  in
+  [ faulty; fault_free ]
+
+let experiment =
+  {
+    Experiment.id = "E5";
+    title = "Comparison with LM, MS, ST, HSSD (and a drift-only control)";
+    paper_ref = "Section 10";
+    run;
+  }

@@ -1,0 +1,3 @@
+(** E5 - the Section 10 comparison across algorithms and n. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E3 - per-round error contraction (Lemmas 9/10). *)
+
+val experiment : Experiment.t

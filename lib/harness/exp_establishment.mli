@@ -1,0 +1,3 @@
+(** E10 - establishment from arbitrary clocks (Section 9.2, Lemma 20). *)
+
+val experiment : Experiment.t

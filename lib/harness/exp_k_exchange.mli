@@ -1,0 +1,3 @@
+(** E7 - k exchanges per round (Section 7). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E9 - reintegrating a repaired process (Section 9.1). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,99 @@
+(* E8 - the resilience boundary n >= 3f + 1 (assumption A2, [DHS]).
+
+   The same coordinated attack (all f faulty adaptively two-faced, plus
+   adversarial drift and extreme delays) is run at n = 3f + 1 = 7 and at
+   n = 3f = 6.  With one process short of the bound, the reduction keeps
+   n - 2f = f values, every one of which can sit next to a faulty-displaced
+   extreme, so the attacker retains a permanent grip: the spread cannot be
+   driven to the eps floor and the gamma guarantee is lost.  Mahaney-
+   Schneider's graceful degradation at the same configuration is shown for
+   contrast. *)
+
+module Table = Csync_metrics.Table
+module Params = Csync_core.Params
+module Averaging = Csync_core.Averaging
+
+let params_for ~n ~f =
+  (* n = 3f is rejected by the checked constructor, deliberately. *)
+  let base = Defaults.base () in
+  Params.unchecked ~n ~f ~rho:base.Params.rho ~delta:base.Params.delta
+    ~eps:base.Params.eps ~beta:base.Params.beta ~big_p:base.Params.big_p ()
+
+let attack_run ~rounds ~averaging ~n ~f ~seed =
+  let params = params_for ~n ~f in
+  let faulty_from = n - f in
+  let faults =
+    List.init f (fun i ->
+        ( faulty_from + i,
+          Scenario.Adaptive_two_faced { split = (n - f) / 2; faulty_from } ))
+  in
+  Scenario.run
+    {
+      (Scenario.default ~seed params) with
+      Scenario.faults;
+      averaging;
+      rounds;
+      delay_kind = Scenario.Extreme_delay;
+      clock_kind = Scenario.Adversarial_drift;
+    }
+
+let run ~quick =
+  let rounds = if quick then 12 else 30 in
+  let table =
+    Table.make ~title:"E8: coordinated attack at and below the 3f+1 boundary"
+      ~columns:
+        [ "n"; "f"; "averaging"; "steady skew"; "gamma(n=3f+1)";
+          "skew/gamma"; "holds" ]
+      ()
+  in
+  let gamma = Params.gamma (Defaults.base ()) in
+  let configs =
+    [
+      (7, 2, Averaging.midpoint);
+      (6, 2, Averaging.midpoint);
+      (7, 2, Averaging.mean);
+      (6, 2, Averaging.mean);
+    ]
+  in
+  let table =
+    List.fold_left
+      (fun table (n, f, averaging) ->
+        (* Worst over a few seeds: the n=3f grip depends on the adversary
+           getting traction, which varies with the delay draws. *)
+        let worst =
+          List.fold_left
+            (fun acc seed ->
+              let r = attack_run ~rounds ~averaging ~n ~f ~seed in
+              Float.max acc r.Scenario.steady_skew)
+            0.
+            (if quick then [ 3 ] else [ 3; 17; 92 ])
+        in
+        Table.add_row table
+          [
+            string_of_int n;
+            string_of_int f;
+            Averaging.name averaging;
+            Table.cell_e worst;
+            Table.cell_e gamma;
+            Table.cell_ratio (worst /. gamma);
+            (if worst <= gamma then "yes" else "NO (expected at n=3f)");
+          ])
+      table configs
+  in
+  [
+    Table.note table
+      "At n = 3f+1 the skew stays well within gamma under the strongest \
+       timing attack; at n = 3f the reduction can no longer isolate the \
+       faulty values and the same attack keeps a permanent grip - the skew \
+       settles visibly higher and never converges to the fault-free floor \
+       (the [DHS] impossibility direction).  The mean variant's contraction \
+       f/(n-2f) reaches 1 at n = 3f: no convergence force at all.";
+  ]
+
+let experiment =
+  {
+    Experiment.id = "E8";
+    title = "Fault-tolerance boundary: n = 3f+1 versus n = 3f";
+    paper_ref = "Assumption A2; [DHS] impossibility; Section 10 (MS degradation)";
+    run;
+  }

@@ -1,0 +1,3 @@
+(** E8 - the n = 3f+1 fault-tolerance boundary. *)
+
+val experiment : Experiment.t

@@ -1,0 +1,3 @@
+(** E4 - the validity envelope (Theorem 19). *)
+
+val experiment : Experiment.t

@@ -1,0 +1,10 @@
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : quick:bool -> Csync_metrics.Table.t list;
+}
+
+let render ppf ~quick t =
+  Format.fprintf ppf "@.######## %s: %s@.######## (%s)@." t.id t.title t.paper_ref;
+  List.iter (Csync_metrics.Table.render ppf) (t.run ~quick)

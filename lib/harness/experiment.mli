@@ -1,0 +1,16 @@
+(** The experiment registry interface.
+
+    Each experiment regenerates one of the paper's quantitative claims (a
+    theorem's bound, a convergence recurrence, or a Section 10 comparison
+    row) as one or more tables; see DESIGN.md's per-experiment index. *)
+
+type t = {
+  id : string;  (** "E1" .. "E12" *)
+  title : string;
+  paper_ref : string;  (** theorem/section the experiment reproduces *)
+  run : quick:bool -> Csync_metrics.Table.t list;
+      (** [quick] trims sweeps for use in test suites. *)
+}
+
+val render : Format.formatter -> quick:bool -> t -> unit
+(** Run the experiment and print its header and tables. *)

@@ -1,0 +1,22 @@
+let all =
+  [
+    Exp_agreement.experiment;
+    Exp_adjustment.experiment;
+    Exp_convergence.experiment;
+    Exp_validity.experiment;
+    Exp_comparison.experiment;
+    Exp_averaging_variants.experiment;
+    Exp_k_exchange.experiment;
+    Exp_resilience.experiment;
+    Exp_reintegration.experiment;
+    Exp_establishment.experiment;
+    Exp_collision.experiment;
+    Exp_ablation.experiment;
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.Experiment.id = id) all
+
+let render_all ppf ~quick =
+  List.iter (Experiment.render ppf ~quick) all

@@ -1,0 +1,8 @@
+(** All experiments, in paper order. *)
+
+val all : Experiment.t list
+
+val find : string -> Experiment.t option
+(** Case-insensitive lookup by id ("e1", "E10", ...). *)
+
+val render_all : Format.formatter -> quick:bool -> unit

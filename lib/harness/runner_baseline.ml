@@ -1,0 +1,264 @@
+module Cluster = Csync_process.Cluster
+module Fault = Csync_process.Fault
+module Params = Csync_core.Params
+module Maintenance = Csync_core.Maintenance
+module Adversary = Csync_core.Adversary
+module B = Csync_baselines
+
+type algo =
+  | Welch_lynch
+  | Lm_cnv
+  | Mahaney_schneider
+  | Srikanth_toueg
+  | Hssd
+  | Marzullo
+  | Unsynchronized
+
+let algo_name = function
+  | Welch_lynch -> "welch-lynch"
+  | Lm_cnv -> "lm-cnv"
+  | Mahaney_schneider -> "mahaney-schneider"
+  | Srikanth_toueg -> "srikanth-toueg"
+  | Hssd -> "hssd"
+  | Marzullo -> "marzullo"
+  | Unsynchronized -> "unsynchronized"
+
+let all_algos =
+  [ Welch_lynch; Lm_cnv; Mahaney_schneider; Srikanth_toueg; Hssd; Marzullo;
+    Unsynchronized ]
+
+type fault_level = No_faults | Standard_faults
+
+type result = {
+  algo : algo;
+  steady_skew : float;
+  max_adjustment : float;
+  messages_per_round : float;
+  rounds_completed : int;
+  slope_max : float;
+}
+
+(* Generic per-algorithm driver: builds the cluster for message type 'm,
+   runs it, and measures.  [adjustments] and [rounds_done] read the
+   per-process algorithm state after the run. *)
+let drive (type m) ~(params : Params.t) ~env ~rounds
+    ~(procs : m Cluster.proc array)
+    ~(adjustments : unit -> float list) ~(rounds_done : unit -> int list) ~algo
+    () =
+  let cluster =
+    Cluster.create ~clocks:env.Env.clocks ~delay:env.Env.delay ~procs ()
+  in
+  Cluster.schedule_starts_at_logical cluster ~t0:params.Params.t0
+    ~corrs:(Array.make params.Params.n 0.);
+  let tmax0 = Env.tmax0 env in
+  let t_end = env.Env.horizon -. 1. in
+  let times =
+    Sampling.grid ~from_time:tmax0 ~to_time:t_end ~count:(max 2 (rounds * 6))
+  in
+  let sampling = Sampling.run ~cluster ~observe:env.Env.nonfaulty ~times in
+  (* Max observed slope of the fastest local time between consecutive
+     samples spaced >= one round apart (to average out jumps). *)
+  let slope_max =
+    let samples = sampling.Sampling.samples in
+    let n = Array.length samples in
+    let stride = 6 in
+    let m = ref 0. in
+    for i = 0 to n - 1 - stride do
+      let a = samples.(i) and b = samples.(i + stride) in
+      let dt = b.Sampling.time -. a.Sampling.time in
+      if dt > 0. then
+        m := Float.max !m ((b.Sampling.max_local -. a.Sampling.max_local) /. dt)
+    done;
+    !m
+  in
+  let completed = match rounds_done () with [] -> 0 | l -> List.fold_left min max_int l in
+  {
+    algo;
+    steady_skew = Sampling.steady_skew sampling;
+    max_adjustment =
+      (match adjustments () with
+       | [] -> 0.
+       | l -> List.fold_left (fun acc a -> Float.max acc (Float.abs a)) 0. l);
+    messages_per_round =
+      (if completed = 0 then 0.
+       else float_of_int (Cluster.messages_sent cluster) /. float_of_int completed);
+    rounds_completed = completed;
+    slope_max;
+  }
+
+let float_faults ~params ~n ~f pid =
+  (* Standard Byzantine cast for the clock-value protocols. *)
+  let idx = pid - (n - f) in
+  if idx = 0 then Adversary.silent ()
+  else if idx = 1 then
+    Adversary.two_faced ~params ~spread:params.Params.beta ~split:(n / 2)
+  else Adversary.pull ~params ~offset:params.Params.beta
+
+let run ~algo ~params ~seed ~faults ~rounds =
+  let { Params.n; f; _ } = params in
+  let faulty_count = match faults with No_faults -> 0 | Standard_faults -> f in
+  let is_faulty pid = pid >= n - faulty_count in
+  (* The averaging algorithms assume beta-closeness at start (A4); ST and
+     HSSD tolerate much wider spreads and only correct a clock once it lags
+     by a message delay, so give them a spread past that threshold to
+     exercise their actual synchronization dynamics. *)
+  let offset_spread =
+    match algo with
+    | Srikanth_toueg | Hssd -> 2. *. params.Params.delta
+    | _ -> params.Params.beta *. 0.9
+  in
+  let env =
+    Env.make ~params ~seed ~clock_kind:Env.Drifting ~delay_kind:Env.Uniform_delay
+      ~is_faulty ~offset_spread ~rounds
+  in
+  let nonfaulty = env.Env.nonfaulty in
+  match algo with
+  | Welch_lynch ->
+    let cfg = Maintenance.config params in
+    let readers = ref [] in
+    let procs =
+      Array.init n (fun pid ->
+          if is_faulty pid then float_faults ~params ~n ~f:faulty_count pid
+          else begin
+            let proc, reader = Maintenance.create ~self:pid cfg in
+            readers := reader :: !readers;
+            proc
+          end)
+    in
+    drive ~params ~env ~rounds ~procs ~algo
+      ~adjustments:(fun () ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (h : Maintenance.round_record) -> h.Maintenance.adj)
+              (Maintenance.history (r ())))
+          !readers)
+      ~rounds_done:(fun () ->
+        List.map (fun r -> Maintenance.rounds_completed (r ())) !readers)
+      ()
+  | Lm_cnv | Mahaney_schneider ->
+    let cfg =
+      match algo with
+      | Lm_cnv -> B.Lm_cnv.config ~params ()
+      | _ -> B.Mahaney_schneider.config ~params ()
+    in
+    let readers = ref [] in
+    let procs =
+      Array.init n (fun pid ->
+          if is_faulty pid then float_faults ~params ~n ~f:faulty_count pid
+          else begin
+            let proc, reader = B.Convergence_round.create ~self:pid cfg in
+            readers := reader :: !readers;
+            proc
+          end)
+    in
+    drive ~params ~env ~rounds ~procs ~algo
+      ~adjustments:(fun () ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (h : B.Convergence_round.round_record) ->
+                h.B.Convergence_round.adj)
+              (B.Convergence_round.history (r ())))
+          !readers)
+      ~rounds_done:(fun () ->
+        List.map (fun r -> B.Convergence_round.rounds_completed (r ())) !readers)
+      ()
+  | Srikanth_toueg ->
+    let cfg = B.Srikanth_toueg.config ~params () in
+    let readers = ref [] in
+    let procs =
+      Array.init n (fun pid ->
+          if is_faulty pid then
+            B.Srikanth_toueg.adversary_early ~params ~advance:params.Params.delta
+          else begin
+            let proc, reader = B.Srikanth_toueg.create ~self:pid cfg in
+            readers := reader :: !readers;
+            proc
+          end)
+    in
+    drive ~params ~env ~rounds ~procs ~algo
+      ~adjustments:(fun () ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (h : B.Srikanth_toueg.round_record) -> h.B.Srikanth_toueg.adj)
+              (B.Srikanth_toueg.history (r ())))
+          !readers)
+      ~rounds_done:(fun () ->
+        List.map (fun r -> B.Srikanth_toueg.rounds_accepted (r ())) !readers)
+      ()
+  | Hssd ->
+    let cfg = B.Hssd.config ~params () in
+    let readers = ref [] in
+    let procs =
+      Array.init n (fun pid ->
+          if is_faulty pid then
+            (* advance > delta: the early (validly signed) message beats the
+               receivers' own timers, dragging their clocks forward - the
+               speed-up weakness Section 10 notes for HSSD. *)
+            B.Hssd.adversary_early ~params
+              ~advance:(2. *. params.Params.delta)
+              ~self:pid
+          else begin
+            let proc, reader = B.Hssd.create ~self:pid cfg in
+            readers := reader :: !readers;
+            proc
+          end)
+    in
+    drive ~params ~env ~rounds ~procs ~algo
+      ~adjustments:(fun () ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (h : B.Hssd.round_record) -> h.B.Hssd.adj)
+              (B.Hssd.history (r ())))
+          !readers)
+      ~rounds_done:(fun () ->
+        List.map (fun r -> B.Hssd.rounds_accepted (r ())) !readers)
+      ()
+  | Marzullo ->
+    let cfg = B.Marzullo.config ~params () in
+    let readers = ref [] in
+    let procs =
+      Array.init n (fun pid ->
+          if is_faulty pid then begin
+            (* A confident liar: wrong clock value, tiny claimed error. *)
+            let proc, _ =
+              Fault.periodic ~name:"marzullo.liar"
+                ~first_phys:(params.Params.big_p /. 2.)
+                ~period_phys:params.Params.big_p
+                (fun ~self:_ ~phys ~count:_ ->
+                  [
+                    Csync_process.Automaton.Broadcast
+                      (phys +. (20. *. params.Params.beta), params.Params.eps);
+                  ])
+            in
+            proc
+          end
+          else begin
+            let proc, reader = B.Marzullo.create ~self:pid cfg in
+            readers := reader :: !readers;
+            proc
+          end)
+    in
+    drive ~params ~env ~rounds ~procs ~algo
+      ~adjustments:(fun () ->
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun (h : B.Marzullo.round_record) -> h.B.Marzullo.adj)
+              (B.Marzullo.history (r ())))
+          !readers)
+      ~rounds_done:(fun () ->
+        List.map (fun r -> B.Marzullo.rounds_completed (r ())) !readers)
+      ()
+  | Unsynchronized ->
+    let procs = Array.init n (fun _ -> fst (Fault.silent ())) in
+    let result =
+      drive ~params ~env ~rounds ~procs ~algo
+        ~adjustments:(fun () -> [])
+        ~rounds_done:(fun () -> List.map (fun _ -> rounds) nonfaulty)
+        ()
+    in
+    { result with messages_per_round = 0. }

@@ -1,0 +1,45 @@
+(** Uniform runner for the Section 10 comparison (experiment E5): executes
+    any of the five algorithms under the same clocks, delays, and fault
+    budget, and extracts the three measures the paper compares - agreement,
+    adjustment size, and message complexity - plus the validity slope (to
+    expose HSSD's "faulty processes can speed up the clocks" weakness). *)
+
+type algo =
+  | Welch_lynch
+  | Lm_cnv
+  | Mahaney_schneider
+  | Srikanth_toueg
+  | Hssd
+  | Marzullo
+  | Unsynchronized  (** control: no algorithm, drift only *)
+
+val algo_name : algo -> string
+
+val all_algos : algo list
+
+type fault_level =
+  | No_faults
+  | Standard_faults
+      (** f Byzantine processes: for the averaging algorithms one silent,
+          one two-faced and the rest pulling; for ST/HSSD, early-broadcast
+          adversaries (their characteristic attack); for Marzullo,
+          confident liars (wrong value, tiny claimed error). *)
+
+type result = {
+  algo : algo;
+  steady_skew : float;  (** agreement: max skew over the final third *)
+  max_adjustment : float;  (** largest |ADJ| applied by a nonfaulty process *)
+  messages_per_round : float;
+  rounds_completed : int;  (** min over nonfaulty processes *)
+  slope_max : float;
+      (** largest observed d(local time)/d(real time) across the run -
+          validity; > 1 + rho indicates clocks being driven fast *)
+}
+
+val run :
+  algo:algo ->
+  params:Csync_core.Params.t ->
+  seed:int ->
+  faults:fault_level ->
+  rounds:int ->
+  result

@@ -1,0 +1,217 @@
+module Rng = Csync_sim.Rng
+module Drift = Csync_clock.Drift
+module Hardware_clock = Csync_clock.Hardware_clock
+module Delay = Csync_net.Delay
+module Cluster = Csync_process.Cluster
+module Automaton = Csync_process.Automaton
+module Fault = Csync_process.Fault
+module Params = Csync_core.Params
+module Averaging = Csync_core.Averaging
+module Establishment = Csync_core.Establishment
+
+type fault_spec =
+  | Est_silent
+  | Est_spam of { period : float; value_offset : float }
+  | Est_two_faced of { period : float; split : int }
+
+type t = {
+  params : Params.t;
+  seed : int;
+  initial_spread : float;
+  faults : (int * fault_spec) list;
+  rounds : int;
+  averaging : Averaging.t;
+}
+
+let default ?(seed = 42) ~initial_spread params =
+  {
+    params;
+    seed;
+    initial_spread;
+    faults = [];
+    rounds = 20;
+    averaging = Averaging.midpoint;
+  }
+
+let with_standard_faults t =
+  let { Params.n; f; _ } = t.params in
+  (* All f faulty processes collude on the two-faced in-range lie: that is
+     the cast against which the Lemma 20 halving is tight (a single liar is
+     absorbed by the f-fold reduction). *)
+  let period = Establishment.first_interval t.params in
+  let faults =
+    List.init f (fun i -> (n - 1 - i, Est_two_faced { period; split = n / 2 }))
+  in
+  { t with faults }
+
+type result = {
+  b_series : (int * float) list;
+  final_b : float;
+  rounds_completed : int;
+  early_end_rounds : int;
+  messages : int;
+}
+
+(* The worst-case attacker for the averaging function: it tracks the range
+   of honest Time values in flight and lies {e inside} that range - telling
+   half the processes the highest value seen and the other half the lowest.
+   Out-of-range lies are simply discarded by reduce; in-range lies are what
+   limits each round to halving the spread (Lemma 20's bound is tight
+   against exactly this). *)
+let est_two_faced ~n ~period ~split ~faulty_from =
+  (* Reactive: on every honest Time it immediately re-sends the extremes of
+     the values seen within the last [period] (one round's wave) - the
+     maximum to processes below [split], the minimum to the rest.  Because
+     these lands delta later, they fall inside the receivers' collection
+     windows, and because they sit at the honest extremes they survive
+     reduce in opposite directions for the two groups. *)
+  let auto =
+    {
+      Automaton.name = "est.two-faced";
+      initial = []; (* (phys, value) of recently observed Time messages *)
+      handle =
+        (fun ~self:_ ~phys interrupt seen ->
+          match interrupt with
+          | Automaton.Start | Automaton.Timer _ -> (seen, [])
+          | Automaton.Message (_, Establishment.Ready) -> (seen, [])
+          | Automaton.Message (src, Establishment.Time _) when src >= faulty_from ->
+            (* Ignore fellow colluders: reacting to their lies would cascade. *)
+            (seen, [])
+          | Automaton.Message (_, Establishment.Time v) ->
+            let seen =
+              (phys, v) :: List.filter (fun (t, _) -> phys -. t <= period) seen
+            in
+            let values = List.map snd seen in
+            let lo = List.fold_left Float.min v values in
+            let hi = List.fold_left Float.max v values in
+            let sends =
+              List.init n (fun dst ->
+                  let value = if dst < split then hi else lo in
+                  Automaton.Send (dst, Establishment.Time value))
+            in
+            (seen, sends));
+      corr = (fun _ -> 0.);
+    }
+  in
+  fst (Cluster.make_proc auto)
+
+let build_fault ~n ~faulty_from ~rng spec =
+  match spec with
+  | Est_silent -> fst (Fault.silent ())
+  | Est_two_faced { period; split } ->
+    est_two_faced ~n ~period ~split ~faulty_from
+  | Est_spam { period; value_offset } ->
+    let rng = Rng.split rng in
+    let proc, _ =
+      Fault.periodic ~name:"est.spam" ~first_phys:period ~period_phys:period
+        (fun ~self:_ ~phys ~count ->
+          let lie = phys +. Rng.uniform rng ~lo:(-.value_offset) ~hi:value_offset in
+          if count mod 2 = 0 then
+            [ Automaton.Broadcast (Establishment.Time lie) ]
+          else [ Automaton.Broadcast Establishment.Ready ])
+    in
+    proc
+
+(* A full round lasts at most: first interval + second interval + the READY
+   round-trip, all delays included. *)
+let round_duration (p : Params.t) =
+  Establishment.first_interval p +. Establishment.second_interval p
+  +. (2. *. (p.Params.delta +. p.Params.eps))
+
+let run t =
+  let { Params.n; delta; _ } = t.params in
+  let rng = Rng.create t.seed in
+  let clock_rng = Rng.split rng in
+  let delay_rng = Rng.split rng in
+  let offset_rng = Rng.split rng in
+  let fault_rng = Rng.split rng in
+  let is_faulty pid = List.mem_assoc pid t.faults in
+  let nonfaulty = List.filter (fun p -> not (is_faulty p)) (List.init n Fun.id) in
+  (* Colluders ignore each other; faults occupy the tail of the pid range. *)
+  let faulty_from = List.fold_left (fun acc (p, _) -> min acc p) n t.faults in
+  let horizon = (float_of_int (t.rounds + 3) *. round_duration t.params) +. 1. in
+  (* Arbitrary initial clock values: clock p reads value_p at real time 0. *)
+  let clocks =
+    Array.init n (fun pid ->
+        let value =
+          if pid = 0 then 0.
+          else if pid = 1 then t.initial_spread
+          else Rng.uniform offset_rng ~lo:0. ~hi:t.initial_spread
+        in
+        let profile =
+          Drift.random ~rng:clock_rng ~rho:t.params.Params.rho
+            ~segment_duration:(Float.max (round_duration t.params) 0.1)
+            ~horizon
+        in
+        Hardware_clock.create ~t0:0. ~offset:value profile)
+  in
+  let delay =
+    Delay.uniform ~delta ~eps:t.params.Params.eps ~rng:delay_rng
+  in
+  let cfg = Establishment.config ~averaging:t.averaging t.params in
+  let readers = Hashtbl.create n in
+  let procs =
+    Array.init n (fun pid ->
+        match List.assoc_opt pid t.faults with
+        | Some spec -> build_fault ~n ~faulty_from ~rng:fault_rng spec
+        | None ->
+          let proc, reader = Establishment.create ~self:pid cfg in
+          Hashtbl.add readers pid reader;
+          proc)
+  in
+  let cluster = Cluster.create ~clocks ~delay ~procs () in
+  (* STARTs land within a small real-time window; a process reached first by
+     someone's Time broadcast wakes on that instead, per the algorithm. *)
+  Array.iteri
+    (fun pid _ ->
+      Cluster.schedule_start cluster ~pid
+        ~time:(0.001 +. Rng.uniform offset_rng ~lo:0. ~hi:(delta /. 2.)))
+    clocks;
+  Cluster.run_until cluster (horizon -. 0.5);
+  let histories =
+    List.map
+      (fun pid ->
+        (pid, Establishment.history ((Hashtbl.find readers pid) ())))
+      nonfaulty
+  in
+  (* B^i: spread of (begin_local - begin_real) over nonfaulty processes. *)
+  let table : (int, float list) Hashtbl.t = Hashtbl.create 64 in
+  let early : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (pid, records) ->
+      List.iter
+        (fun (r : Establishment.round_record) ->
+          let real =
+            Hardware_clock.inverse (Cluster.clock cluster pid)
+              r.Establishment.begin_phys
+          in
+          let v = r.Establishment.begin_local -. real in
+          let prev = Option.value (Hashtbl.find_opt table r.Establishment.round) ~default:[] in
+          Hashtbl.replace table r.Establishment.round (v :: prev);
+          if r.Establishment.early_end then Hashtbl.replace early r.Establishment.round true)
+        records)
+    histories;
+  let b_series =
+    Hashtbl.fold
+      (fun round vs acc ->
+        if List.length vs = List.length nonfaulty then begin
+          let lo = List.fold_left Float.min infinity vs in
+          let hi = List.fold_left Float.max neg_infinity vs in
+          (round, hi -. lo) :: acc
+        end
+        else acc)
+      table []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let rounds_completed =
+    List.fold_left
+      (fun acc (_, records) -> min acc (List.length records))
+      max_int histories
+  in
+  {
+    b_series;
+    final_b = (match List.rev b_series with [] -> nan | (_, b) :: _ -> b);
+    rounds_completed = (if rounds_completed = max_int then 0 else rounds_completed);
+    early_end_rounds = Hashtbl.length early;
+    messages = Cluster.messages_sent cluster;
+  }

@@ -1,0 +1,49 @@
+(** Runner for the start-up algorithm (Section 9.2 / experiment E10).
+
+    Unlike the maintenance runner, clocks here begin with {e arbitrary}
+    values: process p's clock reads its own random value in
+    [0, initial_spread] at real time 0, and START messages are delivered
+    within a small real-time window (processes that receive a Time message
+    first wake on it instead, as the algorithm specifies).
+
+    The per-round closeness B^i - the paper's Lemma 20 quantity, the
+    maximum difference between nonfaulty clock values when the latest
+    nonfaulty process begins round i - is recovered from each process'
+    round-begin records: to first order in rho,
+    B^i = spread over p of (begin_local_p - begin_real_p). *)
+
+type fault_spec =
+  | Est_silent
+  | Est_spam of { period : float; value_offset : float }
+      (** Broadcasts wild Time values and a READY every [period] seconds of
+          its physical clock.  Wild values are discarded by reduce, so this
+          mostly tests robustness, not convergence speed. *)
+  | Est_two_faced of { period : float; split : int }
+      (** The averaging function's worst case: tracks the range of honest
+          Time values and reports the observed maximum to processes below
+          [split] and the minimum to the rest - in-range lies that limit
+          each round to {e halving} the spread, making Lemma 20 tight. *)
+
+type t = {
+  params : Csync_core.Params.t;
+  seed : int;
+  initial_spread : float;  (** clock-value spread at time 0 *)
+  faults : (int * fault_spec) list;
+  rounds : int;
+  averaging : Csync_core.Averaging.t;
+}
+
+val default : ?seed:int -> initial_spread:float -> Csync_core.Params.t -> t
+
+val with_standard_faults : t -> t
+(** Last f pids: one silent, the rest adaptively two-faced. *)
+
+type result = {
+  b_series : (int * float) list;  (** (round, B^i), rounds completed by all *)
+  final_b : float;
+  rounds_completed : int;  (** min over nonfaulty *)
+  early_end_rounds : int;  (** rounds some nonfaulty ended interval 2 early *)
+  messages : int;
+}
+
+val run : t -> result

@@ -1,0 +1,65 @@
+module Cluster = Csync_process.Cluster
+module Params = Csync_core.Params
+
+type sample = { time : float; skew : float; min_local : float; max_local : float }
+
+type t = { samples : sample array; observed : int list }
+
+let run ~cluster ~observe ~times =
+  if observe = [] then invalid_arg "Sampling.run: empty observe list";
+  let sample_at time =
+    Cluster.run_until cluster time;
+    let locals = List.map (Cluster.local_time cluster) observe in
+    let lo = List.fold_left Float.min (List.hd locals) locals in
+    let hi = List.fold_left Float.max (List.hd locals) locals in
+    { time; skew = hi -. lo; min_local = lo; max_local = hi }
+  in
+  { samples = Array.map sample_at times; observed = observe }
+
+let times t = Array.map (fun s -> s.time) t.samples
+
+let skews t = Array.map (fun s -> s.skew) t.samples
+
+let max_skew ?(from_time = neg_infinity) t =
+  Array.fold_left
+    (fun acc s -> if s.time >= from_time then Float.max acc s.skew else acc)
+    0. t.samples
+
+let steady_skew t =
+  let n = Array.length t.samples in
+  if n = 0 then 0.
+  else begin
+    let from_idx = 2 * n / 3 in
+    let acc = ref 0. in
+    for i = from_idx to n - 1 do
+      acc := Float.max !acc t.samples.(i).skew
+    done;
+    !acc
+  end
+
+let validity_check t ~params ~tmin0 ~tmax0 =
+  let alpha1, alpha2, alpha3 = Params.validity params in
+  let t0 = params.Params.t0 in
+  (* Tolerance for float noise in the clock round-trips. *)
+  let tol = 1e-9 in
+  let violated =
+    Array.fold_left
+      (fun acc s ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let lower = (alpha1 *. (s.time -. tmax0)) -. alpha3 in
+          let upper = (alpha2 *. (s.time -. tmin0)) +. alpha3 in
+          if s.min_local -. t0 < lower -. tol || s.max_local -. t0 > upper +. tol
+          then Some s
+          else None)
+      None t.samples
+  in
+  match violated with None -> `Holds | Some s -> `Violated s
+
+let grid ~from_time ~to_time ~count =
+  if count < 2 then invalid_arg "Sampling.grid: need at least 2 points";
+  if to_time < from_time then invalid_arg "Sampling.grid: to_time < from_time";
+  Array.init count (fun i ->
+      from_time
+      +. ((to_time -. from_time) *. float_of_int i /. float_of_int (count - 1)))

@@ -1,0 +1,48 @@
+(** Skew and validity sampling over a running cluster.
+
+    The cluster is advanced to each grid point in turn and the local times
+    of the designated (nonfaulty) processes are read; the paper's
+    quantities are computed from the samples:
+
+    - agreement skew: max over pairs of |L_p(t) - L_q(t)| (Theorem 16's
+      left-hand side);
+    - the validity envelope: min/max of L_p(t) - T0 versus elapsed real
+      time (Theorem 19's left-hand side). *)
+
+type sample = {
+  time : float;  (** real time of the sample *)
+  skew : float;  (** max pairwise local-time difference *)
+  min_local : float;  (** min over processes of L_p(t) *)
+  max_local : float;
+}
+
+type t = { samples : sample array; observed : int list }
+
+val run :
+  cluster:'m Csync_process.Cluster.t ->
+  observe:int list ->
+  times:float array ->
+  t
+(** Advance the cluster to each time (which must be nondecreasing) and
+    sample the processes in [observe].
+    @raise Invalid_argument if [observe] is empty. *)
+
+val times : t -> float array
+
+val skews : t -> float array
+
+val max_skew : ?from_time:float -> t -> float
+(** Largest sampled skew, optionally ignoring samples before [from_time]
+    (warm-up). *)
+
+val steady_skew : t -> float
+(** Largest skew over the final third of the samples. *)
+
+val validity_check :
+  t -> params:Csync_core.Params.t -> tmin0:float -> tmax0:float ->
+  [ `Holds | `Violated of sample ]
+(** Check Theorem 19's envelope at every sample:
+    alpha1 (t - tmax0) - alpha3 <= L_p(t) - T0 <= alpha2 (t - tmin0) + alpha3. *)
+
+val grid : from_time:float -> to_time:float -> count:int -> float array
+(** [count] evenly spaced sample times, endpoints included. *)

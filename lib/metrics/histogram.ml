@@ -1,0 +1,67 @@
+type t = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  mutable underflow : int;
+  mutable overflow : int;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: nonpositive bins";
+  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+
+let add t v =
+  t.total <- t.total + 1;
+  if v < t.lo then t.underflow <- t.underflow + 1
+  else if v > t.hi then t.overflow <- t.overflow + 1
+  else begin
+    let bins = Array.length t.counts in
+    let idx =
+      int_of_float (float_of_int bins *. (v -. t.lo) /. (t.hi -. t.lo))
+    in
+    let idx = min idx (bins - 1) in
+    t.counts.(idx) <- t.counts.(idx) + 1
+  end
+
+let of_array ?(bins = 20) a =
+  if Array.length a = 0 then invalid_arg "Histogram.of_array: empty";
+  let lo = Array.fold_left Float.min a.(0) a in
+  let hi = Array.fold_left Float.max a.(0) a in
+  let hi = if hi > lo then hi else lo +. 1. in
+  let t = create ~lo ~hi ~bins in
+  Array.iter (add t) a;
+  t
+
+let count t = t.total
+
+let bin_count t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_count";
+  t.counts.(i)
+
+let underflow t = t.underflow
+
+let overflow t = t.overflow
+
+let bin_bounds t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_bounds";
+  let bins = float_of_int (Array.length t.counts) in
+  let width = (t.hi -. t.lo) /. bins in
+  (t.lo +. (float_of_int i *. width), t.lo +. (float_of_int (i + 1) *. width))
+
+let mode_bin t =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let render ?(width = 50) ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_bounds t i in
+      let bar = String.make (c * width / max_count) '#' in
+      Format.fprintf ppf "[%11.4e, %11.4e) %6d %s@." lo hi c bar)
+    t.counts;
+  if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow

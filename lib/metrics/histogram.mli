@@ -1,0 +1,34 @@
+(** Fixed-bin histograms, for inspecting the distributions behind the
+    experiment summaries (adjustment sizes, per-round spreads, message
+    delays). *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** @raise Invalid_argument if [lo >= hi] or [bins <= 0]. *)
+
+val of_array : ?bins:int -> float array -> t
+(** Bins spanning [min, max] of the data (default 20 bins); values are
+    added.  @raise Invalid_argument on an empty array. *)
+
+val add : t -> float -> unit
+(** Values outside [lo, hi] land in the under/overflow counters. *)
+
+val count : t -> int
+(** Total values added, under/overflow included. *)
+
+val bin_count : t -> int -> int
+(** @raise Invalid_argument if the index is out of range. *)
+
+val underflow : t -> int
+
+val overflow : t -> int
+
+val bin_bounds : t -> int -> float * float
+
+val mode_bin : t -> int
+(** Index of the fullest bin (ties: lowest index).  Meaningless when
+    {!count} is 0. *)
+
+val render : ?width:int -> Format.formatter -> t -> unit
+(** Horizontal ASCII bars, one line per bin. *)

@@ -1,0 +1,80 @@
+type t = { label : string; points : (float * float) list }
+
+let make ~label points = { label; points }
+
+let of_arrays ~label xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Series.of_arrays: length mismatch";
+  { label; points = Array.to_list (Array.map2 (fun x y -> (x, y)) xs ys) }
+
+let label t = t.label
+
+let points t = t.points
+
+let length t = List.length t.points
+
+let ys t = Array.of_list (List.map snd t.points)
+
+let xs t = Array.of_list (List.map fst t.points)
+
+let map_y f t = { t with points = List.map (fun (x, y) -> (x, f y)) t.points }
+
+let last_y t =
+  match List.rev t.points with [] -> None | (_, y) :: _ -> Some y
+
+let union_xs series =
+  let all = List.concat_map (fun s -> List.map fst s.points) series in
+  List.sort_uniq Float.compare all
+
+let render ppf series =
+  let xs = union_xs series in
+  let cell = Printf.sprintf "%-14s" in
+  Format.fprintf ppf "%s" (cell "x");
+  List.iter (fun s -> Format.fprintf ppf "%s" (cell s.label)) series;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "%s" (cell (Printf.sprintf "%.6g" x));
+      List.iter
+        (fun s ->
+          match List.assoc_opt x s.points with
+          | Some y -> Format.fprintf ppf "%s" (cell (Printf.sprintf "%.6g" y))
+          | None -> Format.fprintf ppf "%s" (cell ""))
+        series;
+      Format.fprintf ppf "@.")
+    xs
+
+let sparkline t =
+  let blocks = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                  "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                  "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+  let ys = ys t in
+  if Array.length ys = 0 then ""
+  else begin
+    let lo = Array.fold_left Float.min ys.(0) ys in
+    let hi = Array.fold_left Float.max ys.(0) ys in
+    let range = if hi -. lo <= 0. then 1. else hi -. lo in
+    let buf = Buffer.create (Array.length ys * 3) in
+    Array.iter
+      (fun y ->
+        let idx = int_of_float ((y -. lo) /. range *. 8.) in
+        Buffer.add_string buf blocks.(max 0 (min 8 idx)))
+      ys;
+    Buffer.contents buf
+  end
+
+let to_csv series =
+  let xs = union_xs series in
+  let header = "x" :: List.map (fun s -> s.label) series in
+  let line x =
+    Printf.sprintf "%.9g" x
+    :: List.map
+         (fun s ->
+           match List.assoc_opt x s.points with
+           | Some y -> Printf.sprintf "%.9g" y
+           | None -> "")
+         series
+  in
+  String.concat "\n"
+    (String.concat "," header :: List.map (fun x -> String.concat "," (line x)) xs)
+  ^ "\n"

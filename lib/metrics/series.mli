@@ -1,0 +1,35 @@
+(** Labeled (x, y) series - the "figure" counterpart to {!Table}.
+
+    An experiment that sweeps a parameter or samples over time produces a
+    series per configuration; {!render} prints them as aligned columns and
+    {!sparkline} gives a quick in-terminal shape check. *)
+
+type t
+
+val make : label:string -> (float * float) list -> t
+
+val of_arrays : label:string -> float array -> float array -> t
+(** @raise Invalid_argument on length mismatch. *)
+
+val label : t -> string
+
+val points : t -> (float * float) list
+
+val length : t -> int
+
+val ys : t -> float array
+
+val xs : t -> float array
+
+val map_y : (float -> float) -> t -> t
+
+val last_y : t -> float option
+
+val render : Format.formatter -> t list -> unit
+(** Render several series sharing an x column (the union of the xs; missing
+    values print blank). *)
+
+val sparkline : t -> string
+(** Unicode block sparkline of the y values (linear scale). *)
+
+val to_csv : t list -> string

@@ -1,0 +1,56 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty array")
+
+let mean a =
+  check_nonempty "mean" a;
+  Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+
+let minimum a =
+  check_nonempty "minimum" a;
+  Array.fold_left Float.min a.(0) a
+
+let maximum a =
+  check_nonempty "maximum" a;
+  Array.fold_left Float.max a.(0) a
+
+let stddev a =
+  check_nonempty "stddev" a;
+  let m = mean a in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a
+    /. float_of_int (Array.length a)
+  in
+  sqrt var
+
+let percentile a q =
+  check_nonempty "percentile" a;
+  if q < 0. || q > 100. then invalid_arg "Stats.percentile: q out of [0, 100]";
+  let sorted = Array.copy a in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q /. 100. *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let max_pairwise_diff a =
+  if Array.length a < 2 then 0. else maximum a -. minimum a
+
+let max_abs a =
+  check_nonempty "max_abs" a;
+  Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let geometric_fit a =
+  let n = Array.length a in
+  if n < 2 then invalid_arg "Stats.geometric_fit: need at least 2 points";
+  let sum = ref 0. in
+  for i = 0 to n - 2 do
+    if a.(i) <= 0. || a.(i + 1) <= 0. then
+      invalid_arg "Stats.geometric_fit: nonpositive entry";
+    sum := !sum +. log (a.(i + 1) /. a.(i))
+  done;
+  exp (!sum /. float_of_int (n - 1))

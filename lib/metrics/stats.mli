@@ -1,0 +1,27 @@
+(** Small numeric-statistics helpers used by the experiment harness. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on the empty array. *)
+
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val percentile : float array -> float -> float
+(** [percentile a q] with [q] in [0, 100], linear interpolation between
+    order statistics.  Does not mutate the input. *)
+
+val max_pairwise_diff : float array -> float
+(** max_i a_i - min_i a_i: the skew of a set of clock readings; 0 for
+    arrays with fewer than 2 elements. *)
+
+val max_abs : float array -> float
+
+val geometric_fit : float array -> float
+(** Least-squares estimate of the common ratio r of a roughly geometric
+    positive sequence: exp(mean of log(a_{i+1}/a_i)).  Used to measure the
+    per-round error-halving rate.  @raise Invalid_argument on sequences
+    shorter than 2 or with nonpositive entries. *)

@@ -1,0 +1,149 @@
+(* Multisets of reals, represented as sorted float arrays (ascending). *)
+
+type t = float array
+
+let empty = [||]
+
+let of_array a =
+  let b = Array.copy a in
+  Array.sort Float.compare b;
+  b
+
+let of_list l = of_array (Array.of_list l)
+
+let singleton x = [| x |]
+
+let size = Array.length
+
+let is_empty u = Array.length u = 0
+
+let to_list = Array.to_list
+
+let to_array = Array.copy
+
+let check_nonempty name u =
+  if is_empty u then invalid_arg ("Csync_multiset." ^ name ^ ": empty multiset")
+
+let min_elt u =
+  check_nonempty "min_elt" u;
+  u.(0)
+
+let max_elt u =
+  check_nonempty "max_elt" u;
+  u.(Array.length u - 1)
+
+let nth u i =
+  if i < 0 || i >= Array.length u then invalid_arg "Csync_multiset.nth";
+  u.(i)
+
+let diameter u = if is_empty u then 0. else max_elt u -. min_elt u
+
+let mid u =
+  check_nonempty "mid" u;
+  (min_elt u +. max_elt u) /. 2.
+
+let mean u =
+  check_nonempty "mean" u;
+  Array.fold_left ( +. ) 0. u /. float_of_int (Array.length u)
+
+let median u =
+  check_nonempty "median" u;
+  let n = Array.length u in
+  if n mod 2 = 1 then u.(n / 2) else (u.(n / 2 - 1) +. u.(n / 2)) /. 2.
+
+let add x u =
+  let n = Array.length u in
+  let b = Array.make (n + 1) x in
+  (* Insert [x] keeping the array sorted. *)
+  let rec place i =
+    if i < n && u.(i) <= x then begin
+      b.(i) <- u.(i);
+      place (i + 1)
+    end
+    else begin
+      b.(i) <- x;
+      Array.blit u i b (i + 1) (n - i)
+    end
+  in
+  place 0;
+  b
+
+let drop_lowest u = if is_empty u then u else Array.sub u 1 (Array.length u - 1)
+
+let drop_highest u = if is_empty u then u else Array.sub u 0 (Array.length u - 1)
+
+let reduce ~f u =
+  if f < 0 then invalid_arg "Csync_multiset.reduce: negative f";
+  let n = Array.length u in
+  if n < 2 * f then invalid_arg "Csync_multiset.reduce: multiset too small";
+  Array.sub u f (n - 2 * f)
+
+let add_scalar u r = Array.map (fun x -> x +. r) u
+
+let union u v =
+  (* Merge two sorted arrays. *)
+  let n = Array.length u and m = Array.length v in
+  let b = Array.make (n + m) 0. in
+  let rec go i j k =
+    if i = n then Array.blit v j b k (m - j)
+    else if j = m then Array.blit u i b k (n - i)
+    else if u.(i) <= v.(j) then begin
+      b.(k) <- u.(i);
+      go (i + 1) j (k + 1)
+    end
+    else begin
+      b.(k) <- v.(j);
+      go i (j + 1) (k + 1)
+    end
+  in
+  go 0 0 0;
+  b
+
+let map f u = of_array (Array.map f u)
+
+let count p u = Array.fold_left (fun acc x -> if p x then acc + 1 else acc) 0 u
+
+let mem_within u ~value ~tol =
+  Array.exists (fun e -> Float.abs (e -. value) <= tol) u
+
+(* Maximum matching between sorted sequences under |a - b| <= x.
+   Compatibility sets are intervals of the other sequence, and interval ends
+   are monotone in the element, so the greedy "match each a (ascending) with
+   the smallest unused compatible b" is optimal. *)
+let max_pairing ~x u v =
+  if x < 0. then invalid_arg "Csync_multiset.max_pairing: negative x";
+  let n = Array.length u and m = Array.length v in
+  let rec go i j matched =
+    if i = n || j = m then matched
+    else if v.(j) < u.(i) -. x then go i (j + 1) matched
+    else if v.(j) > u.(i) +. x then go (i + 1) j matched
+    else go (i + 1) (j + 1) (matched + 1)
+  in
+  go 0 0 0
+
+let x_distance ~x u v =
+  if size u > size v then
+    invalid_arg "Csync_multiset.x_distance: first multiset larger than second";
+  size u - max_pairing ~x u v
+
+let pp ppf u =
+  Format.fprintf ppf "@[<hov 1>{%a}@]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf x -> Format.fprintf ppf "%g" x))
+    u
+
+let equal u v = size u = size v && Array.for_all2 (fun a b -> a = b) u v
+
+let compare u v =
+  let c = Int.compare (size u) (size v) in
+  if c <> 0 then c
+  else
+    let n = size u in
+    let rec go i =
+      if i = n then 0
+      else
+        let c = Float.compare u.(i) v.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0

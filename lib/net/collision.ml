@@ -1,0 +1,43 @@
+type state = {
+  capacity : int;
+  window : float;
+  recent : float Queue.t array; (* per recipient: arrival times within window *)
+  mutable dropped : int;
+}
+
+type t = None | Bounded of state
+
+let none = None
+
+let bounded_buffer ~n ~capacity ~window =
+  if n <= 0 then invalid_arg "Collision.bounded_buffer: nonpositive n";
+  if capacity <= 0 then invalid_arg "Collision.bounded_buffer: nonpositive capacity";
+  if window <= 0. then invalid_arg "Collision.bounded_buffer: nonpositive window";
+  Bounded
+    { capacity; window; recent = Array.init n (fun _ -> Queue.create ()); dropped = 0 }
+
+let admit t ~dst ~now =
+  match t with
+  | None -> true
+  | Bounded s ->
+    let q = s.recent.(dst) in
+    let cutoff = now -. s.window in
+    while (not (Queue.is_empty q)) && Queue.peek q < cutoff do
+      ignore (Queue.pop q)
+    done;
+    if Queue.length q >= s.capacity then begin
+      s.dropped <- s.dropped + 1;
+      false
+    end
+    else begin
+      Queue.push now q;
+      true
+    end
+
+let dropped = function None -> 0 | Bounded s -> s.dropped
+
+let reset = function
+  | None -> ()
+  | Bounded s ->
+    Array.iter Queue.clear s.recent;
+    s.dropped <- 0

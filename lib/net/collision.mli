@@ -1,0 +1,29 @@
+(** Datagram-loss model for the Section 9.3 implementation experiment.
+
+    The paper's Ethernet deployment found that when all processes broadcast
+    at (nearly) the same real time, receive buffers overflow and datagrams
+    are lost - "when the system behaves well, it is punished".  This module
+    reproduces the mechanism: each recipient has a bounded buffer that can
+    absorb at most [capacity] arrivals per [window] of real time; arrivals
+    beyond that are dropped.
+
+    The model is stateful and must be consulted in arrival-time order, which
+    is how the cluster delivers events. *)
+
+type t
+
+val none : t
+(** No losses ever. *)
+
+val bounded_buffer : n:int -> capacity:int -> window:float -> t
+(** [n] recipients, each able to absorb [capacity] messages per [window]
+    seconds of real time. *)
+
+val admit : t -> dst:int -> now:float -> bool
+(** Whether a message arriving at [dst] at real time [now] fits in the
+    buffer.  Records the arrival when admitted. *)
+
+val dropped : t -> int
+(** Total messages rejected so far. *)
+
+val reset : t -> unit

@@ -1,0 +1,61 @@
+type kind =
+  | Constant
+  | Uniform of Csync_sim.Rng.t
+  | Extremes of Csync_sim.Rng.t
+  | Per_link of (src:int -> dst:int -> float)
+  | Adversarial of (src:int -> dst:int -> now:float -> float)
+
+type t = { delta : float; eps : float; kind : kind }
+
+let check ~delta ~eps name =
+  if eps < 0. then invalid_arg (name ^ ": negative eps");
+  if delta < eps then invalid_arg (name ^ ": delta < eps (assumption A3 requires delta > eps)")
+
+let constant d =
+  if d < 0. then invalid_arg "Delay.constant: negative delay";
+  { delta = d; eps = 0.; kind = Constant }
+
+let uniform ~delta ~eps ~rng =
+  check ~delta ~eps "Delay.uniform";
+  { delta; eps; kind = Uniform rng }
+
+let extremes ~delta ~eps ~rng =
+  check ~delta ~eps "Delay.extremes";
+  { delta; eps; kind = Extremes rng }
+
+let per_link ~delta ~eps f =
+  check ~delta ~eps "Delay.per_link";
+  { delta; eps; kind = Per_link f }
+
+let adversarial ~delta ~eps f =
+  check ~delta ~eps "Delay.adversarial";
+  { delta; eps; kind = Adversarial f }
+
+let clamp t d = Float.min (t.delta +. t.eps) (Float.max (t.delta -. t.eps) d)
+
+let draw t ~src ~dst ~now =
+  match t.kind with
+  | Constant -> t.delta
+  | Uniform rng ->
+    Csync_sim.Rng.uniform rng ~lo:(t.delta -. t.eps) ~hi:(t.delta +. t.eps)
+  | Extremes rng ->
+    if Csync_sim.Rng.bool rng then t.delta +. t.eps else t.delta -. t.eps
+  | Per_link f -> clamp t (f ~src ~dst)
+  | Adversarial f -> clamp t (f ~src ~dst ~now)
+
+let bounds t = (t.delta -. t.eps, t.delta +. t.eps)
+
+let delta t = t.delta
+
+let eps t = t.eps
+
+let pp ppf t =
+  let kind =
+    match t.kind with
+    | Constant -> "constant"
+    | Uniform _ -> "uniform"
+    | Extremes _ -> "extremes"
+    | Per_link _ -> "per-link"
+    | Adversarial _ -> "adversarial"
+  in
+  Format.fprintf ppf "delay(%s, delta=%g, eps=%g)" kind t.delta t.eps

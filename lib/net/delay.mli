@@ -1,0 +1,41 @@
+(** Message-delay models (assumption A3: every delay lies in
+    [delta - eps, delta + eps]).
+
+    A model is consulted once per point-to-point message.  All models are
+    deterministic given their seed; {!bounds} reports the envelope the model
+    guarantees, which scenarios check against the parameters they claim. *)
+
+type t
+
+val constant : float -> t
+(** Every message takes exactly this long (eps = 0). *)
+
+val uniform : delta:float -> eps:float -> rng:Csync_sim.Rng.t -> t
+(** Independent uniform draws from [delta - eps, delta + eps]. *)
+
+val extremes : delta:float -> eps:float -> rng:Csync_sim.Rng.t -> t
+(** Each delay is either delta - eps or delta + eps (fair coin): the
+    worst-case uncertainty profile for averaging algorithms. *)
+
+val per_link :
+  delta:float -> eps:float -> (src:int -> dst:int -> float) -> t
+(** Deterministic per-link delay; the function's results are clamped into
+    [delta - eps, delta + eps]. *)
+
+val adversarial :
+  delta:float -> eps:float -> (src:int -> dst:int -> now:float -> float) -> t
+(** Fully scriptable within the envelope: the function may depend on time,
+    enabling "stretch one process' view" attacks.  Results are clamped. *)
+
+val draw : t -> src:int -> dst:int -> now:float -> float
+(** The delay for a message from [src] to [dst] sent at real time [now].
+    Always within {!bounds}. *)
+
+val bounds : t -> float * float
+(** (min, max) possible delay. *)
+
+val delta : t -> float
+
+val eps : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+module Engine = Csync_sim.Engine
+module Event_queue = Csync_sim.Event_queue
+
+type 'm body = Start | Timer of float | Msg of 'm
+
+type 'm delivery = { src : int; dst : int; body : 'm body }
+
+type 'm t = {
+  n : int;
+  delay : Delay.t;
+  collision : Collision.t;
+  engine : 'm delivery Engine.t;
+  mutable sent : int;
+}
+
+let create ~n ~delay ?(collision = Collision.none) ~engine () =
+  if n <= 0 then invalid_arg "Message_buffer.create: nonpositive n";
+  { n; delay; collision; engine; sent = 0 }
+
+let n t = t.n
+
+let engine t = t.engine
+
+let delay_model t = t.delay
+
+let check_pid t pid name =
+  if pid < 0 || pid >= t.n then invalid_arg ("Message_buffer." ^ name ^ ": pid out of range")
+
+let schedule_start t ~dst ~time =
+  check_pid t dst "schedule_start";
+  Engine.schedule t.engine ~time ~prio:Event_queue.prio_message
+    { src = dst; dst; body = Start }
+
+let send t ~src ~dst m =
+  check_pid t src "send";
+  check_pid t dst "send";
+  let now = Engine.now t.engine in
+  let d = Delay.draw t.delay ~src ~dst ~now in
+  t.sent <- t.sent + 1;
+  Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
+    { src; dst; body = Msg m }
+
+let broadcast t ~src m =
+  for dst = 0 to t.n - 1 do
+    send t ~src ~dst m
+  done
+
+let set_timer t ~dst ~at_real ~phys_value =
+  check_pid t dst "set_timer";
+  let now = Engine.now t.engine in
+  if at_real <= now then false
+  else begin
+    Engine.schedule t.engine ~time:at_real ~prio:Event_queue.prio_timer
+      { src = dst; dst; body = Timer phys_value };
+    true
+  end
+
+let admit t delivery ~now =
+  match delivery.body with
+  | Start | Timer _ -> true
+  | Msg _ -> Collision.admit t.collision ~dst:delivery.dst ~now
+
+let sent_count t = t.sent
+
+let dropped_count t = Collision.dropped t.collision

@@ -1,0 +1,66 @@
+(** The global message buffer of Section 2.2.
+
+    When a process sends a message at real time [t], the message enters the
+    buffer with a delivery time [t'] drawn from the delay model; at [t'] the
+    recipient receives it.  START and TIMER interrupts are modelled
+    uniformly with ordinary messages, as in the paper:
+
+    - the buffer initially contains exactly one START per process (scheduled
+      by the scenario through {!schedule_start});
+    - a timer set for a physical-clock value that has already passed places
+      no message (the set-timer rule of Section 2.2);
+    - TIMER messages delivered at the same real time as ordinary messages
+      are ordered after them (execution property 4).
+
+    The buffer is generic in the algorithm's message type ['m]. *)
+
+type 'm body =
+  | Start
+  | Timer of float
+      (** Carries the physical-clock value the timer was set for. *)
+  | Msg of 'm
+
+type 'm delivery = { src : int; dst : int; body : 'm body }
+
+type 'm t
+
+val create :
+  n:int ->
+  delay:Delay.t ->
+  ?collision:Collision.t ->
+  engine:'m delivery Csync_sim.Engine.t ->
+  unit ->
+  'm t
+
+val n : 'm t -> int
+
+val engine : 'm t -> 'm delivery Csync_sim.Engine.t
+
+val delay_model : 'm t -> Delay.t
+
+val schedule_start : 'm t -> dst:int -> time:float -> unit
+(** Place the START message for [dst] with delivery time [time]. *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Send at the current real time; delivery after a modelled delay.
+    @raise Invalid_argument if [dst] is out of range. *)
+
+val broadcast : 'm t -> src:int -> 'm -> unit
+(** Send to every process, including the sender (the paper's broadcast
+    primitive).  Each copy draws its own delay. *)
+
+val set_timer : 'm t -> dst:int -> at_real:float -> phys_value:float -> bool
+(** Place a TIMER for [dst] at real time [at_real], tagged with the
+    physical-clock value it corresponds to.  Returns [false] (placing
+    nothing) if [at_real] is not strictly in the future. *)
+
+val admit : 'm t -> 'm delivery -> now:float -> bool
+(** Collision filter, consulted at delivery time.  START and TIMER are
+    always admitted; ordinary messages pass through the collision model. *)
+
+val sent_count : 'm t -> int
+(** Ordinary (non-START, non-TIMER) messages sent so far - the message
+    complexity measure of Section 10. *)
+
+val dropped_count : 'm t -> int
+(** Ordinary messages dropped by the collision model. *)

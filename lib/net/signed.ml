@@ -1,0 +1,33 @@
+type 'v t = { value : 'v; rev_chain : int list }
+
+let sign ~signer value = { value; rev_chain = [ signer ] }
+
+let countersign ~signer t = { t with rev_chain = signer :: t.rev_chain }
+
+let value t = t.value
+
+let chain t = List.rev t.rev_chain
+
+let origin t =
+  match chain t with
+  | [] -> assert false (* unreachable: constructors always sign *)
+  | p :: _ -> p
+
+let depth t = List.length t.rev_chain
+
+let distinct_signers t =
+  let sorted = List.sort Int.compare t.rev_chain in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | [ _ ] | [] -> true
+  in
+  no_dup sorted
+
+let signed_by t p = List.mem p t.rev_chain
+
+let pp pp_v ppf t =
+  Format.fprintf ppf "@[<h>%a signed by [%a]@]" pp_v t.value
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (chain t)

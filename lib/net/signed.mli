@@ -1,0 +1,35 @@
+(** Simulated unforgeable digital signatures, for the HSSD baseline.
+
+    The only property the Halpern-Simons-Strong-Dolev algorithm needs from
+    signatures is that a faulty process cannot fabricate a message that
+    appears to have been signed by a nonfaulty one.  We model a signed value
+    as the value plus its chain of signers; the type is abstract, and the
+    only constructors are {!sign} (start a chain) and {!countersign} (extend
+    one), so within the simulation a relayer can add its own signature but
+    can never remove or invent entries - provided fault strategies use their
+    own id as [signer], which the cluster-level tests assert. *)
+
+type 'v t
+
+val sign : signer:int -> 'v -> 'v t
+
+val countersign : signer:int -> 'v t -> 'v t
+
+val value : 'v t -> 'v
+
+val origin : 'v t -> int
+(** First signer. *)
+
+val chain : 'v t -> int list
+(** Signers in signing order (origin first). *)
+
+val depth : 'v t -> int
+(** Number of signatures. *)
+
+val distinct_signers : 'v t -> bool
+(** True iff no process appears twice in the chain - HSSD's validity check
+    on relayed messages. *)
+
+val signed_by : 'v t -> int -> bool
+
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

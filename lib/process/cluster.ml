@@ -1,0 +1,131 @@
+module Engine = Csync_sim.Engine
+module Trace = Csync_sim.Trace
+module Hardware_clock = Csync_clock.Hardware_clock
+module Logical_clock = Csync_clock.Logical_clock
+module Message_buffer = Csync_net.Message_buffer
+
+type 'm proc = Proc : ('s, 'm) Automaton.t * 's ref -> 'm proc
+
+let make_proc auto =
+  let cell = ref auto.Automaton.initial in
+  (Proc (auto, cell), fun () -> !cell)
+
+type 'm t = {
+  clocks : Hardware_clock.t array;
+  buffer : 'm Message_buffer.t;
+  engine : 'm Message_buffer.delivery Engine.t;
+  procs : 'm proc array;
+  alive : bool array;
+  trace : Trace.t;
+  mutable hooks : (float -> int -> 'm Automaton.interrupt -> unit) list;
+}
+
+let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
+  let n = Array.length procs in
+  if Array.length clocks <> n then
+    invalid_arg "Cluster.create: clocks and procs length mismatch";
+  if n = 0 then invalid_arg "Cluster.create: empty cluster";
+  let engine = Engine.create () in
+  let buffer = Message_buffer.create ~n ~delay ?collision ~engine () in
+  { clocks; buffer; engine; procs; alive = Array.make n true; trace; hooks = [] }
+
+let n t = Array.length t.procs
+
+let now t = Engine.now t.engine
+
+let check_pid t pid name =
+  if pid < 0 || pid >= n t then invalid_arg ("Cluster." ^ name ^ ": pid out of range")
+
+let schedule_start t ~pid ~time =
+  check_pid t pid "schedule_start";
+  Message_buffer.schedule_start t.buffer ~dst:pid ~time
+
+let schedule_starts_at_logical t ~t0 ~corrs =
+  if Array.length corrs <> n t then
+    invalid_arg "Cluster.schedule_starts_at_logical: corrs length mismatch";
+  Array.iteri
+    (fun pid corr ->
+      let time = Logical_clock.real_time_of_local t.clocks.(pid) ~corr t0 in
+      schedule_start t ~pid ~time)
+    corrs
+
+let corr t pid =
+  check_pid t pid "corr";
+  let (Proc (auto, state)) = t.procs.(pid) in
+  auto.Automaton.corr !state
+
+let phys_time t pid =
+  check_pid t pid "phys_time";
+  Hardware_clock.time t.clocks.(pid) (now t)
+
+let local_time t pid = phys_time t pid +. corr t pid
+
+let clock t pid =
+  check_pid t pid "clock";
+  t.clocks.(pid)
+
+let kill t pid =
+  check_pid t pid "kill";
+  t.alive.(pid) <- false
+
+let revive t pid =
+  check_pid t pid "revive";
+  t.alive.(pid) <- true
+
+let is_alive t pid =
+  check_pid t pid "is_alive";
+  t.alive.(pid)
+
+let replace t pid proc =
+  check_pid t pid "replace";
+  t.procs.(pid) <- proc
+
+let add_delivery_hook t hook = t.hooks <- t.hooks @ [ hook ]
+
+let apply_action t ~self action =
+  match action with
+  | Automaton.Send (dst, m) -> Message_buffer.send t.buffer ~src:self ~dst m
+  | Automaton.Broadcast m -> Message_buffer.broadcast t.buffer ~src:self m
+  | Automaton.Set_timer_logical v ->
+    let phys_target = Logical_clock.timer_phys_target ~corr:(corr t self) v in
+    let at_real = Hardware_clock.inverse t.clocks.(self) phys_target in
+    ignore (Message_buffer.set_timer t.buffer ~dst:self ~at_real ~phys_value:v)
+  | Automaton.Set_timer_phys v ->
+    let at_real = Hardware_clock.inverse t.clocks.(self) v in
+    ignore (Message_buffer.set_timer t.buffer ~dst:self ~at_real ~phys_value:v)
+
+let handle_delivery t time (delivery : 'm Message_buffer.delivery) =
+  let dst = delivery.dst in
+  if t.alive.(dst) && Message_buffer.admit t.buffer delivery ~now:time then begin
+    let interrupt =
+      match delivery.body with
+      | Message_buffer.Start -> Automaton.Start
+      | Message_buffer.Timer tag -> Automaton.Timer tag
+      | Message_buffer.Msg m -> Automaton.Message (delivery.src, m)
+    in
+    let (Proc (auto, state)) = t.procs.(dst) in
+    let phys = Hardware_clock.time t.clocks.(dst) time in
+    let new_state, actions = auto.Automaton.handle ~self:dst ~phys interrupt !state in
+    state := new_state;
+    List.iter (apply_action t ~self:dst) actions;
+    if Trace.enabled t.trace then
+      Trace.recordf t.trace ~time "p%d <- %a (%d actions)" dst
+        (Automaton.pp_interrupt (fun ppf _ -> Format.fprintf ppf "_"))
+        interrupt (List.length actions);
+    List.iter (fun hook -> hook time dst interrupt) t.hooks
+  end
+
+let run_until t until =
+  Engine.run_until t.engine ~until ~handler:(fun time delivery ->
+      handle_delivery t time delivery)
+
+let run_until_quiescent t ~max_events =
+  Engine.drain t.engine
+    ~handler:(fun time delivery -> handle_delivery t time delivery)
+    ~max_events
+
+let messages_sent t = Message_buffer.sent_count t.buffer
+
+let messages_dropped t = Message_buffer.dropped_count t.buffer
+
+let buffer t = t.buffer

@@ -1,0 +1,88 @@
+(** A system of processes with clocks (Section 2.1's "system"), hosted on
+    the discrete-event engine.
+
+    A cluster owns: one hardware clock per process, the global message
+    buffer, and one automaton instance per process.  Running the cluster
+    delivers buffered messages in (time, priority, insertion) order, steps
+    the recipient's automaton, and performs the resulting actions - i.e., it
+    implements the execution semantics of Section 2.3.
+
+    Processes are referenced by integer ids [0 .. n-1].  Faulty behaviour is
+    expressed either by installing an adversarial automaton (Byzantine) or
+    by {!kill} (crash: interrupts stop being delivered).  [replace] +
+    {!revive} support the reintegration scenario of Section 9.1. *)
+
+type 'm proc =
+  | Proc : ('s, 'm) Automaton.t * 's ref -> 'm proc
+      (** An automaton paired with its mutable state cell.  Build with
+          {!make_proc} to also obtain a typed state reader for
+          instrumentation. *)
+
+val make_proc : ('s, 'm) Automaton.t -> 'm proc * (unit -> 's)
+(** Instantiate an automaton; the second component reads the live state
+    (e.g. to extract per-round statistics after a run). *)
+
+type 'm t
+
+val create :
+  clocks:Csync_clock.Hardware_clock.t array ->
+  delay:Csync_net.Delay.t ->
+  ?collision:Csync_net.Collision.t ->
+  ?trace:Csync_sim.Trace.t ->
+  procs:'m proc array ->
+  unit ->
+  'm t
+(** @raise Invalid_argument if [clocks] and [procs] differ in length. *)
+
+val n : 'm t -> int
+
+val now : 'm t -> float
+(** Current real time. *)
+
+val schedule_start : 'm t -> pid:int -> time:float -> unit
+(** Place [pid]'s START message with real delivery time [time]. *)
+
+val schedule_starts_at_logical : 'm t -> t0:float -> corrs:float array -> unit
+(** Assumption A4 convenience: schedule each process' START for the real
+    time at which its initial logical clock (clock + [corrs.(p)]) reads
+    [t0], i.e. real time c_p^0(T0). *)
+
+val run_until : 'm t -> float -> unit
+(** Deliver every event up to and including the given real time. *)
+
+val run_until_quiescent : 'm t -> max_events:int -> int
+(** Deliver events until none remain (or the guard trips); returns the
+    number delivered. *)
+
+val phys_time : 'm t -> int -> float
+(** Process' physical-clock reading at the current real time. *)
+
+val corr : 'm t -> int -> float
+(** Process' current CORR variable (via its automaton's [corr]). *)
+
+val local_time : 'm t -> int -> float
+(** L_p(now) = Ph_p(now) + CORR_p.  To sample at a chosen real time, first
+    [run_until] that time. *)
+
+val clock : 'm t -> int -> Csync_clock.Hardware_clock.t
+
+val kill : 'm t -> int -> unit
+(** Crash: stop delivering interrupts to this process. *)
+
+val revive : 'm t -> int -> unit
+
+val is_alive : 'm t -> int -> bool
+
+val replace : 'm t -> int -> 'm proc -> unit
+(** Swap in a new automaton (e.g. the reintegration variant) for a process.
+    Pending messages addressed to it are delivered to the new automaton. *)
+
+val add_delivery_hook : 'm t -> (float -> int -> 'm Automaton.interrupt -> unit) -> unit
+(** Called after each interrupt is processed: (real time, recipient,
+    interrupt).  Hooks run in registration order. *)
+
+val messages_sent : 'm t -> int
+
+val messages_dropped : 'm t -> int
+
+val buffer : 'm t -> 'm Csync_net.Message_buffer.t

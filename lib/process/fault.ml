@@ -1,0 +1,77 @@
+module Rng = Csync_sim.Rng
+
+let silent () =
+  let auto =
+    Automaton.stateless ~name:"fault.silent" (fun ~self:_ ~phys:_ _ -> [])
+  in
+  let proc, reader = Cluster.make_proc auto in
+  (proc, reader)
+
+let periodic ~name ~first_phys ~period_phys actions =
+  if period_phys <= 0. then invalid_arg "Fault.periodic: nonpositive period";
+  let auto =
+    {
+      Automaton.name;
+      initial = 0;
+      handle =
+        (fun ~self ~phys interrupt count ->
+          match interrupt with
+          | Automaton.Start -> (count, [ Automaton.Set_timer_phys first_phys ])
+          | Automaton.Timer _ ->
+            let acts = actions ~self ~phys ~count in
+            ( count + 1,
+              acts @ [ Automaton.Set_timer_phys (phys +. period_phys) ] )
+          | Automaton.Message _ -> (count, []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  let proc, reader = Cluster.make_proc auto in
+  (proc, reader)
+
+let crash_at ~phys:deadline auto =
+  {
+    auto with
+    Automaton.name = auto.Automaton.name ^ "+crash";
+    handle =
+      (fun ~self ~phys interrupt state ->
+        if phys >= deadline then (state, [])
+        else auto.Automaton.handle ~self ~phys interrupt state);
+  }
+
+let receive_omission ~rng ~drop_probability auto =
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Fault.receive_omission: probability out of range";
+  {
+    auto with
+    Automaton.name = auto.Automaton.name ^ "+recv-omission";
+    handle =
+      (fun ~self ~phys interrupt state ->
+        match interrupt with
+        | Automaton.Message _ when Rng.float rng < drop_probability -> (state, [])
+        | _ -> auto.Automaton.handle ~self ~phys interrupt state);
+  }
+
+let broadcast_to_sends ~n action =
+  match action with
+  | Automaton.Broadcast m -> List.init n (fun dst -> Automaton.Send (dst, m))
+  | other -> [ other ]
+
+let send_omission ~rng ~drop_probability auto =
+  if drop_probability < 0. || drop_probability > 1. then
+    invalid_arg "Fault.send_omission: probability out of range";
+  {
+    auto with
+    Automaton.name = auto.Automaton.name ^ "+send-omission";
+    handle =
+      (fun ~self ~phys interrupt state ->
+        let state, actions = auto.Automaton.handle ~self ~phys interrupt state in
+        (* One coin per Send; a Broadcast is kept or dropped wholesale (the
+           cluster, not the strategy, knows n - strategies wanting
+           per-recipient drops should emit Sends via broadcast_to_sends). *)
+        let keep = function
+          | Automaton.Send _ | Automaton.Broadcast _ ->
+            Rng.float rng >= drop_probability
+          | Automaton.Set_timer_logical _ | Automaton.Set_timer_phys _ -> true
+        in
+        (state, List.filter keep actions));
+  }

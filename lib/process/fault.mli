@@ -1,0 +1,46 @@
+(** Generic Byzantine fault strategies and combinators.
+
+    The paper models faults as processes whose transitions are unconstrained
+    (Section 2.3).  We realize them as ordinary automata with adversarial
+    behaviour.  This module holds the protocol-agnostic strategies; attacks
+    that exploit the structure of a specific algorithm (e.g. timing attacks
+    on the Welch-Lynch round schedule) live next to that algorithm.
+
+    All strategies here are well-typed in the protocol's message type, so a
+    faulty process can inject arbitrary {e values} but not ill-formed
+    messages - the standard Byzantine model for typed channels. *)
+
+val silent : unit -> ('m Cluster.proc * (unit -> unit))
+(** Never reacts to anything: a crash-from-the-start / omission fault. *)
+
+val periodic :
+  name:string ->
+  first_phys:float ->
+  period_phys:float ->
+  (self:int -> phys:float -> count:int -> 'm Automaton.action list) ->
+  'm Cluster.proc * (unit -> int)
+(** Wakes itself every [period_phys] of its own physical clock starting at
+    [first_phys] and performs the supplied actions; [count] is the number of
+    prior firings.  The reader returns how many times it has fired.  The
+    scheduled timers use the physical clock, so a drifting faulty clock
+    perturbs the firing times - as it would in reality. *)
+
+val crash_at : phys:float -> ('s, 'm) Automaton.t -> ('s, 'm) Automaton.t
+(** Behaves exactly like the wrapped automaton until its physical clock
+    reaches [phys], then ignores every interrupt (crash failure). *)
+
+val receive_omission :
+  rng:Csync_sim.Rng.t -> drop_probability:float -> ('s, 'm) Automaton.t -> ('s, 'm) Automaton.t
+(** Drops each incoming ordinary message independently with the given
+    probability (START and TIMER are never dropped, so the automaton's own
+    schedule survives). *)
+
+val send_omission :
+  rng:Csync_sim.Rng.t -> drop_probability:float -> ('s, 'm) Automaton.t -> ('s, 'm) Automaton.t
+(** Suppresses each outgoing Send (and each Broadcast, wholesale)
+    independently with the given probability.  Strategies that need
+    per-recipient drops should emit Sends (see {!broadcast_to_sends}). *)
+
+val broadcast_to_sends : n:int -> 'm Automaton.action -> 'm Automaton.action list
+(** Expand a [Broadcast] into point-to-point [Send]s (identity on other
+    actions).  Useful for writing two-faced strategies. *)

@@ -1,0 +1,101 @@
+module Params = Csync_core.Params
+module Maintenance = Csync_core.Maintenance
+module Rng = Csync_sim.Rng
+
+type node_report = {
+  pid : int;
+  injected_offset : float;
+  injected_rate : float;
+  final_corr : float;
+  rounds : int;
+  sent : int;
+  received : int;
+}
+
+type report = {
+  nodes : node_report list;
+  initial_skew : float;
+  final_skew : float;
+  duration : float;
+}
+
+let run_maintenance ?(base_port = 17_400) ?(seed = 1) ~(params : Params.t)
+    ~duration ?(stagger = 0.) () =
+  let n = params.Params.n in
+  let rng = Rng.create seed in
+  let epoch = Unix.gettimeofday () +. 0.05 in
+  let offsets =
+    Array.init n (fun pid ->
+        if pid = 0 then 0.
+        else Rng.uniform rng ~lo:0. ~hi:(params.Params.beta *. 0.9))
+  in
+  let rates =
+    Array.init n (fun _ ->
+        Rng.uniform rng
+          ~lo:(1. /. (1. +. params.Params.rho))
+          ~hi:(1. +. params.Params.rho))
+  in
+  let peers = List.init n (fun pid -> (pid, base_port + pid)) in
+  let cfg = Maintenance.config ~stagger params in
+  let nodes =
+    Array.init n (fun pid ->
+        let clock =
+          Wall_clock.create ~epoch ~offset:(params.Params.t0 +. offsets.(pid))
+            ~rate:rates.(pid) ()
+        in
+        let node, reader =
+          Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
+            ~automaton:(Maintenance.automaton ~self_hint:pid cfg)
+            ()
+        in
+        (node, reader, clock))
+  in
+  let until = epoch +. duration in
+  let threads =
+    Array.map
+      (fun (node, _, clock) ->
+        Thread.create
+          (fun () ->
+            (* START when the node's own clock reads T0, per A4. *)
+            let start_at = Wall_clock.wall_of clock params.Params.t0 in
+            Node.run node ~start_at ~until)
+          ())
+      nodes
+  in
+  Array.iter Thread.join threads;
+  let wall_end = Unix.gettimeofday () in
+  let reports =
+    Array.to_list
+      (Array.mapi
+         (fun pid (node, reader, clock) ->
+           let state = reader () in
+           ignore clock;
+           {
+             pid;
+             injected_offset = offsets.(pid);
+             injected_rate = rates.(pid);
+             final_corr = Maintenance.corr state;
+             rounds = Maintenance.rounds_completed state;
+             sent = Node.messages_sent node;
+             received = Node.messages_received node;
+           })
+         nodes)
+  in
+  (* Local time of node p at wall w: offset_p + rate_p (w - epoch) + corr_p
+     (+ wall itself, common to everyone).  Spread over p is the skew. *)
+  let local_bias r =
+    r.injected_offset
+    +. ((r.injected_rate -. 1.) *. (wall_end -. epoch))
+    +. r.final_corr
+  in
+  let biases = List.map local_bias reports in
+  let spread l =
+    List.fold_left Float.max (List.hd l) l
+    -. List.fold_left Float.min (List.hd l) l
+  in
+  {
+    nodes = reports;
+    initial_skew = spread (Array.to_list offsets);
+    final_skew = spread biases;
+    duration;
+  }

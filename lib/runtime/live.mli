@@ -1,0 +1,40 @@
+(** Orchestration of a live multi-node run on localhost UDP - the
+    repository's counterpart of the paper's AT&T Bell Labs deployment
+    (Section 9.3).
+
+    Each node runs in its own thread with an injected clock offset and
+    rate; because the injections are known, the true synchronized skew can
+    be computed exactly after the run: node p's local time exceeds wall
+    time by offset_p + rate-drift + CORR_p, so the final skew is the
+    spread of those quantities. *)
+
+type node_report = {
+  pid : int;
+  injected_offset : float;  (** clock offset vs wall time at epoch *)
+  injected_rate : float;
+  final_corr : float;
+  rounds : int;
+  sent : int;
+  received : int;
+}
+
+type report = {
+  nodes : node_report list;
+  initial_skew : float;  (** spread of injected offsets *)
+  final_skew : float;
+      (** spread of (offset + corr) - the synchronized local times' spread
+          at the end of the run (rate drift over the run included) *)
+  duration : float;
+}
+
+val run_maintenance :
+  ?base_port:int ->
+  ?seed:int ->
+  params:Csync_core.Params.t ->
+  duration:float ->
+  ?stagger:float ->
+  unit ->
+  report
+(** Launch [params.n] maintenance nodes (all honest) on consecutive UDP
+    ports, with initial offsets spread over [0, beta] and rates inside the
+    rho-band, run for [duration] wall seconds, and report.  Blocking. *)

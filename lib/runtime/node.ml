@@ -1,0 +1,117 @@
+module Automaton = Csync_process.Automaton
+
+type packet = { src : int; value : float }
+
+type t = {
+  self : int;
+  socket : Unix.file_descr;
+  peer_addr : Unix.sockaddr array;
+  clock : Wall_clock.t;
+  handle : phys:float -> float Automaton.interrupt -> float Automaton.action list;
+  corr : unit -> float;
+  mutable timers : (float * float) list; (* (wall deadline, tag), sorted *)
+  mutable sent : int;
+  mutable received : int;
+  buf : Bytes.t;
+}
+
+let localhost = Unix.inet_addr_loopback
+
+let create (type s) ~self ~port ~peers ~clock
+    ~(automaton : (s, float) Automaton.t) () =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (Unix.ADDR_INET (localhost, port));
+  let max_pid = List.fold_left (fun acc (pid, _) -> max acc pid) 0 peers in
+  let peer_addr = Array.make (max_pid + 1) (Unix.ADDR_INET (localhost, port)) in
+  List.iter
+    (fun (pid, p) -> peer_addr.(pid) <- Unix.ADDR_INET (localhost, p))
+    peers;
+  let state = ref automaton.Automaton.initial in
+  let handle ~phys interrupt =
+    let s, actions = automaton.Automaton.handle ~self ~phys interrupt !state in
+    state := s;
+    actions
+  in
+  let corr () = automaton.Automaton.corr !state in
+  ( {
+      self;
+      socket;
+      peer_addr;
+      clock;
+      handle;
+      corr;
+      timers = [];
+      sent = 0;
+      received = 0;
+      buf = Bytes.create 256;
+    },
+    fun () -> !state )
+
+let send t ~dst value =
+  let payload = Marshal.to_bytes { src = t.self; value } [] in
+  ignore
+    (Unix.sendto t.socket payload 0 (Bytes.length payload) [] t.peer_addr.(dst));
+  t.sent <- t.sent + 1
+
+let add_timer t ~wall ~tag =
+  if wall > Unix.gettimeofday () then
+    t.timers <-
+      List.sort (fun (a, _) (b, _) -> Float.compare a b) ((wall, tag) :: t.timers)
+
+let apply_action t action =
+  match action with
+  | Automaton.Send (dst, v) -> send t ~dst v
+  | Automaton.Broadcast v ->
+    Array.iteri (fun dst _ -> send t ~dst v) t.peer_addr
+  | Automaton.Set_timer_logical v ->
+    let phys_target = v -. t.corr () in
+    add_timer t ~wall:(Wall_clock.wall_of t.clock phys_target) ~tag:v
+  | Automaton.Set_timer_phys v ->
+    add_timer t ~wall:(Wall_clock.wall_of t.clock v) ~tag:v
+
+let deliver t interrupt =
+  let phys = Wall_clock.now t.clock in
+  List.iter (apply_action t) (t.handle ~phys interrupt)
+
+let run t ~start_at ~until =
+  let started = ref false in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now >= until then ()
+    else begin
+      if (not !started) && now >= start_at then begin
+        started := true;
+        deliver t Automaton.Start
+      end;
+      (* Fire due timers. *)
+      (match t.timers with
+       | (wall, tag) :: rest when wall <= now ->
+         t.timers <- rest;
+         deliver t (Automaton.Timer tag)
+       | _ -> ());
+      (* Wait for a datagram until the next deadline. *)
+      let next_deadline =
+        List.fold_left
+          (fun acc (w, _) -> Float.min acc w)
+          (if !started then until else start_at)
+          t.timers
+      in
+      let timeout = Float.max 0.0005 (Float.min 0.02 (next_deadline -. now)) in
+      let readable, _, _ = Unix.select [ t.socket ] [] [] timeout in
+      if readable <> [] then begin
+        let len, _ = Unix.recvfrom t.socket t.buf 0 (Bytes.length t.buf) [] in
+        if len > 0 then begin
+          let packet : packet = Marshal.from_bytes t.buf 0 in
+          t.received <- t.received + 1;
+          deliver t (Automaton.Message (packet.src, packet.value))
+        end
+      end;
+      loop ()
+    end
+  in
+  Fun.protect ~finally:(fun () -> Unix.close t.socket) loop
+
+let messages_sent t = t.sent
+
+let messages_received t = t.received

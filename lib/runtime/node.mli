@@ -1,0 +1,34 @@
+(** A live protocol node: one UDP socket, one wall-backed clock, one
+    automaton - the real-network counterpart of the simulator's cluster
+    slot.
+
+    The node runs the same automaton values as the simulator (the
+    algorithm code is shared verbatim); only the interrupt sources differ:
+    datagrams instead of buffered deliveries, wall-clock deadlines instead
+    of engine events.  Messages are float payloads tagged with the sender's
+    pid, the maintenance protocol's wire format.
+
+    Run one node per thread with {!run}; it returns when the wall-clock
+    deadline passes. *)
+
+type t
+
+val create :
+  self:int ->
+  port:int ->
+  peers:(int * int) list ->
+  clock:Wall_clock.t ->
+  automaton:('s, float) Csync_process.Automaton.t ->
+  unit ->
+  t * (unit -> 's)
+(** [peers] maps every pid (including self) to its UDP port on
+    localhost.  The state reader is safe to call after {!run} returns. *)
+
+val run : t -> start_at:float -> until:float -> unit
+(** Deliver START when the wall clock reaches [start_at], then serve
+    datagrams and timers until wall time [until].  Closes the socket on
+    return. *)
+
+val messages_sent : t -> int
+
+val messages_received : t -> int

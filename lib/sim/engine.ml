@@ -1,0 +1,51 @@
+type 'a t = { queue : 'a Event_queue.t; mutable now : float }
+
+let create ?(start_time = 0.) () = { queue = Event_queue.create (); now = start_time }
+
+let now t = t.now
+
+let schedule t ~time ?(prio = Event_queue.prio_message) payload =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.now);
+  Event_queue.add t.queue ~time ~prio payload
+
+let pending t = Event_queue.size t.queue
+
+let peek_time t = Event_queue.peek_time t.queue
+
+let next t =
+  match Event_queue.pop t.queue with
+  | None -> None
+  | Some (time, payload) ->
+    t.now <- time;
+    Some (time, payload)
+
+let step t ~handler =
+  match next t with
+  | None -> false
+  | Some (time, payload) ->
+    handler time payload;
+    true
+
+let run_until t ~until ~handler =
+  let rec loop () =
+    match peek_time t with
+    | Some time when time <= until ->
+      (match next t with
+       | Some (tm, payload) ->
+         handler tm payload;
+         loop ()
+       | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ();
+  if until > t.now then t.now <- until
+
+let drain t ~handler ~max_events =
+  let rec loop delivered =
+    if delivered >= max_events then delivered
+    else if step t ~handler then loop (delivered + 1)
+    else delivered
+  in
+  loop 0

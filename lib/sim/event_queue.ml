@@ -1,0 +1,30 @@
+type 'a entry = { time : float; prio : int; seq : int; payload : 'a }
+
+type 'a t = { heap : 'a entry Heap.t; mutable next_seq : int }
+
+let prio_message = 0
+
+let prio_timer = 1
+
+let cmp_entry a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.prio b.prio in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () = { heap = Heap.create ~cmp:cmp_entry; next_seq = 0 }
+
+let size q = Heap.size q.heap
+
+let is_empty q = Heap.is_empty q.heap
+
+let add q ~time ~prio payload =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.add: non-finite time";
+  let entry = { time; prio; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  Heap.push q.heap entry
+
+let peek_time q = Option.map (fun e -> e.time) (Heap.peek q.heap)
+
+let pop q = Option.map (fun e -> (e.time, e.payload)) (Heap.pop q.heap)

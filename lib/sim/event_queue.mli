@@ -1,0 +1,34 @@
+(** Time-ordered event queue with deterministic tie-breaking.
+
+    Events are ordered by (time, priority class, insertion sequence).  The
+    priority class implements property 4 of the paper's execution model
+    (Section 2.3): all TIMER messages received by a process at real time [t]
+    are ordered {e after} any non-TIMER messages arriving at the same [t]
+    ("messages that arrive at the same time as a timer is due to go off get
+    in just under the wire").  Schedule ordinary and START messages with
+    {!prio_message} and timers with {!prio_timer}. *)
+
+type 'a t
+
+val prio_message : int
+(** Priority class for ordinary and START messages (delivered first). *)
+
+val prio_timer : int
+(** Priority class for TIMER messages (delivered after messages at equal
+    time). *)
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> time:float -> prio:int -> 'a -> unit
+(** @raise Invalid_argument if [time] is not finite. *)
+
+val peek_time : 'a t -> float option
+(** Earliest scheduled time, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event (breaking ties by priority class,
+    then insertion order). *)

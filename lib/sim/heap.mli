@@ -1,0 +1,28 @@
+(** Imperative binary min-heap over an arbitrary element type.
+
+    The ordering is supplied at creation time.  Used by {!Event_queue} as the
+    core of the discrete-event scheduler; exposed separately because the
+    baselines and tests also need a priority queue. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element, or [None] if empty. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: the heap contents in ascending order. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every simulation run is a pure function of its seed: the same seed always
+    produces the same stream, independent of platform and of OCaml's global
+    [Random] state.  [split] derives an independent stream, so concurrent
+    components (per-link delays, per-process fault strategies, clock drift
+    profiles) can draw without perturbing each other's sequences. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed. *)
+
+val of_int64 : int64 -> t
+
+val copy : t -> t
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's subsequent
+    draws.  Advances the parent once. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi).  @raise Invalid_argument if [lo > hi]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n).  @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

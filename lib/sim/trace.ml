@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  entries : (float * string) option array;
+  mutable next : int;
+  mutable total : int;
+  mutable enabled : bool;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: nonpositive capacity";
+  { capacity; entries = Array.make capacity None; next = 0; total = 0; enabled = false }
+
+let enabled t = t.enabled
+
+let set_enabled t flag = t.enabled <- flag
+
+let record t ~time msg =
+  if t.enabled then begin
+    t.entries.(t.next) <- Some (time, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    t.total <- t.total + 1
+  end
+
+let recordf t ~time fmt =
+  if t.enabled then Format.kasprintf (fun msg -> record t ~time msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let length t = min t.total t.capacity
+
+let total t = t.total
+
+let to_list t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.entries.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.entries 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let pp ppf t =
+  List.iter (fun (time, msg) -> Format.fprintf ppf "[%12.6f] %s@." time msg) (to_list t)

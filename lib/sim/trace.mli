@@ -1,0 +1,34 @@
+(** Lightweight bounded trace recorder for simulation debugging.
+
+    Keeps the most recent [capacity] entries in a ring buffer so that long
+    runs stay O(1) in memory.  Tracing is off by default; experiments enable
+    it when diagnosing a scenario. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 entries. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+
+val record : t -> time:float -> string -> unit
+(** No-op when disabled. *)
+
+val recordf :
+  t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is not built when tracing is disabled. *)
+
+val length : t -> int
+(** Number of retained entries (<= capacity). *)
+
+val total : t -> int
+(** Number of entries ever recorded (including evicted ones). *)
+
+val to_list : t -> (float * string) list
+(** Oldest retained entry first. *)
+
+val clear : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(* Shared test utilities. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_float_tol tol = Alcotest.(check (float tol))
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let check_raises_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+
+let qcheck ?(count = 200) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Standard small parameter set used across algorithm tests. *)
+let params () =
+  Csync_core.Params.make_exn ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4
+    ~beta:4.5e-4 ~big_p:0.5 ()
+
+(* Substring search (no external deps). *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    go 0
+  end

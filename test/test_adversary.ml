@@ -1,0 +1,202 @@
+(* Tests for the Byzantine strategies: cluster-level checks that each
+   attacker produces its characteristic traffic pattern. *)
+
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Hw = Csync_clock.Hardware_clock
+module Drift = Csync_clock.Drift
+module Delay = Csync_net.Delay
+module Params = Csync_core.Params
+module Adversary = Csync_core.Adversary
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+(* Run one attacker against n-1 recorder processes for [horizon] seconds;
+   returns per-recorder logs of (arrival phys, sender, value). *)
+let observe ~horizon attacker_proc =
+  let n = p.Params.n in
+  let recorder () =
+    {
+      Automaton.name = "recorder";
+      initial = [];
+      handle =
+        (fun ~self:_ ~phys interrupt log ->
+          match interrupt with
+          | Automaton.Message (src, v) -> ((phys, src, v) :: log, [])
+          | _ -> (log, []));
+      corr = (fun _ -> 0.);
+    }
+  in
+  let readers = Array.make n (fun () -> []) in
+  let procs =
+    Array.init n (fun pid ->
+        if pid = n - 1 then attacker_proc
+        else begin
+          let proc, reader = Cluster.make_proc (recorder ()) in
+          readers.(pid) <- reader;
+          proc
+        end)
+  in
+  let clocks = Array.init n (fun _ -> Hw.create Drift.perfect) in
+  let cluster =
+    Cluster.create ~clocks ~delay:(Delay.constant p.Params.delta) ~procs ()
+  in
+  for pid = 0 to n - 1 do
+    Cluster.schedule_start cluster ~pid ~time:0.
+  done;
+  Cluster.run_until cluster horizon;
+  Array.map (fun r -> List.rev (r ())) (Array.sub readers 0 (n - 1))
+
+let suite =
+  [
+    t "silent sends nothing" (fun () ->
+        let logs = observe ~horizon:2. (Adversary.silent ()) in
+        Array.iter (fun log -> check_int "no msgs" 0 (List.length log)) logs);
+    t "pull broadcasts each round at T^i + offset" (fun () ->
+        let offset = 0.01 in
+        let logs = observe ~horizon:1.2 (Adversary.pull ~params:p ~offset) in
+        (* Rounds 0 (t=0.01), 1 (t=0.51), 2 (t=1.01): three broadcasts. *)
+        Array.iter
+          (fun log ->
+            check_int "three rounds" 3 (List.length log);
+            List.iteri
+              (fun i (phys, _, v) ->
+                let t_i = Params.round_start p i in
+                check_float_tol 1e-9 "value is T^i" t_i v;
+                check_float_tol 1e-9 "arrival = T^i + offset + delta"
+                  (t_i +. offset +. p.Params.delta)
+                  phys)
+              log)
+          logs);
+    t "lying_value broadcasts wrong values on schedule" (fun () ->
+        let logs =
+          observe ~horizon:0.4 (Adversary.lying_value ~params:p ~value_offset:7.)
+        in
+        (* Round 0 only fires if its timer is strictly in the future; start
+           lands exactly at T0, so the first broadcast is round 1 - none
+           within 0.4 s.  Extend via round_start checks on a longer run. *)
+        let logs2 =
+          observe ~horizon:1.2 (Adversary.lying_value ~params:p ~value_offset:7.)
+        in
+        ignore logs;
+        Array.iter
+          (fun log ->
+            check_true "some lies" (List.length log >= 1);
+            List.iter
+              (fun (_, _, v) ->
+                check_true "off by 7" (Float.abs (Float.rem (v -. 7.) p.Params.big_p) < 1e-6))
+              log)
+          logs2);
+    t "two_faced sends early to low pids, late to high pids" (fun () ->
+        let spread = 0.005 in
+        let logs =
+          observe ~horizon:1.2 (Adversary.two_faced ~params:p ~spread ~split:3)
+        in
+        Array.iteri
+          (fun pid log ->
+            check_true "got messages" (List.length log >= 1);
+            List.iter
+              (fun (phys, _, v) ->
+                let expected =
+                  if pid < 3 then v -. spread +. p.Params.delta
+                  else v +. spread +. p.Params.delta
+                in
+                check_float_tol 1e-9 "timing per face" expected phys)
+              log)
+          logs);
+    t "two_faced_late: early face, late face, and the round-0 cover" (fun () ->
+        (* offset_a < 0, so round 0's early slot is already past at start-up
+           and the attacker covers round 0 with one send to everyone at
+           min(offset_b, eps). *)
+        let logs =
+          observe ~horizon:1.2
+            (Adversary.two_faced_late ~params:p ~offset_a:(-0.002) ~offset_b:0.004
+               ~split:3)
+        in
+        Array.iteri
+          (fun pid log ->
+            check_true "got messages" (List.length log >= 2);
+            List.iter
+              (fun (phys, _, v) ->
+                let off = phys -. v -. p.Params.delta in
+                if v = 0. then check_float_tol 1e-9 "cover" p.Params.eps off
+                else if pid < 3 then check_float_tol 1e-9 "A early" (-0.002) off
+                else check_float_tol 1e-9 "B late" 0.004 off)
+              log)
+          logs);
+    t "two_faced_late validates offsets" (fun () ->
+        check_raises_invalid "order" (fun () ->
+            ignore (Adversary.two_faced_late ~params:p ~offset_a:0.1 ~offset_b:0.1 ~split:3));
+        check_raises_invalid "sign" (fun () ->
+            ignore
+              (Adversary.two_faced_late ~params:p ~offset_a:(-0.2) ~offset_b:(-0.1)
+                 ~split:3)));
+    t "flood sends the configured number of copies" (fun () ->
+        let logs = observe ~horizon:1.2 (Adversary.flood ~params:p ~copies:4) in
+        Array.iter
+          (fun log ->
+            (* Count copies of the round-1 value. *)
+            let round1 = List.filter (fun (_, _, v) -> v = Params.round_start p 1) log in
+            check_int "four copies" 4 (List.length round1))
+          logs;
+        check_raises_invalid "copies" (fun () ->
+            ignore (Adversary.flood ~params:p ~copies:0)));
+    t "random_jitter stays within magnitude" (fun () ->
+        let rng = Csync_sim.Rng.create 3 in
+        let logs =
+          observe ~horizon:2.2 (Adversary.random_jitter ~params:p ~rng ~magnitude:0.01)
+        in
+        Array.iter
+          (fun log ->
+            check_true "fired" (List.length log >= 2);
+            List.iter
+              (fun (phys, _, v) ->
+                let off = phys -. v -. p.Params.delta in
+                check_true "bounded jitter" (Float.abs off <= 0.0101))
+              log)
+          logs);
+    t "adaptive_two_faced tracks the observed spread" (fun () ->
+        (* Feed the attacker's transition function directly: round 5's honest
+           messages arrive spread over 6 ms; the next early send must use
+           roughly that spread. *)
+        let proc =
+          Adversary.adaptive_two_faced ~params:p ~split:3 ~faulty_from:6
+        in
+        let (Cluster.Proc (auto, state)) = proc in
+        let step ~phys i =
+          let s, actions = auto.Automaton.handle ~self:6 ~phys i !state in
+          state := s;
+          actions
+        in
+        (* Start just before round 5. *)
+        let t5 = Params.round_start p 5 in
+        ignore (step ~phys:(t5 -. 0.01) Automaton.Start);
+        (* Its Early timer for round 5 fires; it then observes round 5. *)
+        ignore (step ~phys:(t5 -. 2.25e-4) (Automaton.Timer 0.));
+        ignore (step ~phys:(t5 +. 2.25e-4) (Automaton.Timer 0.));
+        (* round 5 honest arrivals spread 6 ms *)
+        ignore (step ~phys:(t5 +. 0.001) (Automaton.Message (0, t5)));
+        ignore (step ~phys:(t5 +. 0.007) (Automaton.Message (1, t5)));
+        (* Early timer for round 6 fires at the old slot; it must re-arm for
+           the freshly measured (larger is impossible; equal or smaller)
+           spread - here 6 ms, so it sends immediately at the old slot or
+           re-arms.  Drive until it produces sends and check the spacing. *)
+        let t6 = Params.round_start p 6 in
+        let actions = step ~phys:(t6 -. 0.003) (Automaton.Timer 0.) in
+        let sends =
+          List.filter (function Automaton.Send _ -> true | _ -> false) actions
+        in
+        check_true "sends to group A now (spread grew to 6ms)"
+          (List.length sends = 3));
+    t "messages from colluders are ignored when measuring" (fun () ->
+        let proc = Adversary.adaptive_two_faced ~params:p ~split:3 ~faulty_from:5 in
+        let (Cluster.Proc (auto, state)) = proc in
+        let s, _ = auto.Automaton.handle ~self:6 ~phys:0.4 (Automaton.Message (5, 0.5)) !state in
+        state := s;
+        (* No way to read the internals directly; absence of crash and of
+           actions is the observable here. *)
+        check_true "no reaction" true);
+  ]

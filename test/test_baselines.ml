@@ -1,0 +1,262 @@
+(* Tests for the Section 10 baseline algorithms. *)
+
+module Automaton = Csync_process.Automaton
+module Params = Csync_core.Params
+module B = Csync_baselines
+module Signed = Csync_net.Signed
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+let lm_tests =
+  [
+    t "egocentric average keeps close readings" (fun () ->
+        let est = [| 0.1; -0.1; 0.05; 0.; 0.; 0.; 0.05 |] in
+        check_float_tol 1e-12 "mean of all" (0.1 /. 7.)
+          (B.Lm_cnv.egocentric_average ~threshold:1. ~f:2 est));
+    t "egocentric average zeroes wild readings" (fun () ->
+        let est = [| 100.; -50.; 0.05; 0.; 0.; 0.; 0.05 |] in
+        check_float_tol 1e-12 "outliers replaced by 0" (0.1 /. 7.)
+          (B.Lm_cnv.egocentric_average ~threshold:1. ~f:2 est));
+    t "egocentric average of sentinels is 0" (fun () ->
+        let est = Array.make 7 B.Convergence_round.est_sentinel in
+        check_float "zero" 0. (B.Lm_cnv.egocentric_average ~threshold:1. ~f:2 est));
+  ]
+
+let ms_tests =
+  [
+    t "accepted_mean keeps corroborated readings" (fun () ->
+        (* n = 7, f = 2: a value needs support from >= 5 entries. *)
+        let est = [| 0.1; 0.1; 0.1; 0.1; 0.1; 50.; -50. |] in
+        check_float_tol 1e-12 "mean of the cluster" 0.1
+          (B.Mahaney_schneider.accepted_mean ~tolerance:0.5 ~f:2 est));
+    t "accepted_mean is 0 when nothing qualifies" (fun () ->
+        let est = [| 0.; 10.; 20.; 30.; 40.; 50.; 60. |] in
+        check_float "none" 0. (B.Mahaney_schneider.accepted_mean ~tolerance:0.5 ~f:2 est));
+    t "an isolated pair is rejected" (fun () ->
+        let est = [| 0.; 0.; 0.; 0.; 0.; 7.; 7. |] in
+        check_float_tol 1e-12 "pair dropped" 0.
+          (B.Mahaney_schneider.accepted_mean ~tolerance:0.5 ~f:2 est));
+  ]
+
+(* Drive the ST transition function directly. *)
+let st_tests =
+  let cfg = B.Srikanth_toueg.config ~params:p () in
+  let auto = B.Srikanth_toueg.automaton ~self_hint:0 cfg in
+  let step ~phys i s = auto.Automaton.handle ~self:0 ~phys i s in
+  let t1 = p.Params.t0 +. p.Params.big_p in
+  [
+    t "start arms the round-1 timer" (fun () ->
+        let _, actions = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        match actions with
+        | [ Automaton.Set_timer_logical v ] -> check_float "T1" t1 v
+        | _ -> Alcotest.fail "expected timer");
+    t "own timer announces the round" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let _, actions = step ~phys:t1 (Automaton.Timer t1) s in
+        match actions with
+        | [ Automaton.Broadcast 1 ] -> ()
+        | _ -> Alcotest.fail "expected (round 1)");
+    t "stale timers do not announce" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let _, actions = step ~phys:0.1 (Automaton.Timer 0.09) s in
+        check_true "silent" (actions = []));
+    t "f+1 distinct senders trigger a relay" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let s, a1 = step ~phys:0.49 (Automaton.Message (1, 1)) s in
+        let s, a2 = step ~phys:0.49 (Automaton.Message (2, 1)) s in
+        check_true "quiet below f+1" (a1 = [] && a2 = []);
+        let _, a3 = step ~phys:0.49 (Automaton.Message (3, 1)) s in
+        check_true "relays at f+1"
+          (List.exists (function Automaton.Broadcast 1 -> true | _ -> false) a3));
+    t "duplicate senders do not count" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let s, _ = step ~phys:0.49 (Automaton.Message (1, 1)) s in
+        let s, _ = step ~phys:0.49 (Automaton.Message (1, 1)) s in
+        let _, a = step ~phys:0.49 (Automaton.Message (1, 1)) s in
+        check_true "no relay" (a = []));
+    t "2f+1 distinct senders accept: clock set to T_k + delta" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let feed s q = fst (step ~phys:0.4999 (Automaton.Message (q, 1)) s) in
+        let s = List.fold_left feed s [ 1; 2; 3; 4 ] in
+        let s, actions = step ~phys:0.4999 (Automaton.Message (5, 1)) s in
+        check_int "accepted" 1 (B.Srikanth_toueg.rounds_accepted s);
+        check_float_tol 1e-9 "corr = T1 + delta - local"
+          (t1 +. p.Params.delta -. 0.4999)
+          (B.Srikanth_toueg.corr s);
+        check_true "timer for next round"
+          (List.exists
+             (function Automaton.Set_timer_logical _ -> true | _ -> false)
+             actions);
+        match B.Srikanth_toueg.history s with
+        | [ r ] ->
+          check_int "senders heard" 5 r.B.Srikanth_toueg.senders_heard;
+          check_int "round" 1 r.B.Srikanth_toueg.round
+        | _ -> Alcotest.fail "one record");
+    t "old-round messages ignored after accept" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let feed s q = fst (step ~phys:0.4999 (Automaton.Message (q, 1)) s) in
+        let s = List.fold_left feed s [ 1; 2; 3; 4; 5 ] in
+        let _, a = step ~phys:0.5 (Automaton.Message (6, 1)) s in
+        check_true "ignored" (a = []));
+  ]
+
+let hssd_tests =
+  let cfg = B.Hssd.config ~params:p () in
+  let auto = B.Hssd.automaton ~self_hint:0 cfg in
+  let step ~phys i s = auto.Automaton.handle ~self:0 ~phys i s in
+  let t1 = p.Params.t0 +. p.Params.big_p in
+  [
+    t "own timer starts the round, signs and broadcasts" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let s, actions = step ~phys:t1 (Automaton.Timer t1) s in
+        check_int "accepted" 1 (B.Hssd.rounds_accepted s);
+        match actions with
+        | [ Automaton.Broadcast signed; Automaton.Set_timer_logical _ ] ->
+          check_int "value" 1 (Signed.value signed);
+          check_int "origin is self" 0 (Signed.origin signed)
+        | _ -> Alcotest.fail "expected signed broadcast");
+    t "valid signed message accepted: clock jumps to T_k + s(delta+eps)" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let msg = Signed.sign ~signer:3 1 in
+        let arrival = t1 -. 2e-4 (* slightly before our own clock reaches T1 *) in
+        let s, actions = step ~phys:arrival (Automaton.Message (3, msg)) s in
+        check_int "accepted" 1 (B.Hssd.rounds_accepted s);
+        check_float_tol 1e-9 "corr"
+          (t1 +. p.Params.delta +. p.Params.eps -. arrival)
+          (B.Hssd.corr s);
+        check_true "countersigned relay"
+          (List.exists
+             (function
+               | Automaton.Broadcast m -> Signed.chain m = [ 3; 0 ]
+               | _ -> false)
+             actions));
+    t "rejects a too-early signed message" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let msg = Signed.sign ~signer:3 1 in
+        let _, actions = step ~phys:0.1 (Automaton.Message (3, msg)) s in
+        check_true "ignored" (actions = []));
+    t "rejects duplicate-signer chains" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let msg = Signed.countersign ~signer:3 (Signed.sign ~signer:3 1) in
+        let _, actions = step ~phys:(t1 -. 2e-4) (Automaton.Message (3, msg)) s in
+        check_true "ignored" (actions = []));
+    t "rejects chains already bearing our signature" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let msg = Signed.countersign ~signer:0 (Signed.sign ~signer:3 1) in
+        let _, actions = step ~phys:(t1 -. 2e-4) (Automaton.Message (3, msg)) s in
+        check_true "ignored" (actions = []));
+    t "rejects wrong-round values" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let msg = Signed.sign ~signer:3 7 in
+        let _, actions = step ~phys:(t1 -. 2e-4) (Automaton.Message (3, msg)) s in
+        check_true "ignored" (actions = []));
+  ]
+
+let marzullo_tests =
+  let cfg = B.Marzullo.config ~params:p () in
+  let auto = B.Marzullo.automaton ~self_hint:0 cfg in
+  let step ~phys i s = auto.Automaton.handle ~self:0 ~phys i s in
+  [
+    t "best_interval: textbook example" (fun () ->
+        (* Marzullo's classic: [8,12] [11,13] [14,15] -> best is [11,12]
+           with 2 sources. *)
+        let count, (lo, hi) =
+          B.Marzullo.best_interval [ (8., 12.); (11., 13.); (14., 15.) ]
+        in
+        check_int "count" 2 count;
+        check_float "lo" 11. lo;
+        check_float "hi" 12. hi);
+    t "best_interval: all agree" (fun () ->
+        let count, (lo, hi) =
+          B.Marzullo.best_interval [ (0., 10.); (5., 15.); (9., 20.) ]
+        in
+        check_int "count" 3 count;
+        check_float "lo" 9. lo;
+        check_float "hi" 10. hi);
+    t "best_interval: disjoint picks widest" (fun () ->
+        let count, (lo, hi) =
+          B.Marzullo.best_interval [ (0., 1.); (5., 9.) ]
+        in
+        check_int "count" 1 count;
+        check_float "lo" 5. lo;
+        check_float "hi" 9. hi);
+    t "best_interval: touching endpoints count as overlap" (fun () ->
+        let count, _ = B.Marzullo.best_interval [ (0., 5.); (5., 9.) ] in
+        check_int "count" 2 count);
+    t "best_interval validates" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (B.Marzullo.best_interval []));
+        check_raises_invalid "inverted" (fun () ->
+            ignore (B.Marzullo.best_interval [ (2., 1.) ])));
+    qcheck ~name:"best_interval point is in `count` intervals"
+      QCheck2.Gen.(
+        list_size (int_range 1 12)
+          (map
+             (fun (a, b) -> (Float.min a b, Float.max a b))
+             (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.))))
+      (fun intervals ->
+        let count, (lo, hi) = B.Marzullo.best_interval intervals in
+        let mid = (lo +. hi) /. 2. in
+        let covering =
+          List.length (List.filter (fun (a, b) -> a <= mid && mid <= b) intervals)
+        in
+        covering = count);
+    t "protocol: confident liar is outvoted" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        (* 5 honest readings near zero offset, 2 liars far away with tiny
+           claimed error. *)
+        let feed s (q, v, e) =
+          fst (step ~phys:p.Params.delta (Automaton.Message (q, (v, e))) s)
+        in
+        let s =
+          List.fold_left feed s
+            [
+              (0, 0., 4.5e-4); (1, 1e-5, 4.5e-4); (2, -1e-5, 4.5e-4);
+              (3, 2e-5, 4.5e-4); (4, 0., 4.5e-4);
+              (5, 0.5, 1e-9); (6, -0.5, 1e-9);
+            ]
+        in
+        let s, _ = step ~phys:2e-3 (Automaton.Timer 0.) s in
+        (* Adjustment stays at the honest offset scale, not the liars'. *)
+        check_true "small adj" (Float.abs (B.Marzullo.corr s) < 1e-3);
+        check_true "error bounded" (B.Marzullo.error_bound s < 2e-3);
+        match B.Marzullo.history s with
+        | [ r ] -> check_true "support >= n-f-1" (r.B.Marzullo.support >= 4)
+        | _ -> Alcotest.fail "one record");
+    t "protocol: without support the clock holds and error grows" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        (* Only 2 mutually-incompatible readings arrive. *)
+        let feed s (q, v, e) =
+          fst (step ~phys:p.Params.delta (Automaton.Message (q, (v, e))) s)
+        in
+        let s = List.fold_left feed s [ (1, 0.5, 1e-9); (2, -0.5, 1e-9) ] in
+        let before_err = B.Marzullo.error_bound s in
+        let s, _ = step ~phys:2e-3 (Automaton.Timer 0.) s in
+        check_float "no adjustment" 0. (B.Marzullo.corr s);
+        check_true "error grew" (B.Marzullo.error_bound s > before_err));
+  ]
+
+let runner_tests =
+  [
+    t "all algorithms synchronize better than no algorithm" (fun () ->
+        let module R = Csync_harness.Runner_baseline in
+        let control =
+          R.run ~algo:R.Unsynchronized ~params:p ~seed:3 ~faults:R.No_faults
+            ~rounds:12
+        in
+        List.iter
+          (fun algo ->
+            let r = R.run ~algo ~params:p ~seed:3 ~faults:R.No_faults ~rounds:12 in
+            check_true
+              (R.algo_name algo ^ " beats control")
+              (r.R.steady_skew < control.R.steady_skew);
+            check_true
+              (R.algo_name algo ^ " completes rounds")
+              (r.R.rounds_completed >= 10))
+          [ R.Welch_lynch; R.Lm_cnv; R.Mahaney_schneider; R.Srikanth_toueg;
+            R.Marzullo ]);
+  ]
+
+let suite = lm_tests @ ms_tests @ st_tests @ hssd_tests @ marzullo_tests @ runner_tests

@@ -1,0 +1,160 @@
+(* Tests for the establishment-to-maintenance switchover (Section 9.2's
+   "two modes of operation") and the stale-timer robustness it relies on. *)
+
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Hw = Csync_clock.Hardware_clock
+module Drift = Csync_clock.Drift
+module Params = Csync_core.Params
+module Est = Csync_core.Establishment
+module Maint = Csync_core.Maintenance
+module Boot = Csync_core.Bootstrap
+module Rng = Csync_sim.Rng
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+let unit_tests =
+  [
+    t "config validation" (fun () ->
+        check_raises_invalid "round" (fun () ->
+            ignore
+              (Boot.config ~switch_round:0 ~est:(Est.config p)
+                 ~maint:(Maint.config p) ()));
+        check_raises_invalid "variants" (fun () ->
+            ignore
+              (Boot.config ~est:(Est.config p)
+                 ~maint:(Maint.config ~exchanges:2 p) ())));
+    t "switch_round_for_spread scales logarithmically" (fun () ->
+        let r10 = Boot.switch_round_for_spread p ~initial_spread:10. in
+        let r10k = Boot.switch_round_for_spread p ~initial_spread:10_000. in
+        check_true "more rounds for wider spread" (r10k > r10);
+        check_true "roughly +10 halvings" (r10k - r10 <= 12));
+    t "stale timers in maintenance Update phase are ignored" (fun () ->
+        (* The hazard the switchover exposed: an old timer must not trigger
+           an early (empty) update. *)
+        let cfg = Maint.config p in
+        let auto = Maint.automaton ~self_hint:0 cfg in
+        let s, _ =
+          auto.Automaton.handle ~self:0 ~phys:p.Params.t0 Automaton.Start
+            auto.Automaton.initial
+        in
+        check_true "in update phase" (Maint.current_phase s = Maint.Update);
+        let s', actions =
+          auto.Automaton.handle ~self:0 ~phys:(p.Params.t0 +. 1e-4)
+            (Automaton.Timer 0.123) s
+        in
+        check_true "ignored" (actions = []);
+        check_true "phase unchanged" (Maint.current_phase s' = Maint.Update);
+        check_int "no update happened" 0 (List.length (Maint.history s')));
+  ]
+
+(* End-to-end: arbitrary clocks -> establishment -> switch -> maintenance. *)
+let run_bootstrap ~seed ~spread =
+  let n = p.Params.n in
+  let switch_round = Boot.switch_round_for_spread p ~initial_spread:spread in
+  let rng = Rng.create seed in
+  let readers = Hashtbl.create n in
+  let procs =
+    Array.init n (fun pid ->
+        let cfg =
+          Boot.config ~switch_round ~est:(Est.config p) ~maint:(Maint.config p) ()
+        in
+        let proc, reader = Boot.create ~self:pid cfg in
+        Hashtbl.add readers pid reader;
+        proc)
+  in
+  let clocks =
+    Array.init n (fun pid ->
+        let v = if pid = 0 then 0. else Rng.uniform rng ~lo:0. ~hi:spread in
+        Hw.create ~t0:0. ~offset:v
+          (Drift.random ~rng ~rho:p.Params.rho ~segment_duration:0.3 ~horizon:60.))
+  in
+  let delay =
+    Csync_net.Delay.uniform ~delta:p.Params.delta ~eps:p.Params.eps
+      ~rng:(Rng.split rng)
+  in
+  let cluster = Cluster.create ~clocks ~delay ~procs () in
+  for pid = 0 to n - 1 do
+    Cluster.schedule_start cluster ~pid ~time:(0.001 +. (0.0001 *. float_of_int pid))
+  done;
+  Cluster.run_until cluster 5.0;
+  let states = List.init n (fun pid -> (Hashtbl.find readers pid) ()) in
+  let locals = List.init n (fun pid -> Cluster.local_time cluster pid) in
+  (states, locals)
+
+let rescue_tests =
+  [
+    t "grid rescue: f+1 identical Time values pull a straggler out" (fun () ->
+        let cfg = Boot.config ~switch_round:50 ~est:(Est.config p) ~maint:(Maint.config p) () in
+        let auto = Boot.automaton ~self_hint:0 cfg in
+        let s, _ =
+          auto.Automaton.handle ~self:0 ~phys:0. Automaton.Start
+            auto.Automaton.initial
+        in
+        check_true "establishing" (Boot.mode s = Boot.Establishing);
+        (* Identical grid values from f = 2 senders: not yet a quorum. *)
+        let feed s (q, v) =
+          fst (auto.Automaton.handle ~self:0 ~phys:1. (Automaton.Message (q, Est.Time v)) s)
+        in
+        let grid_v = 27.0 in
+        let s = feed s (1, grid_v) in
+        let s = feed s (2, grid_v) in
+        check_true "still establishing" (Boot.mode s = Boot.Establishing);
+        (* A third distinct sender completes the quorum. *)
+        let s = feed s (3, grid_v) in
+        check_true "rescuing" (Boot.mode s = Boot.Rescuing);
+        (* Distinct establishment Time values must never trigger it. *)
+        let auto2 = Boot.automaton ~self_hint:0 cfg in
+        let s2, _ =
+          auto2.Automaton.handle ~self:0 ~phys:0. Automaton.Start
+            auto2.Automaton.initial
+        in
+        let s2 = feed s2 (1, 10.0) in
+        let s2 = feed s2 (2, 10.1) in
+        let s2 = feed s2 (3, 10.2) in
+        check_true "no false rescue" (Boot.mode s2 = Boot.Establishing));
+  ]
+
+let e2e_tests =
+  [
+    t "cold boot from 50 s apart ends synchronized in maintenance mode" (fun () ->
+        let states, locals = run_bootstrap ~seed:4 ~spread:50. in
+        check_true "all switched"
+          (List.for_all (fun s -> Boot.mode s = Boot.Switched) states);
+        (* Everyone lands on the same maintenance grid; rescued stragglers
+           may join one round later than the quorum switchers. *)
+        let ks = List.filter_map Boot.maintenance_round_of states in
+        let distinct = List.sort_uniq Int.compare ks in
+        check_true "at most two adjacent grid rounds"
+          (List.length distinct <= 2
+           && List.nth distinct (List.length distinct - 1) - List.hd distinct <= 1);
+        (* Several maintenance rounds must have completed. *)
+        List.iter
+          (fun s ->
+            match Boot.maintenance_state s with
+            | Some m ->
+              check_true "progressed"
+                (Maint.rounds_completed m > List.hd (List.sort Int.compare ks) + 3)
+            | None -> Alcotest.fail "not in maintenance")
+          states;
+        let lo = List.fold_left Float.min (List.hd locals) locals in
+        let hi = List.fold_left Float.max (List.hd locals) locals in
+        check_true "skew within gamma" (hi -. lo <= Params.gamma p));
+    t "works across seeds" (fun () ->
+        List.iter
+          (fun seed ->
+            let states, locals = run_bootstrap ~seed ~spread:20. in
+            check_true "all switched"
+              (List.for_all (fun s -> Boot.mode s = Boot.Switched) states);
+            let lo = List.fold_left Float.min (List.hd locals) locals in
+            let hi = List.fold_left Float.max (List.hd locals) locals in
+            check_true
+              (Printf.sprintf "seed %d skew %g" seed (hi -. lo))
+              (hi -. lo <= Params.gamma p))
+          [ 1; 2; 3; 5; 8 ]);
+  ]
+
+let suite = unit_tests @ rescue_tests @ e2e_tests

@@ -1,0 +1,167 @@
+(* Tests for drift profiles, hardware clocks and logical-clock helpers -
+   including property tests of the rho-bound lemmas of Section 3.1. *)
+
+module Drift = Csync_clock.Drift
+module Hw = Csync_clock.Hardware_clock
+module Lc = Csync_clock.Logical_clock
+module Rng = Csync_sim.Rng
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let drift_tests =
+  [
+    t "perfect is rate 1" (fun () ->
+        check_true "bounds" (Drift.rate_bounds Drift.perfect = (1., 1.)));
+    t "fast and slow hit the rho band edges" (fun () ->
+        let rho = 1e-3 in
+        let lo, hi = Drift.rate_bounds (Drift.fast ~rho) in
+        check_float "fast" (1. +. rho) hi;
+        check_float "fast lo" (1. +. rho) lo;
+        let lo, _ = Drift.rate_bounds (Drift.slow ~rho) in
+        check_float "slow" (1. /. (1. +. rho)) lo);
+    t "rho-bounded checks" (fun () ->
+        check_true "fast ok" (Drift.is_rho_bounded ~rho:1e-3 (Drift.fast ~rho:1e-3));
+        check_true "too fast" (not (Drift.is_rho_bounded ~rho:1e-4 (Drift.fast ~rho:1e-3)));
+        check_true "perfect ok" (Drift.is_rho_bounded ~rho:0. Drift.perfect));
+    t "constant rejects nonpositive" (fun () ->
+        check_raises_invalid "rate" (fun () -> ignore (Drift.constant ~rate:0.)));
+    t "random stays in band" (fun () ->
+        let rng = Rng.create 5 in
+        for _ = 1 to 20 do
+          let p = Drift.random ~rng ~rho:1e-4 ~segment_duration:0.5 ~horizon:10. in
+          check_true "bounded" (Drift.is_rho_bounded ~rho:1e-4 p)
+        done);
+    t "oscillating stays in band and validates" (fun () ->
+        let p = Drift.oscillating ~rho:1e-4 ~period:1. ~steps_per_period:8 ~horizon:5. in
+        check_true "bounded" (Drift.is_rho_bounded ~rho:1e-4 p);
+        check_raises_invalid "steps" (fun () ->
+            ignore (Drift.oscillating ~rho:1e-4 ~period:1. ~steps_per_period:1 ~horizon:5.)));
+    t "alternating extremes" (fun () ->
+        let p = Drift.alternating ~rho:1e-4 ~segment_duration:1. ~horizon:4. in
+        let lo, hi = Drift.rate_bounds p in
+        check_float "lo" (1. /. 1.0001) lo;
+        check_float "hi" 1.0001 hi);
+  ]
+
+let gen_profile_and_times =
+  let open QCheck2.Gen in
+  let* seed = int_range 0 10_000 in
+  let* t1 = float_bound_inclusive 20. in
+  let* t2 = float_bound_inclusive 20. in
+  return (seed, Float.min t1 t2, Float.max t1 t2)
+
+let rho = 1e-4
+
+let make_clock seed =
+  let rng = Rng.create seed in
+  let profile = Drift.random ~rng ~rho ~segment_duration:0.7 ~horizon:25. in
+  Hw.create ~t0:0. ~offset:(Rng.uniform rng ~lo:(-5.) ~hi:5.) profile
+
+let hw_tests =
+  [
+    t "linear clock reads offset at t0" (fun () ->
+        let c = Hw.create ~t0:2. ~offset:10. Drift.perfect in
+        check_float "at t0" 12. (Hw.time c 2.);
+        check_float "later" 15. (Hw.time c 5.));
+    t "constant-rate clock arithmetic" (fun () ->
+        let c = Hw.create ~offset:0. (Drift.constant ~rate:2.) in
+        check_float "time" 6. (Hw.time c 3.);
+        check_float "inverse" 3. (Hw.inverse c 6.));
+    t "piecewise segments compose" (fun () ->
+        let c = Hw.create (Drift.Piecewise [ (1., 2.); (1., 0.5) ]) in
+        check_float "end of fast" 2. (Hw.time c 1.);
+        check_float "end of slow" 2.5 (Hw.time c 2.);
+        (* last rate extends *)
+        check_float "beyond" 3. (Hw.time c 3.));
+    t "extends backwards before t0" (fun () ->
+        let c = Hw.create ~t0:0. (Drift.constant ~rate:2.) in
+        check_float "before" (-2.) (Hw.time c (-1.)));
+    t "rate_at right-continuous" (fun () ->
+        let c = Hw.create (Drift.Piecewise [ (1., 2.); (1., 0.5) ]) in
+        check_float "seg0" 2. (Hw.rate_at c 0.5);
+        check_float "seg1" 0.5 (Hw.rate_at c 1.);
+        check_float "beyond" 0.5 (Hw.rate_at c 10.));
+    t "offset_at" (fun () ->
+        let c = Hw.create ~offset:3. Drift.perfect in
+        check_float "offset" 3. (Hw.offset_at c 7.));
+    t "rejects nonpositive durations and rates" (fun () ->
+        check_raises_invalid "duration" (fun () ->
+            ignore (Hw.create (Drift.Piecewise [ (0., 1.) ])));
+        check_raises_invalid "rate" (fun () ->
+            ignore (Hw.create (Drift.Piecewise [ (1., -1.) ]))));
+    qcheck ~name:"inverse is a right inverse of time" gen_profile_and_times
+      (fun (seed, t1, _) ->
+        let c = make_clock seed in
+        let v = Hw.time c t1 in
+        Float.abs (Hw.inverse c v -. t1) < 1e-6);
+    qcheck ~name:"time is monotone" gen_profile_and_times (fun (seed, t1, t2) ->
+        let c = make_clock seed in
+        t1 = t2 || Hw.time c t1 < Hw.time c t2);
+    qcheck ~name:"Lemma 1: elapsed clock time within rho band"
+      gen_profile_and_times (fun (seed, t1, t2) ->
+        let c = make_clock seed in
+        let dt = t2 -. t1 and dc = Hw.time c t2 -. Hw.time c t1 in
+        dc >= (dt /. (1. +. rho)) -. 1e-9 && dc <= (dt *. (1. +. rho)) +. 1e-9);
+    qcheck ~name:"Lemma 2a: |(C(t2)-t2)-(C(t1)-t1)| <= rho |t2-t1|"
+      gen_profile_and_times (fun (seed, t1, t2) ->
+        let c = make_clock seed in
+        Float.abs (Hw.time c t2 -. t2 -. (Hw.time c t1 -. t1))
+        <= (rho *. (t2 -. t1)) +. 1e-9);
+    qcheck ~name:"Lemma 2b: two clocks diverge at most 2 rho |t2-t1|"
+      gen_profile_and_times (fun (seed, t1, t2) ->
+        let c = make_clock seed and d = make_clock (seed + 1) in
+        let diff tm = Hw.time c tm -. Hw.time d tm in
+        Float.abs (diff t2 -. diff t1) <= (2. *. rho *. (t2 -. t1)) +. 1e-9);
+  ]
+
+let lemma3_tests =
+  [
+    qcheck ~count:300
+      ~name:"Lemma 3: close inverse clocks give close forward clocks"
+      gen_profile_and_times
+      (fun (seed, t1, t2) ->
+        ignore t1;
+        ignore t2;
+        (* Two clocks whose inverses agree within alpha on [T1, T2] must
+           have forward readings within (1+rho) alpha on the corresponding
+           real interval. *)
+        let c = make_clock seed and d = make_clock (seed + 7) in
+        let v1 = 10. and v2 = 30. in
+        let alpha =
+          let worst = ref 0. in
+          let steps = 50 in
+          for i = 0 to steps do
+            let v = v1 +. ((v2 -. v1) *. float_of_int i /. float_of_int steps) in
+            worst := Float.max !worst (Float.abs (Hw.inverse c v -. Hw.inverse d v))
+          done;
+          !worst +. 1e-9
+        in
+        let lo = Float.min (Hw.inverse c v1) (Hw.inverse d v1) in
+        let hi = Float.max (Hw.inverse c v2) (Hw.inverse d v2) in
+        let ok = ref true in
+        let steps = 50 in
+        for i = 0 to steps do
+          let t = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+          if t >= lo && t <= hi then
+            if Float.abs (Hw.time c t -. Hw.time d t) > ((1. +. rho) *. alpha) +. 1e-6
+            then ok := false
+        done;
+        !ok);
+  ]
+
+let logical_tests =
+  [
+    t "local_time adds corr" (fun () ->
+        let c = Hw.create ~offset:1. Drift.perfect in
+        check_float "local" 8.5 (Lc.local_time c ~corr:2.5 5.));
+    t "real_time_of_local inverts local_time" (fun () ->
+        let c = Hw.create ~offset:1. (Drift.constant ~rate:1.0001) in
+        let corr = 0.3 in
+        let v = Lc.local_time c ~corr 7. in
+        check_float_tol 1e-9 "roundtrip" 7. (Lc.real_time_of_local c ~corr v));
+    t "timer_phys_target" (fun () ->
+        check_float "target" 9.7 (Lc.timer_phys_target ~corr:0.3 10.));
+  ]
+
+let suite = drift_tests @ hw_tests @ lemma3_tests @ logical_tests

@@ -1,0 +1,145 @@
+(* Tests for the Section 9.2 establishment algorithm: transition-function
+   unit tests plus a small convergence run. *)
+
+module Automaton = Csync_process.Automaton
+module Params = Csync_core.Params
+module Est = Csync_core.Establishment
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+let cfg = Est.config ~initial_corr:0.2 p
+
+let auto = Est.automaton ~self_hint:0 cfg
+
+let step ?(phys = 0.) interrupt s = auto.Automaton.handle ~self:0 ~phys interrupt s
+
+let unit_tests =
+  [
+    t "intervals are positive and ordered" (fun () ->
+        check_true "first" (Est.first_interval p > 0.);
+        check_true "second" (Est.second_interval p > 0.);
+        check_true "first larger" (Est.first_interval p > Est.second_interval p));
+    t "start begins round 0: broadcast local time, set U timer" (fun () ->
+        let s, actions = step ~phys:1. Automaton.Start auto.Automaton.initial in
+        check_int "round 0" 0 (Est.rounds_completed s);
+        match actions with
+        | [ Automaton.Broadcast (Est.Time v); Automaton.Set_timer_logical u ] ->
+          check_float "broadcasts local time" 1.2 v;
+          check_float_tol 1e-12 "U" (1.2 +. Est.first_interval p) u
+        | _ -> Alcotest.fail "expected Time broadcast + timer");
+    t "a Time message wakes a sleeping process" (fun () ->
+        let s, actions =
+          step ~phys:1. (Automaton.Message (3, Est.Time 5.)) auto.Automaton.initial
+        in
+        check_int "round 0 started" 0 (Est.rounds_completed s);
+        check_true "broadcast happened"
+          (List.exists (function Automaton.Broadcast _ -> true | _ -> false) actions));
+    t "full round via READY counting" (fun () ->
+        (* Walk one process through a complete round by hand. *)
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let u = 0.2 +. Est.first_interval p in
+        (* Everyone's Time arrives reading exactly our local clock value at
+           arrival minus delta, so DIFF entries are all 0. *)
+        let s =
+          List.fold_left
+            (fun s q ->
+              let phys = 5e-4 +. (1e-5 *. float_of_int q) in
+              let local = phys +. 0.2 in
+              fst (step ~phys (Automaton.Message (q, Est.Time (local -. p.Params.delta))) s))
+            s [ 0; 1; 2; 3; 4; 5; 6 ]
+        in
+        (* U timer: adjustment computed (A = 0 here), V timer armed. *)
+        let s, actions = step ~phys:(u -. 0.2) (Automaton.Timer u) s in
+        let v = u +. Est.second_interval p in
+        (match actions with
+         | [ Automaton.Set_timer_logical v' ] -> check_float_tol 1e-12 "V" v v'
+         | _ -> Alcotest.fail "expected V timer");
+        (* V timer: broadcast READY. *)
+        let s, actions = step ~phys:(v -. 0.2) (Automaton.Timer v) s in
+        (match actions with
+         | [ Automaton.Broadcast Est.Ready ] -> ()
+         | _ -> Alcotest.fail "expected READY broadcast");
+        (* n - f = 5 READYs: apply A and begin round 1. *)
+        let s =
+          List.fold_left
+            (fun s q -> fst (step ~phys:(v -. 0.19) (Automaton.Message (q, Est.Ready)) s))
+            s [ 0; 1; 2; 3 ]
+        in
+        check_int "not yet" 0 (Est.rounds_completed s);
+        let s, actions = step ~phys:(v -. 0.19) (Automaton.Message (4, Est.Ready)) s in
+        check_int "round 1" 1 (Est.rounds_completed s);
+        check_float_tol 1e-9 "corr unchanged (A = 0)" 0.2 (Est.corr s);
+        check_true "new round broadcast"
+          (List.exists
+             (function Automaton.Broadcast (Est.Time _) -> true | _ -> false)
+             actions));
+    t "f+1 READYs inside the second interval trigger early READY" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let u = 0.2 +. Est.first_interval p in
+        let s, _ = step ~phys:(u -. 0.2) (Automaton.Timer u) s in
+        (* We are now inside the second interval (before V).  f + 1 = 3
+           READYs must cause an early READY broadcast. *)
+        let s, a1 = step ~phys:(u -. 0.2 +. 1e-5) (Automaton.Message (1, Est.Ready)) s in
+        let s, a2 = step ~phys:(u -. 0.2 +. 2e-5) (Automaton.Message (2, Est.Ready)) s in
+        check_true "quiet before threshold" (a1 = [] && a2 = []);
+        let s, a3 = step ~phys:(u -. 0.2 +. 3e-5) (Automaton.Message (3, Est.Ready)) s in
+        (match a3 with
+         | [ Automaton.Broadcast Est.Ready ] -> ()
+         | _ -> Alcotest.fail "expected early READY");
+        (* The V timer must then stay silent. *)
+        let v = u +. Est.second_interval p in
+        let _, a4 = step ~phys:(v -. 0.2) (Automaton.Timer v) s in
+        check_true "no duplicate READY" (a4 = []));
+    t "duplicate READY from the same process ignored" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let u = 0.2 +. Est.first_interval p in
+        let s, _ = step ~phys:(u -. 0.2) (Automaton.Timer u) s in
+        let s, _ = step ~phys:(u -. 0.19) (Automaton.Message (1, Est.Ready)) s in
+        let s, _ = step ~phys:(u -. 0.19) (Automaton.Message (1, Est.Ready)) s in
+        let _, a = step ~phys:(u -. 0.19) (Automaton.Message (1, Est.Ready)) s in
+        check_true "no early READY from one sender" (a = []));
+    t "stale timers are ignored" (fun () ->
+        let s, _ = step ~phys:0. Automaton.Start auto.Automaton.initial in
+        let _, actions = step ~phys:0.1 (Automaton.Timer 999.) s in
+        check_true "ignored" (actions = []));
+    t "history records round beginnings" (fun () ->
+        let s, _ = step ~phys:3. Automaton.Start auto.Automaton.initial in
+        match Est.history s with
+        | [ r ] ->
+          check_float "begin local" 3.2 r.Est.begin_local;
+          check_float "begin phys" 3. r.Est.begin_phys;
+          check_float "adjustment 0" 0. r.Est.adjustment
+        | _ -> Alcotest.fail "one record");
+  ]
+
+let convergence_tests =
+  [
+    t "converges from 10s apart (runner, no faults)" (fun () ->
+        let t0 =
+          Csync_harness.Runner_establishment.default ~seed:5 ~initial_spread:10. p
+        in
+        let r = Csync_harness.Runner_establishment.run { t0 with rounds = 12 } in
+        check_true "many rounds" (r.Csync_harness.Runner_establishment.rounds_completed > 5);
+        check_true "converged"
+          (r.Csync_harness.Runner_establishment.final_b < 1e-3));
+    t "halving under colluding two-faced faults" (fun () ->
+        let t0 =
+          Csync_harness.Runner_establishment.with_standard_faults
+            (Csync_harness.Runner_establishment.default ~seed:5 ~initial_spread:16. p)
+        in
+        let r = Csync_harness.Runner_establishment.run { t0 with rounds = 10 } in
+        (* Rounds 1..4 must show ratios near 0.5 (never better than 0.4). *)
+        let b = Array.of_list (List.map snd r.Csync_harness.Runner_establishment.b_series) in
+        check_true "enough rounds" (Array.length b > 5);
+        for i = 1 to 4 do
+          let ratio = b.(i) /. b.(i - 1) in
+          check_true
+            (Printf.sprintf "ratio at %d in [0.4, 0.56], got %f" i ratio)
+            (ratio >= 0.4 && ratio <= 0.56)
+        done);
+  ]
+
+let suite = unit_tests @ convergence_tests

@@ -1,0 +1,193 @@
+(* Tests for the experiment harness: sampling, environment construction,
+   scenario determinism and the registry plumbing. *)
+
+module Sampling = Csync_harness.Sampling
+module Env = Csync_harness.Env
+module Scenario = Csync_harness.Scenario
+module Registry = Csync_harness.Registry
+module Defaults = Csync_harness.Defaults
+module Params = Csync_core.Params
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+let sampling_tests =
+  [
+    t "grid endpoints and spacing" (fun () ->
+        let g = Sampling.grid ~from_time:1. ~to_time:3. ~count:5 in
+        Alcotest.(check (array (float 1e-12))) "grid" [| 1.; 1.5; 2.; 2.5; 3. |] g;
+        check_raises_invalid "count" (fun () ->
+            ignore (Sampling.grid ~from_time:0. ~to_time:1. ~count:1)));
+    t "observe must be nonempty" (fun () ->
+        let clocks = [| Csync_clock.Hardware_clock.create Csync_clock.Drift.perfect |] in
+        let proc, _ = Csync_process.Fault.silent () in
+        let cluster =
+          Csync_process.Cluster.create ~clocks
+            ~delay:(Csync_net.Delay.constant 1e-3) ~procs:[| proc |] ()
+        in
+        check_raises_invalid "empty" (fun () ->
+            ignore (Sampling.run ~cluster ~observe:[] ~times:[| 1. |])));
+    t "skew of identical silent clocks is zero" (fun () ->
+        let clocks =
+          Array.init 3 (fun _ -> Csync_clock.Hardware_clock.create Csync_clock.Drift.perfect)
+        in
+        let procs = Array.init 3 (fun _ -> fst (Csync_process.Fault.silent ())) in
+        let cluster =
+          Csync_process.Cluster.create ~clocks
+            ~delay:(Csync_net.Delay.constant 1e-3) ~procs ()
+        in
+        let s =
+          Sampling.run ~cluster ~observe:[ 0; 1; 2 ]
+            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11)
+        in
+        check_float "max skew" 0. (Sampling.max_skew s);
+        check_float "steady" 0. (Sampling.steady_skew s));
+    t "max_skew respects from_time" (fun () ->
+        let clocks =
+          [|
+            Csync_clock.Hardware_clock.create ~offset:1. Csync_clock.Drift.perfect;
+            Csync_clock.Hardware_clock.create Csync_clock.Drift.perfect;
+          |]
+        in
+        (* One clock 1 s ahead: constant skew 1 everywhere; from_time only
+           filters which samples count. *)
+        let procs = Array.init 2 (fun _ -> fst (Csync_process.Fault.silent ())) in
+        let cluster =
+          Csync_process.Cluster.create ~clocks
+            ~delay:(Csync_net.Delay.constant 1e-3) ~procs ()
+        in
+        let s =
+          Sampling.run ~cluster ~observe:[ 0; 1 ]
+            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11)
+        in
+        check_float "all" 1. (Sampling.max_skew s);
+        check_float "after end" 0. (Sampling.max_skew ~from_time:11. s));
+  ]
+
+let env_tests =
+  [
+    t "offsets span [0, spread] over nonfaulty pids" (fun () ->
+        let env =
+          Env.make ~params:p ~seed:1 ~clock_kind:Env.Drifting
+            ~delay_kind:Env.Uniform_delay
+            ~is_faulty:(fun pid -> pid >= 5)
+            ~offset_spread:4e-4 ~rounds:10
+        in
+        check_float "tmin0" 0. (Env.tmin0 env);
+        check_float "tmax0" 4e-4 (Env.tmax0 env);
+        Array.iter
+          (fun o -> check_true "within" (o >= 0. && o <= 4e-4))
+          env.Env.offsets);
+    t "clocks read T0 at their offset" (fun () ->
+        let env =
+          Env.make ~params:p ~seed:1 ~clock_kind:Env.Perfect
+            ~delay_kind:Env.Constant_delay
+            ~is_faulty:(fun _ -> false)
+            ~offset_spread:4e-4 ~rounds:10
+        in
+        Array.iteri
+          (fun pid clock ->
+            check_float_tol 1e-12 "reads T0"
+              p.Params.t0
+              (Csync_clock.Hardware_clock.time clock env.Env.offsets.(pid)))
+          env.Env.clocks);
+    t "clocks are rho-bounded" (fun () ->
+        let env =
+          Env.make ~params:p ~seed:7 ~clock_kind:Env.Drifting
+            ~delay_kind:Env.Uniform_delay
+            ~is_faulty:(fun _ -> false)
+            ~offset_spread:4e-4 ~rounds:10
+        in
+        Array.iter
+          (fun c ->
+            check_true "bounded"
+              (Csync_clock.Hardware_clock.is_rho_bounded ~rho:p.Params.rho c))
+          env.Env.clocks);
+    t "every process faulty is rejected" (fun () ->
+        check_raises_invalid "all faulty" (fun () ->
+            ignore
+              (Env.make ~params:p ~seed:1 ~clock_kind:Env.Perfect
+                 ~delay_kind:Env.Constant_delay
+                 ~is_faulty:(fun _ -> true)
+                 ~offset_spread:4e-4 ~rounds:10)));
+  ]
+
+let scenario_tests =
+  [
+    t "same seed, same result" (fun () ->
+        let s = { (Scenario.default ~seed:9 p) with Scenario.rounds = 8 } in
+        let a = Scenario.run s and b = Scenario.run s in
+        check_float "max skew equal" a.Scenario.max_skew b.Scenario.max_skew;
+        check_int "messages equal" a.Scenario.messages b.Scenario.messages;
+        Alcotest.(check (list (pair int (float 0.))))
+          "round spreads equal" a.Scenario.round_spread b.Scenario.round_spread);
+    t "different seeds differ" (fun () ->
+        let r1 = Scenario.run { (Scenario.default ~seed:1 p) with Scenario.rounds = 6 } in
+        let r2 = Scenario.run { (Scenario.default ~seed:2 p) with Scenario.rounds = 6 } in
+        check_true "differ" (r1.Scenario.max_skew <> r2.Scenario.max_skew));
+    t "validates fault pids and offset spread" (fun () ->
+        check_raises_invalid "pid" (fun () ->
+            ignore
+              (Scenario.run
+                 { (Scenario.default p) with Scenario.faults = [ (99, Scenario.Silent) ] }));
+        check_raises_invalid "spread" (fun () ->
+            ignore
+              (Scenario.run
+                 { (Scenario.default p) with Scenario.offset_spread = 1. })));
+    t "standard faults install exactly f attackers" (fun () ->
+        let s = Scenario.with_standard_faults (Scenario.default p) in
+        check_int "f faults" p.Params.f (List.length s.Scenario.faults);
+        let r = Scenario.run { s with Scenario.rounds = 6 } in
+        check_int "n - f observed" (p.Params.n - p.Params.f)
+          (List.length r.Scenario.nonfaulty));
+    t "round spreads stay within beta" (fun () ->
+        let r =
+          Scenario.run
+            { (Scenario.with_standard_faults (Scenario.default ~seed:4 p)) with
+              Scenario.rounds = 10 }
+        in
+        List.iter
+          (fun (i, b) ->
+            check_true (Printf.sprintf "B^%d = %g <= beta" i b) (b <= p.Params.beta))
+          r.Scenario.round_spread);
+    t "tracing records deliveries when enabled" (fun () ->
+        let quiet = Scenario.run { (Scenario.default ~seed:4 p) with Scenario.rounds = 4 } in
+        check_true "no trace by default" (quiet.Scenario.trace = []);
+        let traced =
+          Scenario.run
+            { (Scenario.default ~seed:4 p) with Scenario.rounds = 4; trace = true }
+        in
+        check_true "trace recorded" (List.length traced.Scenario.trace > 50);
+        (* entries are time-ordered *)
+        let times = List.map fst traced.Scenario.trace in
+        check_true "ordered" (List.sort Float.compare times = times));
+    t "message count matches rounds (honest run)" (fun () ->
+        let r = Scenario.run { (Scenario.default ~seed:4 p) with Scenario.rounds = 6 } in
+        (* Each process broadcasts n messages per round; rounds+slack. *)
+        let per_round = p.Params.n * p.Params.n in
+        check_true "plausible volume"
+          (r.Scenario.messages >= 6 * per_round
+           && r.Scenario.messages <= 10 * per_round));
+  ]
+
+let registry_tests =
+  [
+    t "twelve experiments, unique ids, E-order" (fun () ->
+        check_int "count" 12 (List.length Registry.all);
+        let ids = List.map (fun e -> e.Csync_harness.Experiment.id) Registry.all in
+        check_int "unique" 12 (List.length (List.sort_uniq String.compare ids));
+        check_true "E1 first" (List.hd ids = "E1"));
+    t "find is case-insensitive" (fun () ->
+        check_true "e10" (Registry.find "e10" <> None);
+        check_true "E3" (Registry.find "E3" <> None);
+        check_true "unknown" (Registry.find "E99" = None));
+    t "defaults construct valid parameter sets" (fun () ->
+        let p = Defaults.base () in
+        check_true "checked" (Params.check p = []);
+        let w = Defaults.wide_beta () in
+        check_true "wide checked" (Params.check w = []));
+  ]
+
+let suite = sampling_tests @ env_tests @ scenario_tests @ registry_tests

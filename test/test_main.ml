@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "csync"
+    [
+      ("multiset", Test_multiset.suite);
+      ("sim", Test_sim.suite);
+      ("clock", Test_clock.suite);
+      ("net", Test_net.suite);
+      ("process", Test_process.suite);
+      ("params", Test_params.suite);
+      ("core-algorithms", Test_core_algos.suite);
+      ("establishment", Test_establishment.suite);
+      ("adversary", Test_adversary.suite);
+      ("baselines", Test_baselines.suite);
+      ("metrics", Test_metrics.suite);
+      ("harness", Test_harness.suite);
+      ("extensions", Test_extensions.suite);
+      ("bootstrap", Test_bootstrap.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+      ("regression", Test_regression.suite);
+    ]

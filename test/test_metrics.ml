@@ -1,0 +1,150 @@
+(* Tests for the metrics library: statistics, tables and series. *)
+
+module Stats = Csync_metrics.Stats
+module Table = Csync_metrics.Table
+module Series = Csync_metrics.Series
+module Histogram = Csync_metrics.Histogram
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let stats_tests =
+  [
+    t "mean/min/max" (fun () ->
+        let a = [| 1.; 2.; 3.; 4. |] in
+        check_float "mean" 2.5 (Stats.mean a);
+        check_float "min" 1. (Stats.minimum a);
+        check_float "max" 4. (Stats.maximum a));
+    t "empty arrays raise" (fun () ->
+        check_raises_invalid "mean" (fun () -> ignore (Stats.mean [||]));
+        check_raises_invalid "max" (fun () -> ignore (Stats.maximum [||])));
+    t "stddev" (fun () ->
+        check_float "constant" 0. (Stats.stddev [| 5.; 5.; 5. |]);
+        check_float "spread" 2. (Stats.stddev [| 0.; 4.; 0.; 4. |]));
+    t "percentile endpoints and interpolation" (fun () ->
+        let a = [| 10.; 0.; 20. |] in
+        check_float "p0" 0. (Stats.percentile a 0.);
+        check_float "p100" 20. (Stats.percentile a 100.);
+        check_float "p50" 10. (Stats.percentile a 50.);
+        check_float "p25" 5. (Stats.percentile a 25.);
+        check_raises_invalid "range" (fun () -> ignore (Stats.percentile a 101.)));
+    t "percentile does not mutate" (fun () ->
+        let a = [| 3.; 1.; 2. |] in
+        ignore (Stats.percentile a 50.);
+        Alcotest.(check (array (float 0.))) "unchanged" [| 3.; 1.; 2. |] a);
+    t "max_pairwise_diff" (fun () ->
+        check_float "spread" 7. (Stats.max_pairwise_diff [| 3.; -2.; 5. |]);
+        check_float "singleton" 0. (Stats.max_pairwise_diff [| 3. |]));
+    t "max_abs" (fun () ->
+        check_float "abs" 5. (Stats.max_abs [| 3.; -5.; 2. |]));
+    t "geometric_fit recovers the ratio" (fun () ->
+        let a = [| 16.; 8.; 4.; 2.; 1. |] in
+        check_float_tol 1e-9 "half" 0.5 (Stats.geometric_fit a);
+        check_raises_invalid "short" (fun () -> ignore (Stats.geometric_fit [| 1. |]));
+        check_raises_invalid "nonpositive" (fun () ->
+            ignore (Stats.geometric_fit [| 1.; 0. |])));
+  ]
+
+let table_tests =
+  [
+    t "rows must match header width" (fun () ->
+        let tbl = Table.make ~title:"t" ~columns:[ "a"; "b" ] () in
+        let tbl = Table.add_row tbl [ "1"; "2" ] in
+        check_int "one row" 1 (List.length (Table.rows tbl));
+        check_raises_invalid "width" (fun () -> ignore (Table.add_row tbl [ "1" ])));
+    t "render aligns and includes notes" (fun () ->
+        let tbl =
+          Table.make ~title:"demo" ~columns:[ "col"; "x" ] ()
+          |> fun tbl -> Table.add_row tbl [ "value"; "1" ]
+          |> fun tbl -> Table.note tbl "hello"
+        in
+        let out = Format.asprintf "%a" Table.render tbl in
+        check_true "title" (String.length out > 0);
+        check_true "has note"
+          (String.length out >= 5
+           && Helpers.contains out "hello"
+           && Helpers.contains out "value"));
+    t "csv escaping" (fun () ->
+        let tbl =
+          Table.make ~title:"t" ~columns:[ "a"; "b" ] ()
+          |> fun tbl -> Table.add_row tbl [ "x,y"; "q\"q" ]
+        in
+        let csv = Table.to_csv tbl in
+        check_true "quoted comma" (Helpers.contains csv "\"x,y\"");
+        check_true "doubled quote" (Helpers.contains csv "\"q\"\"q\""));
+    t "cell formatters" (fun () ->
+        Alcotest.(check string) "f" "1.5" (Table.cell_f 1.5);
+        Alcotest.(check string) "e" "1.234e-04" (Table.cell_e 1.234e-4);
+        Alcotest.(check string) "ratio" "0.50" (Table.cell_ratio 0.5));
+  ]
+
+let series_tests =
+  [
+    t "of_arrays and accessors" (fun () ->
+        let s = Series.of_arrays ~label:"s" [| 1.; 2. |] [| 10.; 20. |] in
+        check_int "length" 2 (Series.length s);
+        Alcotest.(check (array (float 0.))) "ys" [| 10.; 20. |] (Series.ys s);
+        Alcotest.(check (array (float 0.))) "xs" [| 1.; 2. |] (Series.xs s);
+        check_true "last" (Series.last_y s = Some 20.);
+        check_raises_invalid "mismatch" (fun () ->
+            ignore (Series.of_arrays ~label:"s" [| 1. |] [| 1.; 2. |])));
+    t "map_y" (fun () ->
+        let s = Series.make ~label:"s" [ (0., 1.); (1., 2.) ] in
+        Alcotest.(check (array (float 0.)))
+          "doubled" [| 2.; 4. |]
+          (Series.ys (Series.map_y (fun y -> 2. *. y) s)));
+    t "sparkline has one glyph per point" (fun () ->
+        let s = Series.make ~label:"s" [ (0., 0.); (1., 1.); (2., 0.5) ] in
+        (* Each block glyph is 3 bytes of UTF-8 (or 1 byte for space). *)
+        check_true "nonempty" (String.length (Series.sparkline s) >= 3));
+    t "csv has a line per distinct x" (fun () ->
+        let a = Series.make ~label:"a" [ (0., 1.); (1., 2.) ] in
+        let b = Series.make ~label:"b" [ (1., 3.); (2., 4.) ] in
+        let csv = Series.to_csv [ a; b ] in
+        check_int "lines" 4 (List.length (String.split_on_char '\n' (String.trim csv))));
+  ]
+
+let histogram_tests =
+  [
+    t "validates arguments" (fun () ->
+        check_raises_invalid "bounds" (fun () ->
+            ignore (Histogram.create ~lo:1. ~hi:1. ~bins:4));
+        check_raises_invalid "bins" (fun () ->
+            ignore (Histogram.create ~lo:0. ~hi:1. ~bins:0));
+        check_raises_invalid "empty" (fun () -> ignore (Histogram.of_array [||])));
+    t "bins values correctly" (fun () ->
+        let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+        List.iter (Histogram.add h) [ 0.; 1.; 3.; 9.99; 10. ];
+        check_int "bin 0" 2 (Histogram.bin_count h 0);
+        check_int "bin 1" 1 (Histogram.bin_count h 1);
+        check_int "bin 4" 2 (Histogram.bin_count h 4);
+        check_int "total" 5 (Histogram.count h));
+    t "under/overflow" (fun () ->
+        let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+        Histogram.add h (-1.);
+        Histogram.add h 2.;
+        check_int "under" 1 (Histogram.underflow h);
+        check_int "over" 1 (Histogram.overflow h);
+        check_int "total counts them" 2 (Histogram.count h));
+    t "bin_bounds partition the range" (fun () ->
+        let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+        check_true "first" (Histogram.bin_bounds h 0 = (0., 2.));
+        check_true "last" (Histogram.bin_bounds h 4 = (8., 10.)));
+    t "mode_bin" (fun () ->
+        let h = Histogram.of_array ~bins:4 [| 1.; 1.; 1.; 5.; 9. |] in
+        check_int "mode" 0 (Histogram.mode_bin h));
+    t "render does not raise" (fun () ->
+        let h = Histogram.of_array [| 1.; 2.; 3. |] in
+        ignore (Format.asprintf "%a" (Histogram.render ~width:20) h));
+    qcheck ~name:"every added in-range value is counted"
+      QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1.))
+      (fun l ->
+        let h = Histogram.create ~lo:0. ~hi:1. ~bins:7 in
+        List.iter (Histogram.add h) l;
+        let binned = List.init 7 (Histogram.bin_count h) in
+        List.fold_left ( + ) 0 binned
+        + Histogram.underflow h + Histogram.overflow h
+        = List.length l);
+  ]
+
+let suite = stats_tests @ table_tests @ series_tests @ histogram_tests

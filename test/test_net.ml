@@ -1,0 +1,178 @@
+(* Tests for delay models, the collision model, the global message buffer
+   and simulated signatures. *)
+
+module Delay = Csync_net.Delay
+module Collision = Csync_net.Collision
+module Mb = Csync_net.Message_buffer
+module Signed = Csync_net.Signed
+module Engine = Csync_sim.Engine
+module Rng = Csync_sim.Rng
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let delay_tests =
+  [
+    t "constant" (fun () ->
+        let d = Delay.constant 0.01 in
+        check_float "draw" 0.01 (Delay.draw d ~src:0 ~dst:1 ~now:0.);
+        check_true "bounds" (Delay.bounds d = (0.01, 0.01)));
+    t "uniform within bounds" (fun () ->
+        let d = Delay.uniform ~delta:1e-3 ~eps:1e-4 ~rng:(Rng.create 1) in
+        for _ = 1 to 1000 do
+          let x = Delay.draw d ~src:0 ~dst:1 ~now:0. in
+          check_true "in range" (x >= 9e-4 && x <= 1.1e-3)
+        done);
+    t "extremes are bimodal" (fun () ->
+        let d = Delay.extremes ~delta:1e-3 ~eps:1e-4 ~rng:(Rng.create 1) in
+        let lo = ref false and hi = ref false in
+        for _ = 1 to 100 do
+          let x = Delay.draw d ~src:0 ~dst:1 ~now:0. in
+          if Float.abs (x -. 9e-4) < 1e-12 then lo := true;
+          if Float.abs (x -. 1.1e-3) < 1e-12 then hi := true
+        done;
+        check_true "both extremes hit" (!lo && !hi));
+    t "per_link clamps" (fun () ->
+        let d = Delay.per_link ~delta:1e-3 ~eps:1e-4 (fun ~src:_ ~dst:_ -> 5.) in
+        check_float "clamped" 1.1e-3 (Delay.draw d ~src:0 ~dst:1 ~now:0.));
+    t "adversarial clamps and sees time" (fun () ->
+        let d =
+          Delay.adversarial ~delta:1e-3 ~eps:1e-4 (fun ~src:_ ~dst:_ ~now ->
+              if now > 1. then 0. else 2.)
+        in
+        check_float "early" 1.1e-3 (Delay.draw d ~src:0 ~dst:1 ~now:0.);
+        check_float "late" 0.9e-3 (Delay.draw d ~src:0 ~dst:1 ~now:2.));
+    t "rejects delta < eps (A3)" (fun () ->
+        check_raises_invalid "a3" (fun () ->
+            ignore (Delay.uniform ~delta:1e-4 ~eps:1e-3 ~rng:(Rng.create 1))));
+    t "accessors" (fun () ->
+        let d = Delay.uniform ~delta:1e-3 ~eps:1e-4 ~rng:(Rng.create 1) in
+        check_float "delta" 1e-3 (Delay.delta d);
+        check_float "eps" 1e-4 (Delay.eps d));
+  ]
+
+let collision_tests =
+  [
+    t "none admits everything" (fun () ->
+        for i = 1 to 100 do
+          check_true "admit" (Collision.admit Collision.none ~dst:0 ~now:(float_of_int i))
+        done);
+    t "bounded buffer drops overflow" (fun () ->
+        let c = Collision.bounded_buffer ~n:2 ~capacity:2 ~window:1. in
+        check_true "1" (Collision.admit c ~dst:0 ~now:0.);
+        check_true "2" (Collision.admit c ~dst:0 ~now:0.1);
+        check_bool "3 dropped" false (Collision.admit c ~dst:0 ~now:0.2);
+        check_int "dropped" 1 (Collision.dropped c));
+    t "window expiry frees capacity" (fun () ->
+        let c = Collision.bounded_buffer ~n:1 ~capacity:1 ~window:1. in
+        check_true "1" (Collision.admit c ~dst:0 ~now:0.);
+        check_bool "2 dropped" false (Collision.admit c ~dst:0 ~now:0.5);
+        check_true "3 after window" (Collision.admit c ~dst:0 ~now:1.6));
+    t "per-recipient isolation" (fun () ->
+        let c = Collision.bounded_buffer ~n:2 ~capacity:1 ~window:1. in
+        check_true "dst0" (Collision.admit c ~dst:0 ~now:0.);
+        check_true "dst1 unaffected" (Collision.admit c ~dst:1 ~now:0.));
+    t "reset" (fun () ->
+        let c = Collision.bounded_buffer ~n:1 ~capacity:1 ~window:1. in
+        ignore (Collision.admit c ~dst:0 ~now:0.);
+        ignore (Collision.admit c ~dst:0 ~now:0.);
+        Collision.reset c;
+        check_int "dropped cleared" 0 (Collision.dropped c);
+        check_true "capacity back" (Collision.admit c ~dst:0 ~now:0.1));
+    t "validates arguments" (fun () ->
+        check_raises_invalid "n" (fun () ->
+            ignore (Collision.bounded_buffer ~n:0 ~capacity:1 ~window:1.)));
+  ]
+
+let make_buffer ?(delay = Delay.constant 0.01) ?collision () =
+  let engine = Engine.create () in
+  let buffer = Mb.create ~n:3 ~delay ?collision ~engine () in
+  (engine, buffer)
+
+let buffer_tests =
+  [
+    t "send delivers after the modelled delay" (fun () ->
+        let engine, buffer = make_buffer () in
+        Mb.send buffer ~src:0 ~dst:1 "hello";
+        (match Engine.next engine with
+         | Some (tm, { Mb.src; dst; body = Mb.Msg m }) ->
+           check_float "time" 0.01 tm;
+           check_int "src" 0 src;
+           check_int "dst" 1 dst;
+           Alcotest.(check string) "payload" "hello" m
+         | _ -> Alcotest.fail "expected delivery");
+        check_int "sent" 1 (Mb.sent_count buffer));
+    t "broadcast reaches everyone including self" (fun () ->
+        let engine, buffer = make_buffer () in
+        Mb.broadcast buffer ~src:1 "m";
+        let dsts = ref [] in
+        Engine.run_until engine ~until:1. ~handler:(fun _ d ->
+            dsts := d.Mb.dst :: !dsts);
+        Alcotest.(check (list int)) "all" [ 0; 1; 2 ] (List.sort Int.compare !dsts));
+    t "start messages" (fun () ->
+        let engine, buffer = make_buffer () in
+        Mb.schedule_start buffer ~dst:2 ~time:0.5;
+        match Engine.next engine with
+        | Some (tm, { Mb.body = Mb.Start; dst; _ }) ->
+          check_float "time" 0.5 tm;
+          check_int "dst" 2 dst
+        | _ -> Alcotest.fail "expected START");
+    t "timer in the future is placed, in the past dropped" (fun () ->
+        let engine, buffer = make_buffer () in
+        check_true "future" (Mb.set_timer buffer ~dst:0 ~at_real:1. ~phys_value:42.);
+        check_bool "now (not strictly future)" false
+          (Mb.set_timer buffer ~dst:0 ~at_real:0. ~phys_value:42.);
+        match Engine.next engine with
+        | Some (_, { Mb.body = Mb.Timer v; _ }) -> check_float "tag" 42. v
+        | _ -> Alcotest.fail "expected timer");
+    t "timers deliver after messages at the same instant" (fun () ->
+        let engine, buffer = make_buffer ~delay:(Delay.constant 1.) () in
+        ignore (Mb.set_timer buffer ~dst:1 ~at_real:1. ~phys_value:0.);
+        Mb.send buffer ~src:0 ~dst:1 "m";
+        let order = ref [] in
+        Engine.run_until engine ~until:2. ~handler:(fun _ d ->
+            order :=
+              (match d.Mb.body with
+               | Mb.Msg _ -> "msg"
+               | Mb.Timer _ -> "timer"
+               | Mb.Start -> "start")
+              :: !order);
+        Alcotest.(check (list string)) "property 4" [ "timer"; "msg" ] !order);
+    t "collision filter applies to ordinary messages only" (fun () ->
+        let collision = Collision.bounded_buffer ~n:3 ~capacity:1 ~window:10. in
+        let _, buffer = make_buffer ~collision () in
+        let msg body = { Mb.src = 0; dst = 1; body } in
+        check_true "first msg" (Mb.admit buffer (msg (Mb.Msg "a")) ~now:0.);
+        check_bool "second dropped" false (Mb.admit buffer (msg (Mb.Msg "b")) ~now:0.1);
+        check_true "timer immune" (Mb.admit buffer (msg (Mb.Timer 0.)) ~now:0.2);
+        check_true "start immune" (Mb.admit buffer (msg Mb.Start) ~now:0.3);
+        check_int "dropped count" 1 (Mb.dropped_count buffer));
+    t "pid validation" (fun () ->
+        let _, buffer = make_buffer () in
+        check_raises_invalid "dst" (fun () -> Mb.send buffer ~src:0 ~dst:9 "x"));
+  ]
+
+let signed_tests =
+  [
+    t "sign and value" (fun () ->
+        let s = Signed.sign ~signer:3 42 in
+        check_int "value" 42 (Signed.value s);
+        check_int "origin" 3 (Signed.origin s);
+        check_int "depth" 1 (Signed.depth s);
+        check_true "distinct" (Signed.distinct_signers s));
+    t "countersign extends the chain in order" (fun () ->
+        let s = Signed.countersign ~signer:5 (Signed.sign ~signer:3 1) in
+        Alcotest.(check (list int)) "chain" [ 3; 5 ] (Signed.chain s);
+        check_int "origin still first" 3 (Signed.origin s);
+        check_int "depth" 2 (Signed.depth s));
+    t "duplicate signer detected" (fun () ->
+        let s = Signed.countersign ~signer:3 (Signed.sign ~signer:3 1) in
+        check_bool "dup" false (Signed.distinct_signers s));
+    t "signed_by" (fun () ->
+        let s = Signed.countersign ~signer:5 (Signed.sign ~signer:3 1) in
+        check_true "3" (Signed.signed_by s 3);
+        check_true "5" (Signed.signed_by s 5);
+        check_bool "7" false (Signed.signed_by s 7));
+  ]
+
+let suite = delay_tests @ collision_tests @ buffer_tests @ signed_tests

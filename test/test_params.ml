@@ -1,0 +1,169 @@
+(* Tests for the Section 5.2 parameter calculus. *)
+
+module P = Csync_core.Params
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let ok_params = params
+
+let unit_tests =
+  [
+    t "make accepts a valid configuration" (fun () ->
+        match
+          P.make ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:0.5 ()
+        with
+        | Ok p -> check_int "n" 7 p.P.n
+        | Error _ -> Alcotest.fail "expected Ok");
+    t "rejects n < 3f+1" (fun () ->
+        match
+          P.make ~n:6 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:0.5 ()
+        with
+        | Error errs ->
+          check_true "mentions A2"
+            (List.exists (function P.Bad_counts _ -> true | _ -> false) errs)
+        | Ok _ -> Alcotest.fail "expected Error");
+    t "rejects delta <= eps (A3)" (fun () ->
+        match
+          P.make ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-4 ~eps:1e-3 ~beta:4.5e-3
+            ~big_p:0.5 ()
+        with
+        | Error errs ->
+          check_true "delay error"
+            (List.exists (function P.Bad_delay _ -> true | _ -> false) errs)
+        | Ok _ -> Alcotest.fail "expected Error");
+    t "rejects P below its lower bound" (fun () ->
+        match
+          P.make ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:1e-4 ()
+        with
+        | Error errs ->
+          check_true "P too small"
+            (List.exists (function P.P_too_small _ -> true | _ -> false) errs)
+        | Ok _ -> Alcotest.fail "expected Error");
+    t "rejects P above its upper bound" (fun () ->
+        match
+          P.make ~n:7 ~f:2 ~rho:1e-5 ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:100. ()
+        with
+        | Error errs ->
+          check_true "P too large"
+            (List.exists (function P.P_too_large _ -> true | _ -> false) errs)
+        | Ok _ -> Alcotest.fail "expected Error");
+    t "rejects beta below self-consistency" (fun () ->
+        match
+          P.make ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:1e-5
+            ~big_p:0.5 ()
+        with
+        | Error errs ->
+          check_true "beta inconsistent"
+            (List.exists
+               (function
+                 | P.Beta_inconsistent _ | P.P_too_small _ | P.P_too_large _ -> true
+                 | _ -> false)
+               errs)
+        | Ok _ -> Alcotest.fail "expected Error");
+    t "make_exn raises with message" (fun () ->
+        check_raises_invalid "make_exn" (fun () ->
+            ignore
+              (P.make_exn ~n:1 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:1.
+                 ~big_p:0.5 ())));
+    t "unchecked allows n = 3f but keeps sanity" (fun () ->
+        let p =
+          P.unchecked ~n:6 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:0.5 ()
+        in
+        check_int "n" 6 p.P.n;
+        check_raises_invalid "still checks delta/eps" (fun () ->
+            ignore
+              (P.unchecked ~n:6 ~f:2 ~rho:1e-6 ~delta:1e-4 ~eps:1e-3 ~beta:1.
+                 ~big_p:0.5 ())));
+    t "auto picks a beta that passes check" (fun () ->
+        match P.auto ~n:7 ~f:2 ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~big_p:0.5 () with
+        | Ok p -> check_true "check empty" (P.check p = [])
+        | Error _ -> Alcotest.fail "auto failed");
+    t "p_min formula (rho = 0)" (fun () ->
+        (* max(3(beta+eps), 2 beta + delta + 2 eps) *)
+        check_float "p_min small beta" (1e-3 +. 4e-4 +. 2e-4)
+          (P.p_min ~rho:0. ~delta:1e-3 ~eps:1e-4 ~beta:2e-4);
+        check_float "p_min big beta" (3. *. 1.1e-2)
+          (P.p_min ~rho:0. ~delta:1e-3 ~eps:1e-3 ~beta:1e-2));
+    t "p_max infinite when rho = 0" (fun () ->
+        check_true "inf" (P.p_max ~rho:0. ~delta:1e-3 ~eps:1e-4 ~beta:1e-3 = infinity));
+    t "p_min <= p_max for a workable beta" (fun () ->
+        let beta = P.beta_min ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~big_p:0.5 *. 1.05 in
+        check_true "nonempty interval"
+          (P.p_min ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta
+           <= P.p_max ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~beta));
+    t "beta_min ~ 4 eps + 4 rho P" (fun () ->
+        let b = P.beta_min ~rho:1e-6 ~delta:1e-3 ~eps:1e-4 ~big_p:0.5 in
+        let approx = P.beta_approx ~rho:1e-6 ~eps:1e-4 ~big_p:0.5 in
+        check_true "same ballpark" (b >= approx *. 0.9 && b <= approx *. 1.3));
+    t "beta_min when rho = 0 is the 4 eps fixpoint" (fun () ->
+        check_float "4eps" 4e-4 (P.beta_min ~rho:0. ~delta:1e-3 ~eps:1e-4 ~big_p:0.5));
+    t "gamma exceeds beta + eps" (fun () ->
+        let p = ok_params () in
+        check_true "gamma" (P.gamma p > p.P.beta +. p.P.eps));
+    t "gamma formula at rho = 0 is beta + eps" (fun () ->
+        let p =
+          P.make_exn ~n:7 ~f:2 ~rho:0. ~delta:1e-3 ~eps:1e-4 ~beta:4.5e-4
+            ~big_p:0.5 ()
+        in
+        check_float "gamma" (4.5e-4 +. 1e-4) (P.gamma p));
+    t "adjustment bound formula" (fun () ->
+        let p = ok_params () in
+        check_float_tol 1e-12 "lemma 7"
+          ((1. +. p.P.rho) *. (p.P.beta +. p.P.eps) +. (p.P.rho *. p.P.delta))
+          (P.adjustment_bound p));
+    t "lambda is nearly P" (fun () ->
+        let p = ok_params () in
+        check_true "lambda" (P.lambda p > 0.99 *. p.P.big_p && P.lambda p < p.P.big_p));
+    t "validity coefficients bracket 1" (fun () ->
+        let a1, a2, a3 = P.validity (ok_params ()) in
+        check_true "a1 < 1 < a2" (a1 < 1. && 1. < a2);
+        check_float "a3 = eps" 1e-4 a3);
+    t "round_start and update_time" (fun () ->
+        let p = ok_params () in
+        check_float "T^3" (3. *. 0.5) (P.round_start p 3);
+        check_true "U^i > T^i" (P.update_time p 3 > P.round_start p 3));
+    t "wait window formula" (fun () ->
+        let p = ok_params () in
+        check_float_tol 1e-12 "window"
+          ((1. +. p.P.rho) *. (p.P.beta +. p.P.delta +. p.P.eps))
+          (P.wait_window p));
+  ]
+
+let gen_config =
+  let open QCheck2.Gen in
+  let* rho = oneofl [ 0.; 1e-7; 1e-6; 1e-5 ] in
+  let* delta = oneofl [ 1e-4; 1e-3; 1e-2 ] in
+  let* eps_frac = oneofl [ 0.01; 0.1; 0.5 ] in
+  let* big_p = oneofl [ 0.05; 0.5; 5. ] in
+  return (rho, delta, delta *. eps_frac, big_p)
+
+let prop_tests =
+  [
+    qcheck ~count:100 ~name:"auto always yields a checked configuration"
+      gen_config (fun (rho, delta, eps, big_p) ->
+        match P.auto ~n:7 ~f:2 ~rho ~delta ~eps ~big_p () with
+        | Ok p -> P.check p = []
+        | Error _ ->
+          (* Only acceptable if P is genuinely below the minimum for the
+             smallest admissible beta. *)
+          let beta = P.beta_min ~rho ~delta ~eps ~big_p *. 1.05 in
+          big_p < P.p_min ~rho ~delta ~eps ~beta);
+    qcheck ~count:100 ~name:"gamma grows with beta" gen_config
+      (fun (rho, delta, eps, big_p) ->
+        match P.auto ~n:7 ~f:2 ~rho ~delta ~eps ~big_p () with
+        | Error _ -> true
+        | Ok p ->
+          let bigger =
+            P.unchecked ~n:7 ~f:2 ~rho ~delta ~eps ~beta:(2. *. p.P.beta)
+              ~big_p ()
+          in
+          P.gamma bigger > P.gamma p);
+  ]
+
+let suite = unit_tests @ prop_tests

@@ -1,0 +1,268 @@
+(* Tests for the process/cluster runtime: automaton stepping, timers through
+   logical clocks, the execution-model rules, and fault combinators. *)
+
+module Automaton = Csync_process.Automaton
+module Cluster = Csync_process.Cluster
+module Fault = Csync_process.Fault
+module Hw = Csync_clock.Hardware_clock
+module Drift = Csync_clock.Drift
+module Delay = Csync_net.Delay
+module Rng = Csync_sim.Rng
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* An automaton that logs every interrupt it receives. *)
+let recorder () =
+  {
+    Automaton.name = "recorder";
+    initial = [];
+    handle = (fun ~self:_ ~phys interrupt log -> ((phys, interrupt) :: log, []));
+    corr = (fun _ -> 0.);
+  }
+
+let perfect_clocks n = Array.init n (fun _ -> Hw.create Drift.perfect)
+
+let cluster_of_procs ?(delay = Delay.constant 0.01) procs =
+  Cluster.create ~clocks:(perfect_clocks (Array.length procs)) ~delay ~procs ()
+
+let basic_tests =
+  [
+    t "start delivery steps the automaton" (fun () ->
+        let proc, read = Cluster.make_proc (recorder ()) in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:1.;
+        Cluster.run_until cluster 2.;
+        match read () with
+        | [ (phys, Automaton.Start) ] -> check_float "phys" 1. phys
+        | _ -> Alcotest.fail "expected one START");
+    t "messages carry sender and payload" (fun () ->
+        let sender =
+          Automaton.stateless ~name:"sender" (fun ~self:_ ~phys:_ -> function
+            | Automaton.Start -> [ Automaton.Send (1, "ping"); Automaton.Broadcast "b" ]
+            | _ -> [])
+        in
+        let proc0, _ = Cluster.make_proc sender in
+        let proc1, read1 = Cluster.make_proc (recorder ()) in
+        let cluster = cluster_of_procs [| proc0; proc1 |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 1.;
+        let msgs =
+          List.filter_map
+            (function _, Automaton.Message (src, m) -> Some (src, m) | _ -> None)
+            (read1 ())
+        in
+        (* The log is newest-first: the broadcast copy was scheduled after
+           the direct send, so it arrives second and is listed first. *)
+        Alcotest.(check (list (pair int string)))
+          "received"
+          [ (0, "b"); (0, "ping") ]
+          msgs);
+    t "logical timer fires when logical clock reaches T" (fun () ->
+        (* Clock rate 2, corr = 3: logical time L(t) = 2t + 3.  A timer for
+           L = 13 must fire at real time 5. *)
+        let auto =
+          {
+            Automaton.name = "timer-test";
+            initial = [];
+            handle =
+              (fun ~self:_ ~phys interrupt log ->
+                match interrupt with
+                | Automaton.Start -> (log, [ Automaton.Set_timer_logical 13. ])
+                | i -> ((phys, i) :: log, []));
+            corr = (fun _ -> 3.);
+          }
+        in
+        let proc, read = Cluster.make_proc auto in
+        let cluster =
+          Cluster.create
+            ~clocks:[| Hw.create (Drift.constant ~rate:2.) |]
+            ~delay:(Delay.constant 0.01) ~procs:[| proc |] ()
+        in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 10.;
+        match read () with
+        | [ (phys, Automaton.Timer tag) ] ->
+          check_float "tag" 13. tag;
+          (* physical clock reads 10 at real 5 *)
+          check_float "phys at fire" 10. phys
+        | _ -> Alcotest.fail "expected one timer");
+    t "physical timer" (fun () ->
+        let auto =
+          Automaton.stateless ~name:"p" (fun ~self:_ ~phys:_ -> function
+            | Automaton.Start -> [ Automaton.Set_timer_phys 4. ]
+            | _ -> [])
+        in
+        let proc, _ = Cluster.make_proc auto in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 3.;
+        check_int "pending timer" 1 (Csync_sim.Engine.pending
+          (Csync_net.Message_buffer.engine (Cluster.buffer cluster))));
+    t "timer for the past is silently dropped" (fun () ->
+        let auto =
+          Automaton.stateless ~name:"p" (fun ~self:_ ~phys:_ -> function
+            | Automaton.Start -> [ Automaton.Set_timer_phys (-1.) ]
+            | _ -> [])
+        in
+        let proc, _ = Cluster.make_proc auto in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:1.;
+        Cluster.run_until cluster 2.;
+        check_int "nothing pending" 0
+          (Csync_sim.Engine.pending
+             (Csync_net.Message_buffer.engine (Cluster.buffer cluster))));
+    t "local_time = phys + corr" (fun () ->
+        let auto = { (recorder ()) with Automaton.corr = (fun _ -> 2.5) } in
+        let proc, _ = Cluster.make_proc auto in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.run_until cluster 4.;
+        check_float "local" 6.5 (Cluster.local_time cluster 0);
+        check_float "phys" 4. (Cluster.phys_time cluster 0);
+        check_float "corr" 2.5 (Cluster.corr cluster 0));
+    t "kill stops delivery; revive resumes" (fun () ->
+        let proc, read = Cluster.make_proc (recorder ()) in
+        let sender =
+          Fault.periodic ~name:"ticker" ~first_phys:0.5 ~period_phys:1.
+            (fun ~self:_ ~phys:_ ~count:_ -> [ Automaton.Send (0, ()) ])
+          |> fst
+        in
+        let cluster = cluster_of_procs [| proc; sender |] in
+        Cluster.schedule_start cluster ~pid:1 ~time:0.;
+        Cluster.kill cluster 0;
+        check_bool "dead" false (Cluster.is_alive cluster 0);
+        Cluster.run_until cluster 2.;
+        check_int "nothing received while dead" 0 (List.length (read ()));
+        Cluster.revive cluster 0;
+        Cluster.run_until cluster 4.;
+        check_true "received after revive" (List.length (read ()) > 0));
+    t "replace swaps the automaton" (fun () ->
+        let proc, _ = Cluster.make_proc (recorder ()) in
+        let cluster = cluster_of_procs [| proc |] in
+        let proc2, read2 = Cluster.make_proc (recorder ()) in
+        Cluster.replace cluster 0 proc2;
+        Cluster.schedule_start cluster ~pid:0 ~time:1.;
+        Cluster.run_until cluster 2.;
+        check_int "new automaton got it" 1 (List.length (read2 ())));
+    t "delivery hooks fire in order" (fun () ->
+        let proc, _ = Cluster.make_proc (recorder ()) in
+        let cluster = cluster_of_procs [| proc |] in
+        let calls = ref [] in
+        Cluster.add_delivery_hook cluster (fun _ pid _ -> calls := pid :: !calls);
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 1.;
+        Alcotest.(check (list int)) "hook" [ 0 ] !calls);
+    t "schedule_starts_at_logical places START at c_p(T0)" (fun () ->
+        (* Clock reads T0 = 10 at real time 2 (offset 8, rate 1). *)
+        let proc, read = Cluster.make_proc (recorder ()) in
+        let cluster =
+          Cluster.create
+            ~clocks:[| Hw.create ~offset:8. Drift.perfect |]
+            ~delay:(Delay.constant 0.01) ~procs:[| proc |] ()
+        in
+        Cluster.schedule_starts_at_logical cluster ~t0:10. ~corrs:[| 0. |];
+        Cluster.run_until cluster 5.;
+        match read () with
+        | [ (phys, Automaton.Start) ] -> check_float "phys = T0" 10. phys
+        | _ -> Alcotest.fail "expected START");
+    t "cluster validates arguments" (fun () ->
+        let proc, _ = Cluster.make_proc (recorder ()) in
+        check_raises_invalid "length mismatch" (fun () ->
+            ignore
+              (Cluster.create ~clocks:(perfect_clocks 2)
+                 ~delay:(Delay.constant 0.01) ~procs:[| proc |] ()));
+        let cluster = cluster_of_procs [| proc |] in
+        check_raises_invalid "pid range" (fun () -> Cluster.kill cluster 5));
+  ]
+
+let fault_tests =
+  [
+    t "silent never acts" (fun () ->
+        let proc, _ = Fault.silent () in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 5.;
+        check_int "no messages" 0 (Cluster.messages_sent cluster));
+    t "periodic fires on its physical clock" (fun () ->
+        let proc, count =
+          Fault.periodic ~name:"tick" ~first_phys:1. ~period_phys:2.
+            (fun ~self:_ ~phys:_ ~count:_ -> [])
+        in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 6.;
+        (* fires at 1, 3, 5 *)
+        check_int "fired thrice" 3 (count ()));
+    t "periodic validates period" (fun () ->
+        check_raises_invalid "period" (fun () ->
+            ignore
+              (Fault.periodic ~name:"x" ~first_phys:0. ~period_phys:0.
+                 (fun ~self:_ ~phys:_ ~count:_ -> []))));
+    t "crash_at stops reacting" (fun () ->
+        let auto =
+          Fault.crash_at ~phys:2.
+            {
+              Automaton.name = "echo";
+              initial = 0;
+              handle = (fun ~self:_ ~phys:_ _ n -> (n + 1, []));
+              corr = (fun _ -> 0.);
+            }
+        in
+        let proc, read = Cluster.make_proc auto in
+        let ticker =
+          fst
+            (Fault.periodic ~name:"tick" ~first_phys:0.5 ~period_phys:1.
+               (fun ~self:_ ~phys:_ ~count:_ -> [ Automaton.Send (0, ()) ]))
+        in
+        let cluster = cluster_of_procs [| proc; ticker |] in
+        Cluster.schedule_start cluster ~pid:1 ~time:0.;
+        Cluster.run_until cluster 6.;
+        (* ticks at ~0.51, 1.51 counted; later ones ignored *)
+        check_int "stopped at 2" 2 (read ()));
+    t "receive_omission drops everything at p=1" (fun () ->
+        let auto =
+          Fault.receive_omission ~rng:(Rng.create 1) ~drop_probability:1.
+            {
+              Automaton.name = "count";
+              initial = 0;
+              handle =
+                (fun ~self:_ ~phys:_ i n ->
+                  match i with Automaton.Message _ -> (n + 1, []) | _ -> (n, []));
+              corr = (fun _ -> 0.);
+            }
+        in
+        let proc, read = Cluster.make_proc auto in
+        let ticker =
+          fst
+            (Fault.periodic ~name:"tick" ~first_phys:0.5 ~period_phys:1.
+               (fun ~self:_ ~phys:_ ~count:_ -> [ Automaton.Send (0, ()) ]))
+        in
+        let cluster = cluster_of_procs [| proc; ticker |] in
+        Cluster.schedule_start cluster ~pid:1 ~time:0.;
+        Cluster.run_until cluster 5.;
+        check_int "all dropped" 0 (read ()));
+    t "send_omission drops everything at p=1" (fun () ->
+        let auto =
+          Fault.send_omission ~rng:(Rng.create 1) ~drop_probability:1.
+            (Automaton.stateless ~name:"b" (fun ~self:_ ~phys:_ -> function
+               | Automaton.Start -> [ Automaton.Broadcast "x"; Automaton.Send (0, "y") ]
+               | _ -> []))
+        in
+        let proc, _ = Cluster.make_proc auto in
+        let cluster = cluster_of_procs [| proc |] in
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 1.;
+        check_int "nothing sent" 0 (Cluster.messages_sent cluster));
+    t "broadcast_to_sends expands" (fun () ->
+        let sends = Fault.broadcast_to_sends ~n:3 (Automaton.Broadcast "m") in
+        check_int "three sends" 3 (List.length sends);
+        let other = Fault.broadcast_to_sends ~n:3 (Automaton.Set_timer_phys 1.) in
+        check_int "identity" 1 (List.length other));
+    t "omission probability validation" (fun () ->
+        check_raises_invalid "p" (fun () ->
+            ignore
+              (Fault.receive_omission ~rng:(Rng.create 1) ~drop_probability:2.
+                 (recorder ()))));
+  ]
+
+let suite = basic_tests @ fault_tests

@@ -1,0 +1,94 @@
+(* Regression guards for the headline reproduction results.
+
+   Runs are deterministic given their seeds, so these pin the measured
+   quantities EXPERIMENTS.md reports into generous tolerance bands: a
+   change that breaks the reproduction (skew regressing toward gamma,
+   halving ratios drifting off 0.5, reintegration slowing down) fails here
+   even if every bound technically still holds. *)
+
+module Scenario = Csync_harness.Scenario
+module Params = Csync_core.Params
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let suite =
+  [
+    t "E1 anchor: default run skew in [0.2, 0.6] x gamma" (fun () ->
+        let params = Csync_harness.Defaults.base () in
+        let r =
+          Scenario.run
+            (Scenario.with_standard_faults
+               { (Scenario.default ~seed:42 params) with
+                 Scenario.delay_kind = Scenario.Extreme_delay })
+        in
+        let ratio = r.Scenario.max_skew /. Params.gamma params in
+        check_true (Printf.sprintf "ratio %.3f" ratio) (ratio >= 0.2 && ratio <= 0.6));
+    t "E1 anchor: skew scales linearly with eps (within 25%)" (fun () ->
+        let skew eps =
+          let params = Csync_harness.Defaults.base ~eps () in
+          (Scenario.run
+             (Scenario.with_standard_faults
+                { (Scenario.default ~seed:42 params) with
+                  Scenario.delay_kind = Scenario.Extreme_delay }))
+            .Scenario.max_skew
+        in
+        let ratio = skew 5e-4 /. skew 1e-4 in
+        check_true (Printf.sprintf "scaling %.2f" ratio) (ratio > 3.75 && ratio < 6.25));
+    t "E10 anchor: halving ratio 0.5 +- 0.02 over the first ten rounds" (fun () ->
+        let params = Csync_harness.Defaults.base () in
+        let cfg =
+          Csync_harness.Runner_establishment.with_standard_faults
+            (Csync_harness.Runner_establishment.default ~seed:42
+               ~initial_spread:1000. params)
+        in
+        let r = Csync_harness.Runner_establishment.run cfg in
+        let b = Array.of_list (List.map snd r.Csync_harness.Runner_establishment.b_series) in
+        for i = 1 to 10 do
+          let ratio = b.(i) /. b.(i - 1) in
+          check_true (Printf.sprintf "round %d ratio %.4f" i ratio)
+            (ratio >= 0.48 && ratio <= 0.52)
+        done);
+    t "E9 anchor: rejoin within three rounds of waking" (fun () ->
+        let params = Csync_harness.Defaults.base () in
+        let cfg = Csync_harness.Runner_reintegration.default ~seed:42 params in
+        let r = Csync_harness.Runner_reintegration.run cfg in
+        match r.Csync_harness.Runner_reintegration.join_round with
+        | Some k ->
+          check_true
+            (Printf.sprintf "joined at %d, woke at %.1f" k
+               cfg.Csync_harness.Runner_reintegration.wake_round)
+            (float_of_int k
+             <= cfg.Csync_harness.Runner_reintegration.wake_round +. 3.)
+        | None -> Alcotest.fail "never joined");
+    t "E11 anchor: sigma=0 wedges within 2 rounds, sigma=4eps is lossless"
+      (fun () ->
+        let params = Csync_harness.Defaults.base () in
+        let run sigma =
+          Scenario.run
+            {
+              (Scenario.default ~seed:42 params) with
+              Scenario.stagger = sigma;
+              collision = Some (3, params.Params.delta /. 2.);
+              rounds = 12;
+            }
+        in
+        let jammed = run 0. in
+        let jammed_rounds =
+          List.fold_left
+            (fun acc (_, records) -> min acc (List.length records))
+            max_int jammed.Scenario.histories
+        in
+        check_true "jammed" (jammed_rounds <= 2);
+        let staggered = run (4. *. params.Params.eps) in
+        check_int "no drops" 0 staggered.Scenario.dropped);
+    t "E4 anchor: synchronized slope within 1 +- 2e-4" (fun () ->
+        let params = Csync_harness.Defaults.base ~rho:1e-5 () in
+        let r =
+          Csync_harness.Runner_baseline.run
+            ~algo:Csync_harness.Runner_baseline.Welch_lynch ~params ~seed:42
+            ~faults:Csync_harness.Runner_baseline.Standard_faults ~rounds:40
+        in
+        let s = r.Csync_harness.Runner_baseline.slope_max in
+        check_true (Printf.sprintf "slope %.6f" s) (s > 0.9998 && s < 1.0003));
+  ]

@@ -1,0 +1,220 @@
+(* Tests for the simulation substrate: RNG, heap, event queue, engine and
+   trace recorder. *)
+
+module Rng = Csync_sim.Rng
+module Heap = Csync_sim.Heap
+module Event_queue = Csync_sim.Event_queue
+module Engine = Csync_sim.Engine
+module Trace = Csync_sim.Trace
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let rng_tests =
+  [
+    t "rng deterministic" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 100 do
+          check_true "same stream" (Rng.int64 a = Rng.int64 b)
+        done);
+    t "rng different seeds differ" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        check_true "differ" (Rng.int64 a <> Rng.int64 b));
+    t "copy preserves state" (fun () ->
+        let a = Rng.create 5 in
+        ignore (Rng.int64 a);
+        let b = Rng.copy a in
+        check_true "same next" (Rng.int64 a = Rng.int64 b));
+    t "split independent of parent draws" (fun () ->
+        let a = Rng.create 9 and b = Rng.create 9 in
+        let sa = Rng.split a and sb = Rng.split b in
+        ignore (Rng.int64 a);
+        (* consuming the parent must not affect the child *)
+        check_true "children agree" (Rng.int64 sa = Rng.int64 sb));
+    t "float in [0,1)" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Rng.float r in
+          check_true "range" (x >= 0. && x < 1.)
+        done);
+    t "uniform respects bounds" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let x = Rng.uniform r ~lo:(-2.) ~hi:5. in
+          check_true "range" (x >= -2. && x < 5.)
+        done);
+    t "uniform rejects inverted bounds" (fun () ->
+        check_raises_invalid "lo>hi" (fun () ->
+            Rng.uniform (Rng.create 1) ~lo:1. ~hi:0.));
+    t "int range and error" (fun () ->
+        let r = Rng.create 4 in
+        for _ = 1 to 1000 do
+          let x = Rng.int r 7 in
+          check_true "range" (x >= 0 && x < 7)
+        done;
+        check_raises_invalid "n=0" (fun () -> Rng.int r 0));
+    t "gaussian roughly standard" (fun () ->
+        let r = Rng.create 11 in
+        let n = 20_000 in
+        let sum = ref 0. and sumsq = ref 0. in
+        for _ = 1 to n do
+          let x = Rng.gaussian r in
+          sum := !sum +. x;
+          sumsq := !sumsq +. (x *. x)
+        done;
+        let mean = !sum /. float_of_int n in
+        let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+        check_true "mean ~0" (Float.abs mean < 0.05);
+        check_true "var ~1" (Float.abs (var -. 1.) < 0.1));
+    t "shuffle is a permutation" (fun () ->
+        let a = Array.init 50 Fun.id in
+        Rng.shuffle (Rng.create 2) a;
+        let sorted = Array.copy a in
+        Array.sort Int.compare sorted;
+        Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted);
+  ]
+
+let heap_tests =
+  [
+    t "pop order is sorted" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+        let rec drain acc =
+          match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+        in
+        Alcotest.(check (list int)) "sorted" [ 1; 1; 3; 4; 5 ] (drain []));
+    t "peek does not remove" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        Heap.push h 2;
+        check_true "peek" (Heap.peek h = Some 2);
+        check_int "size" 1 (Heap.size h));
+    t "pop_exn on empty raises" (fun () ->
+        check_raises_invalid "empty" (fun () ->
+            Heap.pop_exn (Heap.create ~cmp:Int.compare)));
+    t "clear empties" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        Heap.push h 1;
+        Heap.clear h;
+        check_true "empty" (Heap.is_empty h));
+    t "to_sorted_list non-destructive" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 3; 1; 2 ];
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+        check_int "size intact" 3 (Heap.size h));
+    qcheck ~name:"heap sorts like List.sort"
+      QCheck2.Gen.(list (int_range (-1000) 1000))
+      (fun l ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) l;
+        Heap.to_sorted_list h = List.sort Int.compare l);
+  ]
+
+let queue_tests =
+  [
+    t "orders by time" (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:2. ~prio:0 "b";
+        Event_queue.add q ~time:1. ~prio:0 "a";
+        check_true "a first" (Event_queue.pop q = Some (1., "a")));
+    t "messages before timers at equal time (property 4)" (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:1. ~prio:Event_queue.prio_timer "timer";
+        Event_queue.add q ~time:1. ~prio:Event_queue.prio_message "msg";
+        check_true "msg first" (Event_queue.pop q = Some (1., "msg"));
+        check_true "timer second" (Event_queue.pop q = Some (1., "timer")));
+    t "FIFO within same time and class" (fun () ->
+        let q = Event_queue.create () in
+        Event_queue.add q ~time:1. ~prio:0 "first";
+        Event_queue.add q ~time:1. ~prio:0 "second";
+        check_true "fifo" (Event_queue.pop q = Some (1., "first")));
+    t "peek_time" (fun () ->
+        let q = Event_queue.create () in
+        check_true "empty" (Event_queue.peek_time q = None);
+        Event_queue.add q ~time:3. ~prio:0 ();
+        check_true "peek" (Event_queue.peek_time q = Some 3.));
+    t "rejects non-finite time" (fun () ->
+        check_raises_invalid "nan" (fun () ->
+            Event_queue.add (Event_queue.create ()) ~time:Float.nan ~prio:0 ()));
+  ]
+
+let engine_tests =
+  [
+    t "now advances with events" (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~time:5. ();
+        ignore (Engine.next e);
+        check_float "now" 5. (Engine.now e));
+    t "rejects scheduling in the past" (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~time:5. ();
+        ignore (Engine.next e);
+        check_raises_invalid "past" (fun () -> Engine.schedule e ~time:4. ()));
+    t "run_until processes window and advances now" (fun () ->
+        let e = Engine.create () in
+        List.iter (fun tm -> Engine.schedule e ~time:tm tm) [ 1.; 2.; 7. ];
+        let seen = ref [] in
+        Engine.run_until e ~until:3. ~handler:(fun _ x -> seen := x :: !seen);
+        Alcotest.(check (list (float 0.))) "window" [ 2.; 1. ] !seen;
+        check_float "now" 3. (Engine.now e);
+        check_int "pending" 1 (Engine.pending e));
+    t "handler may schedule inside the window" (fun () ->
+        let e = Engine.create () in
+        Engine.schedule e ~time:1. `A;
+        let seen = ref 0 in
+        Engine.run_until e ~until:2. ~handler:(fun _ ev ->
+            incr seen;
+            match ev with `A -> Engine.schedule e ~time:1.5 `B | `B -> ());
+        check_int "both" 2 !seen);
+    t "run_until earlier than now is a no-op" (fun () ->
+        let e = Engine.create ~start_time:10. () in
+        Engine.run_until e ~until:5. ~handler:(fun _ () -> Alcotest.fail "no");
+        check_float "now" 10. (Engine.now e));
+    t "drain respects max_events" (fun () ->
+        let e = Engine.create () in
+        for i = 1 to 10 do
+          Engine.schedule e ~time:(float_of_int i) ()
+        done;
+        let n = Engine.drain e ~handler:(fun _ () -> ()) ~max_events:3 in
+        check_int "guard" 3 n;
+        check_int "left" 7 (Engine.pending e));
+    t "step returns false on empty" (fun () ->
+        check_bool "empty" false
+          (Engine.step (Engine.create ()) ~handler:(fun _ () -> ())));
+  ]
+
+let trace_tests =
+  [
+    t "disabled by default" (fun () ->
+        let tr = Trace.create () in
+        Trace.record tr ~time:1. "x";
+        check_int "empty" 0 (Trace.length tr));
+    t "records when enabled" (fun () ->
+        let tr = Trace.create () in
+        Trace.set_enabled tr true;
+        Trace.record tr ~time:1. "x";
+        Trace.recordf tr ~time:2. "y=%d" 7;
+        Alcotest.(check (list (pair (float 0.) string)))
+          "entries"
+          [ (1., "x"); (2., "y=7") ]
+          (Trace.to_list tr));
+    t "ring buffer evicts oldest" (fun () ->
+        let tr = Trace.create ~capacity:3 () in
+        Trace.set_enabled tr true;
+        List.iter (fun i -> Trace.record tr ~time:(float_of_int i) (string_of_int i))
+          [ 1; 2; 3; 4; 5 ];
+        check_int "capped" 3 (Trace.length tr);
+        check_int "total" 5 (Trace.total tr);
+        Alcotest.(check (list string))
+          "latest three" [ "3"; "4"; "5" ]
+          (List.map snd (Trace.to_list tr)));
+    t "clear resets" (fun () ->
+        let tr = Trace.create () in
+        Trace.set_enabled tr true;
+        Trace.record tr ~time:0. "x";
+        Trace.clear tr;
+        check_int "empty" 0 (Trace.length tr));
+    t "capacity must be positive" (fun () ->
+        check_raises_invalid "cap" (fun () -> ignore (Trace.create ~capacity:0 ())));
+  ]
+
+let suite = rng_tests @ heap_tests @ queue_tests @ engine_tests @ trace_tests

@@ -147,6 +147,70 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run one ad-hoc maintenance simulation.")
     Term.(ret (const run $ quick_arg $ seed $ n $ f $ rounds $ faults $ trace))
 
+(* csync chaos *)
+let chaos_cmd =
+  let run quick seed plans n f rounds =
+    let module RC = Csync_harness.Runner_chaos in
+    let module Plan = Csync_chaos.Plan in
+    let module Injector = Csync_chaos.Injector in
+    match Csync_harness.Defaults.base ~n ~f () with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | _ when f < 1 -> `Error (false, "chaos needs a fault budget of f >= 1")
+    | params ->
+    let plans = if quick then min plans 5 else plans in
+    let seeds = List.init plans (fun i -> seed + i) in
+    let rounds = max 15 rounds in
+    Format.printf "chaos campaign: %d plans, %a@." plans Csync_core.Params.pp
+      params;
+    let runs = RC.campaign ~rounds ~params ~seeds () in
+    let failures =
+      List.filter
+        (fun { RC.seed; plan; result = r } ->
+          Format.printf
+            "seed %-6d  %-40s  injected %-4d  clean skew %.3e / gamma %.3e  %s@."
+            seed (Plan.describe plan)
+            (Injector.total r.RC.stats)
+            r.RC.max_clean_skew r.RC.gamma
+            (if RC.ok r then "ok"
+             else if RC.agreement_ok r then "REJOIN FAILED"
+             else "AGREEMENT VIOLATED");
+          List.iter
+            (fun v ->
+              Format.printf "             recovery p%d: %s@." v.RC.pid
+                (match v.RC.join_round with
+                 | Some r -> Printf.sprintf "rejoined at round %d" r
+                 | None -> "never rejoined"))
+            r.RC.recoveries;
+          not (RC.ok r))
+        runs
+    in
+    if failures = [] then begin
+      Format.printf "all %d plans passed.@." plans;
+      `Ok ()
+    end
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d of %d chaos plans violated the bound"
+            (List.length failures) plans )
+  in
+  let seed = Arg.(value & opt int 1000 & info [ "seed" ] ~doc:"First seed.") in
+  let plans =
+    Arg.(value & opt int 20 & info [ "plans" ] ~doc:"Number of random plans.")
+  in
+  let n = Arg.(value & opt int 7 & info [ "n" ] ~doc:"Number of processes.") in
+  let f = Arg.(value & opt int 2 & info [ "f" ] ~doc:"Fault budget.") in
+  let rounds =
+    Arg.(value & opt int 24 & info [ "rounds" ] ~doc:"Rounds per run (>= 15).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a campaign of randomized fault plans (crashes, partitions, \
+          lossy links, clock disturbances) and check the suspect-aware \
+          agreement bound plus reintegration of repaired crashers.")
+    Term.(ret (const run $ quick_arg $ seed $ plans $ n $ f $ rounds))
+
 (* csync export *)
 let export_cmd =
   let dir_arg =
@@ -210,6 +274,6 @@ let main_cmd =
      simulator, experiments, and parameter calculus."
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; params_cmd; simulate_cmd; export_cmd ]
+    [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; export_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -32,9 +32,9 @@ let () =
   List.iter
     (fun (n : Csync_runtime.Live.node_report) ->
       Format.printf
-        "  node %d: offset %+.4f s, rate %+.1e, corr %+.4f s, %d rounds, %d sent / %d received@."
+        "  node %d: offset %+.4f s, rate %+.1e, corr %+.4f s, %d rounds, %d sent / %d received / %d malformed dropped@."
         n.pid n.injected_offset (n.injected_rate -. 1.) n.final_corr n.rounds
-        n.sent n.received)
+        n.sent n.received n.malformed)
     report.Csync_runtime.Live.nodes;
   Format.printf "initial skew : %.4e s@." report.Csync_runtime.Live.initial_skew;
   Format.printf "final skew   : %.4e s (gamma = %.4e s)@."

@@ -1,0 +1,149 @@
+module Rng = Csync_sim.Rng
+module Params = Csync_core.Params
+
+type spec = {
+  params : Params.t;
+  window : Plan.interval;
+  include_crash : bool;
+  max_victims : int option;
+}
+
+let spec ?(include_crash = false) ?max_victims ~params ~window () =
+  { params; window; include_crash; max_victims }
+
+type kind =
+  | K_crash
+  | K_partition
+  | K_drop
+  | K_duplicate
+  | K_reorder
+  | K_corrupt
+  | K_step
+  | K_rate
+
+let kinds =
+  [| K_partition; K_drop; K_duplicate; K_reorder; K_corrupt; K_step; K_rate |]
+
+(* Pick an interval inside the spec window: starts anywhere, lasts between
+   half a round and ~2.5 rounds, clipped to the window. *)
+let pick_interval ~rng spec =
+  let { Plan.from_time; until_time } = spec.window in
+  let big_p = spec.params.Params.big_p in
+  let start = Rng.uniform rng ~lo:from_time ~hi:(until_time -. (0.5 *. big_p)) in
+  let duration = Rng.uniform rng ~lo:(0.5 *. big_p) ~hi:(2.5 *. big_p) in
+  Plan.interval ~from_time:start
+    ~until_time:(Float.min until_time (start +. duration))
+
+let others ~n ~rng ~excluding k =
+  let pool = List.filter (fun p -> p <> excluding) (List.init n Fun.id) in
+  let arr = Array.of_list pool in
+  Rng.shuffle rng arr;
+  Array.to_list (Array.sub arr 0 (min k (Array.length arr)))
+
+(* Magnitudes are chosen recoverable-by-design: steps just above gamma
+   and brief out-of-band rate excursions knock a process well outside the
+   agreement bound but leave the round structure intact (shifts are tiny
+   next to P), so the algorithm pulls it back within the settle window.
+   Unrecoverable magnitudes belong in hand-written plans, not random
+   campaigns. *)
+let events_for ~rng spec ~victim kind =
+  let p = spec.params in
+  let n = p.Params.n in
+  let beta = p.Params.beta and eps = p.Params.eps and rho = p.Params.rho in
+  match kind with
+  | K_crash ->
+    let over = pick_interval ~rng spec in
+    let down = Rng.uniform rng ~lo:1.5 ~hi:4. *. p.Params.big_p in
+    [
+      Plan.Crash { pid = victim; at = over.Plan.from_time };
+      Plan.Recover { pid = victim; at = over.Plan.from_time +. down };
+    ]
+  | K_partition ->
+    let right = List.filter (fun q -> q <> victim) (List.init n Fun.id) in
+    [ Plan.Partition { left = [ victim ]; right; over = pick_interval ~rng spec } ]
+  | K_drop ->
+    let over = pick_interval ~rng spec in
+    let prob = Rng.uniform rng ~lo:0.3 ~hi:1. in
+    List.map
+      (fun dst -> Plan.Link { src = victim; dst; fault = Plan.Drop prob; over })
+      (others ~n ~rng ~excluding:victim (1 + Rng.int rng 3))
+  | K_duplicate ->
+    let over = pick_interval ~rng spec in
+    let prob = Rng.uniform rng ~lo:0.3 ~hi:1. in
+    List.map
+      (fun dst ->
+        Plan.Link { src = victim; dst; fault = Plan.Duplicate prob; over })
+      (others ~n ~rng ~excluding:victim (1 + Rng.int rng 3))
+  | K_reorder ->
+    let over = pick_interval ~rng spec in
+    let jitter = Rng.uniform rng ~lo:1. ~hi:4. *. eps in
+    List.map
+      (fun dst ->
+        Plan.Link { src = victim; dst; fault = Plan.Reorder jitter; over })
+      (others ~n ~rng ~excluding:victim (1 + Rng.int rng 3))
+  | K_corrupt ->
+    let over = pick_interval ~rng spec in
+    let prob = Rng.uniform rng ~lo:0.3 ~hi:1. in
+    List.map
+      (fun dst ->
+        Plan.Link { src = victim; dst; fault = Plan.Corrupt prob; over })
+      (others ~n ~rng ~excluding:victim (1 + Rng.int rng 3))
+  | K_step ->
+    (* Recovery from a step is asymmetric.  A clock stepped BACKWARD
+       broadcasts late but still hears the whole pack (their messages
+       land after its broadcast, inside its window), so one update
+       absorbs the step - sizes up to ~2 beta heal within a round or
+       two.  A clock stepped FORWARD closes its collection window before
+       the pack's messages arrive once the step exceeds the window slack
+       (roughly beta + 2 eps minus the pack's converged spread, which is
+       BELOW gamma); past that it free-runs forever and only full
+       reintegration could bring it back.  So: backward steps are drawn
+       above gamma to genuinely break agreement, forward steps stay
+       below the slack so they remain absorbable. *)
+    let amount =
+      if Rng.bool rng then Rng.uniform rng ~lo:0.3 ~hi:0.6 *. beta
+      else -.(Rng.uniform rng ~lo:1.4 ~hi:1.8 *. beta)
+    in
+    let at =
+      Rng.uniform rng ~lo:spec.window.Plan.from_time
+        ~hi:(spec.window.Plan.until_time -. (0.5 *. p.Params.big_p))
+    in
+    [ Plan.Clock_step { pid = victim; at; amount } ]
+  | K_rate ->
+    (* Far outside the rho-band, but capped so the offset accumulated per
+       round, (factor - 1) P, stays under the forward-step heal slack -
+       a faster excursion strands the victim just like a big forward
+       step. *)
+    let sign = if Rng.bool rng then 1. else -1. in
+    let factor = 1. +. (sign *. Rng.uniform rng ~lo:50. ~hi:400. *. rho) in
+    [ Plan.Rate_change { pid = victim; factor; over = pick_interval ~rng spec } ]
+
+let random ~rng spec =
+  let p = spec.params in
+  let n = p.Params.n and f = p.Params.f in
+  if f < 1 then invalid_arg "Chaos.Gen.random: need f >= 1";
+  if spec.window.Plan.until_time -. spec.window.Plan.from_time < p.Params.big_p
+  then invalid_arg "Chaos.Gen.random: window shorter than one round";
+  let budget = match spec.max_victims with Some m -> min m f | None -> f in
+  let victims =
+    let pids = Array.init n Fun.id in
+    Rng.shuffle rng pids;
+    Array.to_list (Array.sub pids 0 (max 1 (1 + Rng.int rng budget)))
+  in
+  let plan =
+    List.concat
+      (List.mapi
+         (fun i victim ->
+           let kind =
+             if spec.include_crash && i = 0 then K_crash
+             else kinds.(Rng.int rng (Array.length kinds))
+           in
+           events_for ~rng spec ~victim kind)
+         victims)
+  in
+  Plan.validate ~n plan;
+  (* Faults only ever target victim processes, and |victims| <= f, so the
+     concurrent-suspect budget holds by construction; keep the check as a
+     guard against generator drift. *)
+  assert (List.length (Plan.affected_pids plan) <= f);
+  plan

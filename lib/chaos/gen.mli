@@ -1,0 +1,35 @@
+(** Seeded random fault-plan generation for campaign runs.
+
+    Generated plans are adversarial but principled: each plan picks at
+    most [f] victim processes and aims every fault at them, so the
+    concurrent-suspect count never exceeds the paper's fault budget and
+    the agreement bound must still hold over the remaining processes.
+    Magnitudes (clock steps of a few beta, rate excursions far outside
+    the rho-band but bounded, sub-round reorder jitter) are chosen so a
+    disturbed process is genuinely knocked outside gamma yet can be
+    pulled back within the settle window. *)
+
+type spec = {
+  params : Csync_core.Params.t;
+  window : Plan.interval;  (** real-time window faults may start in *)
+  include_crash : bool;
+      (** force the first victim to crash and later recover *)
+  max_victims : int option;  (** further cap below [params.f] *)
+}
+
+val spec :
+  ?include_crash:bool ->
+  ?max_victims:int ->
+  params:Csync_core.Params.t ->
+  window:Plan.interval ->
+  unit ->
+  spec
+
+val random : rng:Csync_sim.Rng.t -> spec -> Plan.t
+(** A fresh validated plan: 1 to [min f max_victims] victims, each hit by
+    one randomly chosen fault kind (crash+recover, isolation partition,
+    link drop/duplicate/reorder/corrupt toward 1-3 destinations, clock
+    step, or rate change).  Deterministic in [rng].
+
+    @raise Invalid_argument if [params.f < 1] or the window is shorter
+    than one round. *)

@@ -1,0 +1,131 @@
+module Mb = Csync_net.Message_buffer
+module Rng = Csync_sim.Rng
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable corrupted : int;
+  mutable partitioned : int;
+}
+
+let stats () =
+  { dropped = 0; duplicated = 0; delayed = 0; corrupted = 0; partitioned = 0 }
+
+let total s = s.dropped + s.duplicated + s.delayed + s.corrupted + s.partitioned
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "dropped=%d duplicated=%d delayed=%d corrupted=%d partitioned=%d" s.dropped
+    s.duplicated s.delayed s.corrupted s.partitioned
+
+let crosses_cut left right ~src ~dst =
+  (List.mem src left && List.mem dst right)
+  || (List.mem src right && List.mem dst left)
+
+let partitioned plan ~now ~src ~dst =
+  List.exists
+    (function
+      | Plan.Partition { left; right; over } ->
+        Plan.in_interval over ~time:now && crosses_cut left right ~src ~dst
+      | _ -> false)
+    plan
+
+let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
+ fun ~now ~src ~dst m ->
+  if partitioned plan ~now ~src ~dst then begin
+    st.partitioned <- st.partitioned + 1;
+    []
+  end
+  else begin
+    let fates = ref [ { Mb.payload = m; extra_delay = 0. } ] in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Plan.Link { src = s; dst = d; fault; over }
+          when s = src && d = dst && Plan.in_interval over ~time:now
+               && !fates <> [] -> (
+          match fault with
+          | Plan.Drop p ->
+            if Rng.float rng < p then begin
+              st.dropped <- st.dropped + 1;
+              fates := []
+            end
+          | Plan.Duplicate p ->
+            if Rng.float rng < p then begin
+              st.duplicated <- st.duplicated + 1;
+              fates := { Mb.payload = m; extra_delay = 0. } :: !fates
+            end
+          | Plan.Reorder jitter ->
+            st.delayed <- st.delayed + 1;
+            fates :=
+              List.map
+                (fun f ->
+                  {
+                    f with
+                    Mb.extra_delay =
+                      f.Mb.extra_delay +. Rng.uniform rng ~lo:0. ~hi:jitter;
+                  })
+                !fates
+          | Plan.Corrupt p ->
+            fates :=
+              List.map
+                (fun f ->
+                  if Rng.float rng < p then begin
+                    st.corrupted <- st.corrupted + 1;
+                    { f with Mb.payload = corrupt rng f.Mb.payload }
+                  end
+                  else f)
+                !fates)
+        | _ -> ())
+      plan;
+    !fates
+  end
+
+let install ~plan ~rng ~corrupt ~stats buffer =
+  Mb.set_tamper buffer (tamper ~plan ~rng ~corrupt ~stats)
+
+(* A float-payload mangler for protocols whose messages are clock values:
+   mixes sign flips, large offsets, and non-finite garbage. *)
+let corrupt_float rng v =
+  match Rng.int rng 4 with
+  | 0 -> -.v
+  | 1 -> v +. Rng.uniform rng ~lo:(-1e6) ~hi:1e6
+  | 2 -> Float.nan
+  | _ -> v *. Rng.uniform rng ~lo:(-1e3) ~hi:1e3
+
+(* The live runtime cannot re-delay or rewrite datagrams from a hook, so
+   only loss-like faults (partitions, drops) and duplication apply there;
+   reorder and corruption are exercised against a live node by actually
+   sending garbage datagrams at it. *)
+let live_link ~plan ~rng ~stats:st ~self ~epoch =
+ fun ~now ~dir ~peer ->
+  let elapsed = now -. epoch in
+  let src, dst = match dir with `Send -> (self, peer) | `Recv -> (peer, self) in
+  if partitioned plan ~now:elapsed ~src ~dst then begin
+    st.partitioned <- st.partitioned + 1;
+    `Drop
+  end
+  else
+    List.fold_left
+      (fun decision ev ->
+        match (decision, ev) with
+        | `Drop, _ -> `Drop
+        | _, Plan.Link { src = s; dst = d; fault; over }
+          when s = src && d = dst && Plan.in_interval over ~time:elapsed -> (
+          match fault with
+          | Plan.Drop p ->
+            if Rng.float rng < p then begin
+              st.dropped <- st.dropped + 1;
+              `Drop
+            end
+            else decision
+          | Plan.Duplicate p ->
+            if Rng.float rng < p then begin
+              st.duplicated <- st.duplicated + 1;
+              `Duplicate
+            end
+            else decision
+          | Plan.Reorder _ | Plan.Corrupt _ -> decision)
+        | _ -> decision)
+      `Deliver plan

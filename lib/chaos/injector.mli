@@ -1,0 +1,60 @@
+(** Compilation of fault plans into runnable hooks.
+
+    For the simulator, a plan becomes a {!Csync_net.Message_buffer.tamper}
+    that drops, duplicates, delays, or corrupts messages link by link; for
+    the live runtime it becomes a link filter a {!Csync_runtime.Node}
+    consults on every datagram.  Both keep injection statistics so a
+    campaign can report what was actually thrown at the system. *)
+
+type stats = {
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable corrupted : int;
+  mutable partitioned : int;  (** messages lost to an active partition *)
+}
+
+val stats : unit -> stats
+(** Fresh zeroed counters. *)
+
+val total : stats -> int
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val tamper :
+  plan:Plan.t ->
+  rng:Csync_sim.Rng.t ->
+  corrupt:(Csync_sim.Rng.t -> 'm -> 'm) ->
+  stats:stats ->
+  'm Csync_net.Message_buffer.tamper
+(** Compile the plan's partition and link events into a message
+    interposer.  [corrupt] mangles a payload (see {!corrupt_float} for the
+    float-message protocols). *)
+
+val install :
+  plan:Plan.t ->
+  rng:Csync_sim.Rng.t ->
+  corrupt:(Csync_sim.Rng.t -> 'm -> 'm) ->
+  stats:stats ->
+  'm Csync_net.Message_buffer.t ->
+  unit
+(** [tamper] + [Message_buffer.set_tamper]. *)
+
+val corrupt_float : Csync_sim.Rng.t -> float -> float
+(** Mangle a float payload: sign flips, huge offsets, NaN. *)
+
+val live_link :
+  plan:Plan.t ->
+  rng:Csync_sim.Rng.t ->
+  stats:stats ->
+  self:int ->
+  epoch:float ->
+  now:float ->
+  dir:[ `Send | `Recv ] ->
+  peer:int ->
+  [ `Deliver | `Drop | `Duplicate ]
+(** Link filter for a live node: [now] is wall time, [epoch] the wall
+    instant corresponding to plan time 0.  Only loss-like faults
+    (partitions, drops) and duplication apply on the live path; reorder
+    and corruption are exercised there by sending real garbage datagrams
+    instead. *)

@@ -1,0 +1,219 @@
+type interval = { from_time : float; until_time : float }
+
+let interval ~from_time ~until_time =
+  if until_time <= from_time then invalid_arg "Chaos.Plan.interval: empty interval";
+  { from_time; until_time }
+
+let in_interval i ~time = time >= i.from_time && time < i.until_time
+
+type link_fault =
+  | Drop of float
+  | Duplicate of float
+  | Reorder of float
+  | Corrupt of float
+
+type event =
+  | Partition of { left : int list; right : int list; over : interval }
+  | Link of { src : int; dst : int; fault : link_fault; over : interval }
+  | Clock_step of { pid : int; at : float; amount : float }
+  | Rate_change of { pid : int; factor : float; over : interval }
+  | Crash of { pid : int; at : float }
+  | Recover of { pid : int; at : float }
+
+type t = event list
+
+let check_pid ~n pid =
+  if pid < 0 || pid >= n then
+    invalid_arg (Printf.sprintf "Chaos.Plan: pid %d out of range [0, %d)" pid n)
+
+let check_probability name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Chaos.Plan: %s probability %g out of [0, 1]" name p)
+
+let check_interval i =
+  if i.until_time <= i.from_time then invalid_arg "Chaos.Plan: empty interval"
+
+let validate ~n plan =
+  let crashes = Hashtbl.create 8 and recoveries = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Partition { left; right; over } ->
+        check_interval over;
+        List.iter (check_pid ~n) left;
+        List.iter (check_pid ~n) right;
+        if left = [] || right = [] then
+          invalid_arg "Chaos.Plan: partition with an empty side";
+        List.iter
+          (fun p ->
+            if List.mem p right then
+              invalid_arg "Chaos.Plan: partition sides overlap")
+          left
+      | Link { src; dst; fault; over } ->
+        check_interval over;
+        check_pid ~n src;
+        check_pid ~n dst;
+        (match fault with
+         | Drop p -> check_probability "drop" p
+         | Duplicate p -> check_probability "duplicate" p
+         | Corrupt p -> check_probability "corrupt" p
+         | Reorder jitter ->
+           if jitter < 0. then invalid_arg "Chaos.Plan: negative reorder jitter")
+      | Clock_step { pid; at; amount = _ } ->
+        check_pid ~n pid;
+        if at < 0. then invalid_arg "Chaos.Plan: clock step before time 0"
+      | Rate_change { pid; factor; over } ->
+        check_interval over;
+        check_pid ~n pid;
+        if factor <= 0. then invalid_arg "Chaos.Plan: nonpositive rate factor"
+      | Crash { pid; at } ->
+        check_pid ~n pid;
+        if Hashtbl.mem crashes pid then
+          invalid_arg "Chaos.Plan: multiple crashes of one process";
+        Hashtbl.add crashes pid at
+      | Recover { pid; at } ->
+        check_pid ~n pid;
+        if Hashtbl.mem recoveries pid then
+          invalid_arg "Chaos.Plan: multiple recoveries of one process";
+        Hashtbl.add recoveries pid at)
+    plan;
+  Hashtbl.iter
+    (fun pid at ->
+      match Hashtbl.find_opt crashes pid with
+      | None -> invalid_arg "Chaos.Plan: recovery without a crash"
+      | Some crash_at ->
+        if at <= crash_at then
+          invalid_arg "Chaos.Plan: recovery not after the crash")
+    recoveries
+
+let crash_schedule plan =
+  let recoveries = Hashtbl.create 8 in
+  List.iter
+    (function Recover { pid; at } -> Hashtbl.replace recoveries pid at | _ -> ())
+    plan;
+  List.filter_map
+    (function
+      | Crash { pid; at } -> Some (pid, at, Hashtbl.find_opt recoveries pid)
+      | _ -> None)
+    plan
+
+(* Blame assignment: every event makes some process set "suspect" (not
+   covered by the paper's assumptions) for some real-time window.  Link
+   faults are blamed on the sender; a partition on its smaller side (the
+   paper's model has no lossy links, so a cut makes one side faulty); clock
+   disturbances and crashes on the disturbed process.  [settle] extends
+   each window past the event's end: the time the algorithm needs to pull a
+   repaired or disturbed process back inside gamma. *)
+let suspect_windows ~settle plan =
+  let recoveries = Hashtbl.create 8 in
+  List.iter
+    (function Recover { pid; at } -> Hashtbl.replace recoveries pid at | _ -> ())
+    plan;
+  List.filter_map
+    (fun ev ->
+      match ev with
+      | Partition { left; right; over } ->
+        let side = if List.length left <= List.length right then left else right in
+        Some (side, { over with until_time = over.until_time +. settle })
+      | Link { src; over; _ } ->
+        Some ([ src ], { over with until_time = over.until_time +. settle })
+      | Clock_step { pid; at; amount } ->
+        (* The smeared step spans ~2|amount|; negligible next to settle but
+           included for exactness. *)
+        let width = 2. *. Float.abs amount in
+        Some ([ pid ], { from_time = at; until_time = at +. width +. settle })
+      | Rate_change { pid; over; _ } ->
+        Some ([ pid ], { over with until_time = over.until_time +. settle })
+      | Crash { pid; at } ->
+        let until =
+          match Hashtbl.find_opt recoveries pid with
+          | Some r -> r +. settle
+          | None -> infinity
+        in
+        Some ([ pid ], { from_time = at; until_time = until })
+      | Recover _ -> None)
+    plan
+
+let suspects_at plan ~settle ~time =
+  suspect_windows ~settle plan
+  |> List.filter_map (fun (pids, w) ->
+         if in_interval w ~time then Some pids else None)
+  |> List.concat
+  |> List.sort_uniq Int.compare
+
+let max_concurrent_suspects plan ~settle ~horizon =
+  (* The suspect count only changes at window boundaries; probing just
+     inside each start suffices. *)
+  let starts =
+    suspect_windows ~settle plan |> List.map (fun (_, w) -> w.from_time)
+  in
+  List.fold_left
+    (fun acc t0 ->
+      if t0 > horizon then acc
+      else max acc (List.length (suspects_at plan ~settle ~time:t0)))
+    0 starts
+
+let affected_pids plan =
+  suspect_windows ~settle:0. plan
+  |> List.concat_map fst
+  |> List.sort_uniq Int.compare
+
+let pp_link_fault ppf = function
+  | Drop p -> Format.fprintf ppf "drop(%.2f)" p
+  | Duplicate p -> Format.fprintf ppf "dup(%.2f)" p
+  | Reorder j -> Format.fprintf ppf "reorder(+%.2gs)" j
+  | Corrupt p -> Format.fprintf ppf "corrupt(%.2f)" p
+
+let pp_pids ppf pids =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    pids
+
+let pp_event ppf = function
+  | Partition { left; right; over } ->
+    Format.fprintf ppf "partition %a | %a @@ [%.2f, %.2f)" pp_pids left pp_pids
+      right over.from_time over.until_time
+  | Link { src; dst; fault; over } ->
+    Format.fprintf ppf "link %d->%d %a @@ [%.2f, %.2f)" src dst pp_link_fault
+      fault over.from_time over.until_time
+  | Clock_step { pid; at; amount } ->
+    Format.fprintf ppf "clock-step p%d %+.2g s @@ %.2f" pid amount at
+  | Rate_change { pid; factor; over } ->
+    Format.fprintf ppf "rate-change p%d x%.6f @@ [%.2f, %.2f)" pid factor
+      over.from_time over.until_time
+  | Crash { pid; at } -> Format.fprintf ppf "crash p%d @@ %.2f" pid at
+  | Recover { pid; at } -> Format.fprintf ppf "recover p%d @@ %.2f" pid at
+
+let pp ppf plan =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event)
+    plan
+
+let describe plan =
+  let parts = ref [] in
+  let bump key =
+    parts :=
+      match List.assoc_opt key !parts with
+      | Some n -> (key, n + 1) :: List.remove_assoc key !parts
+      | None -> (key, 1) :: !parts
+  in
+  List.iter
+    (fun ev ->
+      bump
+        (match ev with
+        | Partition _ -> "partition"
+        | Link { fault = Drop _; _ } -> "drop"
+        | Link { fault = Duplicate _; _ } -> "dup"
+        | Link { fault = Reorder _; _ } -> "reorder"
+        | Link { fault = Corrupt _; _ } -> "corrupt"
+        | Clock_step _ -> "step"
+        | Rate_change _ -> "rate"
+        | Crash _ -> "crash"
+        | Recover _ -> "recover"))
+    plan;
+  !parts
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (k, n) -> if n = 1 then k else Printf.sprintf "%s x%d" k n)
+  |> String.concat ", "

@@ -1,0 +1,75 @@
+(** Declarative fault plans.
+
+    A plan is a list of timed fault events against a run of the protocol:
+    network partitions, per-link message faults (loss, duplication,
+    reordering delay, payload corruption), clock disturbances, and process
+    crash/recovery.  Times are real (simulation) seconds.  Plans are data -
+    they can be generated ({!Gen}), printed, validated, and compiled into
+    the simulator's network layer or the live runtime ({!Injector}).
+
+    The paper proves its bounds under assumptions A1-A4 (reliable links,
+    rho-bounded clocks, at most f faulty processes); every plan event
+    violates one of them for some process over some window.  The blame
+    functions ({!suspects_at}) make that precise, so a campaign can check
+    the agreement bound over exactly the processes the paper still vouches
+    for. *)
+
+type interval = { from_time : float; until_time : float }
+
+val interval : from_time:float -> until_time:float -> interval
+(** @raise Invalid_argument if the interval is empty. *)
+
+val in_interval : interval -> time:float -> bool
+(** Half-open: [from_time <= time < until_time]. *)
+
+type link_fault =
+  | Drop of float  (** per-message loss probability *)
+  | Duplicate of float  (** probability of an extra copy *)
+  | Reorder of float
+      (** extra delivery delay drawn uniformly from [0, jitter] seconds -
+          enough jitter lets later messages overtake earlier ones *)
+  | Corrupt of float  (** probability the payload is mangled *)
+
+type event =
+  | Partition of { left : int list; right : int list; over : interval }
+      (** every message crossing the cut is lost, both directions *)
+  | Link of { src : int; dst : int; fault : link_fault; over : interval }
+  | Clock_step of { pid : int; at : float; amount : float }
+      (** the hardware clock jumps by [amount] seconds *)
+  | Rate_change of { pid : int; factor : float; over : interval }
+      (** the hardware clock rate is scaled by [factor] - typically far
+          outside the rho-band *)
+  | Crash of { pid : int; at : float }
+  | Recover of { pid : int; at : float }
+      (** repair of a crashed process; it restarts with an arbitrary
+          correction and must reintegrate (Section 9.1) *)
+
+type t = event list
+
+val validate : n:int -> t -> unit
+(** @raise Invalid_argument on out-of-range pids, malformed probabilities
+    or intervals, overlapping partition sides, recoveries without (or not
+    after) a matching crash, or repeated crash/recovery of one process. *)
+
+val crash_schedule : t -> (int * float * float option) list
+(** [(pid, crash_at, recover_at)] for every crash in the plan. *)
+
+val suspects_at : t -> settle:float -> time:float -> int list
+(** Processes not covered by the paper's assumptions at [time]: blamed for
+    an active fault, or still within [settle] seconds of one ending
+    (crashed processes stay suspect until [settle] after recovery; never
+    recovered means suspect forever).  Link faults blame the sender, a
+    partition its smaller side.  Sorted, duplicate-free. *)
+
+val max_concurrent_suspects : t -> settle:float -> horizon:float -> int
+(** Peak of [suspects_at] over windows starting in [0, horizon]. *)
+
+val affected_pids : t -> int list
+(** Every process any event blames, over the whole plan. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val describe : t -> string
+(** Compact one-line summary, e.g. ["crash, drop x2, step"]. *)

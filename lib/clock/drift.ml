@@ -39,6 +39,87 @@ let alternating ~rho ~segment_duration ~horizon =
     (List.init segments (fun i ->
          (segment_duration, if i mod 2 = 0 then hi else lo)))
 
+type disturbance =
+  | Step of { at : float; amount : float }
+  | Rate_scale of { from_time : float; until_time : float; factor : float }
+
+(* Breakpoint form: [(start, rate)] ascending, first start = 0, last rate
+   extending to +infinity.  Much easier to splice than (duration, rate). *)
+let breakpoints = function
+  | Constant r -> [ (0., r) ]
+  | Piecewise [] -> [ (0., 1.) ]
+  | Piecewise segs ->
+    let _, acc =
+      List.fold_left
+        (fun (start, acc) (duration, rate) ->
+          (start +. duration, (start, rate) :: acc))
+        (0., []) segs
+    in
+    List.rev acc
+
+let rate_at pts time =
+  let rec go last = function
+    | (start, rate) :: rest when start <= time -> go rate rest
+    | _ -> last
+  in
+  match pts with [] -> 1. | (_, r0) :: _ -> go r0 pts
+
+(* Ensure a breakpoint exists exactly at [time] (no-op at or before 0). *)
+let split pts time =
+  if time <= 0. || List.exists (fun (s, _) -> s = time) pts then pts
+  else
+    let r = rate_at pts time in
+    let rec insert = function
+      | (s, _) :: _ as rest when s > time -> (time, r) :: rest
+      | p :: rest -> p :: insert rest
+      | [] -> [ (time, r) ]
+    in
+    insert pts
+
+let map_range pts ~from_time ~until_time f =
+  let pts = split (split pts (Float.max 0. from_time)) until_time in
+  List.map
+    (fun (s, r) -> if s >= from_time && s < until_time then (s, f r) else (s, r))
+    pts
+
+let apply_disturbance pts = function
+  | Rate_scale { from_time; until_time; factor } ->
+    if factor <= 0. then invalid_arg "Drift.disturb: nonpositive rate factor";
+    if until_time <= from_time then invalid_arg "Drift.disturb: empty rate-scale interval";
+    map_range pts ~from_time ~until_time (fun r -> r *. factor)
+  | Step { at; amount } ->
+    if at < 0. then invalid_arg "Drift.disturb: step before clock start";
+    if amount = 0. then pts
+    else begin
+      (* A discontinuous jump would break clock invertibility, so smear the
+         step over a short window whose rate shift accumulates to [amount];
+         the window width keeps every rate strictly positive. *)
+      let base = rate_at pts at in
+      let width = 2. *. Float.abs amount /. Float.min 1. base in
+      map_range pts ~from_time:at ~until_time:(at +. width) (fun r ->
+          r +. (amount /. width))
+    end
+
+let disturb t ~horizon disturbances =
+  match disturbances with
+  | [] -> t
+  | _ ->
+    let pts = List.fold_left apply_disturbance (breakpoints t) disturbances in
+    List.iter
+      (fun (start, rate) ->
+        if rate <= 0. then
+          invalid_arg
+            (Printf.sprintf
+               "Drift.disturb: disturbances drive the rate to %g at %g" rate start))
+      pts;
+    let rec to_segments = function
+      | (s0, r0) :: ((s1, _) :: _ as rest) ->
+        if s1 <= s0 then to_segments rest else (s1 -. s0, r0) :: to_segments rest
+      | [ (s_last, r_last) ] -> [ (Float.max 1e-9 (horizon -. s_last), r_last) ]
+      | [] -> [ (Float.max 1e-9 horizon, 1.) ]
+    in
+    Piecewise (to_segments pts)
+
 let rates = function
   | Constant r -> [ r ]
   | Piecewise [] -> [ 1. ]

@@ -47,6 +47,28 @@ val alternating : rho:float -> segment_duration:float -> horizon:float -> t
     adversarial "sawtooth" that maximizes relative drift between two
     clocks. *)
 
+(** {1 Chaos disturbances}
+
+    Fault injection deliberately breaks the rho-bound: a disturbed clock
+    models a process whose oscillator glitches (a step) or wanders out of
+    spec (a rate change).  Times are elapsed real time since the clock's
+    creation instant. *)
+
+type disturbance =
+  | Step of { at : float; amount : float }
+      (** Jump the reading by [amount] seconds at elapsed time [at].  To
+          keep the clock invertible the jump is smeared over a window of
+          width ~2|amount| as a rate excursion that accumulates exactly
+          [amount]. *)
+  | Rate_scale of { from_time : float; until_time : float; factor : float }
+      (** Multiply the rate by [factor] on [from_time, until_time). *)
+
+val disturb : t -> horizon:float -> disturbance list -> t
+(** Apply the disturbances to a base profile.  The result is generally NOT
+    rho-bounded (that is the point).
+    @raise Invalid_argument on empty intervals, nonpositive factors, or
+    disturbances that would drive a rate to zero or below. *)
+
 val rate_bounds : t -> float * float
 (** Minimum and maximum rate over the whole profile. *)
 

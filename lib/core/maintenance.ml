@@ -37,6 +37,7 @@ type config = {
   stagger : float;
   record_history : bool;
   initial_corr : float;
+  degrade : bool;
 }
 
 let arr_sentinel = -1e12
@@ -53,7 +54,7 @@ let exchange_spacing (p : Params.t) =
     ~beta:p.Params.beta
 
 let config ?(averaging = Averaging.midpoint) ?(exchanges = 1) ?(stagger = 0.)
-    ?(record_history = true) ?(initial_corr = 0.) params =
+    ?(record_history = true) ?(initial_corr = 0.) ?(degrade = false) params =
   if exchanges < 1 then invalid_arg "Maintenance.config: exchanges must be >= 1";
   if stagger < 0. then invalid_arg "Maintenance.config: negative stagger";
   if exchanges > 1 then begin
@@ -64,7 +65,7 @@ let config ?(averaging = Averaging.midpoint) ?(exchanges = 1) ?(stagger = 0.)
     if used >= params.Params.big_p then
       invalid_arg "Maintenance.config: P too short for this many exchanges"
   end;
-  { params; averaging; exchanges; stagger; record_history; initial_corr }
+  { params; averaging; exchanges; stagger; record_history; initial_corr; degrade }
 
 (* The local-time window between a broadcast and its update timer.  With
    staggering, late-offset senders (up to (n-1)*sigma later) must still be
@@ -105,9 +106,37 @@ let do_broadcast cfg ~phys s =
   ( { s with flag = Update; fresh; broadcast_phys = phys; update_at },
     [ Automaton.Broadcast s.t; Automaton.Set_timer_logical update_at ] )
 
+(* Degraded averaging: use only this round's actual arrivals, discarding as
+   many extremes as the live population can afford (g such that the 3g+1
+   rule still holds within the heard set).  When fewer peers answer than n
+   expects - beyond-f silence, a net split - the paper's fixed-f reduction
+   would average leftover sentinels into garbage; shrinking the discard
+   count instead keeps the correction anchored to the peers that are
+   actually alive.  With a full house it coincides with the paper's rule. *)
+let degraded_average cfg s =
+  let p = cfg.params in
+  let heard = ref [] and count = ref 0 in
+  Array.iteri
+    (fun q fresh ->
+      if fresh then begin
+        incr count;
+        heard := s.arr.(q) :: !heard
+      end)
+    s.fresh;
+  if !count = 0 then None
+  else
+    let g = min p.Params.f ((!count - 1) / 3) in
+    Some (Averaging.apply cfg.averaging ~f:g (Multiset.of_list !heard))
+
 let do_update cfg ~phys s =
   let p = cfg.params in
-  let av = Averaging.apply cfg.averaging ~f:p.Params.f (Multiset.of_array s.arr) in
+  let av =
+    if cfg.degrade then
+      match degraded_average cfg s with
+      | Some av -> av
+      | None -> s.t +. p.Params.delta (* heard nobody: free-run this round *)
+    else Averaging.apply cfg.averaging ~f:p.Params.f (Multiset.of_array s.arr)
+  in
   let adj = s.t +. p.Params.delta -. av in
   let corr = s.corr +. adj in
   let arrivals = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 s.fresh in

@@ -53,6 +53,7 @@ type config = private {
   stagger : float;
   record_history : bool;
   initial_corr : float;
+  degrade : bool;
 }
 
 val config :
@@ -61,10 +62,19 @@ val config :
   ?stagger:float ->
   ?record_history:bool ->
   ?initial_corr:float ->
+  ?degrade:bool ->
   Params.t ->
   config
 (** Defaults: midpoint averaging, one exchange per round, no stagger,
-    history recording on, zero initial correction.
+    history recording on, zero initial correction, no degraded mode.
+
+    [degrade] enables beyond-the-paper graceful degradation: each update
+    averages only the arrivals actually recorded since the round's
+    broadcast, discarding [min f ((heard-1)/3)] extremes per side instead
+    of a fixed [f], and free-runs (ADJ = 0) if nothing was heard.  With all
+    n processes alive it coincides with the paper's rule; with mass silence
+    (a partition, most peers down) it keeps the survivors averaging over
+    each other instead of over stale sentinels.
     @raise Invalid_argument if [exchanges < 1] or [stagger < 0]. *)
 
 val automaton : self_hint:int -> config -> (state, float) Csync_process.Automaton.t

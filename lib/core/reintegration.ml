@@ -84,14 +84,24 @@ let handle cfg ~self ~phys interrupt s =
     if v = c.target then begin
       let arr = Array.copy c.arr in
       arr.(q) <- phys +. s.corr;
+      let distinct =
+        Array.fold_left
+          (fun acc x -> if x <> Maintenance.arr_sentinel then acc + 1 else acc)
+          0 arr
+      in
       match c.deadline with
       | Some _ -> ({ s with mode = Collect { c with arr } }, [])
-      | None ->
-        (* First target arrival: every nonfaulty copy lands within
-           beta + 2 eps of real time from now. *)
+      | None when distinct >= p.Params.f + 1 ->
+        (* f+1 distinct senders have named the target, so at least one is
+           nonfaulty and every other nonfaulty copy lands within beta +
+           2 eps of real time from now.  Anchoring the window on the first
+           arrival instead would let a single faulty early-bird close it
+           before any nonfaulty message arrives, leaving the average full
+           of sentinels. *)
         let deadline = phys +. collect_window p in
         ( { s with mode = Collect { c with arr; deadline = Some deadline } },
           [ Automaton.Set_timer_phys deadline ] )
+      | None -> ({ s with mode = Collect { c with arr } }, [])
     end
     else (s, [])
   | Collect c, Automaton.Timer tag when c.deadline = Some tag ->

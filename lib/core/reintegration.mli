@@ -11,8 +11,11 @@
       beginning ("allowing part of a round to pass", as the paper puts it).
     + {b Collect}: it records the local arrival times of all messages
       carrying the target value T^i, waiting (1+rho)(beta + 2 eps) on its
-      own clock after the first one - long enough to hear every nonfaulty
-      process.  It then runs the same fault-tolerant averaging as the main
+      own clock after f+1 {e distinct} senders have delivered one - the
+      (f+1)-th sender guarantees a nonfaulty anchor, so the window covers
+      every nonfaulty process (anchoring on the very first arrival would
+      let a faulty early broadcast close the window before any nonfaulty
+      message lands).  It then runs the same fault-tolerant averaging as the main
       algorithm, ADJ = T^i + delta - mid(reduce(ARR)), and applies it.
       Its own ARR slot stays empty: during reintegration the process counts
       as one of the f faulty ones, which could always fail to send.
@@ -71,4 +74,4 @@ val handle :
 
 val collect_window : Params.t -> float
 (** (1+rho)(beta + 2 eps): how long (on its own clock) the rejoiner waits
-    after the first target-round arrival. *)
+    after the (f+1)-th distinct sender's target-round arrival. *)

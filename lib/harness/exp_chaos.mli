@@ -1,0 +1,5 @@
+(** E13: randomized chaos campaign - generated fault plans with a
+    suspect-aware gamma check and Section 9.1 reintegration of repaired
+    crashers. *)
+
+val experiment : Experiment.t

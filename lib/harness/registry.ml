@@ -12,6 +12,7 @@ let all =
     Exp_establishment.experiment;
     Exp_collision.experiment;
     Exp_ablation.experiment;
+    Exp_chaos.experiment;
   ]
 
 let find id =

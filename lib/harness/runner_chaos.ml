@@ -1,0 +1,246 @@
+module Rng = Csync_sim.Rng
+module Drift = Csync_clock.Drift
+module Hardware_clock = Csync_clock.Hardware_clock
+module Delay = Csync_net.Delay
+module Cluster = Csync_process.Cluster
+module Fault = Csync_process.Fault
+module Params = Csync_core.Params
+module Maintenance = Csync_core.Maintenance
+module Reintegration = Csync_core.Reintegration
+module Plan = Csync_chaos.Plan
+module Gen = Csync_chaos.Gen
+module Injector = Csync_chaos.Injector
+
+type t = {
+  params : Params.t;
+  seed : int;
+  plan : Plan.t;
+  rounds : int;
+  degrade : bool;
+}
+
+let make ?(seed = 42) ?(rounds = 24) ?(degrade = true) ~params plan =
+  { params; seed; plan; rounds; degrade }
+
+type recovery = {
+  pid : int;
+  recover_time : float;
+  join_round : int option;
+  post_join_skew : float;
+}
+
+type result = {
+  gamma : float;
+  max_clean_skew : float;
+  checked_samples : int;
+  skipped_samples : int;
+  max_suspects : int;
+  recoveries : recovery list;
+  stats : Injector.stats;
+}
+
+let settle_time (params : Params.t) = 5. *. params.Params.big_p
+
+let run t =
+  let { Params.n; f; rho; delta; eps; big_p; t0; beta; _ } = t.params in
+  Plan.validate ~n t.plan;
+  let rng = Rng.create t.seed in
+  let clock_rng = Rng.split rng in
+  let delay_rng = Rng.split rng in
+  let offset_rng = Rng.split rng in
+  let chaos_rng = Rng.split rng in
+  let corr_rng = Rng.split rng in
+  (* Mirror Env.make's construction (an even spread with jitter), but build
+     the clocks by hand: plan disturbances must be compiled into each
+     victim's drift profile before the clock is frozen. *)
+  let offset_spread = beta *. 0.9 in
+  let count = max 1 (n - 1) in
+  let offsets =
+    Array.init n (fun i ->
+        let cell = offset_spread /. float_of_int count in
+        let base = float_of_int i *. cell in
+        if i = 0 || i = count then base
+        else base +. (Rng.uniform offset_rng ~lo:(-0.25) ~hi:0.25 *. cell))
+  in
+  let horizon =
+    (float_of_int (t.rounds + 2) *. big_p *. (1. +. (2. *. rho))) +. 1.
+  in
+  (* Plan times are real; a clock's profile runs on time elapsed since its
+     creation instant offsets.(pid). *)
+  let disturbances pid =
+    List.filter_map
+      (function
+        | Plan.Clock_step { pid = p; at; amount } when p = pid ->
+          Some (Drift.Step { at = at -. offsets.(pid); amount })
+        | Plan.Rate_change { pid = p; factor; over } when p = pid ->
+          Some
+            (Drift.Rate_scale
+               {
+                 from_time = over.Plan.from_time -. offsets.(pid);
+                 until_time = over.Plan.until_time -. offsets.(pid);
+                 factor;
+               })
+        | _ -> None)
+      t.plan
+  in
+  let clocks =
+    Array.init n (fun pid ->
+        let base =
+          Drift.random ~rng:clock_rng ~rho ~segment_duration:(big_p /. 3.)
+            ~horizon
+        in
+        let profile = Drift.disturb base ~horizon (disturbances pid) in
+        Hardware_clock.create ~t0:offsets.(pid) ~offset:(t0 -. offsets.(pid))
+          profile)
+  in
+  let delay = Delay.uniform ~delta ~eps ~rng:delay_rng in
+  let cfg = Maintenance.config ~degrade:t.degrade t.params in
+  let crashes = Plan.crash_schedule t.plan in
+  let life_readers = Hashtbl.create 4 in
+  let procs =
+    Array.init n (fun pid ->
+        match List.find_opt (fun (p, _, _) -> p = pid) crashes with
+        | None -> fst (Maintenance.create ~self:pid cfg)
+        | Some (_, crash_at, recover_at) ->
+          let crash_phys = Hardware_clock.time clocks.(pid) crash_at in
+          let recover_phys =
+            match recover_at with
+            | None -> infinity
+            | Some at -> Hardware_clock.time clocks.(pid) at
+          in
+          (* The repaired process wakes with a garbage correction; the
+             reintegration automaton must absorb it (Section 9.1). *)
+          let initial_corr = Rng.uniform corr_rng ~lo:(-0.5) ~hi:0.5 in
+          let rcfg = Reintegration.config ~initial_corr cfg in
+          let auto =
+            Fault.crash_recover ~crash_phys ~recover_phys
+              ~recovery:(Reintegration.automaton ~self_hint:pid rcfg)
+              (Maintenance.automaton ~self_hint:pid cfg)
+          in
+          let proc, reader = Cluster.make_proc auto in
+          Hashtbl.add life_readers pid reader;
+          proc)
+  in
+  let cluster = Cluster.create ~clocks ~delay ~procs () in
+  let stats = Injector.stats () in
+  Injector.install ~plan:t.plan ~rng:chaos_rng ~corrupt:Injector.corrupt_float
+    ~stats (Cluster.buffer cluster);
+  Cluster.schedule_starts_at_logical cluster ~t0 ~corrs:(Array.make n 0.);
+  let tmax0 = Array.fold_left Float.max neg_infinity offsets in
+  let round_real i = tmax0 +. (i *. big_p) in
+  let warmup = round_real 2. in
+  let t_end = round_real (float_of_int t.rounds) in
+  let settle = settle_time t.params in
+  let times =
+    Sampling.grid ~from_time:warmup ~to_time:t_end ~count:(t.rounds * 8)
+  in
+  let max_clean_skew = ref 0. in
+  let checked = ref 0 and skipped = ref 0 and max_suspects = ref 0 in
+  let post_join = Hashtbl.create 4 in
+  let joined_real pid =
+    match Hashtbl.find_opt life_readers pid with
+    | None -> None
+    | Some reader -> (
+      match Fault.recovered_state (reader ()) with
+      | Some rstate when Reintegration.mode rstate = Reintegration.Joined -> (
+        match Reintegration.join_round rstate with
+        | Some jr -> Some (round_real (float_of_int (jr + 1)))
+        | None -> None)
+      | _ -> None)
+  in
+  Array.iter
+    (fun time ->
+      Cluster.run_until cluster time;
+      let suspects = Plan.suspects_at t.plan ~settle ~time in
+      max_suspects := max !max_suspects (List.length suspects);
+      if List.length suspects > f then incr skipped
+      else begin
+        incr checked;
+        let clean =
+          List.filter (fun p -> not (List.mem p suspects)) (List.init n Fun.id)
+        in
+        let locals = List.map (Cluster.local_time cluster) clean in
+        let lo = List.fold_left Float.min (List.hd locals) locals in
+        let hi = List.fold_left Float.max (List.hd locals) locals in
+        let skew = hi -. lo in
+        max_clean_skew := Float.max !max_clean_skew skew;
+        (* A rejoined ex-crasher is back inside the clean set once its
+           suspicion window closes; record the skew it participates in. *)
+        List.iter
+          (fun (pid, _, _) ->
+            if List.mem pid clean then
+              match joined_real pid with
+              | Some joined_at when time >= joined_at ->
+                let prev =
+                  Option.value (Hashtbl.find_opt post_join pid) ~default:0.
+                in
+                Hashtbl.replace post_join pid (Float.max prev skew)
+              | _ -> ())
+          crashes
+      end)
+    times;
+  let recoveries =
+    List.filter_map
+      (fun (pid, _, recover_at) ->
+        match recover_at with
+        | None -> None
+        | Some recover_time ->
+          let join_round =
+            match Hashtbl.find_opt life_readers pid with
+            | None -> None
+            | Some reader -> (
+              match Fault.recovered_state (reader ()) with
+              | Some rstate -> Reintegration.join_round rstate
+              | None -> None)
+          in
+          Some
+            {
+              pid;
+              recover_time;
+              join_round;
+              post_join_skew =
+                Option.value (Hashtbl.find_opt post_join pid) ~default:0.;
+            })
+      crashes
+  in
+  {
+    gamma = Params.gamma t.params;
+    max_clean_skew = !max_clean_skew;
+    checked_samples = !checked;
+    skipped_samples = !skipped;
+    max_suspects = !max_suspects;
+    recoveries;
+    stats;
+  }
+
+let agreement_ok r = r.checked_samples > 0 && r.max_clean_skew <= r.gamma
+
+let recoveries_ok r =
+  List.for_all
+    (fun rec_ ->
+      match rec_.join_round with
+      | None -> false
+      | Some _ -> rec_.post_join_skew <= r.gamma)
+    r.recoveries
+
+let ok r = agreement_ok r && recoveries_ok r
+
+type campaign_run = { seed : int; plan : Plan.t; result : result }
+
+let campaign ?(rounds = 24) ?(degrade = true) ~params ~seeds () =
+  if rounds < 15 then invalid_arg "Runner_chaos.campaign: need >= 15 rounds";
+  let big_p = (params : Params.t).Params.big_p in
+  let window =
+    Plan.interval ~from_time:(2. *. big_p)
+      ~until_time:(float_of_int (rounds - 12) *. big_p)
+  in
+  List.map
+    (fun seed ->
+      let gen_rng = Rng.create (seed lxor 0x5eed) in
+      (* Every other seed is forced to include a crash + recovery, so the
+         reintegration path is exercised throughout the campaign. *)
+      let spec = Gen.spec ~include_crash:(seed mod 2 = 0) ~params ~window () in
+      let plan = Gen.random ~rng:gen_rng spec in
+      let result = run { params; seed; plan; rounds; degrade } in
+      { seed; plan; result })
+    seeds

@@ -1,0 +1,88 @@
+(** Execution of chaos fault plans against a simulated cluster.
+
+    A plan ({!Csync_chaos.Plan}) is compiled into the simulation at three
+    layers: link faults and partitions become a message-buffer tamper
+    ({!Csync_chaos.Injector}), clock disturbances are spliced into the
+    victims' drift profiles before the clocks are frozen, and crash/recover
+    pairs wrap the victim's automaton in {!Csync_process.Fault.crash_recover}
+    with a Section 9.1 reintegration automaton (woken with a garbage
+    correction) as the recovery path.
+
+    The agreement check is suspect-aware: at each sample the plan's blame
+    windows ({!Csync_chaos.Plan.suspects_at}, with a settle time of five
+    rounds) name the processes currently outside the paper's assumptions.
+    Whenever at most [f] processes are suspect, the remaining ones form a
+    legitimate nonfaulty set and their skew must respect Theorem 16's gamma;
+    samples with more concurrent suspects prove nothing and are skipped
+    (campaign-generated plans never produce any). *)
+
+type t = {
+  params : Csync_core.Params.t;
+  seed : int;
+  plan : Csync_chaos.Plan.t;
+  rounds : int;
+  degrade : bool;
+      (** run the maintenance automata in degraded mode.  Required for
+          plans that isolate a process (a partitioned victim hears nobody;
+          the paper's fixed-f reduction would average stale sentinels into
+          an unbounded correction). *)
+}
+
+val make :
+  ?seed:int ->
+  ?rounds:int ->
+  ?degrade:bool ->
+  params:Csync_core.Params.t ->
+  Csync_chaos.Plan.t ->
+  t
+(** Defaults: seed 42, 24 rounds, degraded mode on. *)
+
+type recovery = {
+  pid : int;
+  recover_time : float;
+  join_round : int option;  (** None: never rejoined *)
+  post_join_skew : float;
+      (** worst clean-set skew this process took part in after joining and
+          leaving suspicion; 0 if never sampled *)
+}
+
+type result = {
+  gamma : float;
+  max_clean_skew : float;
+      (** worst skew over the non-suspect processes, across all checked
+          samples *)
+  checked_samples : int;  (** samples with at most f concurrent suspects *)
+  skipped_samples : int;
+  max_suspects : int;
+  recoveries : recovery list;  (** one per crash with a recovery *)
+  stats : Csync_chaos.Injector.stats;  (** what the injector actually did *)
+}
+
+val run : t -> result
+(** Build the cluster, install the plan, run [rounds] rounds sampling eight
+    times per round after a two-round warm-up.
+    @raise Invalid_argument if the plan fails validation. *)
+
+val agreement_ok : result -> bool
+(** At least one checked sample and [max_clean_skew <= gamma]. *)
+
+val recoveries_ok : result -> bool
+(** Every crashed-and-recovered process rejoined and stayed within gamma
+    afterwards.  Vacuously true without recoveries. *)
+
+val ok : result -> bool
+
+type campaign_run = { seed : int; plan : Csync_chaos.Plan.t; result : result }
+
+val campaign :
+  ?rounds:int ->
+  ?degrade:bool ->
+  params:Csync_core.Params.t ->
+  seeds:int list ->
+  unit ->
+  campaign_run list
+(** One generated plan + run per seed ({!Csync_chaos.Gen.random}, faults
+    placed in rounds 2 to [rounds - 12] so every recovery and settle window
+    closes before the run ends); even seeds are forced to include a
+    crash/recovery.
+    @raise Invalid_argument if [rounds < 15]. *)

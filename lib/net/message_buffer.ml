@@ -5,17 +5,26 @@ type 'm body = Start | Timer of float | Msg of 'm
 
 type 'm delivery = { src : int; dst : int; body : 'm body }
 
+type 'm fate = { payload : 'm; extra_delay : float }
+
+type 'm tamper = now:float -> src:int -> dst:int -> 'm -> 'm fate list
+
 type 'm t = {
   n : int;
   delay : Delay.t;
   collision : Collision.t;
   engine : 'm delivery Engine.t;
   mutable sent : int;
+  mutable tamper : 'm tamper option;
 }
 
 let create ~n ~delay ?(collision = Collision.none) ~engine () =
   if n <= 0 then invalid_arg "Message_buffer.create: nonpositive n";
-  { n; delay; collision; engine; sent = 0 }
+  { n; delay; collision; engine; sent = 0; tamper = None }
+
+let set_tamper t f = t.tamper <- Some f
+
+let clear_tamper t = t.tamper <- None
 
 let n t = t.n
 
@@ -35,10 +44,19 @@ let send t ~src ~dst m =
   check_pid t src "send";
   check_pid t dst "send";
   let now = Engine.now t.engine in
-  let d = Delay.draw t.delay ~src ~dst ~now in
   t.sent <- t.sent + 1;
-  Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
-    { src; dst; body = Msg m }
+  let deliver { payload; extra_delay } =
+    if extra_delay < 0. then invalid_arg "Message_buffer.send: negative extra delay";
+    (* Each copy draws its own in-model delay; the tamper's extra delay is
+       added on top, so chaos-injected latency can exceed delta + eps. *)
+    let d = Delay.draw t.delay ~src ~dst ~now in
+    Engine.schedule t.engine ~time:(now +. d +. extra_delay)
+      ~prio:Event_queue.prio_message
+      { src; dst; body = Msg payload }
+  in
+  match t.tamper with
+  | None -> deliver { payload = m; extra_delay = 0. }
+  | Some f -> List.iter deliver (f ~now ~src ~dst m)
 
 let broadcast t ~src m =
   for dst = 0 to t.n - 1 do

@@ -22,6 +22,15 @@ type 'm body =
 
 type 'm delivery = { src : int; dst : int; body : 'm body }
 
+type 'm fate = { payload : 'm; extra_delay : float }
+(** One scheduled copy of a tampered message: the (possibly corrupted)
+    payload and a nonnegative delay added on top of the modelled one. *)
+
+type 'm tamper = now:float -> src:int -> dst:int -> 'm -> 'm fate list
+(** A link-level fault interposer, consulted once per {!send}.  Returning
+    [[]] drops the message, one fate delivers it (possibly altered or
+    late), several fates duplicate it.  Used by the chaos layer. *)
+
 type 'm t
 
 val create :
@@ -42,8 +51,14 @@ val schedule_start : 'm t -> dst:int -> time:float -> unit
 (** Place the START message for [dst] with delivery time [time]. *)
 
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
-(** Send at the current real time; delivery after a modelled delay.
+(** Send at the current real time; delivery after a modelled delay.  If a
+    tamper is installed it decides the message's fate(s) first.
     @raise Invalid_argument if [dst] is out of range. *)
+
+val set_tamper : 'm t -> 'm tamper -> unit
+(** Install the link-fault interposer (replacing any previous one). *)
+
+val clear_tamper : 'm t -> unit
 
 val broadcast : 'm t -> src:int -> 'm -> unit
 (** Send to every process, including the sender (the paper's broadcast

@@ -28,6 +28,51 @@ let periodic ~name ~first_phys ~period_phys actions =
   let proc, reader = Cluster.make_proc auto in
   (proc, reader)
 
+type ('a, 'b) lifecycle = Running of 'a | Down of 'a | Recovered of 'b
+
+let lifecycle_phase = function
+  | Running _ -> `Running
+  | Down _ -> `Down
+  | Recovered _ -> `Recovered
+
+let recovered_state = function Recovered s -> Some s | Running _ | Down _ -> None
+
+let crash_recover ~crash_phys ~recover_phys ~(recovery : ('b, 'm) Automaton.t)
+    (auto : ('a, 'm) Automaton.t) =
+  if recover_phys <= crash_phys then
+    invalid_arg "Fault.crash_recover: recovery not after the crash";
+  let start_recovery ~self ~phys interrupt =
+    (* The repaired process boots its recovery automaton from scratch: a
+       fresh START, then - if the waking interrupt was a genuine message -
+       that message, which the recovered process really does receive.
+       Timers from its previous life died with it. *)
+    let st, acts = recovery.Automaton.handle ~self ~phys Automaton.Start recovery.Automaton.initial in
+    match interrupt with
+    | Automaton.Message _ ->
+      let st, acts' = recovery.Automaton.handle ~self ~phys interrupt st in
+      (Recovered st, acts @ acts')
+    | Automaton.Start | Automaton.Timer _ -> (Recovered st, acts)
+  in
+  {
+    Automaton.name = auto.Automaton.name ^ "+crash-recover";
+    initial = Running auto.Automaton.initial;
+    handle =
+      (fun ~self ~phys interrupt state ->
+        match state with
+        | Running s when phys < crash_phys ->
+          let s, acts = auto.Automaton.handle ~self ~phys interrupt s in
+          (Running s, acts)
+        | (Running s | Down s) when phys < recover_phys -> (Down s, [])
+        | Running _ | Down _ -> start_recovery ~self ~phys interrupt
+        | Recovered s ->
+          let s, acts = recovery.Automaton.handle ~self ~phys interrupt s in
+          (Recovered s, acts));
+    corr =
+      (function
+      | Running s | Down s -> auto.Automaton.corr s
+      | Recovered s -> recovery.Automaton.corr s);
+  }
+
 let crash_at ~phys:deadline auto =
   {
     auto with

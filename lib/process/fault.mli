@@ -29,6 +29,32 @@ val crash_at : phys:float -> ('s, 'm) Automaton.t -> ('s, 'm) Automaton.t
 (** Behaves exactly like the wrapped automaton until its physical clock
     reaches [phys], then ignores every interrupt (crash failure). *)
 
+type ('a, 'b) lifecycle = Running of 'a | Down of 'a | Recovered of 'b
+(** State of a {!crash_recover} process: the original automaton's state
+    while healthy, the frozen pre-crash state while down, the recovery
+    automaton's state after repair. *)
+
+val lifecycle_phase : ('a, 'b) lifecycle -> [ `Running | `Down | `Recovered ]
+
+val recovered_state : ('a, 'b) lifecycle -> 'b option
+
+val crash_recover :
+  crash_phys:float ->
+  recover_phys:float ->
+  recovery:('b, 'm) Automaton.t ->
+  ('a, 'm) Automaton.t ->
+  (('a, 'b) lifecycle, 'm) Automaton.t
+(** Crash failure followed by repair (the Section 9.1 scenario): run the
+    wrapped automaton until its physical clock reaches [crash_phys], stay
+    completely silent until [recover_phys], then - at the first interrupt
+    after repair - boot [recovery] from its initial state with a fresh
+    START (replaying the waking interrupt into it when it is a message,
+    since the repaired process really receives it).  Timers armed before
+    the crash are ignored in every later phase.  Pair with
+    {!Csync_core.Reintegration} as the recovery automaton to model a
+    repaired process rejoining the synchronized pack.
+    @raise Invalid_argument if [recover_phys <= crash_phys]. *)
+
 val receive_omission :
   rng:Csync_sim.Rng.t -> drop_probability:float -> ('s, 'm) Automaton.t -> ('s, 'm) Automaton.t
 (** Drops each incoming ordinary message independently with the given

@@ -1,0 +1,55 @@
+let frame_size = 24
+
+let magic = 0x43535931l (* "CSY1" *)
+
+type error =
+  | Truncated of int
+  | Oversized of int
+  | Bad_magic
+  | Bad_checksum
+  | Bad_src of int
+  | Bad_value
+
+let pp_error ppf = function
+  | Truncated len -> Format.fprintf ppf "truncated frame (%d bytes)" len
+  | Oversized len -> Format.fprintf ppf "oversized frame (%d bytes)" len
+  | Bad_magic -> Format.fprintf ppf "bad magic"
+  | Bad_checksum -> Format.fprintf ppf "bad checksum"
+  | Bad_src src -> Format.fprintf ppf "source pid %d out of range" src
+  | Bad_value -> Format.fprintf ppf "non-finite clock value"
+
+(* splitmix64 finalizer: every input bit affects every output bit, so any
+   single-bit wire corruption flips about half the checksum. *)
+let mix64 x =
+  let open Int64 in
+  let z = mul (logxor x (shift_right_logical x 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let checksum ~src ~bits =
+  mix64 (Int64.logxor bits (Int64.of_int (src lxor 0x5ca1ab1e)))
+
+let encode ~src ~value =
+  if src < 0 then invalid_arg "Codec.encode: negative src";
+  let bits = Int64.bits_of_float value in
+  let buf = Bytes.create frame_size in
+  Bytes.set_int32_be buf 0 magic;
+  Bytes.set_int32_be buf 4 (Int32.of_int src);
+  Bytes.set_int64_be buf 8 bits;
+  Bytes.set_int64_be buf 16 (checksum ~src ~bits);
+  buf
+
+let decode ~max_src buf ~len =
+  if len < frame_size then Error (Truncated len)
+  else if len > frame_size then Error (Oversized len)
+  else if Bytes.get_int32_be buf 0 <> magic then Error Bad_magic
+  else begin
+    let src = Int32.to_int (Bytes.get_int32_be buf 4) in
+    let bits = Bytes.get_int64_be buf 8 in
+    if Bytes.get_int64_be buf 16 <> checksum ~src ~bits then Error Bad_checksum
+    else if src < 0 || src > max_src then Error (Bad_src src)
+    else
+      let value = Int64.float_of_bits bits in
+      if not (Float.is_finite value) then Error Bad_value
+      else Ok (src, value)
+  end

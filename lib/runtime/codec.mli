@@ -1,0 +1,35 @@
+(** Validated wire format for live maintenance messages.
+
+    A frame is exactly {!frame_size} bytes: a 4-byte magic, the sender's
+    pid as a big-endian int32, the clock value's IEEE-754 bits as a
+    big-endian int64, and a splitmix64-mixed checksum over both.  A node
+    on a real network must assume any datagram can arrive on its port -
+    stale senders, port scanners, corrupted frames - so decoding returns
+    a typed error instead of trusting the bytes (the previous
+    [Marshal]-based format would segfault or raise on such input). *)
+
+val frame_size : int
+(** Exact size of every valid frame, in bytes. *)
+
+val magic : int32
+
+type error =
+  | Truncated of int  (** fewer than {!frame_size} bytes; carries length *)
+  | Oversized of int  (** more than {!frame_size} bytes; carries length *)
+  | Bad_magic
+  | Bad_checksum
+  | Bad_src of int  (** pid outside [0, max_src] *)
+  | Bad_value  (** NaN or infinite clock value *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : src:int -> value:float -> Bytes.t
+(** A fresh {!frame_size}-byte frame.
+    @raise Invalid_argument if [src < 0]. *)
+
+val decode : max_src:int -> Bytes.t -> len:int -> (int * float, error) result
+(** Parse the first [len] bytes of [buf] as a frame.  Checks are ordered
+    so the cheapest rejections (length, magic) come first; the checksum is
+    verified before the pid range so a corrupted pid field reports
+    [Bad_checksum], and [Bad_src] means a well-formed frame from an
+    out-of-range sender. *)

@@ -1,6 +1,8 @@
 module Params = Csync_core.Params
 module Maintenance = Csync_core.Maintenance
 module Rng = Csync_sim.Rng
+module Plan = Csync_chaos.Plan
+module Injector = Csync_chaos.Injector
 
 type node_report = {
   pid : int;
@@ -10,6 +12,8 @@ type node_report = {
   rounds : int;
   sent : int;
   received : int;
+  malformed : int;
+  send_errors : int;
 }
 
 type report = {
@@ -19,9 +23,16 @@ type report = {
   duration : float;
 }
 
-let run_maintenance ?(base_port = 17_400) ?(seed = 1) ~(params : Params.t)
-    ~duration ?(stagger = 0.) () =
+let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
+    ?active ~(params : Params.t) ~duration ?(stagger = 0.) () =
   let n = params.Params.n in
+  let active = match active with None -> List.init n Fun.id | Some a -> a in
+  List.iter
+    (fun pid ->
+      if pid < 0 || pid >= n then
+        invalid_arg "Live.run_maintenance: active pid out of range")
+    active;
+  (match plan with None -> () | Some p -> Plan.validate ~n p);
   let rng = Rng.create seed in
   let epoch = Unix.gettimeofday () +. 0.05 in
   let offsets =
@@ -36,24 +47,40 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ~(params : Params.t)
           ~hi:(1. +. params.Params.rho))
   in
   let peers = List.init n (fun pid -> (pid, base_port + pid)) in
-  let cfg = Maintenance.config ~stagger params in
+  let cfg = Maintenance.config ~stagger ~degrade params in
+  let stats = Injector.stats () in
   let nodes =
-    Array.init n (fun pid ->
+    List.map
+      (fun pid ->
         let clock =
           Wall_clock.create ~epoch ~offset:(params.Params.t0 +. offsets.(pid))
             ~rate:rates.(pid) ()
         in
+        (* The filter applies on the receive side only: each receiver
+           judges its own inbound link, so a lossy or cut src->dst link
+           is sampled exactly once per datagram. *)
+        let recv_filter =
+          match plan with
+          | None -> None
+          | Some plan ->
+            let link =
+              Injector.live_link ~plan ~rng:(Rng.split rng) ~stats ~self:pid
+                ~epoch
+            in
+            Some (fun ~now ~peer -> link ~now ~dir:`Recv ~peer)
+        in
         let node, reader =
           Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
             ~automaton:(Maintenance.automaton ~self_hint:pid cfg)
-            ()
+            ?recv_filter ()
         in
-        (node, reader, clock))
+        (pid, node, reader, clock))
+      active
   in
   let until = epoch +. duration in
   let threads =
-    Array.map
-      (fun (node, _, clock) ->
+    List.map
+      (fun (_, node, _, clock) ->
         Thread.create
           (fun () ->
             (* START when the node's own clock reads T0, per A4. *)
@@ -62,24 +89,24 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ~(params : Params.t)
           ())
       nodes
   in
-  Array.iter Thread.join threads;
+  List.iter Thread.join threads;
   let wall_end = Unix.gettimeofday () in
   let reports =
-    Array.to_list
-      (Array.mapi
-         (fun pid (node, reader, clock) ->
-           let state = reader () in
-           ignore clock;
-           {
-             pid;
-             injected_offset = offsets.(pid);
-             injected_rate = rates.(pid);
-             final_corr = Maintenance.corr state;
-             rounds = Maintenance.rounds_completed state;
-             sent = Node.messages_sent node;
-             received = Node.messages_received node;
-           })
-         nodes)
+    List.map
+      (fun (pid, node, reader, _clock) ->
+        let state = reader () in
+        {
+          pid;
+          injected_offset = offsets.(pid);
+          injected_rate = rates.(pid);
+          final_corr = Maintenance.corr state;
+          rounds = Maintenance.rounds_completed state;
+          sent = Node.messages_sent node;
+          received = Node.messages_received node;
+          malformed = Node.malformed node;
+          send_errors = Node.send_errors node;
+        })
+      nodes
   in
   (* Local time of node p at wall w: offset_p + rate_p (w - epoch) + corr_p
      (+ wall itself, common to everyone).  Spread over p is the skew. *)
@@ -95,7 +122,8 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ~(params : Params.t)
   in
   {
     nodes = reports;
-    initial_skew = spread (Array.to_list offsets);
+    initial_skew =
+      spread (List.map (fun pid -> offsets.(pid)) active);
     final_skew = spread biases;
     duration;
   }

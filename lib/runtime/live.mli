@@ -16,11 +16,13 @@ type node_report = {
   rounds : int;
   sent : int;
   received : int;
+  malformed : int;  (** datagrams rejected by the wire codec *)
+  send_errors : int;  (** sends forfeited to transient socket errors *)
 }
 
 type report = {
   nodes : node_report list;
-  initial_skew : float;  (** spread of injected offsets *)
+  initial_skew : float;  (** spread of injected offsets over the launched nodes *)
   final_skew : float;
       (** spread of (offset + corr) - the synchronized local times' spread
           at the end of the run (rate drift over the run included) *)
@@ -30,11 +32,25 @@ type report = {
 val run_maintenance :
   ?base_port:int ->
   ?seed:int ->
+  ?plan:Csync_chaos.Plan.t ->
+  ?degrade:bool ->
+  ?active:int list ->
   params:Csync_core.Params.t ->
   duration:float ->
   ?stagger:float ->
   unit ->
   report
-(** Launch [params.n] maintenance nodes (all honest) on consecutive UDP
-    ports, with initial offsets spread over [0, beta] and rates inside the
-    rho-band, run for [duration] wall seconds, and report.  Blocking. *)
+(** Launch maintenance nodes on consecutive UDP ports, with initial
+    offsets spread over [0, beta] and rates inside the rho-band, run for
+    [duration] wall seconds, and report.  Blocking.
+
+    [plan] imposes chaos events on the live links (loss, partitions,
+    duplication; times relative to the shared epoch) via each node's
+    receive filter.  [degrade] makes every node average over whichever
+    peers it actually heard this round instead of insisting on all [n].
+    [active] launches only the listed pids (default: all [n]) - with
+    [degrade] this demonstrates graceful operation of a partial
+    deployment, the missing peers showing up only as send errors.
+
+    @raise Invalid_argument on an out-of-range active pid or an invalid
+    plan. *)

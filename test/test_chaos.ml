@@ -1,0 +1,317 @@
+(* Tests for the chaos layer: fault-plan validation and blame accounting,
+   the injector's compilation of plans into link tampering, clock
+   disturbances, the seeded plan generator, and the campaign acceptance
+   property: over seeded random fault plans, the nonfaulty processes keep
+   agreement within gamma and crashed-then-recovered processes
+   reintegrate. *)
+
+module Plan = Csync_chaos.Plan
+module Injector = Csync_chaos.Injector
+module Gen = Csync_chaos.Gen
+module Rng = Csync_sim.Rng
+module Mb = Csync_net.Message_buffer
+module Drift = Csync_clock.Drift
+module Hw = Csync_clock.Hardware_clock
+module Params = Csync_core.Params
+module RC = Csync_harness.Runner_chaos
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let p = params ()
+
+let iv a b = Plan.interval ~from_time:a ~until_time:b
+
+let plan_tests =
+  [
+    t "interval rejects emptiness" (fun () ->
+        check_raises_invalid "empty" (fun () -> ignore (iv 2. 2.));
+        check_raises_invalid "backwards" (fun () -> ignore (iv 2. 1.));
+        check_true "half-open start" (Plan.in_interval (iv 1. 2.) ~time:1.);
+        check_true "half-open end" (not (Plan.in_interval (iv 1. 2.) ~time:2.)));
+    t "validate catches malformed events" (fun () ->
+        let v plan = Plan.validate ~n:7 plan in
+        check_raises_invalid "pid range" (fun () ->
+            v [ Plan.Crash { pid = 7; at = 1. } ]);
+        check_raises_invalid "drop probability" (fun () ->
+            v [ Plan.Link { src = 0; dst = 1; fault = Plan.Drop 1.5; over = iv 1. 2. } ]);
+        check_raises_invalid "overlapping partition" (fun () ->
+            v [ Plan.Partition { left = [ 0; 1 ]; right = [ 1; 2 ]; over = iv 1. 2. } ]);
+        check_raises_invalid "recover without crash" (fun () ->
+            v [ Plan.Recover { pid = 2; at = 3. } ]);
+        check_raises_invalid "recover before crash" (fun () ->
+            v [ Plan.Crash { pid = 2; at = 3. }; Plan.Recover { pid = 2; at = 2. } ]);
+        (* a well-formed plan passes *)
+        v
+          [
+            Plan.Crash { pid = 2; at = 3. };
+            Plan.Recover { pid = 2; at = 4. };
+            Plan.Link { src = 0; dst = 1; fault = Plan.Corrupt 0.5; over = iv 1. 2. };
+          ]);
+    t "link faults blame the sender, with settle" (fun () ->
+        let plan =
+          [ Plan.Link { src = 1; dst = 4; fault = Plan.Drop 1.; over = iv 1. 2. } ]
+        in
+        check_true "before" (Plan.suspects_at plan ~settle:0.5 ~time:0.5 = []);
+        check_true "during" (Plan.suspects_at plan ~settle:0.5 ~time:1.5 = [ 1 ]);
+        check_true "settling" (Plan.suspects_at plan ~settle:0.5 ~time:2.4 = [ 1 ]);
+        check_true "after" (Plan.suspects_at plan ~settle:0.5 ~time:2.6 = []));
+    t "a partition blames its smaller side" (fun () ->
+        let plan =
+          [
+            Plan.Partition
+              { left = [ 5 ]; right = [ 0; 1; 2; 3; 4; 6 ]; over = iv 1. 2. };
+          ]
+        in
+        check_true "blames 5" (Plan.suspects_at plan ~settle:0. ~time:1.5 = [ 5 ]);
+        check_int "peak" 1 (Plan.max_concurrent_suspects plan ~settle:0. ~horizon:3.));
+    t "an unrecovered crash is suspect forever" (fun () ->
+        let plan = [ Plan.Crash { pid = 3; at = 1. } ] in
+        check_true "late" (Plan.suspects_at plan ~settle:0.5 ~time:100. = [ 3 ]);
+        check_true "schedule" (Plan.crash_schedule plan = [ (3, 1., None) ]));
+    t "crash schedule pairs recoveries" (fun () ->
+        let plan =
+          [ Plan.Crash { pid = 3; at = 1. }; Plan.Recover { pid = 3; at = 2.5 } ]
+        in
+        check_true "paired" (Plan.crash_schedule plan = [ (3, 1., Some 2.5) ]);
+        check_true "suspect while down"
+          (Plan.suspects_at plan ~settle:0.5 ~time:2. = [ 3 ]);
+        check_true "clears after settle"
+          (Plan.suspects_at plan ~settle:0.5 ~time:3.1 = []));
+    t "describe summarizes" (fun () ->
+        let plan =
+          [
+            Plan.Crash { pid = 3; at = 1. };
+            Plan.Recover { pid = 3; at = 2. };
+            Plan.Clock_step { pid = 1; at = 1.; amount = 1e-3 };
+          ]
+        in
+        check_true "mentions crash" (contains (Plan.describe plan) "crash");
+        check_true "mentions step" (contains (Plan.describe plan) "step"));
+  ]
+
+(* The injector compiles a plan into a Message_buffer tamper: a function of
+   (now, src, dst, payload) returning delivery fates.  Drive it directly. *)
+let injector_tests =
+  let deliver_plain fates =
+    match fates with
+    | [ { Mb.payload; extra_delay } ] -> Some (payload, extra_delay)
+    | _ -> None
+  in
+  let tamper ?(corrupt = fun _ x -> x) plan =
+    let stats = Injector.stats () in
+    (Injector.tamper ~plan ~rng:(Rng.create 11) ~corrupt ~stats, stats)
+  in
+  [
+    t "drop at probability 1 kills the link, only inside the window" (fun () ->
+        let plan =
+          [ Plan.Link { src = 0; dst = 1; fault = Plan.Drop 1.; over = iv 1. 2. } ]
+        in
+        let tam, stats = tamper plan in
+        check_true "dropped" (tam ~now:1.5 ~src:0 ~dst:1 42. = []);
+        check_true "before window"
+          (deliver_plain (tam ~now:0.5 ~src:0 ~dst:1 42.) = Some (42., 0.));
+        check_true "other link"
+          (deliver_plain (tam ~now:1.5 ~src:0 ~dst:2 42.) = Some (42., 0.));
+        check_true "reverse direction"
+          (deliver_plain (tam ~now:1.5 ~src:1 ~dst:0 42.) = Some (42., 0.));
+        check_int "counted" 1 stats.Injector.dropped);
+    t "duplicate at probability 1 sends two copies" (fun () ->
+        let plan =
+          [ Plan.Link { src = 2; dst = 5; fault = Plan.Duplicate 1.; over = iv 0. 9. } ]
+        in
+        let tam, stats = tamper plan in
+        (match tam ~now:1. ~src:2 ~dst:5 7. with
+        | [ a; b ] ->
+          check_float "copy a" 7. a.Mb.payload;
+          check_float "copy b" 7. b.Mb.payload
+        | _ -> Alcotest.fail "expected two fates");
+        check_int "counted" 1 stats.Injector.duplicated);
+    t "reorder adds bounded extra delay" (fun () ->
+        let jitter = 3e-4 in
+        let plan =
+          [ Plan.Link { src = 0; dst = 1; fault = Plan.Reorder jitter; over = iv 0. 9. } ]
+        in
+        let tam, stats = tamper plan in
+        for _ = 1 to 50 do
+          match tam ~now:1. ~src:0 ~dst:1 0. with
+          | [ { Mb.extra_delay; _ } ] ->
+            check_true "nonnegative" (extra_delay >= 0.);
+            check_true "bounded" (extra_delay <= jitter)
+          | _ -> Alcotest.fail "expected one fate"
+        done;
+        check_true "counted" (stats.Injector.delayed > 0));
+    t "corrupt mangles the payload via the supplied function" (fun () ->
+        let plan =
+          [ Plan.Link { src = 0; dst = 1; fault = Plan.Corrupt 1.; over = iv 0. 9. } ]
+        in
+        let tam, stats = tamper ~corrupt:(fun _ x -> x +. 1000.) plan in
+        check_true "mangled"
+          (deliver_plain (tam ~now:1. ~src:0 ~dst:1 1.) = Some (1001., 0.));
+        check_int "counted" 1 stats.Injector.corrupted);
+    t "a partition cuts both directions, inside links survive" (fun () ->
+        let plan =
+          [ Plan.Partition { left = [ 0; 1 ]; right = [ 2; 3; 4; 5; 6 ]; over = iv 1. 2. } ]
+        in
+        let tam, stats = tamper plan in
+        check_true "left to right" (tam ~now:1.5 ~src:0 ~dst:4 0. = []);
+        check_true "right to left" (tam ~now:1.5 ~src:4 ~dst:0 0. = []);
+        check_true "within left"
+          (deliver_plain (tam ~now:1.5 ~src:0 ~dst:1 0.) <> None);
+        check_true "within right"
+          (deliver_plain (tam ~now:1.5 ~src:2 ~dst:6 0.) <> None);
+        check_true "after heal"
+          (deliver_plain (tam ~now:2.5 ~src:0 ~dst:4 0.) <> None);
+        check_int "counted" 2 stats.Injector.partitioned);
+    t "live filter: partitions and drops, receive side" (fun () ->
+        let plan =
+          [
+            Plan.Partition { left = [ 3 ]; right = [ 0; 1; 2; 4; 5; 6 ]; over = iv 1. 2. };
+            Plan.Link { src = 2; dst = 0; fault = Plan.Duplicate 1.; over = iv 0. 9. };
+          ]
+        in
+        let stats = Injector.stats () in
+        let link =
+          Injector.live_link ~plan ~rng:(Rng.create 3) ~stats ~self:0 ~epoch:100.
+        in
+        check_true "cut peer dropped"
+          (link ~now:101.5 ~dir:`Recv ~peer:3 = `Drop);
+        check_true "cut healed" (link ~now:102.5 ~dir:`Recv ~peer:3 = `Deliver);
+        check_true "duplicated" (link ~now:101.5 ~dir:`Recv ~peer:2 = `Duplicate);
+        check_true "clean peer" (link ~now:101.5 ~dir:`Recv ~peer:5 = `Deliver));
+    t "corrupt_float actually mangles" (fun () ->
+        let rng = Rng.create 9 in
+        let changed = ref 0 in
+        for _ = 1 to 100 do
+          let v = Injector.corrupt_float rng 1.25 in
+          if v <> 1.25 then incr changed
+        done;
+        check_true "mostly different" (!changed > 90));
+  ]
+
+let disturbance_tests =
+  [
+    t "a step accumulates exactly its amount" (fun () ->
+        let base = Drift.perfect in
+        let stepped =
+          Drift.disturb base ~horizon:10. [ Drift.Step { at = 1.; amount = 5e-4 } ]
+        in
+        let c = Hw.create stepped in
+        check_float_tol 1e-12 "before" 0.5 (Hw.time c 0.5);
+        check_float_tol 1e-9 "after" (8. +. 5e-4) (Hw.time c 8.);
+        check_true "not rho-bounded while stepping"
+          (not (Drift.is_rho_bounded ~rho:1e-6 stepped)));
+    t "a backward step accumulates its negative amount" (fun () ->
+        let stepped =
+          Drift.disturb Drift.perfect ~horizon:10.
+            [ Drift.Step { at = 2.; amount = -7e-4 } ]
+        in
+        let c = Hw.create stepped in
+        check_float_tol 1e-9 "after" (9. -. 7e-4) (Hw.time c 9.));
+    t "a rate excursion accumulates (factor - 1) x duration" (fun () ->
+        let scaled =
+          Drift.disturb Drift.perfect ~horizon:10.
+            [ Drift.Rate_scale { from_time = 1.; until_time = 3.; factor = 1.001 } ]
+        in
+        let c = Hw.create scaled in
+        check_float_tol 1e-9 "after" (8. +. (0.001 *. 2.)) (Hw.time c 8.));
+    t "disturb validation" (fun () ->
+        check_raises_invalid "zero factor" (fun () ->
+            ignore
+              (Drift.disturb Drift.perfect ~horizon:10.
+                 [ Drift.Rate_scale { from_time = 1.; until_time = 2.; factor = 0. } ])));
+  ]
+
+let gen_tests =
+  [
+    t "generated plans validate and respect the fault budget" (fun () ->
+        let window = iv (2. *. p.Params.big_p) (10. *. p.Params.big_p) in
+        for seed = 0 to 49 do
+          let spec =
+            Gen.spec ~include_crash:(seed mod 2 = 0) ~params:p ~window ()
+          in
+          let plan = Gen.random ~rng:(Rng.create seed) spec in
+          (* Gen.random validates internally; re-check the invariants here. *)
+          Plan.validate ~n:p.Params.n plan;
+          check_true "nonempty" (plan <> []);
+          check_true "budget"
+            (List.length (Plan.affected_pids plan) <= p.Params.f);
+          if seed mod 2 = 0 then
+            check_true "crash included" (Plan.crash_schedule plan <> [])
+        done);
+    t "generation is deterministic in the seed" (fun () ->
+        let window = iv 1. 5. in
+        let gen seed =
+          Gen.random ~rng:(Rng.create seed) (Gen.spec ~params:p ~window ())
+        in
+        check_true "same seed, same plan" (gen 123 = gen 123);
+        check_true "different seeds diverge somewhere"
+          (List.exists (fun s -> gen s <> gen 123) [ 124; 125; 126 ]));
+    t "max_victims caps the blast radius" (fun () ->
+        let window = iv 1. 5. in
+        for seed = 0 to 19 do
+          let plan =
+            Gen.random ~rng:(Rng.create seed)
+              (Gen.spec ~max_victims:1 ~params:p ~window ())
+          in
+          check_int "one victim" 1 (List.length (Plan.affected_pids plan))
+        done);
+  ]
+
+(* The acceptance property for the whole chaos layer: across >= 20 seeded
+   random fault plans, (a) whenever at most f processes are concurrently
+   faulty the nonfaulty ones agree within gamma, and (b) every process
+   that crashes and recovers reintegrates within the run. *)
+let campaign_tests =
+  [
+    t "campaign: 24 seeded plans hold gamma and reintegrate" (fun () ->
+        let seeds = List.init 24 (fun i -> 1000 + i) in
+        let runs = RC.campaign ~params:p ~seeds () in
+        check_int "one run per seed" 24 (List.length runs);
+        List.iter
+          (fun { RC.seed; plan; result } ->
+            let label what =
+              Printf.sprintf "seed %d (%s): %s" seed (Plan.describe plan) what
+            in
+            check_true (label "checked samples")
+              (result.RC.checked_samples > 0);
+            check_true (label "clean-set agreement within gamma")
+              (RC.agreement_ok result);
+            check_true (label "suspects within budget")
+              (result.RC.max_suspects <= p.Params.f);
+            check_true (label "recoveries rejoined") (RC.recoveries_ok result))
+          runs;
+        (* Even seeds force a crash/recover pair, so reintegration is
+           genuinely exercised, not vacuously true. *)
+        let reintegrations =
+          List.fold_left
+            (fun acc r -> acc + List.length r.RC.result.RC.recoveries)
+            0 runs
+        in
+        check_true "reintegration exercised" (reintegrations >= 10));
+    t "a hand-written kitchen-sink plan passes" (fun () ->
+        let big_p = p.Params.big_p in
+        let plan =
+          [
+            Plan.Crash { pid = 6; at = 2.2 *. big_p };
+            Plan.Recover { pid = 6; at = 4.7 *. big_p };
+            Plan.Link
+              {
+                src = 1;
+                dst = 3;
+                fault = Plan.Drop 1.;
+                over = iv (6. *. big_p) (8. *. big_p);
+              };
+          ]
+        in
+        let r = RC.run (RC.make ~seed:5 ~rounds:24 ~params:p plan) in
+        check_true "ok" (RC.ok r);
+        match r.RC.recoveries with
+        | [ v ] ->
+          check_int "pid" 6 v.RC.pid;
+          check_true "rejoined" (v.RC.join_round <> None)
+        | _ -> Alcotest.fail "expected one recovery");
+  ]
+
+let suite =
+  plan_tests @ injector_tests @ disturbance_tests @ gen_tests @ campaign_tests

@@ -332,14 +332,16 @@ let reintegration_tests =
         let s = feed s 0.30 (1, 1.0) in
         let s = feed s 0.30 (2, 1.0) in
         (* Target = 1.5.  Deliver the target round's messages: arrivals at
-           phys 0.9 + delta-ish; the collect deadline timer then fires. *)
+           phys 0.9 + delta-ish; the collect deadline is anchored on the
+           (f+1)-th distinct sender (here the third, at 0.9012) and the
+           timer then fires. *)
         let target = 1.0 +. p.Params.big_p in
         let s = feed s 0.901 (0, target) in
         let s = feed s 0.9011 (1, target) in
         let s = feed s 0.9012 (2, target) in
         let s = feed s 0.9013 (3, target) in
         let s = feed s 0.9014 (4, target) in
-        let deadline = 0.901 +. Reintegration.collect_window p in
+        let deadline = 0.9012 +. Reintegration.collect_window p in
         let s, actions =
           auto.Automaton.handle ~self:5 ~phys:deadline (Automaton.Timer deadline) s
         in

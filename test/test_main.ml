@@ -14,6 +14,8 @@ let () =
       ("metrics", Test_metrics.suite);
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
+      ("chaos", Test_chaos.suite);
+      ("runtime", Test_runtime.suite);
       ("bootstrap", Test_bootstrap.suite);
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);

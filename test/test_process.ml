@@ -263,6 +263,160 @@ let fault_tests =
             ignore
               (Fault.receive_omission ~rng:(Rng.create 1) ~drop_probability:2.
                  (recorder ()))));
+    t "receive_omission drop rate converges to the probability" (fun () ->
+        let counter =
+          {
+            Automaton.name = "count";
+            initial = 0;
+            handle =
+              (fun ~self:_ ~phys:_ i n ->
+                match i with Automaton.Message _ -> (n + 1, []) | _ -> (n, []));
+            corr = (fun _ -> 0.);
+          }
+        in
+        List.iter
+          (fun prob ->
+            let auto =
+              Fault.receive_omission ~rng:(Rng.create 7) ~drop_probability:prob
+                counter
+            in
+            let draws = 2000 in
+            let st = ref auto.Automaton.initial in
+            for i = 1 to draws do
+              let s, _ =
+                auto.Automaton.handle ~self:0 ~phys:(float_of_int i)
+                  (Automaton.Message (1, ())) !st
+              in
+              st := s
+            done;
+            let observed =
+              1. -. (float_of_int !st /. float_of_int draws)
+            in
+            check_true
+              (Printf.sprintf "p=%.2f observed %.3f" prob observed)
+              (Float.abs (observed -. prob) < 0.05))
+          [ 0.1; 0.3; 0.7 ]);
+    t "receive_omission never drops START or TIMER" (fun () ->
+        let auto =
+          Fault.receive_omission ~rng:(Rng.create 1) ~drop_probability:1.
+            (recorder ())
+        in
+        let s = auto.Automaton.initial in
+        let s, _ = auto.Automaton.handle ~self:0 ~phys:0. Automaton.Start s in
+        let s, _ = auto.Automaton.handle ~self:0 ~phys:1. (Automaton.Timer 1.) s in
+        let s, _ = auto.Automaton.handle ~self:0 ~phys:2. (Automaton.Message (1, ())) s in
+        check_int "start and timer got through, message did not" 2 (List.length s));
+    t "send_omission drop rate converges to the probability" (fun () ->
+        let chatty =
+          Automaton.stateless ~name:"chat" (fun ~self:_ ~phys:_ -> function
+            | Automaton.Timer _ -> [ Automaton.Send (0, "m") ]
+            | _ -> [])
+        in
+        List.iter
+          (fun prob ->
+            let auto =
+              Fault.send_omission ~rng:(Rng.create 13) ~drop_probability:prob
+                chatty
+            in
+            let draws = 2000 in
+            let sent = ref 0 in
+            let st = ref auto.Automaton.initial in
+            for i = 1 to draws do
+              let s, actions =
+                auto.Automaton.handle ~self:1 ~phys:(float_of_int i)
+                  (Automaton.Timer (float_of_int i)) !st
+              in
+              st := s;
+              List.iter
+                (function Automaton.Send _ -> incr sent | _ -> ())
+                actions
+            done;
+            let observed = 1. -. (float_of_int !sent /. float_of_int draws) in
+            check_true
+              (Printf.sprintf "p=%.2f observed %.3f" prob observed)
+              (Float.abs (observed -. prob) < 0.05))
+          [ 0.2; 0.5; 0.9 ]);
+    t "send_omission never suppresses timer-setting actions" (fun () ->
+        let auto =
+          Fault.send_omission ~rng:(Rng.create 1) ~drop_probability:1.
+            (Automaton.stateless ~name:"b" (fun ~self:_ ~phys:_ -> function
+               | Automaton.Start ->
+                 [
+                   Automaton.Set_timer_phys 1.;
+                   Automaton.Broadcast "x";
+                   Automaton.Send (0, "y");
+                   Automaton.Set_timer_logical 2.;
+                 ]
+               | _ -> []))
+        in
+        let _, actions =
+          auto.Automaton.handle ~self:0 ~phys:0. Automaton.Start
+            auto.Automaton.initial
+        in
+        match actions with
+        | [ Automaton.Set_timer_phys t1; Automaton.Set_timer_logical t2 ] ->
+          check_float "phys" 1. t1;
+          check_float "logical" 2. t2
+        | _ -> Alcotest.fail "expected exactly the two timer actions");
+    t "crash_at is permanently silent afterwards" (fun () ->
+        let auto =
+          Fault.crash_at ~phys:2.
+            (Automaton.stateless ~name:"echo" (fun ~self:_ ~phys:_ -> function
+               | Automaton.Message (q, ()) -> [ Automaton.Send (q, ()) ]
+               | _ -> []))
+        in
+        let st = ref auto.Automaton.initial in
+        let outputs = ref 0 in
+        for i = 1 to 100 do
+          let s, actions =
+            auto.Automaton.handle ~self:0 ~phys:(float_of_int i)
+              (Automaton.Message (1, ())) !st
+          in
+          st := s;
+          outputs := !outputs + List.length actions
+        done;
+        (* only the pre-crash interrupt (phys 1) produced output *)
+        check_int "one echo then silence" 1 !outputs);
+    t "crash_recover: crash, silence, then the recovery automaton boots"
+      (fun () ->
+        let echo =
+          Automaton.stateless ~name:"echo" (fun ~self:_ ~phys:_ -> function
+            | Automaton.Message (q, ()) -> [ Automaton.Send (q, ()) ]
+            | _ -> [])
+        in
+        let auto =
+          Fault.crash_recover ~crash_phys:2.5 ~recover_phys:4.5
+            ~recovery:(recorder ()) echo
+        in
+        let st = ref auto.Automaton.initial in
+        let outputs = ref 0 in
+        let feed phys i =
+          let s, actions = auto.Automaton.handle ~self:0 ~phys i !st in
+          st := s;
+          outputs := !outputs + List.length actions
+        in
+        check_true "running"
+          (Fault.lifecycle_phase !st = `Running);
+        feed 1. (Automaton.Message (1, ()));
+        check_int "echoed while healthy" 1 !outputs;
+        feed 3. (Automaton.Message (1, ()));
+        check_true "down" (Fault.lifecycle_phase !st = `Down);
+        check_int "silent while down" 1 !outputs;
+        feed 5. (Automaton.Message (2, ()));
+        check_true "recovered" (Fault.lifecycle_phase !st = `Recovered);
+        (match Fault.recovered_state !st with
+        | Some log ->
+          (* The recovery automaton was booted with a fresh START and then
+             saw the waking message replayed into it. *)
+          check_true "saw start"
+            (List.exists (fun (_, i) -> i = Automaton.Start) log);
+          check_true "waking message replayed"
+            (List.exists (fun (_, i) -> i = Automaton.Message (2, ())) log)
+        | None -> Alcotest.fail "expected a recovered state");
+        check_raises_invalid "ordering" (fun () ->
+            ignore
+              (Fault.crash_recover ~crash_phys:2. ~recover_phys:2.
+                 ~recovery:(recorder ()) echo)));
   ]
 
 let suite = basic_tests @ fault_tests

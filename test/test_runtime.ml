@@ -1,0 +1,186 @@
+(* Tests for the live runtime's hardening: the validated wire codec, and
+   loopback runs where a hostile socket sprays garbage datagrams at a node
+   mid-synchronization, where only part of the cluster is deployed, and
+   where a chaos plan cuts live links. *)
+
+module Codec = Csync_runtime.Codec
+module Live = Csync_runtime.Live
+module Plan = Csync_chaos.Plan
+module Params = Csync_core.Params
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+let live_params ~n ~f =
+  Params.auto ~n ~f ~rho:1e-4 ~delta:0.025 ~eps:0.0249 ~big_p:0.45 ()
+  |> Result.get_ok
+
+let codec_tests =
+  [
+    t "roundtrip" (fun () ->
+        let frame = Codec.encode ~src:3 ~value:1.25 in
+        check_int "size" Codec.frame_size (Bytes.length frame);
+        match Codec.decode ~max_src:6 frame ~len:Codec.frame_size with
+        | Ok (src, v) ->
+          check_int "src" 3 src;
+          check_float "value" 1.25 v
+        | Error e -> Alcotest.failf "decode: %a" Codec.pp_error e);
+    t "roundtrip survives extreme values" (fun () ->
+        List.iter
+          (fun v ->
+            match
+              Codec.decode ~max_src:0 (Codec.encode ~src:0 ~value:v)
+                ~len:Codec.frame_size
+            with
+            | Ok (_, v') -> check_float "value" v v'
+            | Error e -> Alcotest.failf "decode %g: %a" v Codec.pp_error e)
+          [ 0.; -0.; 1e-308; -1e308; Float.max_float; 4.9e-324 ]);
+    t "truncated and oversized are length errors" (fun () ->
+        let frame = Codec.encode ~src:0 ~value:1. in
+        check_true "truncated"
+          (Codec.decode ~max_src:6 frame ~len:10 = Error (Codec.Truncated 10));
+        check_true "empty"
+          (Codec.decode ~max_src:6 frame ~len:0 = Error (Codec.Truncated 0));
+        let big = Bytes.extend frame 0 8 in
+        check_true "oversized"
+          (Codec.decode ~max_src:6 big ~len:(Bytes.length big)
+           = Error (Codec.Oversized (Codec.frame_size + 8))));
+    t "wrong magic" (fun () ->
+        let frame = Codec.encode ~src:0 ~value:1. in
+        Bytes.set frame 0 'X';
+        check_true "bad magic"
+          (Codec.decode ~max_src:6 frame ~len:Codec.frame_size
+           = Error Codec.Bad_magic));
+    t "any single corrupted byte is caught by the checksum" (fun () ->
+        (* Flip one byte everywhere past the magic: value, src, and checksum
+           corruption all surface as Bad_checksum, never a bogus Ok. *)
+        for i = 4 to Codec.frame_size - 1 do
+          let frame = Codec.encode ~src:2 ~value:42.5 in
+          Bytes.set frame i (Char.chr (Char.code (Bytes.get frame i) lxor 0x40));
+          check_true
+            (Printf.sprintf "byte %d" i)
+            (Codec.decode ~max_src:6 frame ~len:Codec.frame_size
+             = Error Codec.Bad_checksum)
+        done);
+    t "well-formed frame from an out-of-range sender" (fun () ->
+        let frame = Codec.encode ~src:50 ~value:1. in
+        check_true "bad src"
+          (Codec.decode ~max_src:6 frame ~len:Codec.frame_size
+           = Error (Codec.Bad_src 50)));
+    t "non-finite clock values are rejected" (fun () ->
+        List.iter
+          (fun v ->
+            check_true "bad value"
+              (Codec.decode ~max_src:6 (Codec.encode ~src:1 ~value:v)
+                 ~len:Codec.frame_size
+               = Error Codec.Bad_value))
+          [ Float.nan; Float.infinity; Float.neg_infinity ]);
+    t "encode rejects negative pids" (fun () ->
+        check_raises_invalid "src" (fun () ->
+            ignore (Codec.encode ~src:(-1) ~value:1.)));
+  ]
+
+(* Spray hostile datagrams at [port] from a plain UDP socket: random bytes,
+   truncated and oversized frames, wrong magic, corrupted payloads, and
+   well-formed frames from an out-of-range sender. *)
+let spray_garbage ~port ~duration =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let send b =
+    try ignore (Unix.sendto sock b 0 (Bytes.length b) [] addr)
+    with Unix.Unix_error _ -> ()
+  in
+  let deadline = Unix.gettimeofday () +. duration in
+  let i = ref 0 in
+  let count = ref 0 in
+  while Unix.gettimeofday () < deadline do
+    incr i;
+    let payloads =
+      [
+        Bytes.make 10 (Char.chr (!i land 0xff));
+        Bytes.make 200 'A';
+        Bytes.make Codec.frame_size (Char.chr (!i * 37 land 0xff));
+        (let b = Codec.encode ~src:0 ~value:(float_of_int !i) in
+         Bytes.set b 12 '\xff';
+         b);
+        Codec.encode ~src:99 ~value:1.;
+        Codec.encode ~src:0 ~value:Float.nan;
+      ]
+    in
+    List.iter send payloads;
+    count := !count + List.length payloads;
+    Thread.delay 0.005
+  done;
+  Unix.close sock;
+  !count
+
+let live_tests =
+  [
+    Alcotest.test_case "nodes synchronize under a garbage barrage" `Slow
+      (fun () ->
+        let params = live_params ~n:4 ~f:1 in
+        let base_port = 17_560 in
+        (* Hammer node 0's port for the whole run. *)
+        let sprayed = ref 0 in
+        let sprayer =
+          Thread.create
+            (fun () -> sprayed := spray_garbage ~port:base_port ~duration:2.2)
+            ()
+        in
+        let report =
+          Live.run_maintenance ~base_port ~params ~duration:2.0 ()
+        in
+        Thread.join sprayer;
+        let node0 =
+          List.find (fun n -> n.Live.pid = 0) report.Live.nodes
+        in
+        check_true "garbage was sent" (!sprayed > 100);
+        check_true "garbage was counted" (node0.Live.malformed > 50);
+        check_true "none of it was delivered"
+          (List.for_all (fun n -> n.Live.rounds >= 2) report.Live.nodes);
+        check_true "still within gamma"
+          (report.Live.final_skew <= Params.gamma params));
+    Alcotest.test_case "partial deployment degrades gracefully" `Slow
+      (fun () ->
+        (* Only 3 of 5 configured nodes exist; with degrade each node
+           averages over whoever it actually hears instead of wedging on
+           the missing majority. *)
+        let params = live_params ~n:5 ~f:1 in
+        let report =
+          Live.run_maintenance ~base_port:17_580 ~params ~degrade:true
+            ~active:[ 0; 1; 2 ] ~duration:2.0 ()
+        in
+        check_int "three launched" 3 (List.length report.Live.nodes);
+        check_true "rounds happened"
+          (List.for_all (fun n -> n.Live.rounds >= 2) report.Live.nodes);
+        check_true "skew reduced"
+          (report.Live.final_skew < report.Live.initial_skew /. 3.));
+    Alcotest.test_case "a chaos plan cuts live links" `Slow (fun () ->
+        (* Isolate node 3 for the first half of the run: the rest must
+           stay within gamma (degrade keeps their averages over live
+           peers), and node 3 must still complete rounds on its own. *)
+        let params = live_params ~n:4 ~f:1 in
+        let plan =
+          [
+            Plan.Partition
+              {
+                left = [ 3 ];
+                right = [ 0; 1; 2 ];
+                over = Plan.interval ~from_time:0. ~until_time:1.0;
+              };
+          ]
+        in
+        let report =
+          Live.run_maintenance ~base_port:17_600 ~params ~plan ~degrade:true
+            ~duration:2.0 ()
+        in
+        check_true "rounds happened"
+          (List.for_all (fun n -> n.Live.rounds >= 2) report.Live.nodes);
+        let majority =
+          List.filter (fun n -> n.Live.pid <> 3) report.Live.nodes
+        in
+        check_true "majority heard each other"
+          (List.for_all (fun n -> n.Live.received > 0) majority));
+  ]
+
+let suite = codec_tests @ live_tests

@@ -1,0 +1,284 @@
+(* Shared benchmark engine behind both `bench/main.exe` and `csync bench`.
+
+   Two parts:
+
+   - the experiment suite as a timed artifact: render every registered
+     experiment through the pool, wall-clock it, optionally rerun at one
+     worker to measure the parallel speedup and check the tables are
+     byte-identical;
+
+   - bechamel micro-benchmarks of the computational kernels (fault-tolerant
+     averaging, the event engine, a full simulated round), reported as
+     ns per operation.
+
+   The whole report serializes to the BENCH_*.json shape so perf is a
+   tracked artifact rather than a number in a terminal scrollback. *)
+
+open Bechamel
+open Toolkit
+
+type kernel = { name : string; ns_per_op : float }
+
+type suite = {
+  wall_s : float;  (* full render at [jobs] workers *)
+  wall_s_jobs1 : float;  (* same render at one worker; = wall_s if not rerun *)
+  speedup_vs_jobs1 : float;
+  tables_identical : bool;  (* jobs-N output byte-equal to jobs-1 output *)
+}
+
+type t = {
+  mode : string;  (* "quick" or "full" *)
+  jobs : int;
+  parallel_available : bool;
+  suite : suite option;
+  kernels : kernel list;
+}
+
+(* ---------- experiment suite ---------- *)
+
+let render_suite ~jobs ~quick =
+  let buf = Buffer.create (1 lsl 16) in
+  let ppf = Format.formatter_of_buffer buf in
+  Csync_harness.Registry.render_all ~jobs ppf ~quick;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (Unix.gettimeofday () -. t0, v)
+
+let run_suite ~jobs ~quick ~compare_jobs1 =
+  let wall_s, out = timed (fun () -> render_suite ~jobs ~quick) in
+  let suite =
+    if compare_jobs1 && jobs <> 1 then begin
+      let wall_s_jobs1, out1 = timed (fun () -> render_suite ~jobs:1 ~quick) in
+      {
+        wall_s;
+        wall_s_jobs1;
+        speedup_vs_jobs1 = wall_s_jobs1 /. wall_s;
+        tables_identical = String.equal out out1;
+      }
+    end
+    else
+      {
+        wall_s;
+        wall_s_jobs1 = wall_s;
+        speedup_vs_jobs1 = 1.;
+        tables_identical = true;
+      }
+  in
+  (suite, out)
+
+(* ---------- micro-benchmarks ---------- *)
+
+let bench_multiset =
+  let rng = Csync_sim.Rng.create 1 in
+  let data n =
+    Csync_multiset.of_array (Array.init n (fun _ -> Csync_sim.Rng.float rng))
+  in
+  let small = data 7 and medium = data 100 and large = data 10_000 in
+  let scratch = Csync_multiset.Scratch.create () in
+  let raw = Csync_multiset.to_array large in
+  Test.make_grouped ~name:"averaging"
+    [
+      Test.make ~name:"mid-reduce-n7"
+        (Staged.stage (fun () ->
+             Csync_multiset.mid (Csync_multiset.reduce ~f:2 small)));
+      Test.make ~name:"mid-reduce-n100"
+        (Staged.stage (fun () ->
+             Csync_multiset.mid (Csync_multiset.reduce ~f:33 medium)));
+      Test.make ~name:"mid-reduce-n10k"
+        (Staged.stage (fun () ->
+             Csync_multiset.mid (Csync_multiset.reduce ~f:3333 large)));
+      Test.make ~name:"fused-mid-reduced-n7"
+        (Staged.stage (fun () -> Csync_multiset.mid_reduced ~f:2 small));
+      Test.make ~name:"fused-mid-reduced-n100"
+        (Staged.stage (fun () -> Csync_multiset.mid_reduced ~f:33 medium));
+      Test.make ~name:"fused-mid-reduced-n10k"
+        (Staged.stage (fun () -> Csync_multiset.mid_reduced ~f:3333 large));
+      Test.make ~name:"sort-n10k"
+        (Staged.stage (fun () -> ignore (Csync_multiset.of_array raw)));
+      Test.make ~name:"scratch-sort-n10k"
+        (Staged.stage (fun () ->
+             ignore (Csync_multiset.Scratch.sorted_of_array scratch raw)));
+    ]
+
+let bench_engine =
+  Test.make_grouped ~name:"engine"
+    [
+      Test.make ~name:"schedule-pop-1k"
+        (Staged.stage (fun () ->
+             let e = Csync_sim.Engine.create () in
+             for i = 0 to 999 do
+               Csync_sim.Engine.schedule e ~time:(float_of_int (i mod 97)) i
+             done;
+             let count = ref 0 in
+             ignore
+               (Csync_sim.Engine.drain e
+                  ~handler:(fun _ _ -> incr count)
+                  ~max_events:10_000)));
+      (let h = Csync_sim.Heap.create ~cmp:Int.compare in
+       Test.make ~name:"heap-clear-refill-1k"
+         (Staged.stage (fun () ->
+              Csync_sim.Heap.clear h;
+              for i = 0 to 999 do
+                Csync_sim.Heap.push h ((i * 7919) mod 1000)
+              done;
+              while not (Csync_sim.Heap.is_empty h) do
+                ignore (Csync_sim.Heap.pop_exn h)
+              done)));
+    ]
+
+let bench_round =
+  let params = Csync_harness.Defaults.base () in
+  let run_rounds ~exchanges =
+    let scenario =
+      {
+        (Csync_harness.Scenario.default params) with
+        Csync_harness.Scenario.rounds = 5;
+        samples_per_round = 2;
+        exchanges;
+      }
+    in
+    ignore (Csync_harness.Scenario.run scenario)
+  in
+  Test.make_grouped ~name:"simulation"
+    [
+      Test.make ~name:"five-rounds-n7"
+        (Staged.stage (fun () -> run_rounds ~exchanges:1));
+      Test.make ~name:"five-rounds-n7-k3"
+        (Staged.stage (fun () -> run_rounds ~exchanges:3));
+    ]
+
+let ns_per_op ols =
+  match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+
+let run_kernels ~quick =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let quota = Time.second (if quick then 0.25 else 0.5) in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota ~kde:(Some 1000) () in
+  List.concat_map
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.fold
+        (fun name o acc -> { name; ns_per_op = ns_per_op o } :: acc)
+        results [])
+    [ bench_multiset; bench_engine; bench_round ]
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let find_kernel t name =
+  List.find_opt (fun k -> String.equal k.name name) t.kernels
+
+(* Naive-over-fused ratio at n = 10k: the headline number for the O(1)
+   mid_reduced cut. *)
+let mid_reduced_speedup_n10k t =
+  match
+    ( find_kernel t "averaging/mid-reduce-n10k",
+      find_kernel t "averaging/fused-mid-reduced-n10k" )
+  with
+  | Some naive, Some fused
+    when Float.is_finite naive.ns_per_op
+         && Float.is_finite fused.ns_per_op
+         && fused.ns_per_op > 0. ->
+    Some (naive.ns_per_op /. fused.ns_per_op)
+  | _ -> None
+
+(* ---------- report ---------- *)
+
+let run ?(jobs = 0) ~quick ~compare_jobs1 () =
+  let jobs = if jobs > 0 then jobs else Csync_harness.Pool.default_jobs () in
+  let suite, out = run_suite ~jobs ~quick ~compare_jobs1 in
+  let kernels = run_kernels ~quick in
+  ( {
+      mode = (if quick then "quick" else "full");
+      jobs;
+      parallel_available = Csync_harness.Pool.parallel_available;
+      suite = Some suite;
+      kernels;
+    },
+    out )
+
+let pp_kernels ppf kernels =
+  List.iter
+    (fun { name; ns_per_op } ->
+      Format.fprintf ppf "  %-40s %12.1f ns/op@." name ns_per_op)
+    kernels
+
+let pp_summary ppf t =
+  Format.fprintf ppf "mode=%s jobs=%d parallel=%b@." t.mode t.jobs
+    t.parallel_available;
+  (match t.suite with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "suite: %.2f s at %d jobs, %.2f s at 1 job (speedup %.2fx, tables %s)@."
+      s.wall_s t.jobs s.wall_s_jobs1 s.speedup_vs_jobs1
+      (if s.tables_identical then "identical" else "DIFFER"));
+  match mid_reduced_speedup_n10k t with
+  | Some r -> Format.fprintf ppf "mid_reduced vs mid-o-reduce at n=10k: %.0fx@." r
+  | None -> ()
+
+(* Hand-rolled JSON: the container has no JSON library and the shape is
+   small and fixed. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"schema\": \"csync-bench/1\",\n";
+  add "  \"mode\": %S,\n" t.mode;
+  add "  \"jobs\": %d,\n" t.jobs;
+  add "  \"parallel_available\": %b,\n" t.parallel_available;
+  (match t.suite with
+  | None -> add "  \"suite\": null,\n"
+  | Some s ->
+    add "  \"suite\": {\n";
+    add "    \"wall_s\": %s,\n" (json_float s.wall_s);
+    add "    \"wall_s_jobs1\": %s,\n" (json_float s.wall_s_jobs1);
+    add "    \"speedup_vs_jobs1\": %s,\n" (json_float s.speedup_vs_jobs1);
+    add "    \"tables_identical\": %b\n" s.tables_identical;
+    add "  },\n");
+  add "  \"kernels_ns_per_op\": {\n";
+  let rec kernels = function
+    | [] -> ()
+    | [ { name; ns_per_op } ] ->
+      add "    \"%s\": %s\n" (json_escape name) (json_float ns_per_op)
+    | { name; ns_per_op } :: rest ->
+      add "    \"%s\": %s,\n" (json_escape name) (json_float ns_per_op);
+      kernels rest
+  in
+  kernels t.kernels;
+  add "  },\n";
+  add "  \"derived\": {\n";
+  add "    \"mid_reduced_speedup_n10k\": %s\n"
+    (match mid_reduced_speedup_n10k t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "  }\n";
+  add "}\n";
+  Buffer.contents buf
+
+let write_json t file =
+  let oc = open_out file in
+  output_string oc (to_json t);
+  close_out oc

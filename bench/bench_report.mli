@@ -1,0 +1,42 @@
+(** Benchmark engine shared by [bench/main.exe] and [csync bench].
+
+    Runs the experiment suite as a timed, parallelism-audited artifact and
+    bechamel micro-benchmarks of the computational kernels, and serializes
+    the result to the [BENCH_*.json] report shape. *)
+
+type kernel = { name : string; ns_per_op : float }
+
+type suite = {
+  wall_s : float;  (** full suite render at [jobs] workers *)
+  wall_s_jobs1 : float;  (** same render at 1 worker ([= wall_s] if not rerun) *)
+  speedup_vs_jobs1 : float;
+  tables_identical : bool;
+      (** jobs-N suite output byte-identical to the jobs-1 output *)
+}
+
+type t = {
+  mode : string;  (** "quick" or "full" *)
+  jobs : int;
+  parallel_available : bool;
+  suite : suite option;
+  kernels : kernel list;
+}
+
+val run : ?jobs:int -> quick:bool -> compare_jobs1:bool -> unit -> t * string
+(** Run the suite (and, when [compare_jobs1] and [jobs <> 1], a second
+    one-worker pass for the speedup and byte-identity check) followed by
+    the kernel micro-benchmarks.  [jobs <= 0] (the default) means
+    {!Csync_harness.Pool.default_jobs}.  Returns the report and the
+    rendered suite output (for printing). *)
+
+val mid_reduced_speedup_n10k : t -> float option
+(** Naive [mid (reduce ~f u)] time over fused [mid_reduced ~f u] time at
+    n = 10000, if both kernels produced finite estimates. *)
+
+val pp_kernels : Format.formatter -> kernel list -> unit
+
+val pp_summary : Format.formatter -> t -> unit
+
+val to_json : t -> string
+
+val write_json : t -> string -> unit

@@ -1,80 +1,54 @@
 (* The benchmark harness.
 
-   Part 1 regenerates every experiment table (E1-E12) - the reproduction of
-   the paper's quantitative content.  Pass --quick to trim the sweeps.
+   Part 1 regenerates every experiment table (E1-E13) through the parallel
+   pool - the reproduction of the paper's quantitative content.  Pass
+   --quick to trim the sweeps, --jobs N to pin the worker count.
 
    Part 2 runs bechamel micro-benchmarks of the computational kernels: the
    fault-tolerant averaging function (the paper's "heart of the
-   algorithm"), the event engine, and a full simulated round. *)
+   algorithm"), the event engine, and a full simulated round.
 
-open Bechamel
-open Toolkit
+   With --json FILE the suite is additionally rerun at one worker (to
+   measure the speedup and verify the tables are byte-identical) and the
+   whole report is written as BENCH_*.json-shaped JSON. *)
 
-let quick = Array.exists (fun a -> a = "--quick" || a = "-q") Sys.argv
-
-let bench_multiset =
-  let rng = Csync_sim.Rng.create 1 in
-  let data n = Csync_multiset.of_array (Array.init n (fun _ -> Csync_sim.Rng.float rng)) in
-  let small = data 7 and medium = data 100 and large = data 10_000 in
-  Test.make_grouped ~name:"averaging"
-    [
-      Test.make ~name:"mid-reduce-n7"
-        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:2 small)));
-      Test.make ~name:"mid-reduce-n100"
-        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:33 medium)));
-      Test.make ~name:"mid-reduce-n10k"
-        (Staged.stage (fun () -> Csync_multiset.mid (Csync_multiset.reduce ~f:3333 large)));
-      Test.make ~name:"sort-n10k"
-        (Staged.stage (fun () ->
-             ignore (Csync_multiset.of_array (Csync_multiset.to_array large))));
-    ]
-
-let bench_engine =
-  Test.make_grouped ~name:"engine"
-    [
-      Test.make ~name:"schedule-pop-1k"
-        (Staged.stage (fun () ->
-             let e = Csync_sim.Engine.create () in
-             for i = 0 to 999 do
-               Csync_sim.Engine.schedule e ~time:(float_of_int (i mod 97)) i
-             done;
-             let count = ref 0 in
-             ignore
-               (Csync_sim.Engine.drain e
-                  ~handler:(fun _ _ -> incr count)
-                  ~max_events:10_000)));
-    ]
-
-let bench_round =
-  let params = Csync_harness.Defaults.base () in
-  Test.make_grouped ~name:"simulation"
-    [
-      Test.make ~name:"five-rounds-n7"
-        (Staged.stage (fun () ->
-             let scenario =
-               {
-                 (Csync_harness.Scenario.default params) with
-                 Csync_harness.Scenario.rounds = 5;
-                 samples_per_round = 2;
-               }
-             in
-             ignore (Csync_harness.Scenario.run scenario)));
-    ]
-
-let run_bechamel test =
-  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  let raw = Benchmark.all cfg instances test in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
-  List.iter
-    (fun (name, ols) -> Format.printf "  %-36s %a@." name Analyze.OLS.pp ols)
-    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+let usage = "main.exe [--quick] [--jobs N] [--json FILE]"
 
 let () =
+  let quick = ref false and jobs = ref 0 and json = ref None in
+  let rec parse = function
+    | [] -> ()
+    | ("--quick" | "-q") :: rest ->
+      quick := true;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 ->
+        jobs := n;
+        parse rest
+      | _ ->
+        prerr_endline ("bad --jobs value: " ^ n);
+        exit 2)
+    | "--json" :: file :: rest ->
+      json := Some file;
+      parse rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument " ^ arg ^ "\nusage: " ^ usage);
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
   Format.printf "=== Welch-Lynch clock synchronization: experiment suite ===@.";
   Format.printf "(mode: %s)@." (if quick then "quick" else "full");
-  Csync_harness.Registry.render_all Format.std_formatter ~quick;
+  let report, suite_output =
+    Bench_report.run ~jobs:!jobs ~quick ~compare_jobs1:(!json <> None) ()
+  in
+  print_string suite_output;
   Format.printf "@.######## Micro-benchmarks (bechamel, ns per run)@.";
-  List.iter run_bechamel [ bench_multiset; bench_engine; bench_round ]
+  Bench_report.pp_kernels Format.std_formatter report.Bench_report.kernels;
+  Bench_report.pp_summary Format.std_formatter report;
+  match !json with
+  | None -> ()
+  | Some file ->
+    Bench_report.write_json report file;
+    Format.printf "wrote %s@." file

@@ -8,6 +8,29 @@ let quick_arg =
   let doc = "Trim sweeps and horizons (seconds instead of minutes of CPU)." in
   Arg.(value & flag & info [ "quick"; "q" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker count for experiment cells (0 = auto: \\$(b,CSYNC_JOBS) or the \
+     runtime's recommended domain count).  Output is identical for every \
+     value; on OCaml 4 the executor is sequential regardless."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let jobs_opt jobs = if jobs > 0 then Some jobs else None
+
+(* Resolve experiment ids (empty = all), preserving the requested order. *)
+let resolve_ids ids =
+  match ids with
+  | [] -> Ok Csync_harness.Registry.all
+  | ids ->
+    List.fold_left
+      (fun acc id ->
+        match (acc, Csync_harness.Registry.find id) with
+        | Error e, _ -> Error e
+        | Ok l, Some e -> Ok (l @ [ e ])
+        | Ok _, None -> Error (Printf.sprintf "unknown experiment %S" id))
+      (Ok []) ids
+
 (* csync list *)
 let list_cmd =
   let run () =
@@ -26,27 +49,18 @@ let run_cmd =
     let doc = "Experiment ids to run (default: all)." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick ids =
-    match ids with
-    | [] ->
-      Csync_harness.Registry.render_all Format.std_formatter ~quick;
+  let run quick jobs ids =
+    match resolve_ids ids with
+    | Error msg -> `Error (false, msg)
+    | Ok experiments ->
+      Csync_harness.Registry.render_list ?jobs:(jobs_opt jobs)
+        Format.std_formatter ~quick experiments;
       `Ok ()
-    | ids ->
-      let rec go = function
-        | [] -> `Ok ()
-        | id :: rest -> (
-          match Csync_harness.Registry.find id with
-          | Some e ->
-            Csync_harness.Experiment.render Format.std_formatter ~quick e;
-            go rest
-          | None -> `Error (false, Printf.sprintf "unknown experiment %S" id))
-      in
-      go ids
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments by id (all of them when no id is given).")
-    Term.(ret (const run $ quick_arg $ ids_arg))
+    Term.(ret (const run $ quick_arg $ jobs_arg $ ids_arg))
 
 (* csync params *)
 let params_cmd =
@@ -228,26 +242,13 @@ let export_cmd =
         | _ -> '_')
       name
   in
-  let run quick dir ids =
-    let experiments =
-      match ids with
-      | [] -> Ok Csync_harness.Registry.all
-      | ids ->
-        List.fold_left
-          (fun acc id ->
-            match (acc, Csync_harness.Registry.find id) with
-            | Error e, _ -> Error e
-            | Ok l, Some e -> Ok (l @ [ e ])
-            | Ok _, None -> Error (Printf.sprintf "unknown experiment %S" id))
-          (Ok []) ids
-    in
-    match experiments with
+  let run quick jobs dir ids =
+    match resolve_ids ids with
     | Error msg -> `Error (false, msg)
     | Ok experiments ->
       if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
       List.iter
-        (fun e ->
-          let tables = e.Csync_harness.Experiment.run ~quick in
+        (fun (e, tables) ->
           List.iteri
             (fun i tbl ->
               let file =
@@ -260,13 +261,49 @@ let export_cmd =
               close_out oc;
               Format.printf "wrote %s@." file)
             tables)
-        experiments;
+        (Csync_harness.Registry.run_list ?jobs:(jobs_opt jobs) ~quick
+           experiments);
       `Ok ()
   in
   Cmd.v
     (Cmd.info "export"
        ~doc:"Run experiments and write each table as CSV into a directory.")
-    Term.(ret (const run $ quick_arg $ dir_arg $ ids_arg))
+    Term.(ret (const run $ quick_arg $ jobs_arg $ dir_arg $ ids_arg))
+
+(* csync bench *)
+let bench_cmd =
+  let json_arg =
+    let doc =
+      "Also rerun the suite at one worker (speedup + byte-identity check) \
+       and write the report as JSON to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let suite_arg =
+    let doc = "Print the rendered experiment tables too (not just timings)." in
+    Arg.(value & flag & info [ "tables" ] ~doc)
+  in
+  let run quick jobs json tables =
+    let report, suite_output =
+      Bench_report.run ~jobs ~quick ~compare_jobs1:(json <> None) ()
+    in
+    if tables then print_string suite_output;
+    Format.printf "######## Micro-benchmarks (bechamel, ns per run)@.";
+    Bench_report.pp_kernels Format.std_formatter report.Bench_report.kernels;
+    Bench_report.pp_summary Format.std_formatter report;
+    (match json with
+    | None -> ()
+    | Some file ->
+      Bench_report.write_json report file;
+      Format.printf "wrote %s@." file);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Time the experiment suite (optionally vs one worker) and \
+          micro-benchmark the kernels; optionally emit a BENCH JSON report.")
+    Term.(ret (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg))
 
 let main_cmd =
   let doc =
@@ -274,6 +311,6 @@ let main_cmd =
      simulator, experiments, and parameter calculus."
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; export_cmd ]
+    [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; export_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

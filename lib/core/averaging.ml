@@ -13,11 +13,18 @@ let median = { combine = Median; reduce = true }
 let unprotected combine = { combine; reduce = false }
 
 let apply t ~f ms =
-  let ms = if t.reduce then Multiset.reduce ~f ms else ms in
-  match t.combine with
-  | Midpoint -> Multiset.mid ms
-  | Mean -> Multiset.mean ms
-  | Median -> Multiset.median ms
+  (* The fused variants skip the intermediate reduced multiset (reduce is an
+     Array.sub) - this runs once per process per exchange. *)
+  if t.reduce then
+    match t.combine with
+    | Midpoint -> Multiset.mid_reduced ~f ms
+    | Mean -> Multiset.mean_reduced ~f ms
+    | Median -> Multiset.median_reduced ~f ms
+  else
+    match t.combine with
+    | Midpoint -> Multiset.mid ms
+    | Mean -> Multiset.mean ms
+    | Median -> Multiset.median ms
 
 let convergence_rate t ~n ~f =
   if not t.reduce then 1.

@@ -113,29 +113,40 @@ let do_broadcast cfg ~phys s =
    would average leftover sentinels into garbage; shrinking the discard
    count instead keeps the correction anchored to the peers that are
    actually alive.  With a full house it coincides with the paper's rule. *)
-let degraded_average cfg s =
-  let p = cfg.params in
-  let heard = ref [] and count = ref 0 in
-  Array.iteri
-    (fun q fresh ->
-      if fresh then begin
-        incr count;
-        heard := s.arr.(q) :: !heard
-      end)
-    s.fresh;
-  if !count = 0 then None
-  else
-    let g = min p.Params.f ((!count - 1) / 3) in
-    Some (Averaging.apply cfg.averaging ~f:g (Multiset.of_list !heard))
+let sorted_arrivals ?scratch a =
+  match scratch with
+  | Some buf -> Multiset.Scratch.sorted_of_array buf a
+  | None -> Multiset.of_array a
 
-let do_update cfg ~phys s =
+let degraded_average ?scratch cfg s =
+  let p = cfg.params in
+  let count = ref 0 in
+  Array.iter (fun fresh -> if fresh then incr count) s.fresh;
+  if !count = 0 then None
+  else begin
+    (* One pass to collect the heard arrival times, no intermediate list. *)
+    let heard = Array.make !count 0. in
+    let k = ref 0 in
+    Array.iteri
+      (fun q fresh ->
+        if fresh then begin
+          heard.(!k) <- s.arr.(q);
+          incr k
+        end)
+      s.fresh;
+    let g = min p.Params.f ((!count - 1) / 3) in
+    Some (Averaging.apply cfg.averaging ~f:g (sorted_arrivals ?scratch heard))
+  end
+
+let do_update ?scratch cfg ~phys s =
   let p = cfg.params in
   let av =
     if cfg.degrade then
-      match degraded_average cfg s with
+      match degraded_average ?scratch cfg s with
       | Some av -> av
       | None -> s.t +. p.Params.delta (* heard nobody: free-run this round *)
-    else Averaging.apply cfg.averaging ~f:p.Params.f (Multiset.of_array s.arr)
+    else
+      Averaging.apply cfg.averaging ~f:p.Params.f (sorted_arrivals ?scratch s.arr)
   in
   let adj = s.t +. p.Params.delta -. av in
   let corr = s.corr +. adj in
@@ -173,7 +184,7 @@ let do_update cfg ~phys s =
   ( { s with corr; t; bcast_at; flag = Bcast; round; exchange; history },
     [ Automaton.Set_timer_logical bcast_at ] )
 
-let handle cfg ~self:_ ~phys interrupt s =
+let handle ?scratch cfg ~self:_ ~phys interrupt s =
   match interrupt with
   | Automaton.Message (src, _t_value) ->
     (* receive(m) from q: ARR[q] := local-time() *)
@@ -191,16 +202,21 @@ let handle cfg ~self:_ ~phys interrupt s =
          update; stale timers (e.g. surviving a mode switch or crash) are
          ignored - firing early would average an empty round. *)
       match interrupt with
-      | Automaton.Timer tag when tag = s.update_at -> do_update cfg ~phys s
+      | Automaton.Timer tag when tag = s.update_at -> do_update ?scratch cfg ~phys s
       | Automaton.Start | Automaton.Timer _ -> (s, [])
       | Automaton.Message _ -> assert false (* handled above *)))
 
 let automaton ~self_hint cfg =
   let initial = initial_state cfg ~self:self_hint in
+  (* One scratch buffer per automaton instance: the update sorts the same-
+     size ARR array every exchange, so steady state allocates nothing.  The
+     instance (and hence the buffer) belongs to a single cluster, which
+     processes events sequentially. *)
+  let scratch = Multiset.Scratch.create () in
   {
     Automaton.name = Printf.sprintf "wl-maintenance[%d]" self_hint;
     initial;
-    handle = (fun ~self ~phys interrupt s -> handle cfg ~self ~phys interrupt s);
+    handle = (fun ~self ~phys interrupt s -> handle ~scratch cfg ~self ~phys interrupt s);
     corr = (fun s -> s.corr);
   }
 

@@ -115,6 +115,7 @@ val state_for_rejoin :
     must arrange the timer).  Used by {!Reintegration}. *)
 
 val handle :
+  ?scratch:Csync_multiset.Scratch.buf ->
   config ->
   self:int ->
   phys:float ->
@@ -122,4 +123,6 @@ val handle :
   state ->
   state * float Csync_process.Automaton.action list
 (** The raw transition function (exposed so {!Reintegration} can delegate to
-    it after joining). *)
+    it after joining).  [scratch], when given, is reused for the per-update
+    sort of the arrival array ({!Csync_multiset.Scratch}); results are
+    identical with or without it. *)

@@ -106,9 +106,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E12";
-    title = "Ablation of the fault-tolerant averaging function";
-    paper_ref = "Section 4.1; Appendix (reduce/mid machinery)";
-    run;
-  }
+  Experiment.of_run ~id:"E12"
+    ~title:"Ablation of the fault-tolerant averaging function"
+    ~paper_ref:"Section 4.1; Appendix (reduce/mid machinery)" run

@@ -52,9 +52,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E2";
-    title = "Adjustment magnitude per round";
-    paper_ref = "Theorem 4(a) / Lemma 7; Section 10 (~5 eps)";
-    run;
-  }
+  Experiment.of_run ~id:"E2"
+    ~title:"Adjustment magnitude per round"
+    ~paper_ref:"Theorem 4(a) / Lemma 7; Section 10 (~5 eps)" run

@@ -4,7 +4,10 @@
    algorithm with the standard Byzantine cast, worst-case (extreme) delays
    and drifting clocks, and compares the largest observed skew of nonfaulty
    local times against the closed-form gamma and the paper's rule-of-thumb
-   steady state 4 eps + 4 rho P. *)
+   steady state 4 eps + 4 rho P.
+
+   Each sweep configuration is one independent cell, so the sweep fans out
+   across pool workers; rows are assembled back in sweep order. *)
 
 module Table = Csync_metrics.Table
 module Params = Csync_core.Params
@@ -24,7 +27,38 @@ let sweep ~quick =
   in
   if quick then [ (1e-4, 1e-6, 0.5); (1e-4, 1e-5, 0.5) ] else all
 
-let run ~quick =
+let row (eps, rho, big_p) =
+  let params = Defaults.base ~eps ~rho ~big_p () in
+  let scenario =
+    { (Scenario.default params) with Scenario.delay_kind = Scenario.Extreme_delay }
+  in
+  let scenario = Scenario.with_standard_faults scenario in
+  let r = Scenario.run scenario in
+  let gamma = Params.gamma params in
+  [
+    [
+      Table.cell_e eps;
+      Table.cell_e rho;
+      Table.cell_f big_p;
+      Table.cell_e params.Params.beta;
+      Table.cell_e gamma;
+      Table.cell_e r.Scenario.max_skew;
+      Table.cell_e r.Scenario.steady_skew;
+      Table.cell_ratio (r.Scenario.max_skew /. gamma);
+      Table.cell_e (Params.beta_approx ~rho ~eps ~big_p);
+      (if r.Scenario.max_skew <= gamma then "yes" else "NO");
+    ];
+  ]
+
+let cells ~quick =
+  List.map
+    (fun ((eps, rho, big_p) as config) ->
+      Experiment.cell
+        ~label:(Printf.sprintf "eps=%g,rho=%g,P=%g" eps rho big_p)
+        (fun () -> row config))
+    (sweep ~quick)
+
+let assemble ~quick:_ rows =
   let table =
     Table.make ~title:"E1: agreement - max nonfaulty skew vs gamma (Thm 16)"
       ~columns:
@@ -32,31 +66,7 @@ let run ~quick =
           "skew/gamma"; "4eps+4rhoP"; "within bound" ]
       ()
   in
-  let table =
-    List.fold_left
-      (fun table (eps, rho, big_p) ->
-        let params = Defaults.base ~eps ~rho ~big_p () in
-        let scenario =
-          { (Scenario.default params) with Scenario.delay_kind = Scenario.Extreme_delay }
-        in
-        let scenario = Scenario.with_standard_faults scenario in
-        let r = Scenario.run scenario in
-        let gamma = Params.gamma params in
-        Table.add_row table
-          [
-            Table.cell_e eps;
-            Table.cell_e rho;
-            Table.cell_f big_p;
-            Table.cell_e params.Params.beta;
-            Table.cell_e gamma;
-            Table.cell_e r.Scenario.max_skew;
-            Table.cell_e r.Scenario.steady_skew;
-            Table.cell_ratio (r.Scenario.max_skew /. gamma);
-            Table.cell_e (Params.beta_approx ~rho ~eps ~big_p);
-            (if r.Scenario.max_skew <= gamma then "yes" else "NO");
-          ])
-      table (sweep ~quick)
-  in
+  let table = Table.add_rows table (List.concat rows) in
   [
     Table.note table
       "The paper proves skew <= gamma; measured skew should sit below gamma \
@@ -64,9 +74,7 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E1";
-    title = "Agreement: skew of nonfaulty local times vs the gamma bound";
-    paper_ref = "Theorem 16; Section 5.2 rule of thumb beta ~ 4eps+4rhoP";
-    run;
-  }
+  Experiment.of_cells ~id:"E1"
+    ~title:"Agreement: skew of nonfaulty local times vs the gamma bound"
+    ~paper_ref:"Theorem 16; Section 5.2 rule of thumb beta ~ 4eps+4rhoP"
+    ~cells ~assemble

@@ -65,9 +65,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E6";
-    title = "Midpoint vs mean vs median averaging";
-    paper_ref = "Section 7 (end): mean converges at rate f/(n-2f)";
-    run;
-  }
+  Experiment.of_run ~id:"E6"
+    ~title:"Midpoint vs mean vs median averaging"
+    ~paper_ref:"Section 7 (end): mean converges at rate f/(n-2f)" run

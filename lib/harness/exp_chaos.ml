@@ -5,16 +5,47 @@
    isolation partitions, link drop/duplicate/reorder/corrupt, clock steps
    and rate excursions), runs it, and checks the two properties the paper
    still promises: the non-suspect processes keep gamma-agreement, and
-   every crashed-then-repaired process reintegrates via Section 9.1. *)
+   every crashed-then-repaired process reintegrates via Section 9.1.
+
+   Each seed is one pool cell ({!Runner_chaos.single} is fully determined
+   by its arguments), formatted to its table row inside the cell. *)
 
 module Table = Csync_metrics.Table
 module Plan = Csync_chaos.Plan
 module Injector = Csync_chaos.Injector
 
-let run ~quick =
+let seeds ~quick = List.init (if quick then 6 else 24) (fun i -> 1000 + i)
+
+let row { Runner_chaos.seed; plan; result = r } =
+  let rejoined =
+    match r.Runner_chaos.recoveries with
+    | [] -> "-"
+    | rs ->
+      if List.for_all (fun v -> v.Runner_chaos.join_round <> None) rs then "yes"
+      else "NO"
+  in
+  [
+    string_of_int seed;
+    Plan.describe plan;
+    string_of_int (Injector.total r.Runner_chaos.stats);
+    string_of_int r.Runner_chaos.max_suspects;
+    Table.cell_e r.Runner_chaos.max_clean_skew;
+    Table.cell_e r.Runner_chaos.gamma;
+    Printf.sprintf "%d+%d" r.Runner_chaos.checked_samples
+      r.Runner_chaos.skipped_samples;
+    rejoined;
+    (if Runner_chaos.ok r then "yes" else "NO");
+  ]
+
+let cells ~quick =
   let params = Defaults.base () in
-  let seeds = List.init (if quick then 6 else 24) (fun i -> 1000 + i) in
-  let runs = Runner_chaos.campaign ~params ~seeds () in
+  List.map
+    (fun seed ->
+      Experiment.cell ~label:(Printf.sprintf "seed=%d" seed) (fun () ->
+          [ row (Runner_chaos.single ~params ~seed ()) ]))
+    (seeds ~quick)
+
+let assemble ~quick:_ rows =
   let table =
     Table.make ~title:"E13: randomized chaos campaign (suspect-aware gamma check)"
       ~columns:
@@ -22,32 +53,7 @@ let run ~quick =
           "samples"; "rejoined"; "ok" ]
       ()
   in
-  let table =
-    List.fold_left
-      (fun table { Runner_chaos.seed; plan; result = r } ->
-        let rejoined =
-          match r.Runner_chaos.recoveries with
-          | [] -> "-"
-          | rs ->
-            if List.for_all (fun v -> v.Runner_chaos.join_round <> None) rs
-            then "yes"
-            else "NO"
-        in
-        Table.add_row table
-          [
-            string_of_int seed;
-            Plan.describe plan;
-            string_of_int (Injector.total r.Runner_chaos.stats);
-            string_of_int r.Runner_chaos.max_suspects;
-            Table.cell_e r.Runner_chaos.max_clean_skew;
-            Table.cell_e r.Runner_chaos.gamma;
-            Printf.sprintf "%d+%d" r.Runner_chaos.checked_samples
-              r.Runner_chaos.skipped_samples;
-            rejoined;
-            (if Runner_chaos.ok r then "yes" else "NO");
-          ])
-      table runs
-  in
+  let table = Table.add_rows table (List.concat rows) in
   [
     Table.note table
       "Every plan blames its faults on at most f processes; whenever the \
@@ -58,9 +64,7 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E13";
-    title = "Chaos campaign: randomized fault plans";
-    paper_ref = "Sections 2.3, 9.1 (fault model stretched adversarially)";
-    run;
-  }
+  Experiment.of_cells ~id:"E13"
+    ~title:"Chaos campaign: randomized fault plans"
+    ~paper_ref:"Sections 2.3, 9.1 (fault model stretched adversarially)"
+    ~cells ~assemble

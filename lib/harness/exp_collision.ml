@@ -71,9 +71,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E11";
-    title = "Datagram collisions and staggered broadcasts";
-    paper_ref = "Section 9.3 (implementation on Suns + Ethernet)";
-    run;
-  }
+  Experiment.of_run ~id:"E11"
+    ~title:"Datagram collisions and staggered broadcasts"
+    ~paper_ref:"Section 9.3 (implementation on Suns + Ethernet)" run

@@ -8,7 +8,11 @@
    (those are worst cases; the simulation draws random delays), but the
    ordering and scaling should: WL/MS hold eps-scale agreement under
    Byzantine faults, ST/HSSD sit at delta+eps scale, HSSD's slope exceeds
-   1 under the early-broadcast attack, and everything beats the control. *)
+   1 under the early-broadcast attack, and everything beats the control.
+
+   Every (fault level, n, algorithm) triple is an independent simulation,
+   so each is one pool cell; assemble splits the row stream back into the
+   faulty and fault-free tables. *)
 
 module Table = Csync_metrics.Table
 module Params = Csync_core.Params
@@ -34,42 +38,66 @@ let estimate ~params algo =
 
 let cell_or_dash v = if Float.is_nan v then "-" else Table.cell_e v
 
-let one_n ~rounds ~faults ~n table =
+let one_run ~rounds ~faults ~n algo =
   let f = (n - 1) / 3 in
   let params = Defaults.base ~n ~f () in
-  List.fold_left
-    (fun table algo ->
-      let r = R.run ~algo ~params ~seed:11 ~faults ~rounds in
-      let est_skew, est_adj = estimate ~params algo in
-      Table.add_row table
-        [
-          string_of_int n;
-          string_of_int f;
-          R.algo_name algo;
-          Table.cell_e r.R.steady_skew;
-          cell_or_dash est_skew;
-          Table.cell_e r.R.max_adjustment;
-          cell_or_dash est_adj;
-          Printf.sprintf "%.0f" r.R.messages_per_round;
-          string_of_int (Bounds.messages_per_round ~n);
-          Printf.sprintf "%.6f" r.R.slope_max;
-        ])
-    table R.all_algos
+  let r = R.run ~algo ~params ~seed:11 ~faults ~rounds in
+  let est_skew, est_adj = estimate ~params algo in
+  [
+    [
+      string_of_int n;
+      string_of_int f;
+      R.algo_name algo;
+      Table.cell_e r.R.steady_skew;
+      cell_or_dash est_skew;
+      Table.cell_e r.R.max_adjustment;
+      cell_or_dash est_adj;
+      Printf.sprintf "%.0f" r.R.messages_per_round;
+      string_of_int (Bounds.messages_per_round ~n);
+      Printf.sprintf "%.6f" r.R.slope_max;
+    ];
+  ]
 
 let columns =
   [ "n"; "f"; "algorithm"; "skew"; "paper est."; "max adj"; "adj est.";
     "msgs/rd"; "n^2"; "slope max" ]
 
-let run ~quick =
+let faulty_ns ~quick = if quick then [ 7 ] else [ 4; 7; 10; 13 ]
+
+let fault_free_ns ~quick = if quick then [ 7 ] else [ 7; 13 ]
+
+let cell_configs ~quick =
+  List.concat_map
+    (fun n -> List.map (fun algo -> (R.Standard_faults, n, algo)) R.all_algos)
+    (faulty_ns ~quick)
+  @ List.concat_map
+      (fun n -> List.map (fun algo -> (R.No_faults, n, algo)) R.all_algos)
+      (fault_free_ns ~quick)
+
+let cells ~quick =
   let rounds = if quick then 15 else 30 in
-  let ns = if quick then [ 7 ] else [ 4; 7; 10; 13 ] in
+  List.map
+    (fun (faults, n, algo) ->
+      let tag = match faults with R.Standard_faults -> "faulty" | R.No_faults -> "clean" in
+      Experiment.cell
+        ~label:(Printf.sprintf "%s,n=%d,%s" tag n (R.algo_name algo))
+        (fun () -> one_run ~rounds ~faults ~n algo))
+    (cell_configs ~quick)
+
+let assemble ~quick rows =
+  let n_faulty = List.length (faulty_ns ~quick) * List.length R.all_algos in
+  let rec split i acc = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | r :: rest -> split (i - 1) (r :: acc) rest
+    | [] -> invalid_arg "Exp_comparison.assemble: too few cells"
+  in
+  let faulty_rows, clean_rows = split n_faulty [] rows in
   let faulty =
-    List.fold_left
-      (fun table n -> one_n ~rounds ~faults:R.Standard_faults ~n table)
+    Table.add_rows
       (Table.make
          ~title:"E5a: Section 10 comparison, f Byzantine faults active"
          ~columns ())
-      ns
+      (List.concat faulty_rows)
   in
   let faulty =
     Table.note faulty
@@ -79,17 +107,13 @@ let run ~quick =
        under its early-broadcast attack."
   in
   let fault_free =
-    List.fold_left
-      (fun table n -> one_n ~rounds ~faults:R.No_faults ~n table)
+    Table.add_rows
       (Table.make ~title:"E5b: same comparison, fault-free" ~columns ())
-      (if quick then [ 7 ] else [ 7; 13 ])
+      (List.concat clean_rows)
   in
   [ faulty; fault_free ]
 
 let experiment =
-  {
-    Experiment.id = "E5";
-    title = "Comparison with LM, MS, ST, HSSD (and a drift-only control)";
-    paper_ref = "Section 10";
-    run;
-  }
+  Experiment.of_cells ~id:"E5"
+    ~title:"Comparison with LM, MS, ST, HSSD (and a drift-only control)"
+    ~paper_ref:"Section 10" ~cells ~assemble

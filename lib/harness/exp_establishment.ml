@@ -75,9 +75,6 @@ let run ~quick =
   tables
 
 let experiment =
-  {
-    Experiment.id = "E10";
-    title = "Establishing synchronization from arbitrary clock values";
-    paper_ref = "Section 9.2; Lemma 20";
-    run;
-  }
+  Experiment.of_run ~id:"E10"
+    ~title:"Establishing synchronization from arbitrary clock values"
+    ~paper_ref:"Section 9.2; Lemma 20" run

@@ -63,9 +63,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E7";
-    title = "Multiple clock exchanges per round";
-    paper_ref = "Section 7 (end): beta >= 4eps + 2rhoP 2^k/(2^k-1)";
-    run;
-  }
+  Experiment.of_run ~id:"E7"
+    ~title:"Multiple clock exchanges per round"
+    ~paper_ref:"Section 7 (end): beta >= 4eps + 2rhoP 2^k/(2^k-1)" run

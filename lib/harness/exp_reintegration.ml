@@ -56,9 +56,6 @@ let run ~quick =
   ]
 
 let experiment =
-  {
-    Experiment.id = "E9";
-    title = "Reintegrating a repaired process";
-    paper_ref = "Section 9.1";
-    run;
-  }
+  Experiment.of_run ~id:"E9"
+    ~title:"Reintegrating a repaired process"
+    ~paper_ref:"Section 9.1" run

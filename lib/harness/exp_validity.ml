@@ -88,9 +88,6 @@ let run ~quick =
   [ table; control_table ]
 
 let experiment =
-  {
-    Experiment.id = "E4";
-    title = "Validity: local time advances linearly with real time";
-    paper_ref = "Theorem 19; Section 8";
-    run;
-  }
+  Experiment.of_run ~id:"E4"
+    ~title:"Validity: local time advances linearly with real time"
+    ~paper_ref:"Theorem 19; Section 8" run

@@ -2,15 +2,73 @@
 
     Each experiment regenerates one of the paper's quantitative claims (a
     theorem's bound, a convergence recurrence, or a Section 10 comparison
-    row) as one or more tables; see DESIGN.md's per-experiment index. *)
+    row) as one or more tables; see DESIGN.md's per-experiment index.
+
+    An experiment is either {e monolithic} - a single [run] function, as
+    in the original harness - or {e cell-based}: a pure description of its
+    sweep as a list of independent, individually seeded cells, each
+    producing raw rows, plus an [assemble] step that folds the rows into
+    tables in canonical order.  Cell-based experiments can be scheduled
+    across a {!Pool} of workers with bit-identical output for any worker
+    count; see {!Registry.run_all}. *)
+
+type cell = { label : string; thunk : unit -> string list list }
+(** One independent unit of work: a stable display label and a seeded
+    thunk returning raw rows.  The thunk must be self-contained (its own
+    RNGs, no shared mutable state) - it may run on any pool worker. *)
+
+val cell : label:string -> (unit -> string list list) -> cell
+
+type piece = Rows of string list list | Tables of Csync_metrics.Table.t list
+(** Result of one scheduled task: raw rows for a cell, finished tables for
+    a monolithic experiment run as a single task. *)
+
+type body =
+  | Monolithic of (quick:bool -> Csync_metrics.Table.t list)
+  | Cells of {
+      cells : quick:bool -> cell list;
+      assemble : quick:bool -> string list list list -> Csync_metrics.Table.t list;
+          (** Receives one row list per cell, in cell-list order -
+              independent of the order cells were executed in. *)
+    }
 
 type t = {
-  id : string;  (** "E1" .. "E12" *)
+  id : string;  (** "E1" .. "E13" *)
   title : string;
   paper_ref : string;  (** theorem/section the experiment reproduces *)
-  run : quick:bool -> Csync_metrics.Table.t list;
-      (** [quick] trims sweeps for use in test suites. *)
+  body : body;
 }
 
+val of_run :
+  id:string ->
+  title:string ->
+  paper_ref:string ->
+  (quick:bool -> Csync_metrics.Table.t list) ->
+  t
+(** A monolithic experiment ([quick] trims sweeps for test suites). *)
+
+val of_cells :
+  id:string ->
+  title:string ->
+  paper_ref:string ->
+  cells:(quick:bool -> cell list) ->
+  assemble:(quick:bool -> string list list list -> Csync_metrics.Table.t list) ->
+  t
+
+val tasks : quick:bool -> t -> (string * (unit -> piece)) list
+(** The experiment's schedulable units (label, thunk): one per cell, or a
+    single task for a monolithic experiment. *)
+
+val assemble : quick:bool -> t -> piece list -> Csync_metrics.Table.t list
+(** Fold task results (in {!tasks} order) back into tables.
+    @raise Invalid_argument on an arity or piece-shape mismatch. *)
+
+val run : quick:bool -> t -> Csync_metrics.Table.t list
+(** Run sequentially in the current domain: tasks in order, then
+    {!assemble}. *)
+
+val render_tables : Format.formatter -> t -> Csync_metrics.Table.t list -> unit
+(** Print the experiment header followed by already-computed tables. *)
+
 val render : Format.formatter -> quick:bool -> t -> unit
-(** Run the experiment and print its header and tables. *)
+(** Run the experiment (sequentially) and print its header and tables. *)

@@ -1,0 +1,19 @@
+let parallel_available = Pool_backend.available
+
+let default_jobs () =
+  match Sys.getenv_opt "CSYNC_JOBS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some j when j >= 1 -> j
+    | Some _ | None -> 1)
+  | None -> Pool_backend.recommended_jobs ()
+
+let init ~jobs n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  if jobs < 1 then invalid_arg "Pool.init: jobs must be >= 1";
+  Pool_backend.run ~jobs n f
+
+let map ~jobs f a = init ~jobs (Array.length a) (fun i -> f a.(i))
+
+let map_list ~jobs f l =
+  Array.to_list (map ~jobs f (Array.of_list l))

@@ -1,0 +1,32 @@
+(** Deterministic parallel executor for independent experiment cells.
+
+    The experiment suite is made of hundreds of independent, individually
+    seeded simulations.  This pool fans them out across OCaml 5 domains
+    (with a transparent sequential fallback on 4.x - see {!Pool_backend})
+    using static round-robin sharding and positional result stitching, so
+    the results - and every table rendered from them - are bit-identical
+    for any worker count, including 1.
+
+    Tasks must be self-contained: they own their RNGs and mutate no state
+    shared with other tasks.  Every simulation entry point in this
+    repository (Scenario.run, the runners, the chaos campaign) satisfies
+    this by construction. *)
+
+val parallel_available : bool
+(** True iff the build actually runs tasks concurrently (OCaml >= 5). *)
+
+val default_jobs : unit -> int
+(** Worker count used when the caller does not pass [~jobs]: the
+    [CSYNC_JOBS] environment variable when set to a positive integer,
+    otherwise the runtime's recommended domain count (1 on the sequential
+    backend). *)
+
+val init : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] evaluated on up to [jobs]
+    workers; results are in index order regardless of [jobs]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], order-preserving. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map], order-preserving. *)

@@ -1,0 +1,27 @@
+(** Compiler-dependent execution backend for {!Pool}.
+
+    The implementation is selected at build time by a dune rule on the
+    compiler version: OCaml >= 5.0 gets the multicore backend
+    ([pool_backend_domains.ml.in], one domain per worker), older compilers
+    get the transparent sequential fallback ([pool_backend_sequential.ml.in]).
+    Both satisfy this interface and both produce results in task-index
+    order, so callers are bit-identical across backends and worker
+    counts. *)
+
+val available : bool
+(** True iff tasks can actually run concurrently (OCaml 5 domains). *)
+
+val recommended_jobs : unit -> int
+(** The runtime's recommended worker count ([Domain.recommended_domain_count]
+    on OCaml 5); 1 on the sequential backend. *)
+
+val run : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [run ~jobs n f] evaluates [f i] for every [i] in [0 .. n-1] on up to
+    [jobs] workers and returns the results indexed by [i].
+
+    Scheduling is deterministic (static round-robin sharding, no work
+    stealing): worker [w] evaluates exactly the indices [i] with
+    [i mod jobs = w].  Because results are stitched back positionally, the
+    output - and therefore anything derived from it - is identical for
+    every [jobs] value.  If any task raises, the exception raised for the
+    smallest such index is re-raised after all workers finish. *)

@@ -5,4 +5,22 @@ val all : Experiment.t list
 val find : string -> Experiment.t option
 (** Case-insensitive lookup by id ("e1", "E10", ...). *)
 
-val render_all : Format.formatter -> quick:bool -> unit
+val run_list :
+  ?jobs:int ->
+  quick:bool ->
+  Experiment.t list ->
+  (Experiment.t * Csync_metrics.Table.t list) list
+(** Schedule every cell of every listed experiment through the {!Pool}
+    ([jobs] defaults to {!Pool.default_jobs}) and assemble each
+    experiment's tables in canonical order.  Output is bit-identical for
+    every [jobs] value; see {!Pool}. *)
+
+val run_all :
+  ?jobs:int -> quick:bool -> unit -> (Experiment.t * Csync_metrics.Table.t list) list
+
+val render_list :
+  ?jobs:int -> Format.formatter -> quick:bool -> Experiment.t list -> unit
+(** {!run_list}, then print each experiment's header and tables in list
+    order. *)
+
+val render_all : ?jobs:int -> Format.formatter -> quick:bool -> unit

@@ -227,20 +227,22 @@ let ok r = agreement_ok r && recoveries_ok r
 
 type campaign_run = { seed : int; plan : Plan.t; result : result }
 
-let campaign ?(rounds = 24) ?(degrade = true) ~params ~seeds () =
-  if rounds < 15 then invalid_arg "Runner_chaos.campaign: need >= 15 rounds";
+let single ?(rounds = 24) ?(degrade = true) ~params ~seed () =
+  if rounds < 15 then invalid_arg "Runner_chaos.single: need >= 15 rounds";
   let big_p = (params : Params.t).Params.big_p in
   let window =
     Plan.interval ~from_time:(2. *. big_p)
       ~until_time:(float_of_int (rounds - 12) *. big_p)
   in
-  List.map
-    (fun seed ->
-      let gen_rng = Rng.create (seed lxor 0x5eed) in
-      (* Every other seed is forced to include a crash + recovery, so the
-         reintegration path is exercised throughout the campaign. *)
-      let spec = Gen.spec ~include_crash:(seed mod 2 = 0) ~params ~window () in
-      let plan = Gen.random ~rng:gen_rng spec in
-      let result = run { params; seed; plan; rounds; degrade } in
-      { seed; plan; result })
-    seeds
+  let gen_rng = Rng.create (seed lxor 0x5eed) in
+  (* Every other seed is forced to include a crash + recovery, so the
+     reintegration path is exercised throughout the campaign. *)
+  let spec = Gen.spec ~include_crash:(seed mod 2 = 0) ~params ~window () in
+  let plan = Gen.random ~rng:gen_rng spec in
+  let result = run { params; seed; plan; rounds; degrade } in
+  { seed; plan; result }
+
+let campaign ?(rounds = 24) ?(degrade = true) ?jobs ~params ~seeds () =
+  if rounds < 15 then invalid_arg "Runner_chaos.campaign: need >= 15 rounds";
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  Pool.map_list ~jobs (fun seed -> single ~rounds ~degrade ~params ~seed ()) seeds

@@ -74,15 +74,28 @@ val ok : result -> bool
 
 type campaign_run = { seed : int; plan : Csync_chaos.Plan.t; result : result }
 
+val single :
+  ?rounds:int ->
+  ?degrade:bool ->
+  params:Csync_core.Params.t ->
+  seed:int ->
+  unit ->
+  campaign_run
+(** One generated plan + run for one seed ({!Csync_chaos.Gen.random},
+    faults placed in rounds 2 to [rounds - 12] so every recovery and settle
+    window closes before the run ends); even seeds are forced to include a
+    crash/recovery.  Fully determined by the arguments, so campaigns can
+    fan out seed-per-worker.
+    @raise Invalid_argument if [rounds < 15]. *)
+
 val campaign :
   ?rounds:int ->
   ?degrade:bool ->
+  ?jobs:int ->
   params:Csync_core.Params.t ->
   seeds:int list ->
   unit ->
   campaign_run list
-(** One generated plan + run per seed ({!Csync_chaos.Gen.random}, faults
-    placed in rounds 2 to [rounds - 12] so every recovery and settle window
-    closes before the run ends); even seeds are forced to include a
-    crash/recovery.
+(** {!single} for every seed, fanned out over the {!Pool} ([jobs] defaults
+    to {!Pool.default_jobs}); results are in [seeds] order for any [jobs].
     @raise Invalid_argument if [rounds < 15]. *)

@@ -9,10 +9,17 @@ let run ~cluster ~observe ~times =
   if observe = [] then invalid_arg "Sampling.run: empty observe list";
   let sample_at time =
     Cluster.run_until cluster time;
-    let locals = List.map (Cluster.local_time cluster) observe in
-    let lo = List.fold_left Float.min (List.hd locals) locals in
-    let hi = List.fold_left Float.max (List.hd locals) locals in
-    { time; skew = hi -. lo; min_local = lo; max_local = hi }
+    (* Single pass over the observed processes - no per-sample list of
+       local times (this runs at every grid point of every experiment). *)
+    let first = Cluster.local_time cluster (List.hd observe) in
+    let lo = ref first and hi = ref first in
+    List.iter
+      (fun pid ->
+        let l = Cluster.local_time cluster pid in
+        if l < !lo then lo := l;
+        if l > !hi then hi := l)
+      (List.tl observe);
+    { time; skew = !hi -. !lo; min_local = !lo; max_local = !hi }
   in
   { samples = Array.map sample_at times; observed = observe }
 

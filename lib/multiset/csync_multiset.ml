@@ -78,6 +78,32 @@ let reduce ~f u =
   if n < 2 * f then invalid_arg "Csync_multiset.reduce: multiset too small";
   Array.sub u f (n - 2 * f)
 
+(* Size of reduce ~f u, with reduce's checks plus the nonemptiness the
+   averaging functions require - without building the reduced array. *)
+let reduced_size name ~f u =
+  if f < 0 then invalid_arg ("Csync_multiset." ^ name ^ ": negative f");
+  let n = Array.length u in
+  if n < 2 * f then invalid_arg ("Csync_multiset." ^ name ^ ": multiset too small");
+  if n = 2 * f then invalid_arg ("Csync_multiset." ^ name ^ ": empty after reduction");
+  n - (2 * f)
+
+let mid_reduced ~f u =
+  let m = reduced_size "mid_reduced" ~f u in
+  (u.(f) +. u.(f + m - 1)) /. 2.
+
+let mean_reduced ~f u =
+  let m = reduced_size "mean_reduced" ~f u in
+  let sum = ref 0. in
+  for i = f to f + m - 1 do
+    sum := !sum +. u.(i)
+  done;
+  !sum /. float_of_int m
+
+let median_reduced ~f u =
+  let m = reduced_size "median_reduced" ~f u in
+  if m mod 2 = 1 then u.(f + (m / 2))
+  else (u.(f + (m / 2) - 1) +. u.(f + (m / 2))) /. 2.
+
 let add_scalar u r = Array.map (fun x -> x +. r) u
 
 let union u v =
@@ -147,3 +173,60 @@ let compare u v =
         if c <> 0 then c else go (i + 1)
     in
     go 0
+
+module Scratch = struct
+  (* A multiset is a bare sorted array, and every operation above keys off
+     [Array.length], so a reusable buffer must be exact-size.  One array is
+     cached and reused whenever the requested size matches - on the periodic
+     paths (same cluster size every round, same k every exchange) that means
+     steady-state zero allocation. *)
+  type buf = { mutable data : float array }
+
+  let create () = { data = [||] }
+
+  let obtain buf n =
+    if Array.length buf.data = n then buf.data
+    else begin
+      let a = Array.make n 0. in
+      buf.data <- a;
+      a
+    end
+
+  let sorted_of_array buf a =
+    let n = Array.length a in
+    let out = obtain buf n in
+    if out != a then Array.blit a 0 out 0 n;
+    Array.sort Float.compare out;
+    out
+
+  let add_scalar buf u r =
+    let n = Array.length u in
+    let out = obtain buf n in
+    (* [out == u] is fine: each slot is read before it is written. *)
+    for i = 0 to n - 1 do
+      out.(i) <- u.(i) +. r
+    done;
+    out
+
+  let union buf u v =
+    let n = Array.length u and m = Array.length v in
+    let out = obtain buf (n + m) in
+    (* The merge writes ahead of its read fronts, so an input aliasing the
+       buffer must be copied first. *)
+    let u = if u == out then Array.copy u else u in
+    let v = if v == out then Array.copy v else v in
+    let rec go i j k =
+      if i = n then Array.blit v j out k (m - j)
+      else if j = m then Array.blit u i out k (n - i)
+      else if u.(i) <= v.(j) then begin
+        out.(k) <- u.(i);
+        go (i + 1) j (k + 1)
+      end
+      else begin
+        out.(k) <- v.(j);
+        go i (j + 1) (k + 1)
+      end
+    in
+    go 0 0 0;
+    out
+end

@@ -75,6 +75,26 @@ val reduce : f:int -> t -> t
 (** [reduce ~f u] = l^f(s^f(u)): the [f] largest and [f] smallest elements
     removed.  @raise Invalid_argument if [size u < 2*f] or [f < 0]. *)
 
+(** {1 Fused reduce-and-average}
+
+    The averaging functions applied to [reduce ~f u], computed directly
+    from the order statistics of [u] - no intermediate multiset, O(1) for
+    the midpoint.  These are the per-round hot path of the maintenance
+    algorithm. *)
+
+val mid_reduced : f:int -> t -> float
+(** [mid_reduced ~f u = mid (reduce ~f u)], in O(1).
+    @raise Invalid_argument if [f < 0], [size u < 2*f], or the reduction
+    would be empty ([size u = 2*f]). *)
+
+val mean_reduced : f:int -> t -> float
+(** [mean_reduced ~f u = mean (reduce ~f u)], allocation-free.
+    @raise Invalid_argument as {!mid_reduced}. *)
+
+val median_reduced : f:int -> t -> float
+(** [median_reduced ~f u = median (reduce ~f u)], in O(1).
+    @raise Invalid_argument as {!mid_reduced}. *)
+
 (** {1 Arithmetic} *)
 
 val add_scalar : t -> float -> t
@@ -113,3 +133,31 @@ val equal : t -> t -> bool
 (** Exact float equality, element-wise. *)
 
 val compare : t -> t -> int
+
+(** {1 Scratch-buffer variants}
+
+    Allocation-avoiding counterparts for periodic hot paths (the k-exchange
+    loop builds the same-size multiset every exchange).  Each operation
+    returns a multiset that {e aliases} the buffer: it is valid only until
+    the buffer's next use, and must not be stored, returned across rounds,
+    or shared between domains.  Buffers are not thread-safe; give each
+    worker its own.  Results are element-for-element identical to the
+    allocating versions. *)
+module Scratch : sig
+  type buf
+
+  val create : unit -> buf
+
+  val sorted_of_array : buf -> float array -> t
+  (** Like {!of_array}, sorting into the buffer instead of a fresh copy.
+      The input array is not mutated (unless it is itself the buffer's
+      backing store from a previous call). *)
+
+  val add_scalar : buf -> t -> float -> t
+  (** Like {!add_scalar}, writing into the buffer.  The input may alias the
+      buffer. *)
+
+  val union : buf -> t -> t -> t
+  (** Like {!union}, merging into the buffer.  Inputs aliasing the buffer
+      are copied first (one allocation), so prefer distinct inputs. *)
+end

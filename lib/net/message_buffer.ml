@@ -45,18 +45,26 @@ let send t ~src ~dst m =
   check_pid t dst "send";
   let now = Engine.now t.engine in
   t.sent <- t.sent + 1;
-  let deliver { payload; extra_delay } =
-    if extra_delay < 0. then invalid_arg "Message_buffer.send: negative extra delay";
-    (* Each copy draws its own in-model delay; the tamper's extra delay is
-       added on top, so chaos-injected latency can exceed delta + eps. *)
-    let d = Delay.draw t.delay ~src ~dst ~now in
-    Engine.schedule t.engine ~time:(now +. d +. extra_delay)
-      ~prio:Event_queue.prio_message
-      { src; dst; body = Msg payload }
-  in
   match t.tamper with
-  | None -> deliver { payload = m; extra_delay = 0. }
-  | Some f -> List.iter deliver (f ~now ~src ~dst m)
+  | None ->
+    (* Fast path for the untampered cluster: no fate record, no closure -
+       this is every message of every fault-free simulation. *)
+    let d = Delay.draw t.delay ~src ~dst ~now in
+    Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
+      { src; dst; body = Msg m }
+  | Some f ->
+    List.iter
+      (fun { payload; extra_delay } ->
+        if extra_delay < 0. then
+          invalid_arg "Message_buffer.send: negative extra delay";
+        (* Each copy draws its own in-model delay; the tamper's extra delay
+           is added on top, so chaos-injected latency can exceed
+           delta + eps. *)
+        let d = Delay.draw t.delay ~src ~dst ~now in
+        Engine.schedule t.engine ~time:(now +. d +. extra_delay)
+          ~prio:Event_queue.prio_message
+          { src; dst; body = Msg payload })
+      (f ~now ~src ~dst m)
 
 let broadcast t ~src m =
   for dst = 0 to t.n - 1 do

@@ -17,7 +17,11 @@ type 'm t = {
   procs : 'm proc array;
   alive : bool array;
   trace : Trace.t;
-  mutable hooks : (float -> int -> 'm Automaton.interrupt -> unit) list;
+  (* Hooks in registration order, in a doubling array: amortized O(1)
+     registration (the old [hooks @ [hook]] recopied the list, quadratic
+     over registrations) and closure-free iteration on every delivery. *)
+  mutable hooks : (float -> int -> 'm Automaton.interrupt -> unit) array;
+  mutable n_hooks : int;
 }
 
 let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
@@ -27,7 +31,16 @@ let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
   if n = 0 then invalid_arg "Cluster.create: empty cluster";
   let engine = Engine.create () in
   let buffer = Message_buffer.create ~n ~delay ?collision ~engine () in
-  { clocks; buffer; engine; procs; alive = Array.make n true; trace; hooks = [] }
+  {
+    clocks;
+    buffer;
+    engine;
+    procs;
+    alive = Array.make n true;
+    trace;
+    hooks = [||];
+    n_hooks = 0;
+  }
 
 let n t = Array.length t.procs
 
@@ -80,7 +93,15 @@ let replace t pid proc =
   check_pid t pid "replace";
   t.procs.(pid) <- proc
 
-let add_delivery_hook t hook = t.hooks <- t.hooks @ [ hook ]
+let add_delivery_hook t hook =
+  let cap = Array.length t.hooks in
+  if t.n_hooks = cap then begin
+    let grown = Array.make (max 4 (2 * cap)) hook in
+    Array.blit t.hooks 0 grown 0 t.n_hooks;
+    t.hooks <- grown
+  end;
+  t.hooks.(t.n_hooks) <- hook;
+  t.n_hooks <- t.n_hooks + 1
 
 let apply_action t ~self action =
   match action with
@@ -107,12 +128,22 @@ let handle_delivery t time (delivery : 'm Message_buffer.delivery) =
     let phys = Hardware_clock.time t.clocks.(dst) time in
     let new_state, actions = auto.Automaton.handle ~self:dst ~phys interrupt !state in
     state := new_state;
-    List.iter (apply_action t ~self:dst) actions;
+    (* Direct recursion and an indexed hook loop: no per-delivery closures
+       (this runs once per simulated event, the engine's innermost loop). *)
+    let rec apply = function
+      | [] -> ()
+      | action :: rest ->
+        apply_action t ~self:dst action;
+        apply rest
+    in
+    apply actions;
     if Trace.enabled t.trace then
       Trace.recordf t.trace ~time "p%d <- %a (%d actions)" dst
         (Automaton.pp_interrupt (fun ppf _ -> Format.fprintf ppf "_"))
         interrupt (List.length actions);
-    List.iter (fun hook -> hook time dst interrupt) t.hooks
+    for i = 0 to t.n_hooks - 1 do
+      t.hooks.(i) time dst interrupt
+    done
   end
 
 let run_until t until =

@@ -67,9 +67,19 @@ let pop_exn h =
   | Some x -> x
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
-let clear h =
-  h.len <- 0;
-  h.data <- [||]
+let clear h = h.len <- 0
+(* The backing array is kept: a cleared-and-refilled heap (the common reuse
+   pattern in the engine and the baselines) reallocates nothing.  Slots past
+   [len] retain their old elements until overwritten by later pushes. *)
+
+let capacity h = Array.length h.data
+
+let reserve h ~dummy n =
+  if n > Array.length h.data then begin
+    let nd = Array.make n dummy in
+    Array.blit h.data 0 nd 0 h.len;
+    h.data <- nd
+  end
 
 let to_sorted_list h =
   let copy = { cmp = h.cmp; data = Array.sub h.data 0 h.len; len = h.len } in

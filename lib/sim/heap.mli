@@ -23,6 +23,18 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empties the heap, {e keeping} its backing capacity so a
+    cleared-and-refilled heap reallocates nothing.  Slots beyond the new
+    size retain their elements until overwritten; call sites holding large
+    values that must be collected promptly should drop the heap instead. *)
+
+val capacity : 'a t -> int
+(** Current backing-array length (>= {!size}). *)
+
+val reserve : 'a t -> dummy:'a -> int -> unit
+(** [reserve h ~dummy n] grows the backing array to at least [n] slots
+    (filling fresh slots with [dummy]); no-op if already that large.
+    Avoids the doubling re-blits when the final size is known up front. *)
 
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive: the heap contents in ascending order. *)

@@ -190,4 +190,60 @@ let registry_tests =
         check_true "wide checked" (Params.check w = []));
   ]
 
-let suite = sampling_tests @ env_tests @ scenario_tests @ registry_tests
+let pool_tests =
+  let module Pool = Csync_harness.Pool in
+  [
+    t "Pool.init returns results in index order" (fun () ->
+        let r = Pool.init ~jobs:4 100 (fun i -> i * i) in
+        check_true "values" (Array.for_all Fun.id (Array.mapi (fun i v -> v = i * i) r)));
+    t "Pool.init handles jobs > n and n = 0" (fun () ->
+        check_int "short" 3 (Array.length (Pool.init ~jobs:64 3 Fun.id));
+        check_int "empty" 0 (Array.length (Pool.init ~jobs:4 0 Fun.id));
+        check_raises_invalid "jobs" (fun () -> ignore (Pool.init ~jobs:0 1 Fun.id));
+        check_raises_invalid "negative n" (fun () ->
+            ignore (Pool.init ~jobs:1 (-1) Fun.id)));
+    t "Pool.init re-raises a task exception" (fun () ->
+        match Pool.init ~jobs:4 8 (fun i -> if i = 5 then failwith "boom" else i) with
+        | _ -> Alcotest.fail "expected exception"
+        | exception Failure msg -> check_true "message" (msg = "boom"));
+    t "CSYNC_JOBS overrides default_jobs" (fun () ->
+        Unix.putenv "CSYNC_JOBS" "3";
+        let v = Pool.default_jobs () in
+        Unix.putenv "CSYNC_JOBS" "";
+        check_int "env" 3 v);
+  ]
+
+let determinism_tests =
+  [
+    t "registry output identical at 1 and 4 workers" (fun () ->
+        (* The tentpole's contract: the pool only changes wall-clock time,
+           never a byte of any table. *)
+        let render jobs =
+          Format.asprintf "%a"
+            (fun ppf () -> Registry.render_all ~jobs ppf ~quick:true)
+            ()
+        in
+        let one = render 1 in
+        check_true "nonempty" (String.length one > 0);
+        Alcotest.(check string) "jobs=4" one (render 4);
+        Alcotest.(check string) "jobs=13" one (render 13));
+    t "run_list slices tables per experiment" (fun () ->
+        let exps =
+          List.filter
+            (fun e ->
+              List.mem e.Csync_harness.Experiment.id [ "E1"; "E3"; "E5" ])
+            Registry.all
+        in
+        let results = Registry.run_list ~jobs:4 ~quick:true exps in
+        check_int "three experiments" 3 (List.length results);
+        List.iter2
+          (fun e (e', tables) ->
+            check_true "same experiment"
+              (e.Csync_harness.Experiment.id = e'.Csync_harness.Experiment.id);
+            check_true "has tables" (tables <> []))
+          exps results);
+  ]
+
+let suite =
+  sampling_tests @ env_tests @ scenario_tests @ registry_tests @ pool_tests
+  @ determinism_tests

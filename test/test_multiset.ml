@@ -206,4 +206,81 @@ let lemma_tests =
         <= (M.diameter w /. 2.) +. (2. *. x) +. 1e-9);
   ]
 
-let suite = unit_tests @ prop_tests @ lemma_tests
+(* The fused reduce-and-average variants and the scratch-buffer operations
+   must agree exactly (same floats, same elements) with the allocating
+   compositions they replace. *)
+let gen_reducible =
+  let open QCheck2.Gen in
+  let* f = int_range 0 4 in
+  let* extra = int_range 1 30 in
+  let* l = list_size (return ((2 * f) + extra)) (float_bound_inclusive 100.) in
+  return (f, l)
+
+let fused_tests =
+  [
+    qcheck ~name:"mid_reduced = mid o reduce" gen_reducible (fun (f, l) ->
+        let u = M.of_list l in
+        M.mid_reduced ~f u = M.mid (M.reduce ~f u));
+    qcheck ~name:"mean_reduced = mean o reduce" gen_reducible (fun (f, l) ->
+        let u = M.of_list l in
+        Float.abs (M.mean_reduced ~f u -. M.mean (M.reduce ~f u)) <= 1e-12);
+    qcheck ~name:"median_reduced = median o reduce" gen_reducible
+      (fun (f, l) ->
+        let u = M.of_list l in
+        M.median_reduced ~f u = M.median (M.reduce ~f u));
+    t "fused variants validate like reduce-then-average" (fun () ->
+        let u = M.of_list [ 1.; 2.; 3.; 4. ] in
+        check_raises_invalid "negative f" (fun () -> M.mid_reduced ~f:(-1) u);
+        check_raises_invalid "too small" (fun () -> M.mid_reduced ~f:3 u);
+        check_raises_invalid "empty after reduction" (fun () ->
+            M.mid_reduced ~f:2 u);
+        check_raises_invalid "mean empty" (fun () -> M.mean_reduced ~f:2 u);
+        check_raises_invalid "median empty" (fun () -> M.median_reduced ~f:2 u));
+  ]
+
+let scratch_tests =
+  [
+    qcheck ~name:"Scratch.sorted_of_array = of_array" gen_floats (fun l ->
+        let a = Array.of_list l in
+        let buf = M.Scratch.create () in
+        M.equal (M.Scratch.sorted_of_array buf a) (M.of_array a));
+    qcheck ~name:"Scratch.sorted_of_array does not mutate input" gen_floats
+      (fun l ->
+        let a = Array.of_list l in
+        let copy = Array.copy a in
+        let buf = M.Scratch.create () in
+        ignore (M.Scratch.sorted_of_array buf a);
+        a = copy);
+    qcheck ~name:"Scratch.add_scalar = add_scalar" gen_floats_and_scalar
+      (fun (l, r) ->
+        let u = M.of_list l in
+        let buf = M.Scratch.create () in
+        M.equal (M.Scratch.add_scalar buf u r) (M.add_scalar u r));
+    qcheck ~name:"Scratch.union = union" (QCheck2.Gen.pair gen_floats gen_floats)
+      (fun (a, b) ->
+        let u = M.of_list a and v = M.of_list b in
+        let buf = M.Scratch.create () in
+        M.equal (M.Scratch.union buf u v) (M.union u v));
+    qcheck ~name:"Scratch reuse across calls stays correct" gen_floats
+      (fun l ->
+        (* Same buffer, same size, repeated calls - the reuse path. *)
+        let a = Array.of_list l in
+        let buf = M.Scratch.create () in
+        let first = M.to_list (M.Scratch.sorted_of_array buf a) in
+        let second = M.to_list (M.Scratch.sorted_of_array buf a) in
+        first = second && first = M.to_list (M.of_array a));
+    t "Scratch.union tolerates aliased input" (fun () ->
+        let buf = M.Scratch.create () in
+        (* add_scalar leaves its result in the buffer's backing store; a
+           union with the empty multiset then wants an output of the same
+           size, so the buffer is handed back as output while also being
+           the input - the aliasing guard must copy first. *)
+        let v = M.Scratch.add_scalar buf (M.of_list [ 3.; 1. ]) 1. in
+        let w = M.Scratch.union buf v M.empty in
+        Alcotest.(check (list (float 0.))) "left" [ 2.; 4. ] (M.to_list w);
+        let v = M.Scratch.add_scalar buf (M.of_list [ 5.; 2. ]) 0. in
+        let w = M.Scratch.union buf M.empty v in
+        Alcotest.(check (list (float 0.))) "right" [ 2.; 5. ] (M.to_list w));
+  ]
+
+let suite = unit_tests @ prop_tests @ lemma_tests @ fused_tests @ scratch_tests

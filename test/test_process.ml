@@ -152,6 +152,20 @@ let basic_tests =
         Cluster.schedule_start cluster ~pid:0 ~time:0.;
         Cluster.run_until cluster 1.;
         Alcotest.(check (list int)) "hook" [ 0 ] !calls);
+    t "many hooks fire in registration order" (fun () ->
+        (* Exercises the doubling-array registration path well past its
+           initial capacity. *)
+        let proc, _ = Cluster.make_proc (recorder ()) in
+        let cluster = cluster_of_procs [| proc |] in
+        let calls = ref [] in
+        for i = 0 to 19 do
+          Cluster.add_delivery_hook cluster (fun _ _ _ -> calls := i :: !calls)
+        done;
+        Cluster.schedule_start cluster ~pid:0 ~time:0.;
+        Cluster.run_until cluster 1.;
+        Alcotest.(check (list int))
+          "order" (List.init 20 (fun i -> i))
+          (List.rev !calls));
     t "schedule_starts_at_logical places START at c_p(T0)" (fun () ->
         (* Clock reads T0 = 10 at real time 2 (offset 8, rate 1). *)
         let proc, read = Cluster.make_proc (recorder ()) in

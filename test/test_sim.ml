@@ -96,6 +96,33 @@ let heap_tests =
         Heap.push h 1;
         Heap.clear h;
         check_true "empty" (Heap.is_empty h));
+    t "clear keeps capacity; refill works" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        for i = 0 to 99 do
+          Heap.push h i
+        done;
+        let cap = Heap.capacity h in
+        check_true "grown" (cap >= 100);
+        Heap.clear h;
+        check_int "still reserved" cap (Heap.capacity h);
+        check_true "empty" (Heap.is_empty h);
+        List.iter (Heap.push h) [ 3; 1; 2 ];
+        check_int "no realloc" cap (Heap.capacity h);
+        Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] (Heap.to_sorted_list h));
+    t "reserve grows once and preserves contents" (fun () ->
+        let h = Heap.create ~cmp:Int.compare in
+        List.iter (Heap.push h) [ 9; 4 ];
+        Heap.reserve h ~dummy:0 500;
+        check_true "reserved" (Heap.capacity h >= 500);
+        let cap = Heap.capacity h in
+        Heap.reserve h ~dummy:0 10;
+        check_int "no shrink" cap (Heap.capacity h);
+        for i = 0 to 400 do
+          Heap.push h i
+        done;
+        check_int "no regrow" cap (Heap.capacity h);
+        check_int "size" 403 (Heap.size h);
+        check_true "min" (Heap.peek h = Some 0));
     t "to_sorted_list non-destructive" (fun () ->
         let h = Heap.create ~cmp:Int.compare in
         List.iter (Heap.push h) [ 3; 1; 2 ];

@@ -151,6 +151,32 @@ let bench_round =
         (Staged.stage (fun () -> run_rounds ~exchanges:3));
     ]
 
+(* The model checker's exploration loop, at a scope small enough to finish
+   in milliseconds: 2 nonfaulty + 1 Byzantine, one round, two-point delay
+   lattice.  The bound is slackened so no violation stops exploration early
+   and the benchmark always measures the full state space. *)
+let check_scope =
+  lazy
+    {
+      (Csync_check.Scope.preset_exn "divergence-n2f1") with
+      Csync_check.Scope.depth = 1;
+      gamma_factor = 1000.;
+    }
+
+let check_stats =
+  lazy
+    (Csync_check.Explorer.run ~jobs:1 (Lazy.force check_scope))
+      .Csync_check.Explorer.stats
+
+let bench_check =
+  Test.make_grouped ~name:"check"
+    [
+      Test.make ~name:"explore-n2f1-depth1"
+        (Staged.stage (fun () ->
+             ignore
+               (Csync_check.Explorer.run ~jobs:1 (Lazy.force check_scope))));
+    ]
+
 let ns_per_op ols =
   match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
 
@@ -168,7 +194,7 @@ let run_kernels ~quick =
       Hashtbl.fold
         (fun name o acc -> { name; ns_per_op = ns_per_op o } :: acc)
         results [])
-    [ bench_multiset; bench_engine; bench_round ]
+    [ bench_multiset; bench_engine; bench_round; bench_check ]
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let find_kernel t name =
@@ -186,6 +212,18 @@ let mid_reduced_speedup_n10k t =
          && Float.is_finite fused.ns_per_op
          && fused.ns_per_op > 0. ->
     Some (naive.ns_per_op /. fused.ns_per_op)
+  | _ -> None
+
+(* Exploration throughput of the model checker on the benched scope:
+   distinct canonical states discovered per second of exploration.  The
+   scope is deterministic, so the state count is a constant and the only
+   measured quantity is the kernel's wall time. *)
+let check_states_per_sec t =
+  match find_kernel t "check/explore-n2f1-depth1" with
+  | Some k when Float.is_finite k.ns_per_op && k.ns_per_op > 0. ->
+    let s = Lazy.force check_stats in
+    Some
+      (float_of_int s.Csync_check.Explorer.states /. (k.ns_per_op *. 1e-9))
   | _ -> None
 
 (* ---------- report ---------- *)
@@ -219,8 +257,11 @@ let pp_summary ppf t =
       "suite: %.2f s at %d jobs, %.2f s at 1 job (speedup %.2fx, tables %s)@."
       s.wall_s t.jobs s.wall_s_jobs1 s.speedup_vs_jobs1
       (if s.tables_identical then "identical" else "DIFFER"));
-  match mid_reduced_speedup_n10k t with
+  (match mid_reduced_speedup_n10k t with
   | Some r -> Format.fprintf ppf "mid_reduced vs mid-o-reduce at n=10k: %.0fx@." r
+  | None -> ());
+  match check_states_per_sec t with
+  | Some r -> Format.fprintf ppf "model-checker exploration: %.0f states/s@." r
   | None -> ()
 
 (* Hand-rolled JSON: the container has no JSON library and the shape is
@@ -270,8 +311,12 @@ let to_json t =
   kernels t.kernels;
   add "  },\n";
   add "  \"derived\": {\n";
-  add "    \"mid_reduced_speedup_n10k\": %s\n"
+  add "    \"mid_reduced_speedup_n10k\": %s,\n"
     (match mid_reduced_speedup_n10k t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "    \"check_states_per_sec\": %s\n"
+    (match check_states_per_sec t with
     | Some r -> json_float r
     | None -> "null");
   add "  }\n";

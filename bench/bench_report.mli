@@ -33,6 +33,11 @@ val mid_reduced_speedup_n10k : t -> float option
 (** Naive [mid (reduce ~f u)] time over fused [mid_reduced ~f u] time at
     n = 10000, if both kernels produced finite estimates. *)
 
+val check_states_per_sec : t -> float option
+(** Model-checker exploration throughput on the benched scope (distinct
+    canonical states per second), if the kernel produced a finite
+    estimate. *)
+
 val pp_kernels : Format.formatter -> kernel list -> unit
 
 val pp_summary : Format.formatter -> t -> unit

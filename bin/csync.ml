@@ -163,7 +163,7 @@ let simulate_cmd =
 
 (* csync chaos *)
 let chaos_cmd =
-  let run quick seed plans n f rounds =
+  let run quick seed plans n f rounds plan_file =
     let module RC = Csync_harness.Runner_chaos in
     let module Plan = Csync_chaos.Plan in
     let module Injector = Csync_chaos.Injector in
@@ -171,6 +171,35 @@ let chaos_cmd =
     | exception Invalid_argument msg -> `Error (false, msg)
     | _ when f < 1 -> `Error (false, "chaos needs a fault budget of f >= 1")
     | params ->
+    match plan_file with
+    | Some file -> begin
+      (* One deterministic run of a serialized plan (e.g. a model-checker
+         counterexample exported with csync check --cex). *)
+      let contents =
+        let ic = open_in_bin file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+      in
+      match Plan.of_sexp_string contents with
+      | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+      | Ok plan ->
+        (match Plan.validate ~n plan with
+        | exception Invalid_argument e ->
+          `Error (false, Printf.sprintf "%s: invalid plan: %s" file e)
+        | () ->
+          let rounds = max 15 rounds in
+          Format.printf "replaying plan %s (%s)@." file (Plan.describe plan);
+          let r = RC.run (RC.make ~seed ~rounds ~params plan) in
+          Format.printf
+            "injected %d faults; clean skew %.3e / gamma %.3e: %s@."
+            (Injector.total r.RC.stats) r.RC.max_clean_skew r.RC.gamma
+            (if RC.ok r then "ok" else "BOUND VIOLATED");
+          if RC.ok r then `Ok ()
+          else `Error (false, "plan violated the agreement bound"))
+    end
+    | None ->
     let plans = if quick then min plans 5 else plans in
     let seeds = List.init plans (fun i -> seed + i) in
     let rounds = max 15 rounds in
@@ -217,13 +246,246 @@ let chaos_cmd =
   let rounds =
     Arg.(value & opt int 24 & info [ "rounds" ] ~doc:"Rounds per run (>= 15).")
   in
+  let plan_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Instead of a random campaign, run the single serialized fault \
+             plan in $(docv) (s-expression, as written by the plan \
+             generator or csync check).")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a campaign of randomized fault plans (crashes, partitions, \
           lossy links, clock disturbances) and check the suspect-aware \
           agreement bound plus reintegration of repaired crashers.")
-    Term.(ret (const run $ quick_arg $ seed $ plans $ n $ f $ rounds))
+    Term.(ret (const run $ quick_arg $ seed $ plans $ n $ f $ rounds $ plan_file))
+
+(* csync check *)
+let check_cmd =
+  let module Scope = Csync_check.Scope in
+  let module Explorer = Csync_check.Explorer in
+  let module Cex = Csync_check.Cex in
+  let module Replay = Csync_check.Replay in
+  let read_file file =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let write_file file s =
+    let oc = open_out file in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc
+  in
+  let replay_file file =
+    match Cex.of_sexp_string (read_file file) with
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok cex ->
+      Format.printf "%a@." Cex.pp cex;
+      let r = Replay.run cex in
+      Array.iteri
+        (fun i s -> Format.printf "round %d replayed spread: %.6g s@." i s)
+        r.Replay.round_spreads;
+      let agrees = Float.equal r.Replay.skew cex.Cex.measured in
+      Format.printf "replayed skew %.6g s; checker reported %.6g s: %s@."
+        r.Replay.skew cex.Cex.measured
+        (if agrees then "bit-exact match" else "MISMATCH");
+      (match Replay.diff_provenance cex r.Replay.delay_log with
+      | [] -> Format.printf "delay provenance: all choices followed@."
+      | ms ->
+        Format.printf "delay provenance: %d deviations (first at t=%.6g)@."
+          (List.length ms)
+          (match ms with m :: _ -> m.Replay.at | [] -> 0.));
+      if agrees then `Ok ()
+      else `Error (false, "replay does not reproduce the checker's skew")
+  in
+  let explore preset_name depth lattice weaken max_states no_symmetry
+      no_dedup jobs cex_file =
+    match Scope.preset preset_name with
+    | Error e -> `Error (false, e)
+    | Ok scope ->
+      let scope =
+        {
+          scope with
+          Scope.depth = (if depth > 0 then depth else scope.Scope.depth);
+          lattice = (if lattice > 0 then lattice else scope.Scope.lattice);
+          gamma_factor = weaken *. scope.Scope.gamma_factor;
+          max_states =
+            (if max_states > 0 then max_states else scope.Scope.max_states);
+          symmetry = scope.Scope.symmetry && not no_symmetry;
+          dedup = scope.Scope.dedup && not no_dedup;
+        }
+      in
+      Format.printf "%a@." Scope.pp scope;
+      let t_start = Unix.gettimeofday () in
+      (match scope.Scope.mode with
+      | Scope.Reintegrate ->
+        let r = Explorer.run_reintegration ?jobs:(jobs_opt jobs) scope in
+        let dt = Unix.gettimeofday () -. t_start in
+        Format.printf
+          "explored %d delay paths (%d mini-simulations) in %.2f s (%.0f \
+           sims/s)@."
+          r.Explorer.paths r.Explorer.r_sims dt
+          (float_of_int r.Explorer.r_sims /. Float.max dt 1e-9);
+        Format.printf "joined: %d/%d; within gamma: %d/%d@."
+          r.Explorer.joined r.Explorer.paths r.Explorer.within_gamma
+          r.Explorer.paths;
+        if r.Explorer.failures = [] then begin
+          Format.printf "reintegration goal holds on every path.@.";
+          `Ok ()
+        end
+        else begin
+          List.iter (Format.printf "  %s@.") r.Explorer.failures;
+          Format.printf "worst final gap: %.6g s@." r.Explorer.worst_gap;
+          `Error (false, "reintegration goal failed")
+        end
+      | Scope.Maintain ->
+        let r = Explorer.run ?jobs:(jobs_opt jobs) scope in
+        let dt = Unix.gettimeofday () -. t_start in
+        let s = r.Explorer.stats in
+        Format.printf
+          "states %d (deduped %d), schedules %d, mini-simulations %d in \
+           %.2f s@."
+          s.Explorer.states s.Explorer.deduped s.Explorer.transitions
+          s.Explorer.sims dt;
+        Format.printf "throughput: %.0f states/s, %.0f schedules/s@."
+          (float_of_int s.Explorer.states /. Float.max dt 1e-9)
+          (float_of_int s.Explorer.transitions /. Float.max dt 1e-9);
+        Format.printf "frontier per depth: %s@."
+          (String.concat " "
+             (List.map string_of_int s.Explorer.frontier));
+        if s.Explorer.truncated then
+          Format.printf
+            "WARNING: frontier budget (%d states) exceeded - exploration \
+             was TRUNCATED and is NOT exhaustive.@."
+            scope.Scope.max_states;
+        (match r.Explorer.violations with
+        | [] ->
+          Format.printf "no property violations%s.@."
+            (if s.Explorer.truncated then " (within the truncated frontier)"
+             else "; the scope is exhaustively verified");
+          `Ok ()
+        | v :: _ as vs ->
+          Format.printf "%d violation%s found; first:@." (List.length vs)
+            (if List.length vs = 1 then "" else "s");
+          Format.printf "  at depth %d: %a@." v.Explorer.depth
+            Csync_check.Props.pp_violation v.Explorer.prop;
+          Format.printf "%a@." Cex.pp v.Explorer.cex;
+          (match cex_file with
+          | Some file ->
+            write_file file (Cex.to_sexp_string v.Explorer.cex);
+            Format.printf "counterexample written to %s@." file;
+            (match Cex.to_chaos_plan v.Explorer.cex with
+            | Ok _ ->
+              Format.printf
+                "(timing-free: also replayable via csync chaos --plan)@."
+            | Error _ -> ())
+          | None ->
+            Format.printf "%s@." (Cex.to_sexp_string v.Explorer.cex));
+          `Error (false, "property violation found")))
+  in
+  let run preset list_presets depth lattice weaken max_states no_symmetry
+      no_dedup jobs cex_file replay =
+    if list_presets then begin
+      List.iter
+        (fun (name, descr, _) -> Format.printf "%-18s %s@." name descr)
+        Scope.presets;
+      `Ok ()
+    end
+    else
+      match replay with
+      | Some file -> replay_file file
+      | None ->
+        explore preset depth lattice weaken max_states no_symmetry no_dedup
+          jobs cex_file
+  in
+  let preset =
+    Arg.(
+      value & opt string "agreement-n3f1"
+      & info [ "preset"; "p" ] ~docv:"NAME"
+          ~doc:
+            "Scope to explore (named by nonfaulty count; see --list). \
+             Presets mirror the paper's theorems: agreement-* verify \
+             Theorem 16's gamma at n >= 3f+1, divergence-n2f1 exhibits \
+             the n = 3f breakdown, validity-* check the Theorem 19 \
+             envelope, reintegration-* the Section 9 rejoin goal.")
+  in
+  let list_presets =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the available scopes.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 0
+      & info [ "depth" ] ~docv:"ROUNDS" ~doc:"Override the rounds to explore.")
+  in
+  let lattice =
+    Arg.(
+      value & opt int 0
+      & info [ "lattice" ] ~docv:"K"
+          ~doc:"Override delay choices per message (1, 2 or 3).")
+  in
+  let weaken =
+    Arg.(
+      value & opt float 1.0
+      & info [ "weaken-gamma" ] ~docv:"FACTOR"
+          ~doc:
+            "Multiply the agreement bound by $(docv) (< 1 tightens it \
+             beyond the theorem, forcing a counterexample - the standard \
+             way to exercise extraction and replay).")
+  in
+  let max_states =
+    Arg.(
+      value & opt int 0
+      & info [ "max-states" ] ~docv:"N" ~doc:"Override the frontier budget.")
+  in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:"Disable the process-permutation quotient (for comparison).")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ] ~doc:"Disable visited-state deduplication.")
+  in
+  let cex_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cex" ] ~docv:"FILE"
+          ~doc:
+            "Write the first counterexample to $(docv) (s-expression; \
+             replay with --replay).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Re-execute a counterexample file in the full simulator \
+             instead of exploring, and verify it reproduces the reported \
+             skew bit-for-bit.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Exhaustively model-check a small scope of the protocol: every \
+          Byzantine strategy from a menu crossed with every per-message \
+          delay choice, against the paper's agreement / adjustment / \
+          validity bounds.  Violations are exported as replayable \
+          counterexamples.")
+    Term.(
+      ret
+        (const run $ preset $ list_presets $ depth $ lattice $ weaken
+       $ max_states $ no_symmetry $ no_dedup $ jobs_arg $ cex_file $ replay))
 
 (* csync export *)
 let export_cmd =
@@ -311,6 +573,7 @@ let main_cmd =
      simulator, experiments, and parameter calculus."
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; export_cmd; bench_cmd ]
+    [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; check_cmd;
+      export_cmd; bench_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -191,6 +191,165 @@ let pp ppf plan =
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event)
     plan
 
+(* Serialization: one (plan event...) s-expression, floats as exact hex
+   literals.  The reader is total - it returns [Error] rather than raising -
+   so `csync chaos --plan FILE` can reject bad files gracefully. *)
+
+module S = Sexp0
+
+let sexp_of_interval i = [ S.float_atom i.from_time; S.float_atom i.until_time ]
+
+let sexp_of_link_fault = function
+  | Drop p -> S.list [ S.atom "drop"; S.float_atom p ]
+  | Duplicate p -> S.list [ S.atom "duplicate"; S.float_atom p ]
+  | Reorder j -> S.list [ S.atom "reorder"; S.float_atom j ]
+  | Corrupt p -> S.list [ S.atom "corrupt"; S.float_atom p ]
+
+let sexp_of_event = function
+  | Partition { left; right; over } ->
+    S.list
+      [ S.atom "partition";
+        S.list (S.atom "left" :: List.map S.int_atom left);
+        S.list (S.atom "right" :: List.map S.int_atom right);
+        S.list (S.atom "over" :: sexp_of_interval over) ]
+  | Link { src; dst; fault; over } ->
+    S.list
+      [ S.atom "link";
+        S.list [ S.atom "src"; S.int_atom src ];
+        S.list [ S.atom "dst"; S.int_atom dst ];
+        S.list [ S.atom "fault"; sexp_of_link_fault fault ];
+        S.list (S.atom "over" :: sexp_of_interval over) ]
+  | Clock_step { pid; at; amount } ->
+    S.list
+      [ S.atom "clock-step";
+        S.list [ S.atom "pid"; S.int_atom pid ];
+        S.list [ S.atom "at"; S.float_atom at ];
+        S.list [ S.atom "amount"; S.float_atom amount ] ]
+  | Rate_change { pid; factor; over } ->
+    S.list
+      [ S.atom "rate-change";
+        S.list [ S.atom "pid"; S.int_atom pid ];
+        S.list [ S.atom "factor"; S.float_atom factor ];
+        S.list (S.atom "over" :: sexp_of_interval over) ]
+  | Crash { pid; at } ->
+    S.list
+      [ S.atom "crash";
+        S.list [ S.atom "pid"; S.int_atom pid ];
+        S.list [ S.atom "at"; S.float_atom at ] ]
+  | Recover { pid; at } ->
+    S.list
+      [ S.atom "recover";
+        S.list [ S.atom "pid"; S.int_atom pid ];
+        S.list [ S.atom "at"; S.float_atom at ] ]
+
+let to_sexp_string plan =
+  S.to_string (S.list (S.atom "plan" :: List.map sexp_of_event plan))
+
+let ( let* ) = Result.bind
+
+let interval_of_sexp = function
+  | [ a; b ] ->
+    let* from_time = S.to_float a in
+    let* until_time = S.to_float b in
+    Ok { from_time; until_time }
+  | _ -> Error "interval: expected two times"
+
+let req name ev =
+  match S.field1 name ev with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %s" name)
+
+let req_over ev =
+  match S.field "over" ev with
+  | Some parts -> interval_of_sexp parts
+  | None -> Error "missing field over"
+
+let req_int name ev =
+  let* v = req name ev in
+  S.to_int v
+
+let req_float name ev =
+  let* v = req name ev in
+  S.to_float v
+
+let link_fault_of_sexp = function
+  | S.List [ S.Atom kind; arg ] -> (
+    let* x = S.to_float arg in
+    match kind with
+    | "drop" -> Ok (Drop x)
+    | "duplicate" -> Ok (Duplicate x)
+    | "reorder" -> Ok (Reorder x)
+    | "corrupt" -> Ok (Corrupt x)
+    | _ -> Error ("unknown link fault " ^ kind))
+  | _ -> Error "malformed link fault"
+
+let pids_of_sexps l =
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* p = S.to_int s in
+      Ok (p :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let event_of_sexp ev =
+  match ev with
+  | S.List (S.Atom kind :: _) -> (
+    match kind with
+    | "partition" ->
+      let* left =
+        match S.field "left" ev with
+        | Some l -> pids_of_sexps l
+        | None -> Error "missing field left"
+      in
+      let* right =
+        match S.field "right" ev with
+        | Some l -> pids_of_sexps l
+        | None -> Error "missing field right"
+      in
+      let* over = req_over ev in
+      Ok (Partition { left; right; over })
+    | "link" ->
+      let* src = req_int "src" ev in
+      let* dst = req_int "dst" ev in
+      let* fault_s = req "fault" ev in
+      let* fault = link_fault_of_sexp fault_s in
+      let* over = req_over ev in
+      Ok (Link { src; dst; fault; over })
+    | "clock-step" ->
+      let* pid = req_int "pid" ev in
+      let* at = req_float "at" ev in
+      let* amount = req_float "amount" ev in
+      Ok (Clock_step { pid; at; amount })
+    | "rate-change" ->
+      let* pid = req_int "pid" ev in
+      let* factor = req_float "factor" ev in
+      let* over = req_over ev in
+      Ok (Rate_change { pid; factor; over })
+    | "crash" ->
+      let* pid = req_int "pid" ev in
+      let* at = req_float "at" ev in
+      Ok (Crash { pid; at })
+    | "recover" ->
+      let* pid = req_int "pid" ev in
+      let* at = req_float "at" ev in
+      Ok (Recover { pid; at })
+    | _ -> Error ("unknown event kind " ^ kind))
+  | _ -> Error "malformed event"
+
+let of_sexp_string str =
+  let* s = S.of_string str in
+  match s with
+  | S.List (S.Atom "plan" :: events) ->
+    List.fold_left
+      (fun acc ev ->
+        let* acc = acc in
+        let* e = event_of_sexp ev in
+        Ok (e :: acc))
+      (Ok []) events
+    |> Result.map List.rev
+  | _ -> Error "expected (plan event...)"
+
 let describe plan =
   let parts = ref [] in
   let bump key =

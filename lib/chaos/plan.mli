@@ -73,3 +73,13 @@ val pp : Format.formatter -> t -> unit
 
 val describe : t -> string
 (** Compact one-line summary, e.g. ["crash, drop x2, step"]. *)
+
+val to_sexp_string : t -> string
+(** Serialize as a single-line [(plan event...)] s-expression.  Floats are
+    written as hex literals, so [of_sexp_string (to_sexp_string p) = Ok p]
+    bit-exactly.  Model-checker counterexamples and saved chaos plans use
+    this format ([csync chaos --plan FILE]). *)
+
+val of_sexp_string : string -> (t, string) result
+(** Parse {!to_sexp_string}'s format.  Structural errors are reported in the
+    [Error] case; semantic checks remain {!validate}'s job. *)

@@ -1,0 +1,115 @@
+type t = Atom of string | List of t list
+
+let atom s = Atom s
+
+let list l = List l
+
+(* Hex float literals (%h / float_of_string) round-trip every finite float
+   exactly, which the checker's dedup-by-bits relies on.  Special values get
+   spelled out since float_of_string accepts them back. *)
+let float_atom f =
+  if Float.is_nan f then Atom "nan"
+  else if f = Float.infinity then Atom "inf"
+  else if f = Float.neg_infinity then Atom "-inf"
+  else Atom (Printf.sprintf "%h" f)
+
+let int_atom i = Atom (string_of_int i)
+
+let atom_ok = function
+  | '(' | ')' | ' ' | '\t' | '\n' | '\r' -> false
+  | _ -> true
+
+let rec to_buf buf = function
+  | Atom s ->
+    if s = "" || not (String.for_all atom_ok s) then
+      invalid_arg ("Sexp0: unrepresentable atom " ^ String.escaped s);
+    Buffer.add_string buf s
+  | List l ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        to_buf buf x)
+      l;
+    Buffer.add_char buf ')'
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  to_buf buf s;
+  Buffer.contents buf
+
+exception Parse of string
+
+let of_string str =
+  let n = String.length str in
+  let pos = ref 0 in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match str.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let rec parse () =
+    skip_ws ();
+    if !pos >= n then raise (Parse "unexpected end of input");
+    if str.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        if !pos >= n then raise (Parse "unclosed list");
+        if str.[!pos] = ')' then incr pos
+        else begin
+          items := parse () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else if str.[!pos] = ')' then raise (Parse "unexpected )")
+    else begin
+      let start = !pos in
+      while !pos < n && atom_ok str.[!pos] do
+        incr pos
+      done;
+      Atom (String.sub str start (!pos - start))
+    end
+  in
+  match
+    let s = parse () in
+    skip_ws ();
+    if !pos < n then raise (Parse "trailing garbage");
+    s
+  with
+  | s -> Ok s
+  | exception Parse msg -> Error msg
+
+let to_float = function
+  | Atom a -> (
+    match float_of_string_opt a with
+    | Some f -> Ok f
+    | None -> Error ("Sexp0: not a float: " ^ a))
+  | List _ -> Error "Sexp0: expected float atom, got list"
+
+let to_int = function
+  | Atom a -> (
+    match int_of_string_opt a with
+    | Some i -> Ok i
+    | None -> Error ("Sexp0: not an int: " ^ a))
+  | List _ -> Error "Sexp0: expected int atom, got list"
+
+(* Find the value of a (key value...) entry in an association-style list. *)
+let field name = function
+  | List items ->
+    List.find_map
+      (function
+        | List (Atom k :: rest) when k = name -> Some rest
+        | _ -> None)
+      items
+  | Atom _ -> None
+
+let field1 name s =
+  match field name s with Some [ v ] -> Some v | _ -> None

@@ -1,0 +1,32 @@
+(** Minimal s-expressions for serializing fault plans and model-checker
+    counterexamples.  No external dependencies; atoms are bare tokens (no
+    quoting), floats print as hex literals ([%h]) so every finite value
+    round-trips bit-exactly. *)
+
+type t = Atom of string | List of t list
+
+val atom : string -> t
+
+val list : t list -> t
+
+val float_atom : float -> t
+(** Hex-float representation; [nan]/[inf]/[-inf] spelled out. *)
+
+val int_atom : int -> t
+
+val to_string : t -> string
+(** Single-line rendering.
+    @raise Invalid_argument on an atom containing whitespace or parens. *)
+
+val of_string : string -> (t, string) result
+
+val to_float : t -> (float, string) result
+
+val to_int : t -> (int, string) result
+
+val field : string -> t -> t list option
+(** [field k (List [...; List (Atom k :: rest); ...])] is [Some rest]:
+    lookup in an association-style list of [(key value...)] entries. *)
+
+val field1 : string -> t -> t option
+(** Like {!field} but requires exactly one value. *)

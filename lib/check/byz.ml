@@ -1,0 +1,124 @@
+module Automaton = Csync_process.Automaton
+module S = Csync_chaos.Sexp0
+
+type action =
+  | Nominal
+  | Omit
+  | Early_all
+  | Late_all
+  | Two_faced of int
+  | Two_faced_inv of int
+
+let menu ~n_correct =
+  let splits ctor = List.init (n_correct - 1) (fun i -> ctor (i + 1)) in
+  [ Nominal; Omit; Early_all; Late_all ]
+  @ splits (fun k -> Two_faced k)
+  @ splits (fun k -> Two_faced_inv k)
+
+let action_name = function
+  | Nominal -> "nominal"
+  | Omit -> "omit"
+  | Early_all -> "early"
+  | Late_all -> "late"
+  | Two_faced k -> Printf.sprintf "two-faced/%d" k
+  | Two_faced_inv k -> Printf.sprintf "two-faced-inv/%d" k
+
+let sexp_of_action = function
+  | Nominal -> S.atom "nominal"
+  | Omit -> S.atom "omit"
+  | Early_all -> S.atom "early"
+  | Late_all -> S.atom "late"
+  | Two_faced k -> S.list [ S.atom "two-faced"; S.int_atom k ]
+  | Two_faced_inv k -> S.list [ S.atom "two-faced-inv"; S.int_atom k ]
+
+let action_of_sexp = function
+  | S.Atom "nominal" -> Ok Nominal
+  | S.Atom "omit" -> Ok Omit
+  | S.Atom "early" -> Ok Early_all
+  | S.Atom "late" -> Ok Late_all
+  | S.List [ S.Atom "two-faced"; k ] ->
+    Result.map (fun k -> Two_faced k) (S.to_int k)
+  | S.List [ S.Atom "two-faced-inv"; k ] ->
+    Result.map (fun k -> Two_faced_inv k) (S.to_int k)
+  | _ -> Error "unknown byzantine action"
+
+type send = { at : float; targets : int list; value : float }
+
+let agenda ~spread ~t_r ~rank_pids action =
+  let n = Array.length rank_pids in
+  let pids lo hi = List.init (hi - lo) (fun i -> rank_pids.(lo + i)) in
+  let all = pids 0 n in
+  match action with
+  | Omit -> []
+  | Nominal -> [ { at = t_r; targets = all; value = t_r } ]
+  | Early_all -> [ { at = t_r -. spread; targets = all; value = t_r } ]
+  | Late_all -> [ { at = t_r +. spread; targets = all; value = t_r } ]
+  | Two_faced k ->
+    [ { at = t_r -. spread; targets = pids 0 k; value = t_r };
+      { at = t_r +. spread; targets = pids k n; value = t_r } ]
+  | Two_faced_inv k ->
+    [ { at = t_r +. spread; targets = pids 0 k; value = t_r };
+      { at = t_r -. spread; targets = pids k n; value = t_r } ]
+
+let kick_time sends =
+  List.fold_left (fun acc s -> Float.min acc s.at) Float.infinity sends
+  -. 0x1p-16
+
+(* One scripted attacker for both the per-round mini-simulations and the
+   multi-round counterexample replay: arm a physical timer per distinct
+   agenda time at START, fire the matching (still pending) entries on each
+   TIMER.  Entries are consumed so duplicate timer tags cannot double-send. *)
+let automaton sends : (send list, float) Automaton.t =
+  {
+    name = "check-byz";
+    initial = sends;
+    handle =
+      (fun ~self:_ ~phys:_ intr pending ->
+        match intr with
+        | Automaton.Start ->
+          let times =
+            List.sort_uniq Float.compare (List.map (fun s -> s.at) pending)
+          in
+          (pending, List.map (fun at -> Automaton.Set_timer_phys at) times)
+        | Automaton.Timer tag ->
+          let due, rest = List.partition (fun s -> s.at = tag) pending in
+          ( rest,
+            List.concat_map
+              (fun s -> List.map (fun p -> Automaton.Send (p, s.value)) s.targets)
+              due )
+        | Automaton.Message _ -> (pending, []));
+    corr = (fun _ -> 0.);
+  }
+
+let sexp_of_send s =
+  S.list
+    [ S.list [ S.atom "at"; S.float_atom s.at ];
+      S.list (S.atom "to" :: List.map S.int_atom s.targets);
+      S.list [ S.atom "value"; S.float_atom s.value ] ]
+
+let ( let* ) = Result.bind
+
+let send_of_sexp sx =
+  let* at =
+    match S.field1 "at" sx with
+    | Some v -> S.to_float v
+    | None -> Error "send: missing at"
+  in
+  let* value =
+    match S.field1 "value" sx with
+    | Some v -> S.to_float v
+    | None -> Error "send: missing value"
+  in
+  let* targets =
+    match S.field "to" sx with
+    | Some l ->
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* p = S.to_int s in
+          Ok (p :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    | None -> Error "send: missing to"
+  in
+  Ok { at; targets; value }

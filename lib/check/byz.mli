@@ -1,0 +1,55 @@
+(** The Byzantine choice menu.
+
+    One faulty process, one action per round, chosen from a finite menu
+    that covers the attacks the paper's analysis identifies as extremal:
+    silence (so the receiver averages over a reduced/stale view), sends
+    pushed to the edges of the plausible arrival window, and two-faced
+    splits that show an early face to some receivers and a late face to the
+    rest (the adaptive attacker that makes Theorem 16's bound tight).
+
+    Splits are expressed by {e rank} in the canonical (sorted-CORR) order
+    of the nonfaulty processes, which is what makes symmetry reduction
+    exact: the menu is closed under relabelling.  [rank_pids] maps ranks
+    back to process ids when a choice made on a canonical state is applied
+    to a concrete one. *)
+
+type action =
+  | Nominal  (** send on time, like a correct process *)
+  | Omit  (** say nothing this round *)
+  | Early_all  (** everyone hears it [spread] early *)
+  | Late_all  (** everyone hears it [spread] late *)
+  | Two_faced of int
+      (** the lowest [k] ranks hear it early, the rest late *)
+  | Two_faced_inv of int
+      (** the lowest [k] ranks hear it late, the rest early *)
+
+val menu : n_correct:int -> action list
+(** All actions at this width: 4 + 2(n_correct - 1). *)
+
+val action_name : action -> string
+
+val sexp_of_action : action -> Csync_chaos.Sexp0.t
+
+val action_of_sexp : Csync_chaos.Sexp0.t -> (action, string) result
+
+type send = { at : float; targets : int list; value : float }
+(** One concrete transmission: at real/physical time [at], to the given
+    process ids. *)
+
+val agenda : spread:float -> t_r:float -> rank_pids:int array -> action -> send list
+(** Concretize an action for the round starting at [t_r]. *)
+
+val kick_time : send list -> float
+(** A real time strictly before every agenda entry, at which to START the
+    attacker so its timers are all in the future ([infinity] for an empty
+    agenda - don't start it at all). *)
+
+val automaton : send list -> (send list, float) Csync_process.Automaton.t
+(** The scripted attacker: arms one physical timer per distinct agenda
+    time at START and emits the due sends on each timer.  Works for a
+    single round (mini-simulation) or a whole replay (concatenated
+    agendas). *)
+
+val sexp_of_send : send -> Csync_chaos.Sexp0.t
+
+val send_of_sexp : Csync_chaos.Sexp0.t -> (send, string) result

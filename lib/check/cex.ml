@@ -1,0 +1,279 @@
+module Params = Csync_core.Params
+module Plan = Csync_chaos.Plan
+module S = Csync_chaos.Sexp0
+
+type round_choice = {
+  action : Byz.action option;
+  sends : Byz.send list;
+  delays : float array array;
+}
+
+type t = {
+  preset : string;
+  n_correct : int;
+  has_byz : bool;
+  params : Params.t;
+  init : float array;
+  rounds : round_choice list;
+  property : string;
+  bound : float;
+  measured : float;
+}
+
+let depth t = List.length t.rounds
+
+let kv name v = S.list [ S.atom name; v ]
+
+let sexp_of_round rc =
+  S.list
+    ([ kv "action"
+         (match rc.action with
+         | Some a -> Byz.sexp_of_action a
+         | None -> S.atom "none");
+       S.list (S.atom "sends" :: List.map Byz.sexp_of_send rc.sends) ]
+    @ [ S.list
+          (S.atom "delays"
+          :: List.concat
+               (Array.to_list
+                  (Array.mapi
+                     (fun src row ->
+                       Array.to_list
+                         (Array.mapi
+                            (fun dst d ->
+                              S.list
+                                [ S.int_atom src; S.int_atom dst; S.float_atom d ])
+                            row))
+                     rc.delays))) ])
+
+let to_sexp_string t =
+  let p = t.params in
+  S.to_string
+    (S.list
+       [ S.atom "cex";
+         kv "version" (S.int_atom 1);
+         kv "preset" (S.atom t.preset);
+         kv "property" (S.atom t.property);
+         kv "bound" (S.float_atom t.bound);
+         kv "measured" (S.float_atom t.measured);
+         kv "n-correct" (S.int_atom t.n_correct);
+         kv "byz" (S.atom (if t.has_byz then "true" else "false"));
+         S.list
+           [ S.atom "params";
+             kv "n" (S.int_atom p.Params.n);
+             kv "f" (S.int_atom p.Params.f);
+             kv "delta" (S.float_atom p.Params.delta);
+             kv "eps" (S.float_atom p.Params.eps);
+             kv "beta" (S.float_atom p.Params.beta);
+             kv "big-p" (S.float_atom p.Params.big_p);
+             kv "t0" (S.float_atom p.Params.t0) ];
+         S.list (S.atom "init" :: List.map S.float_atom (Array.to_list t.init));
+         S.list (S.atom "rounds" :: List.map sexp_of_round t.rounds) ])
+
+let ( let* ) = Result.bind
+
+let req name sx =
+  match S.field1 name sx with
+  | Some v -> Ok v
+  | None -> Error ("cex: missing field " ^ name)
+
+let req_int name sx =
+  let* v = req name sx in
+  S.to_int v
+
+let req_float name sx =
+  let* v = req name sx in
+  S.to_float v
+
+let floats_of l =
+  List.fold_left
+    (fun acc s ->
+      let* acc = acc in
+      let* f = S.to_float s in
+      Ok (f :: acc))
+    (Ok []) l
+  |> Result.map List.rev
+
+let round_of_sexp ~n_correct sx =
+  let* action =
+    let* a = req "action" sx in
+    match a with
+    | S.Atom "none" -> Ok None
+    | a -> Result.map Option.some (Byz.action_of_sexp a)
+  in
+  let* sends =
+    match S.field "sends" sx with
+    | Some l ->
+      List.fold_left
+        (fun acc s ->
+          let* acc = acc in
+          let* send = Byz.send_of_sexp s in
+          Ok (send :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    | None -> Error "cex: missing sends"
+  in
+  let* delays =
+    match S.field "delays" sx with
+    | None -> Error "cex: missing delays"
+    | Some entries ->
+      let m = Array.make_matrix n_correct n_correct Float.nan in
+      let* () =
+        List.fold_left
+          (fun acc e ->
+            let* () = acc in
+            match e with
+            | S.List [ src; dst; d ] ->
+              let* src = S.to_int src in
+              let* dst = S.to_int dst in
+              let* d = S.to_float d in
+              if src < 0 || src >= n_correct || dst < 0 || dst >= n_correct
+              then Error "cex: delay index out of range"
+              else begin
+                m.(src).(dst) <- d;
+                Ok ()
+              end
+            | _ -> Error "cex: malformed delay entry")
+          (Ok ()) entries
+      in
+      if Array.exists (fun row -> Array.exists Float.is_nan row) m then
+        Error "cex: incomplete delay matrix"
+      else Ok m
+  in
+  Ok { action; sends; delays }
+
+let of_sexp_string str =
+  let* sx = S.of_string str in
+  match sx with
+  | S.List (S.Atom "cex" :: _) ->
+    let* version = req_int "version" sx in
+    let* () = if version = 1 then Ok () else Error "cex: unknown version" in
+    let str_field name =
+      match S.field1 name sx with
+      | Some (S.Atom a) -> Ok a
+      | _ -> Error ("cex: missing field " ^ name)
+    in
+    let* preset = str_field "preset" in
+    let* property = str_field "property" in
+    let* bound = req_float "bound" sx in
+    let* measured = req_float "measured" sx in
+    let* n_correct = req_int "n-correct" sx in
+    let* has_byz =
+      let* b = str_field "byz" in
+      match b with
+      | "true" -> Ok true
+      | "false" -> Ok false
+      | _ -> Error "cex: bad byz flag"
+    in
+    let* params =
+      let* psx =
+        match S.field "params" sx with
+        | Some entries -> Ok (S.List entries)
+        | None -> Error "cex: missing field params"
+      in
+      let* n = req_int "n" psx in
+      let* f = req_int "f" psx in
+      let* delta = req_float "delta" psx in
+      let* eps = req_float "eps" psx in
+      let* beta = req_float "beta" psx in
+      let* big_p = req_float "big-p" psx in
+      let* t0 = req_float "t0" psx in
+      match
+        Params.unchecked ~n ~f ~rho:0. ~delta ~eps ~beta ~big_p ~t0 ()
+      with
+      | p -> Ok p
+      | exception Invalid_argument e -> Error ("cex: bad params: " ^ e)
+    in
+    let* init =
+      match S.field "init" sx with
+      | Some l -> Result.map Array.of_list (floats_of l)
+      | None -> Error "cex: missing init"
+    in
+    let* rounds =
+      match S.field "rounds" sx with
+      | Some l ->
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* rc = round_of_sexp ~n_correct r in
+            Ok (rc :: acc))
+          (Ok []) l
+        |> Result.map List.rev
+      | None -> Error "cex: missing rounds"
+    in
+    if Array.length init <> n_correct then Error "cex: init length mismatch"
+    else
+      Ok
+        {
+          preset;
+          n_correct;
+          has_byz;
+          params;
+          init;
+          rounds;
+          property;
+          bound;
+          measured;
+        }
+  | _ -> Error "cex: expected (cex ...)"
+
+(* A chaos plan can express silence (drop every message for the round) but
+   not the timing attacks - those live in the delay schedule, outside
+   Plan's vocabulary.  Export what is expressible; refuse the rest rather
+   than approximate it. *)
+let to_chaos_plan t =
+  if not t.has_byz then Ok []
+  else
+    let byz = t.n_correct in
+    let p = t.params in
+    let inexpressible =
+      List.filter_map
+        (fun rc ->
+          match rc.action with
+          | None | Some Byz.Nominal | Some Byz.Omit -> None
+          | Some a -> Some (Byz.action_name a))
+        t.rounds
+    in
+    if inexpressible <> [] then
+      Error
+        ("timing actions have no Chaos.Plan equivalent: "
+        ^ String.concat ", " (List.sort_uniq String.compare inexpressible))
+    else
+      Ok
+        (List.concat
+           (List.mapi
+              (fun r rc ->
+                match rc.action with
+                | Some Byz.Omit ->
+                  let t_r =
+                    p.Params.t0 +. (float_of_int r *. p.Params.big_p)
+                  in
+                  let over =
+                    Plan.interval
+                      ~from_time:(t_r -. (0.25 *. p.Params.big_p))
+                      ~until_time:(t_r +. (0.5 *. p.Params.big_p))
+                  in
+                  List.init t.n_correct (fun dst ->
+                      Plan.Link { src = byz; dst; fault = Plan.Drop 1.; over })
+                | _ -> [])
+              t.rounds))
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>counterexample (%s): %s measured %.6g > bound %.6g after %d \
+     round%s@,init corrs: %a@,%a@]"
+    t.preset t.property t.measured t.bound (depth t)
+    (if depth t = 1 then "" else "s")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       (fun ppf c -> Format.fprintf ppf "%.6g" c))
+    (Array.to_list t.init)
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (r, rc) ->
+         Format.fprintf ppf "round %d: byz %s, delays %a" r
+           (match rc.action with
+           | Some a -> Byz.action_name a
+           | None -> "-")
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+              (fun ppf d -> Format.fprintf ppf "%.4g" d))
+           (List.concat_map Array.to_list (Array.to_list rc.delays))))
+    (List.mapi (fun i rc -> (i, rc)) t.rounds)

@@ -1,0 +1,46 @@
+(** Replayable counterexamples.
+
+    A counterexample is fully concrete - process-id-indexed initial
+    corrections, a per-round delay matrix for every nonfaulty link (self
+    included: a process' broadcast to itself is a choice point too), and
+    the Byzantine agenda as literal timed sends - so the full simulator can
+    re-execute it without knowing anything about the checker's canonical
+    state space.  The explorer produces it by walking its rank-based choice
+    path and conjugating each choice through the sort permutation
+    ({!State.sort_permutation}).
+
+    Serialized as a single s-expression with hex floats (bit-exact
+    round-trip); the timing-free fragment also exports to a
+    {!Csync_chaos.Plan} for [csync chaos --plan]. *)
+
+type round_choice = {
+  action : Byz.action option;  (** menu name, for display *)
+  sends : Byz.send list;  (** the attacker's concrete agenda this round *)
+  delays : float array array;
+      (** [delays.(src).(dst)]: latency of every nonfaulty-to-nonfaulty
+          message, pid-indexed *)
+}
+
+type t = {
+  preset : string;
+  n_correct : int;
+  has_byz : bool;
+  params : Csync_core.Params.t;
+  init : float array;
+  rounds : round_choice list;
+  property : string;
+  bound : float;
+  measured : float;  (** the checker's value; replay must reproduce it *)
+}
+
+val depth : t -> int
+
+val to_sexp_string : t -> string
+
+val of_sexp_string : string -> (t, string) result
+
+val to_chaos_plan : t -> (Csync_chaos.Plan.t, string) result
+(** Omission rounds become full-drop link faults over the round's window;
+    timing actions are outside [Plan]'s vocabulary and yield [Error]. *)
+
+val pp : Format.formatter -> t -> unit

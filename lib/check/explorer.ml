@@ -1,0 +1,410 @@
+module Pool = Csync_harness.Pool
+
+type stats = {
+  states : int;
+  deduped : int;
+  transitions : int;
+  sims : int;
+  frontier : int list;
+  truncated : bool;
+}
+
+type violation = { prop : Props.violation; depth : int; cex : Cex.t }
+
+type result = { scope : Scope.t; stats : stats; violations : violation list }
+
+let max_violations = 8
+
+(* A frontier node: the canonical state to expand, plus enough history to
+   concretize a counterexample - the concrete initial state and the
+   rank-based choice taken at each depth (newest first). *)
+type node = {
+  corrs : float array;
+  init : float array;
+  path : (Byz.action option * int array) list;
+}
+
+type choice_id = Byz.action option * int array
+
+let pow base e =
+  let r = ref 1 in
+  for _ = 1 to e do
+    r := !r * base
+  done;
+  !r
+
+let digit ~base ~pos x = x / pow base pos mod base
+
+(* Apply one rank-based choice to a concrete (pid-indexed) state: conjugate
+   through the sort permutation, then run the real transition.  Returns the
+   concrete ingredients (for Cex) along with the outcome. *)
+let apply_concrete scope ~round ~corrs (action, cols) =
+  let n_c = scope.Scope.n_correct in
+  let values = Scope.delay_values scope in
+  let lattice = Array.length values in
+  let perm =
+    if scope.Scope.symmetry then State.sort_permutation corrs
+    else Array.init n_c (fun i -> i)
+  in
+  let delays = Array.make_matrix n_c n_c 0. in
+  for rank_dst = 0 to n_c - 1 do
+    for rank_src = 0 to n_c - 1 do
+      delays.(perm.(rank_src)).(perm.(rank_dst)) <-
+        values.(digit ~base:lattice ~pos:rank_src cols.(rank_dst))
+    done
+  done;
+  let sends =
+    match action with
+    | Some a ->
+      Byz.agenda ~spread:scope.Scope.spread
+        ~t_r:(Step.round_start scope round)
+        ~rank_pids:perm a
+    | None -> []
+  in
+  let outcome =
+    Step.run_round ~scope ~round ~corrs ~byz_sends:sends
+      ~delay:(fun ~src ~dst -> delays.(src).(dst))
+  in
+  (Cex.{ action; sends; delays }, outcome)
+
+let concretize scope ~init ~choices ~prop =
+  let cur = ref (Array.copy init) in
+  let rounds =
+    List.mapi
+      (fun r choice ->
+        let rc, outcome = apply_concrete scope ~round:r ~corrs:!cur choice in
+        cur := outcome.Step.corrs;
+        rc)
+      choices
+  in
+  Cex.
+    {
+      preset = scope.Scope.name;
+      n_correct = scope.Scope.n_correct;
+      has_byz = scope.Scope.byz;
+      params = scope.Scope.params;
+      init = Array.copy init;
+      rounds;
+      property = Props.kind_name prop.Props.kind;
+      bound = prop.Props.bound;
+      measured = prop.Props.measured;
+    }
+
+(* Expand one canonical state at [round].  Per Byzantine action, build one
+   outcome table per receiver over all delay columns into it (a column
+   fixes the latency from each nonfaulty sender, self included), then
+   assemble full-schedule successors as the cross-product - within a
+   round, a receiver's update depends only on the delays into it and the
+   attacker's agenda, never on the other receivers' columns. *)
+type expansion = {
+  succs : (choice_id * float array) list;
+  viols : (Props.violation * choice_id) list;
+  exp_transitions : int;
+  exp_sims : int;
+}
+
+let expand scope ~round node =
+  let n_c = scope.Scope.n_correct in
+  let values = Scope.delay_values scope in
+  let lattice = Array.length values in
+  let ncols = pow lattice n_c in
+  let actions =
+    if scope.Scope.byz then
+      List.map Option.some (Byz.menu ~n_correct:n_c)
+    else [ None ]
+  in
+  let identity = Array.init n_c (fun i -> i) in
+  let t_r = Step.round_start scope round in
+  let succs = ref [] and viols = ref [] in
+  let transitions = ref 0 and sims = ref 0 in
+  List.iter
+    (fun action ->
+      let sends =
+        match action with
+        | Some a ->
+          Byz.agenda ~spread:scope.Scope.spread ~t_r ~rank_pids:identity a
+        | None -> []
+      in
+      let table =
+        Array.init n_c (fun receiver ->
+            Array.init ncols (fun col ->
+                incr sims;
+                let outcome =
+                  Step.run_round ~scope ~round ~corrs:node.corrs
+                    ~byz_sends:sends ~delay:(fun ~src ~dst ->
+                      if dst = receiver then
+                        values.(digit ~base:lattice ~pos:src col)
+                      else values.(0))
+                in
+                ( outcome.Step.corrs.(receiver),
+                  outcome.Step.adjs.(receiver),
+                  outcome.Step.completed.(receiver) )))
+      in
+      (* Cross-product of per-receiver columns = every full delay matrix. *)
+      let total = pow ncols n_c in
+      let cols = Array.make n_c 0 in
+      for combo = 0 to total - 1 do
+        incr transitions;
+        for r = 0 to n_c - 1 do
+          cols.(r) <- digit ~base:ncols ~pos:r combo
+        done;
+        let outcome =
+          Step.
+            {
+              corrs = Array.init n_c (fun r -> let c, _, _ = table.(r).(cols.(r)) in c);
+              adjs = Array.init n_c (fun r -> let _, a, _ = table.(r).(cols.(r)) in a);
+              completed =
+                Array.init n_c (fun r -> let _, _, d = table.(r).(cols.(r)) in d);
+            }
+        in
+        let vs = Props.check_outcome scope outcome in
+        let vs =
+          if scope.Scope.check_validity then
+            match
+              Props.validity_violation scope ~round ~init:node.init
+                ~corrs:outcome.Step.corrs
+            with
+            | Some v -> v :: vs
+            | None -> vs
+          else vs
+        in
+        let choice = (action, Array.copy cols) in
+        List.iter (fun v -> viols := (v, choice) :: !viols) vs;
+        succs := (choice, outcome.Step.corrs) :: !succs
+      done)
+    actions;
+  {
+    succs = List.rev !succs;
+    viols = List.rev !viols;
+    exp_transitions = !transitions;
+    exp_sims = !sims;
+  }
+
+(* BFS over rounds with exact-key dedup, the frontier expansion sharded
+   over the pool.  The visited table lives on the coordinating side only -
+   workers return plain successor lists and the merge walks them in
+   submission order, so the result is identical for every job count. *)
+let run_states ?(jobs = 1) scope inits =
+  let visited = Hashtbl.create 1024 in
+  let states = ref 0
+  and deduped = ref 0
+  and transitions = ref 0
+  and sims = ref 0
+  and truncated = ref false in
+  let frontier_sizes = ref [] in
+  let violations = ref [] in
+  let key ~round corrs =
+    if scope.Scope.translate then State.key corrs else State.key ~round corrs
+  in
+  let add_state ~round corrs =
+    if not scope.Scope.dedup then true
+    else begin
+      let k = key ~round corrs in
+      if Hashtbl.mem visited k then begin
+        incr deduped;
+        false
+      end
+      else begin
+        Hashtbl.add visited k ();
+        true
+      end
+    end
+  in
+  let frontier = ref [] in
+  List.iter
+    (fun init ->
+      let c =
+        State.canonical ~symmetry:scope.Scope.symmetry
+          ~translate:scope.Scope.translate init
+      in
+      if add_state ~round:0 c then begin
+        incr states;
+        frontier := { corrs = c; init = Array.copy init; path = [] } :: !frontier
+      end)
+    inits;
+  frontier := List.rev !frontier;
+  let depth = ref 0 in
+  while !depth < scope.Scope.depth && !frontier <> [] && !violations = [] do
+    let round = !depth in
+    frontier_sizes := List.length !frontier :: !frontier_sizes;
+    let nodes = Array.of_list !frontier in
+    let expansions = Pool.map ~jobs (expand scope ~round) nodes in
+    let next = ref [] and next_n = ref 0 in
+    Array.iteri
+      (fun i e ->
+        let node = nodes.(i) in
+        transitions := !transitions + e.exp_transitions;
+        sims := !sims + e.exp_sims;
+        List.iter
+          (fun (prop, choice) ->
+            if List.length !violations < max_violations then begin
+              let choices = List.rev (choice :: node.path) in
+              let cex = concretize scope ~init:node.init ~choices ~prop in
+              violations := { prop; depth = round + 1; cex } :: !violations
+            end)
+          e.viols;
+        List.iter
+          (fun (choice, post) ->
+            let c =
+              State.canonical ~symmetry:scope.Scope.symmetry
+                ~translate:scope.Scope.translate post
+            in
+            if add_state ~round:(round + 1) c then begin
+              incr states;
+              if !next_n >= scope.Scope.max_states then truncated := true
+              else begin
+                incr next_n;
+                next :=
+                  { corrs = c; init = node.init; path = choice :: node.path }
+                  :: !next
+              end
+            end)
+          e.succs)
+      expansions;
+    frontier := List.rev !next;
+    incr depth
+  done;
+  ( {
+      states = !states;
+      deduped = !deduped;
+      transitions = !transitions;
+      sims = !sims;
+      frontier = List.rev !frontier_sizes;
+      truncated = !truncated;
+    },
+    List.rev !violations )
+
+let run ?jobs scope =
+  let inits = Scope.init_corrs scope in
+  let stats, violations =
+    if scope.Scope.translate then run_states ?jobs scope inits
+    else begin
+      (* Round-tagged, untranslated orbits (validity) are explored per
+         initial state: the envelope is anchored at each orbit's own
+         extremes, so states from different orbits must not merge. *)
+      let all =
+        List.map (fun init -> run_states ?jobs scope [ init ]) inits
+      in
+      List.fold_left
+        (fun (acc_s, acc_v) (s, v) ->
+          ( {
+              states = acc_s.states + s.states;
+              deduped = acc_s.deduped + s.deduped;
+              transitions = acc_s.transitions + s.transitions;
+              sims = acc_s.sims + s.sims;
+              frontier =
+                (if acc_s.frontier = [] then s.frontier
+                 else List.map2 ( + ) acc_s.frontier s.frontier);
+              truncated = acc_s.truncated || s.truncated;
+            },
+            acc_v @ v ))
+        ( { states = 0; deduped = 0; transitions = 0; sims = 0; frontier = [];
+            truncated = false },
+          [] )
+        all
+    end
+  in
+  { scope; stats; violations }
+
+(* Reintegration reachability: no dedup (the rejoiner's opaque protocol
+   state is part of the configuration), just every path of delay columns
+   into the rejoiner, across every (garbage, initial-state) combination. *)
+type reint_result = {
+  r_scope : Scope.t;
+  paths : int;
+  joined : int;
+  within_gamma : int;
+  r_sims : int;
+  worst_gap : float;
+  failures : string list;
+}
+
+let run_reintegration ?(jobs = 1) scope =
+  let n_c = scope.Scope.n_correct in
+  let values = Scope.delay_values scope in
+  let lattice = Array.length values in
+  let ncols = pow lattice n_c in
+  let combos =
+    List.concat_map
+      (fun g -> List.map (fun init -> (g, init)) (Scope.init_corrs scope))
+      scope.Scope.garbage
+  in
+  let explore (garbage, init) =
+    let paths = ref 0
+    and joined = ref 0
+    and within = ref 0
+    and sims = ref 0
+    and worst = ref 0.
+    and failures = ref [] in
+    let gamma = Scope.gamma scope in
+    let rec walk round corrs rstate path =
+      if round = scope.Scope.depth then begin
+        incr paths;
+        let ok_joined = Csync_core.Reintegration.mode rstate = Csync_core.Reintegration.Joined in
+        if ok_joined then incr joined;
+        let r_corr = Csync_core.Reintegration.corr rstate in
+        let gap =
+          Array.fold_left
+            (fun acc c -> Float.max acc (Float.abs (r_corr -. c)))
+            0. corrs
+        in
+        if ok_joined && gap <= gamma then incr within
+        else begin
+          worst := Float.max !worst gap;
+          if List.length !failures < 4 then
+            failures :=
+              Format.asprintf
+                "garbage %.4g, init %a, columns %a: %s, gap %.4g (gamma %.4g)"
+                garbage
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+                   (fun ppf c -> Format.fprintf ppf "%.4g" c))
+                (Array.to_list init)
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+                   Format.pp_print_int)
+                (List.rev path)
+                (if ok_joined then "joined" else "never joined")
+                gap gamma
+              :: !failures
+        end
+      end
+      else
+        for col = 0 to ncols - 1 do
+          incr sims;
+          let outcome =
+            Step.run_reintegration_round ~scope ~round ~corrs ~rejoiner:rstate
+              ~delay_to_rejoiner:(fun ~src ->
+                values.(digit ~base:lattice ~pos:src col))
+          in
+          walk (round + 1) outcome.Step.m_corrs outcome.Step.rejoiner
+            (col :: path)
+        done
+    in
+    List.iter
+      (fun init -> walk 0 init (Step.fresh_rejoiner ~scope ~garbage) [])
+      [ init ];
+    (!paths, !joined, !within, !sims, !worst, List.rev !failures)
+  in
+  let results = Pool.map_list ~jobs explore combos in
+  List.fold_left
+    (fun acc (p, j, w, s, g, fs) ->
+      {
+        acc with
+        paths = acc.paths + p;
+        joined = acc.joined + j;
+        within_gamma = acc.within_gamma + w;
+        r_sims = acc.r_sims + s;
+        worst_gap = Float.max acc.worst_gap g;
+        failures = acc.failures @ fs;
+      })
+    {
+      r_scope = scope;
+      paths = 0;
+      joined = 0;
+      within_gamma = 0;
+      r_sims = 0;
+      worst_gap = 0.;
+      failures = [];
+    }
+    results

@@ -1,0 +1,70 @@
+(** Exhaustive bounded exploration of a {!Scope}.
+
+    Breadth-first over rounds: the frontier at depth d holds every
+    reachable canonical state after d rounds; expanding a state enumerates
+    every Byzantine menu action crossed with every full delay schedule
+    (factorized per receiver - see {!Step.run_round}'s locality - so the
+    mini-simulation count is [menu * n * lattice^n] per state while the
+    successor count is the full [menu * lattice^(n^2)]).  Exact-bit
+    visited-set dedup with symmetry and translation reduction makes the
+    agreement scopes close after a couple of rounds (the transition is
+    round-invariant, so the visited set is global across depths).
+
+    Expansion is sharded across {!Csync_harness.Pool} and merged in
+    submission order: results are identical for every [jobs] value.
+
+    Exploration stops at the first depth that produced violations; each
+    violation's rank-based choice path is concretized into a replayable
+    {!Cex} by walking it again through the sort-permutation conjugation. *)
+
+type stats = {
+  states : int;  (** distinct canonical states discovered (incl. initial) *)
+  deduped : int;  (** successor states merged into already-visited ones *)
+  transitions : int;  (** full schedules examined *)
+  sims : int;  (** mini-simulations run *)
+  frontier : int list;  (** frontier size per depth *)
+  truncated : bool;  (** hit [max_states]: the run is NOT exhaustive *)
+}
+
+type violation = {
+  prop : Props.violation;
+  depth : int;  (** rounds completed when detected *)
+  cex : Cex.t;
+}
+
+type result = { scope : Scope.t; stats : stats; violations : violation list }
+
+val max_violations : int
+(** Violations collected before extraction stops (the run already stops at
+    the first violating depth). *)
+
+val run : ?jobs:int -> Scope.t -> result
+(** Explore a [Maintain]-mode scope.  Untranslated scopes (validity) are
+    explored per initial state with round-tagged keys. *)
+
+val apply_concrete :
+  Scope.t ->
+  round:int ->
+  corrs:float array ->
+  Byz.action option * int array ->
+  Cex.round_choice * Step.outcome
+(** One rank-based choice applied to a concrete pid-indexed state (the
+    concretization step, exposed for the checker-vs-replay tests).  The
+    [int array] gives, per receiver rank, the delay-column index in mixed
+    radix over the scope's lattice. *)
+
+type reint_result = {
+  r_scope : Scope.t;
+  paths : int;  (** delay paths explored to full depth *)
+  joined : int;  (** paths on which the rejoiner reached JOINED *)
+  within_gamma : int;  (** ... and landed within gamma of every maintainer *)
+  r_sims : int;
+  worst_gap : float;  (** worst final |rejoiner - maintainer| over failures *)
+  failures : string list;  (** first few failing paths, described *)
+}
+
+val run_reintegration : ?jobs:int -> Scope.t -> reint_result
+(** Explore a [Reintegrate]-mode scope: every per-round delay column into
+    the rejoiner, for every (garbage correction, initial state) pair.  The
+    goal - the Section 9.1 reachability property - is that every path ends
+    JOINED within gamma of the maintainers. *)

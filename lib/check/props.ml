@@ -1,0 +1,65 @@
+module Params = Csync_core.Params
+module Smoothing = Csync_core.Smoothing
+
+type kind = Agreement | Adjustment | Round_complete | Monotone | Validity
+
+let kind_name = function
+  | Agreement -> "agreement"
+  | Adjustment -> "adjustment"
+  | Round_complete -> "round-complete"
+  | Monotone -> "monotone-smoothed"
+  | Validity -> "validity"
+
+type violation = { kind : kind; bound : float; measured : float }
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s: measured %.6g exceeds bound %.6g (by %.3g)"
+    (kind_name v.kind) v.measured v.bound
+    (Float.abs v.measured -. Float.abs v.bound)
+
+let max_abs a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
+
+let check_outcome scope (o : Step.outcome) =
+  let p = scope.Scope.params in
+  let vs = ref [] in
+  let push v = vs := v :: !vs in
+  if Array.exists not o.Step.completed then
+    push { kind = Round_complete; bound = 1.; measured = 0. };
+  let spread = State.spread o.Step.corrs in
+  let gamma = Scope.gamma scope in
+  if spread > gamma then push { kind = Agreement; bound = gamma; measured = spread };
+  let adj = max_abs o.Step.adjs in
+  let sigma' = Params.adjustment_bound p in
+  if adj > sigma' then push { kind = Adjustment; bound = sigma'; measured = adj };
+  let smoothing = Smoothing.of_params p in
+  Array.iter
+    (fun a ->
+      let slope = Smoothing.monotone_slope_bound smoothing ~adj:a in
+      if slope <= 0. then push { kind = Monotone; bound = 0.; measured = slope })
+    o.Step.adjs;
+  List.rev !vs
+
+(* Theorem 19 at rho = 0: every nonfaulty logical clock stays inside
+   [alpha1 (t - tmax0) - alpha3, alpha2 (t - tmin0) + alpha3] (relative to
+   T0), where tmin0/tmax0 are the first/last real times a nonfaulty clock
+   read T0.  Checked cumulatively - the per-round rate P/(P - ADJ) may
+   legitimately exceed alpha2; the proof amortizes it against the window
+   the clock previously fell behind.  This needs the untranslated orbit,
+   hence [translate = false] on validity scopes. *)
+let validity_violation scope ~round ~init ~corrs =
+  let p = scope.Scope.params in
+  let alpha1, alpha2, alpha3 = Params.validity p in
+  let t0 = p.Params.t0 in
+  let tmin0 = t0 -. Array.fold_left Float.max Float.neg_infinity init in
+  let tmax0 = t0 -. Array.fold_left Float.min Float.infinity init in
+  let t_s = Step.round_start scope (round + 1) in
+  let min_local = t_s +. Array.fold_left Float.min Float.infinity corrs in
+  let max_local = t_s +. Array.fold_left Float.max Float.neg_infinity corrs in
+  let lower = (alpha1 *. (t_s -. tmax0)) -. alpha3 in
+  let upper = (alpha2 *. (t_s -. tmin0)) +. alpha3 in
+  let tol = 1e-9 in
+  if min_local -. t0 < lower -. tol then
+    Some { kind = Validity; bound = lower; measured = min_local -. t0 }
+  else if max_local -. t0 > upper +. tol then
+    Some { kind = Validity; bound = upper; measured = max_local -. t0 }
+  else None

@@ -1,0 +1,33 @@
+(** The property layer: the paper's invariants as per-transition checks.
+
+    - {b agreement} (Theorem 16): post-update CORR spread <= gamma (times
+      the scope's weakening factor) - at rho = 0 and a round boundary,
+      pairwise logical-clock skew {e is} the CORR spread;
+    - {b adjustment} (Theorem 4(a)/Lemma 7): |ADJ| <= Sigma';
+    - {b round-complete}: every nonfaulty process finished its update (a
+      reachability goal - if it fails, the wait window is wrong);
+    - {b monotone-smoothed} (Lemma 7 + Smoothing): the smoothed clock's
+      slope bound 1 + ADJ/P stays positive;
+    - {b validity} (Theorem 19): logical clocks inside the cumulative
+      envelope - round-dependent and translation-sensitive, so only
+      checked on scopes with [translate = false]. *)
+
+type kind = Agreement | Adjustment | Round_complete | Monotone | Validity
+
+val kind_name : kind -> string
+
+type violation = { kind : kind; bound : float; measured : float }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_outcome : Scope.t -> Step.outcome -> violation list
+(** The round-invariant properties, on one transition's outcome. *)
+
+val validity_violation :
+  Scope.t ->
+  round:int ->
+  init:float array ->
+  corrs:float array ->
+  violation option
+(** Envelope check sampled at the next round boundary, anchored at the
+    initial corrections of this orbit. *)

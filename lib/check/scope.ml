@@ -1,0 +1,180 @@
+module Params = Csync_core.Params
+
+type mode = Maintain | Reintegrate
+
+type t = {
+  name : string;
+  params : Params.t;
+  n_correct : int;
+  byz : bool;
+  mode : mode;
+  lattice : int;
+  init_points : int;
+  depth : int;
+  spread : float;
+  garbage : float list;
+  symmetry : bool;
+  translate : bool;
+  dedup : bool;
+  check_validity : bool;
+  gamma_factor : float;
+  max_states : int;
+}
+
+let n_total t = t.n_correct + if t.byz || t.mode = Reintegrate then 1 else 0
+
+let byz_pid t = if t.byz then Some t.n_correct else None
+
+(* All scope constants are dyadic rationals of small magnitude, so every
+   quantity the round transition computes (arrival times, midpoints of
+   reduced multisets, corrections) is exact in binary64: dedup by bit
+   pattern then never splits states that are mathematically equal.  In
+   units of eps: delta = 8, beta = 4.25 (>= the 4 eps self-consistency
+   minimum at rho = 0), P = 128 (>= p_min ~ 18.5), T0 = 16 (room for
+   early Byzantine sends before round 0). *)
+let d_eps = 0x1p-13
+
+let d_delta = 0x1p-10
+
+let d_beta = 4.25 *. d_eps
+
+let d_big_p = 0x1p-6
+
+let d_t0 = 0x1p-9
+
+let scope_params ~n_correct ~faulty =
+  let n = n_correct + if faulty then 1 else 0 in
+  let f = if faulty then 1 else 0 in
+  let mk =
+    Params.make ~n ~f ~rho:0. ~delta:d_delta ~eps:d_eps ~beta:d_beta
+      ~big_p:d_big_p ~t0:d_t0 ()
+  in
+  match mk with
+  | Ok p -> p
+  | Error _ ->
+    (* Deliberately out-of-theorem scopes (n <= 3f) still simulate. *)
+    Params.unchecked ~n ~f ~rho:0. ~delta:d_delta ~eps:d_eps ~beta:d_beta
+      ~big_p:d_big_p ~t0:d_t0 ()
+
+let delay_values t =
+  let d = t.params.Params.delta and e = t.params.Params.eps in
+  match t.lattice with
+  | 1 -> [| d |]
+  | 2 -> [| d -. e; d +. e |]
+  | 3 -> [| d -. e; d; d +. e |]
+  | k -> invalid_arg (Printf.sprintf "Check.Scope: unsupported lattice %d" k)
+
+(* Multisets (sorted vectors) of size [n] over the initial-correction
+   lattice {i * beta/(k-1)}; with translation on, only those touching 0 -
+   the rest are translates. *)
+let init_corrs t =
+  let k = t.init_points in
+  let beta = t.params.Params.beta in
+  let points =
+    if k = 1 then [| 0. |]
+    else Array.init k (fun i -> float_of_int i *. beta /. float_of_int (k - 1))
+  in
+  let rec multisets lo size =
+    if size = 0 then [ [] ]
+    else
+      List.concat
+        (List.init (k - lo) (fun i ->
+             let i = lo + i in
+             List.map (fun rest -> points.(i) :: rest) (multisets i (size - 1))))
+  in
+  multisets 0 t.n_correct
+  |> List.map Array.of_list
+  |> List.filter (fun v -> (not t.translate) || v.(0) = 0.)
+
+let gamma t = t.gamma_factor *. Params.gamma t.params
+
+let base ~name ~n_correct ~byz ~mode ~lattice ~init_points ~depth =
+  let params = scope_params ~n_correct ~faulty:(byz || mode = Reintegrate) in
+  {
+    name;
+    params;
+    n_correct;
+    byz;
+    mode;
+    lattice;
+    init_points;
+    depth;
+    spread = params.Params.beta;
+    garbage = [];
+    symmetry = true;
+    translate = true;
+    dedup = true;
+    check_validity = false;
+    gamma_factor = 1.;
+    max_states = 200_000;
+  }
+
+let presets =
+  [
+    ( "agreement-n3f1",
+      "3 nonfaulty + 1 Byzantine (n=4, f=1): gamma/Sigma' over all schedules, \
+       2 rounds",
+      fun () ->
+        base ~name:"agreement-n3f1" ~n_correct:3 ~byz:true ~mode:Maintain
+          ~lattice:2 ~init_points:3 ~depth:2 );
+    ( "agreement-n4f1",
+      "4 nonfaulty + 1 Byzantine (n=5, f=1): gamma/Sigma' over all schedules, \
+       1 round",
+      fun () ->
+        base ~name:"agreement-n4f1" ~n_correct:4 ~byz:true ~mode:Maintain
+          ~lattice:2 ~init_points:2 ~depth:1 );
+    ( "adjustment-n3f1",
+      "Theorem 4(a) focus: |ADJ| <= Sigma' at n=4, f=1, 1 round",
+      fun () ->
+        base ~name:"adjustment-n3f1" ~n_correct:3 ~byz:true ~mode:Maintain
+          ~lattice:2 ~init_points:3 ~depth:1 );
+    ( "validity-n3f1",
+      "Theorem 19 envelope at n=4, f=1: untranslated states, 2 rounds",
+      fun () ->
+        let t =
+          base ~name:"validity-n3f1" ~n_correct:3 ~byz:true ~mode:Maintain
+            ~lattice:2 ~init_points:2 ~depth:2
+        in
+        { t with translate = false; check_validity = true } );
+    ( "reintegration-n3",
+      "3 maintainers + 1 rejoiner (Section 9.1): re-anchors on the (f+1)-th \
+       sender and joins within gamma, all delay paths into the rejoiner, 3 \
+       rounds",
+      fun () ->
+        let t =
+          base ~name:"reintegration-n3" ~n_correct:3 ~byz:false
+            ~mode:Reintegrate ~lattice:2 ~init_points:2 ~depth:3
+        in
+        { t with garbage = [ -0x1p-7; 0x1p-7 ]; dedup = false } );
+    ( "divergence-n2f1",
+      "2 nonfaulty + 1 Byzantine (n=3 = 3f): the [DHS] impossibility - gamma \
+       must break",
+      fun () ->
+        base ~name:"divergence-n2f1" ~n_correct:2 ~byz:true ~mode:Maintain
+          ~lattice:2 ~init_points:3 ~depth:2 );
+  ]
+
+let preset name =
+  match List.find_opt (fun (n, _, _) -> n = name) presets with
+  | Some (_, _, mk) -> Ok (mk ())
+  | None ->
+    Error
+      (Printf.sprintf "unknown preset %s (known: %s)" name
+         (String.concat ", " (List.map (fun (n, _, _) -> n) presets)))
+
+let preset_exn name =
+  match preset name with Ok t -> t | Error e -> invalid_arg e
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d nonfaulty%s%s, %d round%s, delay lattice %d, %d initial point%s, \
+     gamma %.3g%s"
+    t.name t.n_correct
+    (if t.byz then " + 1 byzantine" else "")
+    (if t.mode = Reintegrate then " + 1 rejoiner" else "")
+    t.depth
+    (if t.depth = 1 then "" else "s")
+    t.lattice t.init_points
+    (if t.init_points = 1 then "" else "s")
+    (gamma t)
+    (if t.gamma_factor = 1. then "" else Printf.sprintf " (x%g)" t.gamma_factor)

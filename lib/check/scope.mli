@@ -1,0 +1,63 @@
+(** Checker scopes: the finite slice of the model to explore.
+
+    A scope fixes everything the paper's theorems quantify over except the
+    schedule: process counts, the delay lattice each message draws from,
+    the Byzantine menu width (via [n_correct]), the initial-correction
+    lattice, and the number of rounds.  The model is the rho = 0 instance
+    of the paper (perfect clocks, zero offsets), where the protocol state
+    at a round boundary reduces to the CORR vector - see {!State}.
+
+    Naming: presets are named by {e nonfaulty} count, so [agreement-n3f1]
+    is 3 correct processes plus 1 Byzantine (n = 4, satisfying n >= 3f+1),
+    while [divergence-n2f1] is the n = 3f scope the paper excludes.
+
+    All parameters are dyadic, chosen so that every arithmetic step of the
+    round transition is exact in binary64 (see the comment in the
+    implementation); exact-bit dedup then never splits equal states. *)
+
+type mode =
+  | Maintain  (** explore the Section 4.2 round loop *)
+  | Reintegrate  (** explore a Section 9.1 rejoin against steady maintainers *)
+
+type t = {
+  name : string;
+  params : Csync_core.Params.t;
+  n_correct : int;
+  byz : bool;  (** one Byzantine process, pid [n_correct] *)
+  mode : mode;
+  lattice : int;  (** delay choices per message: 1, 2 ({delta +- eps}) or 3 *)
+  init_points : int;  (** initial-CORR lattice points across [0, beta] *)
+  depth : int;  (** rounds to explore *)
+  spread : float;  (** Byzantine timing offset (defaults to beta) *)
+  garbage : float list;  (** rejoiner initial corrections (Reintegrate) *)
+  symmetry : bool;  (** sort states (quotient by process permutation) *)
+  translate : bool;  (** shift states so min CORR = 0 *)
+  dedup : bool;  (** visited-set deduplication *)
+  check_validity : bool;  (** check the Theorem 19 envelope (needs
+                              [translate = false]) *)
+  gamma_factor : float;  (** multiplies gamma; < 1 weakens the bound to
+                             force a counterexample *)
+  max_states : int;  (** frontier budget; exceeding it truncates loudly *)
+}
+
+val n_total : t -> int
+
+val byz_pid : t -> int option
+
+val delay_values : t -> float array
+(** The per-message delay lattice. *)
+
+val init_corrs : t -> float array list
+(** Canonical initial states (sorted; translated iff [translate]). *)
+
+val gamma : t -> float
+(** The agreement bound being checked: [gamma_factor * Params.gamma]. *)
+
+val presets : (string * string * (unit -> t)) list
+(** (name, description, constructor). *)
+
+val preset : string -> (t, string) result
+
+val preset_exn : string -> t
+
+val pp : Format.formatter -> t -> unit

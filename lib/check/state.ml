@@ -1,0 +1,36 @@
+let translate corrs =
+  let m = Array.fold_left Float.min Float.infinity corrs in
+  Array.iteri (fun i c -> corrs.(i) <- c -. m) corrs
+
+let canonical ~symmetry ~translate:tr corrs =
+  let c = Array.copy corrs in
+  if tr then translate c;
+  if symmetry then Array.sort Float.compare c;
+  c
+
+let sort_permutation corrs =
+  let n = Array.length corrs in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare corrs.(a) corrs.(b) in
+      if c <> 0 then c else Int.compare a b)
+    idx;
+  idx
+
+let key ?round corrs =
+  let n = Array.length corrs in
+  let extra = match round with Some _ -> 8 | None -> 0 in
+  let b = Bytes.create ((8 * n) + extra) in
+  Array.iteri
+    (fun i c -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float c))
+    corrs;
+  (match round with
+  | Some r -> Bytes.set_int64_le b (8 * n) (Int64.of_int r)
+  | None -> ());
+  Bytes.unsafe_to_string b
+
+let spread corrs =
+  let lo = Array.fold_left Float.min Float.infinity corrs in
+  let hi = Array.fold_left Float.max Float.neg_infinity corrs in
+  hi -. lo

@@ -1,5 +1,6 @@
 module Engine = Csync_sim.Engine
 module Event_queue = Csync_sim.Event_queue
+module Trace = Csync_sim.Trace
 
 type 'm body = Start | Timer of float | Msg of 'm
 
@@ -14,13 +15,14 @@ type 'm t = {
   delay : Delay.t;
   collision : Collision.t;
   engine : 'm delivery Engine.t;
+  trace : Trace.t option;
   mutable sent : int;
   mutable tamper : 'm tamper option;
 }
 
-let create ~n ~delay ?(collision = Collision.none) ~engine () =
+let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
   if n <= 0 then invalid_arg "Message_buffer.create: nonpositive n";
-  { n; delay; collision; engine; sent = 0; tamper = None }
+  { n; delay; collision; engine; trace; sent = 0; tamper = None }
 
 let set_tamper t f = t.tamper <- Some f
 
@@ -50,6 +52,9 @@ let send t ~src ~dst m =
     (* Fast path for the untampered cluster: no fate record, no closure -
        this is every message of every fault-free simulation. *)
     let d = Delay.draw t.delay ~src ~dst ~now in
+    (match t.trace with
+    | Some tr -> Trace.record_delay tr ~sent:now ~src ~dst ~delay:d
+    | None -> ());
     Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
       { src; dst; body = Msg m }
   | Some f ->
@@ -61,6 +66,10 @@ let send t ~src ~dst m =
            is added on top, so chaos-injected latency can exceed
            delta + eps. *)
         let d = Delay.draw t.delay ~src ~dst ~now in
+        (match t.trace with
+        | Some tr ->
+          Trace.record_delay tr ~sent:now ~src ~dst ~delay:(d +. extra_delay)
+        | None -> ());
         Engine.schedule t.engine ~time:(now +. d +. extra_delay)
           ~prio:Event_queue.prio_message
           { src; dst; body = Msg payload })

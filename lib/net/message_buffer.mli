@@ -37,9 +37,14 @@ val create :
   n:int ->
   delay:Delay.t ->
   ?collision:Collision.t ->
+  ?trace:Csync_sim.Trace.t ->
   engine:'m delivery Csync_sim.Engine.t ->
   unit ->
   'm t
+(** [trace], when given and delay recording is enabled on it, receives one
+    {!Csync_sim.Trace.delay_choice} per scheduled message copy (after any
+    tamper-added extra delay), so a run's latency choices can be audited
+    against a model-checker schedule. *)
 
 val n : 'm t -> int
 

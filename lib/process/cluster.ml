@@ -30,7 +30,7 @@ let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
     invalid_arg "Cluster.create: clocks and procs length mismatch";
   if n = 0 then invalid_arg "Cluster.create: empty cluster";
   let engine = Engine.create () in
-  let buffer = Message_buffer.create ~n ~delay ?collision ~engine () in
+  let buffer = Message_buffer.create ~n ~delay ?collision ~trace ~engine () in
   {
     clocks;
     buffer;

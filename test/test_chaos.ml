@@ -313,5 +313,51 @@ let campaign_tests =
         | _ -> Alcotest.fail "expected one recovery");
   ]
 
+let sexp_tests =
+  [
+    t "plan sexp round-trips every event kind" (fun () ->
+        let plan =
+          [
+            Plan.Partition
+              { left = [ 0; 1 ]; right = [ 2; 3 ]; over = iv 1. 2. };
+            Plan.Link
+              { src = 0; dst = 3; fault = Plan.Drop 0.75; over = iv 0.5 1.5 };
+            Plan.Link
+              { src = 1; dst = 2; fault = Plan.Duplicate 0.25; over = iv 1. 4. };
+            Plan.Link
+              { src = 2; dst = 0; fault = Plan.Reorder 0.125; over = iv 2. 3. };
+            Plan.Link
+              { src = 3; dst = 1; fault = Plan.Corrupt 1.; over = iv 0.25 9. };
+            Plan.Clock_step { pid = 1; at = 1.5; amount = -0.0625 };
+            Plan.Rate_change { pid = 2; factor = 1.0009765625; over = iv 2. 5. };
+            Plan.Crash { pid = 3; at = 6. };
+            Plan.Recover { pid = 3; at = 7.5 };
+          ]
+        in
+        (match Plan.of_sexp_string (Plan.to_sexp_string plan) with
+        | Error e -> Alcotest.failf "round-trip: %s" e
+        | Ok plan' -> check_true "structurally equal" (plan = plan'));
+        (* Dyadic times/probabilities round-trip bit-exactly via %h. *)
+        match Plan.of_sexp_string (Plan.to_sexp_string plan) with
+        | Ok plan' -> Plan.validate ~n:4 plan'
+        | Error e -> Alcotest.failf "revalidate: %s" e);
+    t "plan sexp rejects malformed input" (fun () ->
+        (match Plan.of_sexp_string "(plan (crash (pid 1)" with
+        | Ok _ -> Alcotest.fail "unbalanced parens accepted"
+        | Error _ -> ());
+        (match Plan.of_sexp_string "(schedule)" with
+        | Ok _ -> Alcotest.fail "wrong head accepted"
+        | Error _ -> ());
+        match Plan.of_sexp_string "(plan (warp (pid 1) (at 2.0)))" with
+        | Ok _ -> Alcotest.fail "unknown event accepted"
+        | Error _ -> ());
+    t "empty plan round-trips" (fun () ->
+        match Plan.of_sexp_string (Plan.to_sexp_string []) with
+        | Ok [] -> ()
+        | Ok _ -> Alcotest.fail "expected empty plan"
+        | Error e -> Alcotest.failf "empty: %s" e);
+  ]
+
 let suite =
   plan_tests @ injector_tests @ disturbance_tests @ gen_tests @ campaign_tests
+  @ sexp_tests

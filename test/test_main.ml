@@ -16,6 +16,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);
       ("runtime", Test_runtime.suite);
+      ("check", Test_check.suite);
       ("bootstrap", Test_bootstrap.suite);
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);

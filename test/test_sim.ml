@@ -244,4 +244,83 @@ let trace_tests =
         check_raises_invalid "cap" (fun () -> ignore (Trace.create ~capacity:0 ())));
   ]
 
-let suite = rng_tests @ heap_tests @ queue_tests @ engine_tests @ trace_tests
+(* The canonical-state model checker (lib/check) assumes the event order of
+   a schedule is a pure function of (time, priority, insertion order) - no
+   hidden heap nondeterminism.  The queue promises FIFO among exact ties
+   (the [seq] field); this pins it down as a property over arbitrary
+   insertion patterns, including heavy tie clusters. *)
+let tie_break_tests =
+  [
+    qcheck ~count:300 ~name:"equal (time, prio) pops FIFO by insertion"
+      QCheck2.Gen.(
+        list_size (int_range 1 80) (pair (int_range 0 3) (int_range 0 1)))
+      (fun entries ->
+        let q = Event_queue.create () in
+        List.iteri
+          (fun i (tm, prio) ->
+            Event_queue.add q ~time:(float_of_int tm) ~prio i)
+          entries;
+        let order = ref [] in
+        let rec drain () =
+          match Event_queue.pop q with
+          | Some (_, i) ->
+            order := i :: !order;
+            drain ()
+          | None -> ()
+        in
+        drain ();
+        let keys = Array.of_list entries in
+        let expected =
+          List.stable_sort
+            (fun a b -> compare keys.(a) keys.(b))
+            (List.init (List.length entries) Fun.id)
+        in
+        List.rev !order = expected);
+  ]
+
+let delay_trace_tests =
+  [
+    t "delay provenance off by default" (fun () ->
+        let tr = Trace.create () in
+        Trace.record_delay tr ~sent:1. ~src:0 ~dst:1 ~delay:0.01;
+        check_int "empty" 0 (List.length (Trace.delays tr));
+        check_bool "flag" false (Trace.delays_enabled tr));
+    t "delay provenance records and clears" (fun () ->
+        let tr = Trace.create ~capacity:2 () in
+        Trace.set_delays_enabled tr true;
+        Trace.record_delay tr ~sent:1. ~src:0 ~dst:1 ~delay:0.01;
+        Trace.record_delay tr ~sent:2. ~src:1 ~dst:0 ~delay:0.02;
+        Trace.record_delay tr ~sent:3. ~src:2 ~dst:0 ~delay:0.03;
+        check_int "total" 3 (Trace.delays_total tr);
+        (match Trace.delays tr with
+        | [ a; b ] ->
+          check_float "evicted oldest" 2. a.Trace.sent;
+          check_float "kept newest" 3. b.Trace.sent;
+          check_float "delay" 0.03 b.Trace.delay;
+          check_int "src" 2 b.Trace.src
+        | l -> Alcotest.failf "expected 2 retained, got %d" (List.length l));
+        Trace.clear tr;
+        check_int "cleared" 0 (Trace.delays_total tr));
+    t "message buffer records provenance when wired" (fun () ->
+        let module MB = Csync_net.Message_buffer in
+        let tr = Trace.create () in
+        Trace.set_delays_enabled tr true;
+        let engine = Engine.create () in
+        let buf =
+          MB.create ~n:2 ~delay:(Csync_net.Delay.constant 0.005) ~trace:tr
+            ~engine ()
+        in
+        MB.send buf ~src:0 ~dst:1 42.;
+        MB.broadcast buf ~src:1 7.;
+        match Trace.delays tr with
+        | [ a; b; c ] ->
+          check_int "first src" 0 a.Trace.src;
+          check_float "modelled delay" 0.005 a.Trace.delay;
+          check_int "bcast to 0" 0 b.Trace.dst;
+          check_int "bcast to 1 (self)" 1 c.Trace.dst
+        | l -> Alcotest.failf "expected 3 records, got %d" (List.length l));
+  ]
+
+let suite =
+  rng_tests @ heap_tests @ queue_tests @ tie_break_tests @ engine_tests
+  @ trace_tests @ delay_trace_tests

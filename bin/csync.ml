@@ -175,13 +175,17 @@ let chaos_cmd =
     | Some file -> begin
       (* One deterministic run of a serialized plan (e.g. a model-checker
          counterexample exported with csync check --cex). *)
-      let contents =
-        let ic = open_in_bin file in
-        let len = in_channel_length ic in
-        let s = really_input_string ic len in
-        close_in ic;
-        s
-      in
+      match
+        try
+          let ic = open_in_bin file in
+          let len = in_channel_length ic in
+          let s = really_input_string ic len in
+          close_in ic;
+          Ok s
+        with Sys_error e -> Error e
+      with
+      | Error e -> `Error (false, e)
+      | Ok contents ->
       match Plan.of_sexp_string contents with
       | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
       | Ok plan ->
@@ -271,11 +275,13 @@ let check_cmd =
   let module Cex = Csync_check.Cex in
   let module Replay = Csync_check.Replay in
   let read_file file =
-    let ic = open_in_bin file in
-    let len = in_channel_length ic in
-    let s = really_input_string ic len in
-    close_in ic;
-    s
+    try
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
   in
   let write_file file s =
     let oc = open_out file in
@@ -284,7 +290,10 @@ let check_cmd =
     close_out oc
   in
   let replay_file file =
-    match Cex.of_sexp_string (read_file file) with
+    match read_file file with
+    | Error e -> `Error (false, e)
+    | Ok contents ->
+    match Cex.of_sexp_string contents with
     | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
     | Ok cex ->
       Format.printf "%a@." Cex.pp cex;

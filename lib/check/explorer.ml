@@ -249,15 +249,22 @@ let run_states ?(jobs = 1) scope inits =
               State.canonical ~symmetry:scope.Scope.symmetry
                 ~translate:scope.Scope.translate post
             in
-            if add_state ~round:(round + 1) c then begin
+            (* Budget check before add_state: a dropped state must not be
+               counted or marked visited, or stats inflate and later
+               frontiers dedup against states that were never explored.
+               Dropping a would-be duplicate keeps the run exhaustive. *)
+            if !next_n >= scope.Scope.max_states then begin
+              if
+                (not scope.Scope.dedup)
+                || not (Hashtbl.mem visited (key ~round:(round + 1) c))
+              then truncated := true
+            end
+            else if add_state ~round:(round + 1) c then begin
               incr states;
-              if !next_n >= scope.Scope.max_states then truncated := true
-              else begin
-                incr next_n;
-                next :=
-                  { corrs = c; init = node.init; path = choice :: node.path }
-                  :: !next
-              end
+              incr next_n;
+              next :=
+                { corrs = c; init = node.init; path = choice :: node.path }
+                :: !next
             end)
           e.succs)
       expansions;
@@ -273,6 +280,14 @@ let run_states ?(jobs = 1) scope inits =
       truncated = !truncated;
     },
     List.rev !violations )
+
+(* Per-depth frontier sizes from different orbits may have different
+   lengths (an orbit stops early on a violation or an empty frontier), so
+   merge by padding the shorter list with zeros. *)
+let rec merge_frontiers a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys -> (x + y) :: merge_frontiers xs ys
 
 let run ?jobs scope =
   let inits = Scope.init_corrs scope in
@@ -292,9 +307,7 @@ let run ?jobs scope =
               deduped = acc_s.deduped + s.deduped;
               transitions = acc_s.transitions + s.transitions;
               sims = acc_s.sims + s.sims;
-              frontier =
-                (if acc_s.frontier = [] then s.frontier
-                 else List.map2 ( + ) acc_s.frontier s.frontier);
+              frontier = merge_frontiers acc_s.frontier s.frontier;
               truncated = acc_s.truncated || s.truncated;
             },
             acc_v @ v ))

@@ -13,9 +13,15 @@ let kind_name = function
 type violation = { kind : kind; bound : float; measured : float }
 
 let pp_violation ppf v =
-  Format.fprintf ppf "%s: measured %.6g exceeds bound %.6g (by %.3g)"
-    (kind_name v.kind) v.measured v.bound
-    (Float.abs v.measured -. Float.abs v.bound)
+  match v.kind with
+  | Round_complete ->
+    Format.fprintf ppf
+      "%s: a nonfaulty process did not complete the exchange round"
+      (kind_name v.kind)
+  | Agreement | Adjustment | Monotone | Validity ->
+    Format.fprintf ppf "%s: measured %.6g exceeds bound %.6g (by %.3g)"
+      (kind_name v.kind) v.measured v.bound
+      (Float.abs v.measured -. Float.abs v.bound)
 
 let max_abs a = Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0. a
 

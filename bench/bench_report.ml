@@ -177,6 +177,26 @@ let bench_check =
                (Csync_check.Explorer.run ~jobs:1 (Lazy.force check_scope))));
     ]
 
+let bench_obs =
+  (* The telemetry invariant in numbers: a counter increment through a
+     handle minted from the disabled registry (what every untraced
+     simulation pays at each instrumentation point) vs the enabled
+     atomic path. *)
+  let off = Csync_obs.Registry.counter Csync_obs.Registry.none "bench.c" in
+  let on_reg = Csync_obs.Registry.create () in
+  let on = Csync_obs.Registry.counter on_reg "bench.c" in
+  let g_off = Csync_obs.Registry.gauge Csync_obs.Registry.none "bench.g" in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"counter-incr-disabled"
+        (Staged.stage (fun () -> Csync_obs.Registry.Counter.incr off));
+      Test.make ~name:"counter-incr-enabled"
+        (Staged.stage (fun () -> Csync_obs.Registry.Counter.incr on));
+      Test.make ~name:"gauge-observe-disabled"
+        (Staged.stage (fun () ->
+             Csync_obs.Registry.Gauge.observe_max g_off 1.0));
+    ]
+
 let ns_per_op ols =
   match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
 
@@ -194,7 +214,7 @@ let run_kernels ~quick =
       Hashtbl.fold
         (fun name o acc -> { name; ns_per_op = ns_per_op o } :: acc)
         results [])
-    [ bench_multiset; bench_engine; bench_round; bench_check ]
+    [ bench_multiset; bench_engine; bench_round; bench_check; bench_obs ]
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let find_kernel t name =
@@ -218,6 +238,12 @@ let mid_reduced_speedup_n10k t =
    distinct canonical states discovered per second of exploration.  The
    scope is deterministic, so the state count is a constant and the only
    measured quantity is the kernel's wall time. *)
+(* Disabled-path telemetry overhead per instrumentation point. *)
+let telemetry_disabled_ns t =
+  match find_kernel t "obs/counter-incr-disabled" with
+  | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
+  | _ -> None
+
 let check_states_per_sec t =
   match find_kernel t "check/explore-n2f1-depth1" with
   | Some k when Float.is_finite k.ns_per_op && k.ns_per_op > 0. ->
@@ -260,8 +286,12 @@ let pp_summary ppf t =
   (match mid_reduced_speedup_n10k t with
   | Some r -> Format.fprintf ppf "mid_reduced vs mid-o-reduce at n=10k: %.0fx@." r
   | None -> ());
-  match check_states_per_sec t with
+  (match check_states_per_sec t with
   | Some r -> Format.fprintf ppf "model-checker exploration: %.0f states/s@." r
+  | None -> ());
+  match telemetry_disabled_ns t with
+  | Some r ->
+    Format.fprintf ppf "telemetry disabled-path overhead: %.1f ns/op@." r
   | None -> ()
 
 (* Hand-rolled JSON: the container has no JSON library and the shape is
@@ -315,8 +345,12 @@ let to_json t =
     (match mid_reduced_speedup_n10k t with
     | Some r -> json_float r
     | None -> "null");
-  add "    \"check_states_per_sec\": %s\n"
+  add "    \"check_states_per_sec\": %s,\n"
     (match check_states_per_sec t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "    \"telemetry_disabled_ns\": %s\n"
+    (match telemetry_disabled_ns t with
     | Some r -> json_float r
     | None -> "null");
   add "  }\n";

@@ -576,6 +576,152 @@ let bench_cmd =
           micro-benchmark the kernels; optionally emit a BENCH JSON report.")
     Term.(ret (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg))
 
+(* csync trace *)
+let trace_cmd =
+  let module Obs = Csync_obs.Registry in
+  let module Json = Csync_obs.Json in
+  let params_json (p : Csync_core.Params.t) =
+    Json.Obj
+      [
+        ("n", Json.num_of_int p.n);
+        ("f", Json.num_of_int p.f);
+        ("rho", Json.Num p.rho);
+        ("delta", Json.Num p.delta);
+        ("eps", Json.Num p.eps);
+        ("beta", Json.Num p.beta);
+        ("big_p", Json.Num p.big_p);
+        ("t0", Json.Num p.t0);
+        ("gamma", Json.Num (Csync_core.Params.gamma p));
+        ("adjustment_bound", Json.Num (Csync_core.Params.adjustment_bound p));
+      ]
+  in
+  let write_trace ~out ~target ~seed ~jobs ~quick ~params reg =
+    let manifest =
+      Csync_obs.Manifest.make ~target ~seed ~jobs ~quick
+        ?params:(Option.map params_json params) ()
+    in
+    let records = Obs.dump reg in
+    let oc = open_out out in
+    output_string oc (Json.to_string manifest);
+    output_char oc '\n';
+    List.iter
+      (fun r ->
+        output_string oc (Json.to_string r);
+        output_char oc '\n')
+      records;
+    close_out oc;
+    Format.printf "wrote %s (%d records)@." out (1 + List.length records)
+  in
+  let run quick jobs seed out target =
+    let jobs_v =
+      match jobs_opt jobs with
+      | Some j -> j
+      | None -> Csync_harness.Pool.default_jobs ()
+    in
+    let reg = Obs.create () in
+    Obs.install reg;
+    let finish ~params result =
+      Obs.clear_installed ();
+      (match result with
+      | Ok () ->
+        write_trace ~out ~target ~seed ~jobs:jobs_v ~quick ~params reg
+      | Error _ -> ());
+      match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
+    in
+    match String.lowercase_ascii target with
+    | "chaos" ->
+      let module RC = Csync_harness.Runner_chaos in
+      let params = Csync_harness.Defaults.base ~n:7 ~f:2 () in
+      let { RC.plan; result = r; _ } = RC.single ~params ~seed () in
+      Format.printf "chaos seed %d: %s@." seed (Csync_chaos.Plan.describe plan);
+      Format.printf "injected %d faults; clean skew %.3e / gamma %.3e: %s@."
+        (Csync_chaos.Injector.total r.RC.stats)
+        r.RC.max_clean_skew r.RC.gamma
+        (if RC.ok r then "ok" else "BOUND VIOLATED");
+      finish ~params:(Some params) (Ok ())
+    | "check" ->
+      let module Scope = Csync_check.Scope in
+      let module Explorer = Csync_check.Explorer in
+      (match Scope.preset "agreement-n3f1" with
+      | Error e -> finish ~params:None (Error e)
+      | Ok scope ->
+        let scope =
+          if quick then { scope with Scope.depth = min scope.Scope.depth 2 }
+          else scope
+        in
+        let r = Explorer.run ?jobs:(jobs_opt jobs) scope in
+        let s = r.Explorer.stats in
+        Format.printf "states %d (deduped %d), mini-simulations %d@."
+          s.Explorer.states s.Explorer.deduped s.Explorer.sims;
+        finish ~params:None
+          (if r.Explorer.violations = [] then Ok ()
+           else Error "property violation found"))
+    | _ -> (
+      match resolve_ids [ target ] with
+      | Error msg -> finish ~params:None (Error msg)
+      | Ok experiments ->
+        Csync_harness.Registry.render_list ?jobs:(jobs_opt jobs)
+          Format.std_formatter ~quick experiments;
+        finish ~params:None (Ok ()))
+  in
+  let seed =
+    Arg.(
+      value & opt int 1000
+      & info [ "seed" ] ~doc:"Seed for the chaos target's generated plan.")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "run.jsonl"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output path (JSONL).")
+  in
+  let target_arg =
+    let doc =
+      "What to capture: an experiment id (e.g. $(b,E1)), $(b,chaos) (one \
+       generated fault plan), or $(b,check) (one model-checking scope)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a target with telemetry enabled and capture the full trace \
+          (manifest, counters, gauges, series, histograms, spans, events) \
+          as JSONL.  The run's tables are byte-identical to an untraced \
+          run; render the capture with csync report.")
+    Term.(ret (const run $ quick_arg $ jobs_arg $ seed $ out_arg $ target_arg))
+
+(* csync report *)
+let report_cmd =
+  let run label file =
+    match Csync_obs.Report.of_file file with
+    | exception Sys_error e -> `Error (false, e)
+    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
+    | Ok t ->
+      Csync_obs.Report.render ?focus:label Format.std_formatter t;
+      `Ok ()
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"CELL"
+          ~doc:
+            "Cell label to focus the per-cell sections on (see the report's \
+             Cells section for the choices).")
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A JSONL trace written by csync trace.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a captured trace: skew timelines, ADJ-per-round tables, \
+          message-delay histograms, pool utilization, chaos ledger, and \
+          exploration statistics.")
+    Term.(ret (const run $ label_arg $ file_arg))
+
 let main_cmd =
   let doc =
     "Fault-tolerant clock synchronization (Welch & Lynch 1984/1988) - \
@@ -583,6 +729,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; check_cmd;
-      export_cmd; bench_cmd ]
+      export_cmd; bench_cmd; trace_cmd; report_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,5 +1,7 @@
 module Mb = Csync_net.Message_buffer
 module Rng = Csync_sim.Rng
+module Obs = Csync_obs.Registry
+module Json = Csync_obs.Json
 
 type stats = {
   mutable dropped : int;
@@ -32,9 +34,31 @@ let partitioned plan ~now ~src ~dst =
     plan
 
 let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
- fun ~now ~src ~dst m ->
+  (* The ledger handles are captured when the tamper is installed; every
+     injected fault is mirrored as a counter and (when tracing) an event,
+     joined with the blame accounting in [stats]. *)
+  let obs = Obs.installed () in
+  let traced = Obs.enabled obs in
+  let c_dropped = Obs.counter obs "chaos.dropped"
+  and c_duplicated = Obs.counter obs "chaos.duplicated"
+  and c_delayed = Obs.counter obs "chaos.delayed"
+  and c_corrupted = Obs.counter obs "chaos.corrupted"
+  and c_partitioned = Obs.counter obs "chaos.partitioned" in
+  let inject kind counter ~now ~src ~dst =
+    Obs.Counter.incr counter;
+    if traced then
+      Obs.event obs "chaos.inject"
+        [
+          ("kind", Json.Str kind);
+          ("src", Json.num_of_int src);
+          ("dst", Json.num_of_int dst);
+          ("t", Json.Num now);
+        ]
+  in
+  fun ~now ~src ~dst m ->
   if partitioned plan ~now ~src ~dst then begin
     st.partitioned <- st.partitioned + 1;
+    inject "partition" c_partitioned ~now ~src ~dst;
     []
   end
   else begin
@@ -49,15 +73,18 @@ let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
           | Plan.Drop p ->
             if Rng.float rng < p then begin
               st.dropped <- st.dropped + 1;
+              inject "drop" c_dropped ~now ~src ~dst;
               fates := []
             end
           | Plan.Duplicate p ->
             if Rng.float rng < p then begin
               st.duplicated <- st.duplicated + 1;
+              inject "duplicate" c_duplicated ~now ~src ~dst;
               fates := { Mb.payload = m; extra_delay = 0. } :: !fates
             end
           | Plan.Reorder jitter ->
             st.delayed <- st.delayed + 1;
+            inject "reorder" c_delayed ~now ~src ~dst;
             fates :=
               List.map
                 (fun f ->
@@ -73,6 +100,7 @@ let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
                 (fun f ->
                   if Rng.float rng < p then begin
                     st.corrupted <- st.corrupted + 1;
+                    inject "corrupt" c_corrupted ~now ~src ~dst;
                     { f with Mb.payload = corrupt rng f.Mb.payload }
                   end
                   else f)

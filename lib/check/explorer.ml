@@ -185,6 +185,9 @@ let expand scope ~round node =
    workers return plain successor lists and the merge walks them in
    submission order, so the result is identical for every job count. *)
 let run_states ?(jobs = 1) scope inits =
+  let obs = Csync_obs.Registry.installed () in
+  let obs_frontier = Csync_obs.Registry.series obs "check.frontier" in
+  let obs_dedup_rate = Csync_obs.Registry.series obs "check.dedup_rate" in
   let visited = Hashtbl.create 1024 in
   let states = ref 0
   and deduped = ref 0
@@ -227,6 +230,10 @@ let run_states ?(jobs = 1) scope inits =
   while !depth < scope.Scope.depth && !frontier <> [] && !violations = [] do
     let round = !depth in
     frontier_sizes := List.length !frontier :: !frontier_sizes;
+    Csync_obs.Registry.Series.push obs_frontier (float_of_int round)
+      (float_of_int (List.length !frontier));
+    let deduped_before = !deduped in
+    let successors_seen = ref 0 in
     let nodes = Array.of_list !frontier in
     let expansions = Pool.map ~jobs (expand scope ~round) nodes in
     let next = ref [] and next_n = ref 0 in
@@ -245,6 +252,7 @@ let run_states ?(jobs = 1) scope inits =
           e.viols;
         List.iter
           (fun (choice, post) ->
+            incr successors_seen;
             let c =
               State.canonical ~symmetry:scope.Scope.symmetry
                 ~translate:scope.Scope.translate post
@@ -268,9 +276,19 @@ let run_states ?(jobs = 1) scope inits =
             end)
           e.succs)
       expansions;
+    if Csync_obs.Registry.Series.active obs_dedup_rate && !successors_seen > 0
+    then
+      Csync_obs.Registry.Series.push obs_dedup_rate (float_of_int round)
+        (float_of_int (!deduped - deduped_before)
+        /. float_of_int !successors_seen);
     frontier := List.rev !next;
     incr depth
   done;
+  Csync_obs.Registry.(
+    Counter.add (counter obs "check.states") !states;
+    Counter.add (counter obs "check.deduped") !deduped;
+    Counter.add (counter obs "check.transitions") !transitions;
+    Counter.add (counter obs "check.sims") !sims);
   ( {
       states = !states;
       deduped = !deduped;

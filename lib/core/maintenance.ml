@@ -1,6 +1,7 @@
 module Automaton = Csync_process.Automaton
 module Cluster = Csync_process.Cluster
 module Multiset = Csync_multiset
+module Obs = Csync_obs.Registry
 
 type phase = Bcast | Update
 
@@ -213,10 +214,28 @@ let automaton ~self_hint cfg =
      instance (and hence the buffer) belongs to a single cluster, which
      processes events sequentially. *)
   let scratch = Multiset.Scratch.create () in
+  (* Telemetry handles are captured here, once per automaton; with the
+     ambient registry disabled they are no-ops and the wrapped handler
+     costs two phase comparisons per event. *)
+  let obs = Obs.installed () in
+  let obs_adj = Obs.series obs (Printf.sprintf "proc.%d.adj" self_hint) in
+  let obs_corr = Obs.series obs (Printf.sprintf "proc.%d.corr" self_hint) in
+  let observing = Obs.Series.active obs_adj in
   {
     Automaton.name = Printf.sprintf "wl-maintenance[%d]" self_hint;
     initial;
-    handle = (fun ~self ~phys interrupt s -> handle ~scratch cfg ~self ~phys interrupt s);
+    handle =
+      (fun ~self ~phys interrupt s ->
+        let ((s', _) as result) = handle ~scratch cfg ~self ~phys interrupt s in
+        (* An Update -> Bcast flag transition is exactly one completed
+           round update (do_update); log ADJ and the running CORR against
+           the round index at that boundary. *)
+        if observing && s.flag = Update && s'.flag = Bcast then begin
+          let r = float_of_int s.round in
+          Obs.Series.push obs_adj r (s'.corr -. s.corr);
+          Obs.Series.push obs_corr r s'.corr
+        end;
+        result);
     corr = (fun s -> s.corr);
   }
 

@@ -1,3 +1,5 @@
+module Obs = Csync_obs.Registry
+
 let parallel_available = Pool_backend.available
 
 let default_jobs () =
@@ -11,7 +13,25 @@ let default_jobs () =
 let init ~jobs n f =
   if n < 0 then invalid_arg "Pool.init: negative length";
   if jobs < 1 then invalid_arg "Pool.init: jobs must be >= 1";
-  Pool_backend.run ~jobs n f
+  let obs = Obs.installed () in
+  if not (Obs.enabled obs) then Pool_backend.run ~jobs n f
+  else begin
+    (* Mirror the backend's round-robin sharding (task i runs on worker
+       i mod effective-jobs) so per-worker timings attribute correctly;
+       this only wraps observation around f, so results are unchanged. *)
+    let eff = if Pool_backend.available then max 1 (min jobs n) else 1 in
+    let spans =
+      Array.init eff (fun w -> Obs.span obs (Printf.sprintf "pool.worker%d" w))
+    in
+    let tasks =
+      Array.init eff (fun w ->
+          Obs.counter obs (Printf.sprintf "pool.tasks.worker%d" w))
+    in
+    Pool_backend.run ~jobs n (fun i ->
+        let w = i mod eff in
+        Obs.Counter.incr tasks.(w);
+        Obs.Span.time spans.(w) (fun () -> f i))
+  end
 
 let map ~jobs f a = init ~jobs (Array.length a) (fun i -> f a.(i))
 

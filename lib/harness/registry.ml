@@ -27,7 +27,18 @@ let run_list ?jobs ~quick experiments =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let per_exp = List.map (fun e -> (e, Experiment.tasks ~quick e)) experiments in
   let flat = Array.of_list (List.concat_map snd per_exp) in
-  let pieces = Pool.init ~jobs (Array.length flat) (fun i -> (snd flat.(i)) ()) in
+  let obs = Csync_obs.Registry.installed () in
+  let traced = Csync_obs.Registry.enabled obs in
+  let run_task i =
+    let label, thunk = flat.(i) in
+    (* Prefix this cell's metrics with its label so cells don't collide.
+       The label is registry-global: exact at --jobs 1, best-effort when
+       cells run concurrently (per-process series stay unambiguous). *)
+    if traced then Csync_obs.Registry.set_label obs label;
+    thunk ()
+  in
+  let pieces = Pool.init ~jobs (Array.length flat) run_task in
+  if traced then Csync_obs.Registry.set_label obs "";
   let next = ref 0 in
   List.map
     (fun (e, tasks) ->

@@ -136,6 +136,8 @@ let run t =
   in
   let max_clean_skew = ref 0. in
   let checked = ref 0 and skipped = ref 0 and max_suspects = ref 0 in
+  let obs = Csync_obs.Registry.installed () in
+  let obs_clean_skew = Csync_obs.Registry.series obs "run.clean_skew" in
   let post_join = Hashtbl.create 4 in
   let joined_real pid =
     match Hashtbl.find_opt life_readers pid with
@@ -164,6 +166,7 @@ let run t =
         let hi = List.fold_left Float.max (List.hd locals) locals in
         let skew = hi -. lo in
         max_clean_skew := Float.max !max_clean_skew skew;
+        Csync_obs.Registry.Series.push obs_clean_skew time skew;
         (* A rejoined ex-crasher is back inside the clean set once its
            suspicion window closes; record the skew it participates in. *)
         List.iter
@@ -203,6 +206,10 @@ let run t =
             })
       crashes
   in
+  Csync_obs.Registry.(
+    Counter.add (counter obs "chaos.samples.checked") !checked;
+    Counter.add (counter obs "chaos.samples.skipped") !skipped;
+    Gauge.observe_max (gauge obs "chaos.max_suspects") (float_of_int !max_suspects));
   {
     gamma = Params.gamma t.params;
     max_clean_skew = !max_clean_skew;

@@ -7,6 +7,9 @@ type t = { samples : sample array; observed : int list }
 
 let run ~cluster ~observe ~times =
   if observe = [] then invalid_arg "Sampling.run: empty observe list";
+  let obs_skew =
+    Csync_obs.Registry.(series (installed ()) "run.skew")
+  in
   let sample_at time =
     Cluster.run_until cluster time;
     (* Single pass over the observed processes - no per-sample list of
@@ -19,7 +22,9 @@ let run ~cluster ~observe ~times =
         if l < !lo then lo := l;
         if l > !hi then hi := l)
       (List.tl observe);
-    { time; skew = !hi -. !lo; min_local = !lo; max_local = !hi }
+    let skew = !hi -. !lo in
+    Csync_obs.Registry.Series.push obs_skew time skew;
+    { time; skew; min_local = !lo; max_local = !hi }
   in
   { samples = Array.map sample_at times; observed = observe }
 

@@ -4,17 +4,29 @@ type t = {
   counts : int array;
   mutable underflow : int;
   mutable overflow : int;
+  mutable invalid : int;
   mutable total : int;
 }
 
 let create ~lo ~hi ~bins =
   if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
   if bins <= 0 then invalid_arg "Histogram.create: nonpositive bins";
-  { lo; hi; counts = Array.make bins 0; underflow = 0; overflow = 0; total = 0 }
+  {
+    lo;
+    hi;
+    counts = Array.make bins 0;
+    underflow = 0;
+    overflow = 0;
+    invalid = 0;
+    total = 0;
+  }
 
 let add t v =
   t.total <- t.total + 1;
-  if v < t.lo then t.underflow <- t.underflow + 1
+  (* NaN compares false against both bounds, so without this check
+     int_of_float nan would silently land it in bin 0. *)
+  if Float.is_nan v then t.invalid <- t.invalid + 1
+  else if v < t.lo then t.underflow <- t.underflow + 1
   else if v > t.hi then t.overflow <- t.overflow + 1
   else begin
     let bins = Array.length t.counts in
@@ -34,15 +46,29 @@ let of_array ?(bins = 20) a =
   Array.iter (add t) a;
   t
 
+let of_counts ~lo ~hi ~counts ~underflow ~overflow ~invalid ~total =
+  if lo >= hi then invalid_arg "Histogram.of_counts: lo >= hi";
+  if Array.length counts = 0 then invalid_arg "Histogram.of_counts: no bins";
+  if underflow < 0 || overflow < 0 || invalid < 0 || total < 0 then
+    invalid_arg "Histogram.of_counts: negative count";
+  Array.iter (fun c -> if c < 0 then invalid_arg "Histogram.of_counts: negative count") counts;
+  { lo; hi; counts = Array.copy counts; underflow; overflow; invalid; total }
+
 let count t = t.total
 
 let bin_count t i =
   if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_count";
   t.counts.(i)
 
+let bins t = Array.length t.counts
+
+let range t = (t.lo, t.hi)
+
 let underflow t = t.underflow
 
 let overflow t = t.overflow
+
+let invalid t = t.invalid
 
 let bin_bounds t i =
   if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_bounds";
@@ -60,8 +86,12 @@ let render ?(width = 50) ppf t =
   Array.iteri
     (fun i c ->
       let lo, hi = bin_bounds t i in
-      let bar = String.make (c * width / max_count) '#' in
+      (* A nonzero bin always shows at least one mark, even when integer
+         truncation of c * width / max_count would round it to nothing. *)
+      let len = if c = 0 then 0 else max 1 (c * width / max_count) in
+      let bar = String.make len '#' in
       Format.fprintf ppf "[%11.4e, %11.4e) %6d %s@." lo hi c bar)
     t.counts;
   if t.underflow > 0 then Format.fprintf ppf "underflow: %d@." t.underflow;
-  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow
+  if t.overflow > 0 then Format.fprintf ppf "overflow: %d@." t.overflow;
+  if t.invalid > 0 then Format.fprintf ppf "invalid (NaN): %d@." t.invalid

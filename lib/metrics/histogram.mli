@@ -11,18 +11,42 @@ val of_array : ?bins:int -> float array -> t
 (** Bins spanning [min, max] of the data (default 20 bins); values are
     added.  @raise Invalid_argument on an empty array. *)
 
+val of_counts :
+  lo:float ->
+  hi:float ->
+  counts:int array ->
+  underflow:int ->
+  overflow:int ->
+  invalid:int ->
+  total:int ->
+  t
+(** Rebuild a histogram from serialized bin counts (the telemetry trace
+    format); [counts] is copied.  @raise Invalid_argument on an empty or
+    negative count array or [lo >= hi]. *)
+
 val add : t -> float -> unit
-(** Values outside [lo, hi] land in the under/overflow counters. *)
+(** Values outside [lo, hi] land in the under/overflow counters; NaN (which
+    is neither below [lo] nor above [hi]) lands in the {!invalid} counter
+    rather than being silently binned. *)
 
 val count : t -> int
-(** Total values added, under/overflow included. *)
+(** Total values added, under/overflow and invalid included. *)
 
 val bin_count : t -> int -> int
 (** @raise Invalid_argument if the index is out of range. *)
 
+val bins : t -> int
+(** Number of bins. *)
+
+val range : t -> float * float
+(** The [(lo, hi)] bounds the bins span. *)
+
 val underflow : t -> int
 
 val overflow : t -> int
+
+val invalid : t -> int
+(** NaN values offered to {!add}. *)
 
 val bin_bounds : t -> int -> float * float
 
@@ -31,4 +55,6 @@ val mode_bin : t -> int
     {!count} is 0. *)
 
 val render : ?width:int -> Format.formatter -> t -> unit
-(** Horizontal ASCII bars, one line per bin. *)
+(** Horizontal ASCII bars, one line per bin; any nonzero bin renders at
+    least one mark.  Under/overflow and invalid counters are appended when
+    nonzero. *)

@@ -1,6 +1,7 @@
 module Engine = Csync_sim.Engine
 module Event_queue = Csync_sim.Event_queue
 module Trace = Csync_sim.Trace
+module Obs = Csync_obs.Registry
 
 type 'm body = Start | Timer of float | Msg of 'm
 
@@ -18,11 +19,46 @@ type 'm t = {
   trace : Trace.t option;
   mutable sent : int;
   mutable tamper : 'm tamper option;
+  obs_sent : Obs.Counter.handle;
+  obs_tamper_drops : Obs.Counter.handle;
+  obs_tamper_copies : Obs.Counter.handle;
+  obs_collisions : Obs.Counter.handle;
+  obs_delay : Obs.Hist.handle;
+  obs_link_delay : Obs.Hist.handle array; (* src * n + dst; [||] when disabled *)
 }
 
 let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
   if n <= 0 then invalid_arg "Message_buffer.create: nonpositive n";
-  { n; delay; collision; engine; trace; sent = 0; tamper = None }
+  let obs = Obs.installed () in
+  let lo, hi = Delay.bounds delay in
+  let hi = if hi > lo then hi else lo +. 1e-9 in
+  let obs_link_delay =
+    if not (Obs.enabled obs) then [||]
+    else
+      Array.init (n * n) (fun i ->
+          Obs.hist obs ~lo ~hi ~bins:20
+            (Printf.sprintf "net.delay.%d->%d" (i / n) (i mod n)))
+  in
+  {
+    n;
+    delay;
+    collision;
+    engine;
+    trace;
+    sent = 0;
+    tamper = None;
+    obs_sent = Obs.counter obs "net.sent";
+    obs_tamper_drops = Obs.counter obs "net.tamper.drops";
+    obs_tamper_copies = Obs.counter obs "net.tamper.copies";
+    obs_collisions = Obs.counter obs "net.collision_dropped";
+    obs_delay = Obs.hist obs ~lo ~hi ~bins:20 "net.delay";
+    obs_link_delay;
+  }
+
+let observe_delay t ~src ~dst d =
+  Obs.Hist.add t.obs_delay d;
+  if Array.length t.obs_link_delay > 0 then
+    Obs.Hist.add t.obs_link_delay.((src * t.n) + dst) d
 
 let set_tamper t f = t.tamper <- Some f
 
@@ -47,6 +83,7 @@ let send t ~src ~dst m =
   check_pid t dst "send";
   let now = Engine.now t.engine in
   t.sent <- t.sent + 1;
+  Obs.Counter.incr t.obs_sent;
   match t.tamper with
   | None ->
     (* Fast path for the untampered cluster: no fate record, no closure -
@@ -55,9 +92,15 @@ let send t ~src ~dst m =
     (match t.trace with
     | Some tr -> Trace.record_delay tr ~sent:now ~src ~dst ~delay:d
     | None -> ());
+    observe_delay t ~src ~dst d;
     Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
       { src; dst; body = Msg m }
   | Some f ->
+    let fates = f ~now ~src ~dst m in
+    (match fates with
+    | [] -> Obs.Counter.incr t.obs_tamper_drops
+    | [ _ ] -> ()
+    | _ :: extra -> Obs.Counter.add t.obs_tamper_copies (List.length extra));
     List.iter
       (fun { payload; extra_delay } ->
         if extra_delay < 0. then
@@ -70,10 +113,11 @@ let send t ~src ~dst m =
         | Some tr ->
           Trace.record_delay tr ~sent:now ~src ~dst ~delay:(d +. extra_delay)
         | None -> ());
+        observe_delay t ~src ~dst (d +. extra_delay);
         Engine.schedule t.engine ~time:(now +. d +. extra_delay)
           ~prio:Event_queue.prio_message
           { src; dst; body = Msg payload })
-      (f ~now ~src ~dst m)
+      fates
 
 let broadcast t ~src m =
   for dst = 0 to t.n - 1 do
@@ -93,7 +137,10 @@ let set_timer t ~dst ~at_real ~phys_value =
 let admit t delivery ~now =
   match delivery.body with
   | Start | Timer _ -> true
-  | Msg _ -> Collision.admit t.collision ~dst:delivery.dst ~now
+  | Msg _ ->
+    let ok = Collision.admit t.collision ~dst:delivery.dst ~now in
+    if not ok then Obs.Counter.incr t.obs_collisions;
+    ok
 
 let sent_count t = t.sent
 

@@ -1,0 +1,71 @@
+let schema = "csync-trace/1"
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+
+let first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* Best-effort: resolve .git/HEAD by hand (loose ref, then packed-refs)
+   rather than shelling out, so trace capture works without git in
+   PATH and never spawns a process. *)
+let git_rev () =
+  let trim = String.trim in
+  match read_file ".git/HEAD" with
+  | None -> None
+  | Some head -> (
+    let head = trim (first_line head) in
+    let prefix = "ref: " in
+    if String.length head > String.length prefix
+       && String.sub head 0 (String.length prefix) = prefix
+    then
+      let ref_name =
+        String.sub head (String.length prefix)
+          (String.length head - String.length prefix)
+      in
+      match read_file (Filename.concat ".git" ref_name) with
+      | Some sha -> Some (trim (first_line sha))
+      | None -> (
+        match read_file ".git/packed-refs" with
+        | None -> None
+        | Some packed ->
+          String.split_on_char '\n' packed
+          |> List.find_map (fun line ->
+                 match String.index_opt line ' ' with
+                 | Some i
+                   when String.sub line (i + 1) (String.length line - i - 1)
+                        = ref_name ->
+                   Some (String.sub line 0 i)
+                 | _ -> None))
+    else if head <> "" then Some head
+    else None)
+
+let make ~target ~seed ~jobs ~quick ?params () =
+  let base =
+    [
+      ("record", Json.Str "manifest");
+      ("schema", Json.Str schema);
+      ("target", Json.Str target);
+      ("seed", Json.num_of_int seed);
+      ("jobs", Json.num_of_int jobs);
+      ("quick", Json.Bool quick);
+    ]
+  in
+  let params_field =
+    match params with
+    | None -> []
+    | Some (p : Json.t) -> [ ("params", p) ]
+  in
+  let rev_field =
+    match git_rev () with None -> [] | Some r -> [ ("git_rev", Json.Str r) ]
+  in
+  let stamp = [ ("captured_unix", Json.Num (Float.round (Unix.time ()))) ] in
+  Json.Obj (base @ params_field @ rev_field @ stamp)

@@ -1,0 +1,24 @@
+(** The first line of every trace: what ran, under which seed and
+    parameters, at which revision. *)
+
+val schema : string
+(** Current trace schema identifier, ["csync-trace/1"]. *)
+
+val make :
+  target:string ->
+  seed:int ->
+  jobs:int ->
+  quick:bool ->
+  ?params:Json.t ->
+  unit ->
+  Json.t
+(** Build the manifest record.  [params] is a pre-built JSON object of
+    algorithm parameters (the CLI embeds the raw constants plus the
+    derived gamma and adjustment bound, so a report explains the run
+    against the paper's bounds without recomputing them); obs stays
+    below [csync_core] in the dependency graph, so it cannot take a
+    [Params.t] directly. *)
+
+val git_rev : unit -> string option
+(** Best-effort HEAD commit, read straight from [.git] (no subprocess);
+    [None] outside a git checkout. *)

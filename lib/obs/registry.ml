@@ -1,0 +1,373 @@
+module Histogram = Csync_metrics.Histogram
+
+(* All mutation other than counters goes through this spinlock.  The
+   enabled registry is shared across pool domains, and the 4.14 CI leg
+   has no threads library, so a CAS busy-wait is the one portable
+   primitive; critical sections are a few stores, so contention is
+   negligible. *)
+type lock = bool Atomic.t
+
+let lock_create () : lock = Atomic.make false
+
+let acquire l = while not (Atomic.compare_and_set l false true) do () done
+
+let release l = Atomic.set l false
+
+let locked l f =
+  acquire l;
+  match f () with
+  | v ->
+    release l;
+    v
+  | exception e ->
+    release l;
+    raise e
+
+type gauge_cell = { glock : lock; mutable gv : float; mutable gset : bool }
+
+type series_cell = {
+  slock : lock;
+  mutable sx : float array;
+  mutable sy : float array;
+  mutable sn : int;
+}
+
+type hist_cell = { hlock : lock; hh : Histogram.t }
+
+type span_cell = {
+  plock : lock;
+  mutable pcount : int;
+  mutable ptotal : float;
+  mutable pmax : float;
+}
+
+type event = { ev_name : string; ev_fields : (string * Json.t) list }
+
+type t = {
+  enabled : bool;
+  rlock : lock;
+  counters : (string, int Atomic.t) Hashtbl.t;
+  gauges : (string, gauge_cell) Hashtbl.t;
+  series_tbl : (string, series_cell) Hashtbl.t;
+  hists : (string, hist_cell) Hashtbl.t;
+  spans : (string, span_cell) Hashtbl.t;
+  mutable events : event list; (* newest first *)
+  mutable events_n : int;
+  mutable events_dropped : int;
+  mutable label : string;
+}
+
+let event_cap = 65536
+
+let make_registry enabled =
+  {
+    enabled;
+    rlock = lock_create ();
+    counters = Hashtbl.create (if enabled then 64 else 1);
+    gauges = Hashtbl.create (if enabled then 16 else 1);
+    series_tbl = Hashtbl.create (if enabled then 32 else 1);
+    hists = Hashtbl.create (if enabled then 32 else 1);
+    spans = Hashtbl.create (if enabled then 8 else 1);
+    events = [];
+    events_n = 0;
+    events_dropped = 0;
+    label = "";
+  }
+
+let none = make_registry false
+
+let create () = make_registry true
+
+let enabled t = t.enabled
+
+let set_label t label = if t.enabled then locked t.rlock (fun () -> t.label <- label)
+
+let label t = t.label
+
+let full_name t name = if t.label = "" then name else t.label ^ "/" ^ name
+
+(* Ambient registry: installed before a traced run, captured by
+   components at creation time.  A plain ref is enough — install/clear
+   happen on the orchestrating domain before and after the parallel
+   region; workers only read it. *)
+let installed_ref = ref none
+
+let install t = installed_ref := t
+
+let installed () = !installed_ref
+
+let clear_installed () = installed_ref := none
+
+let now_s () = Unix.gettimeofday ()
+
+let intern tbl rlock name make =
+  locked rlock (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+        let v = make () in
+        Hashtbl.replace tbl name v;
+        v)
+
+module Counter = struct
+  type handle = Noop | C of int Atomic.t
+
+  let noop = Noop
+
+  let incr = function Noop -> () | C a -> ignore (Atomic.fetch_and_add a 1)
+
+  let add h n = match h with Noop -> () | C a -> ignore (Atomic.fetch_and_add a n)
+
+  let value = function Noop -> 0 | C a -> Atomic.get a
+end
+
+let counter t name =
+  if not t.enabled then Counter.Noop
+  else Counter.C (intern t.counters t.rlock (full_name t name) (fun () -> Atomic.make 0))
+
+module Gauge = struct
+  type handle = Noop | G of gauge_cell
+
+  let noop = Noop
+
+  let active = function Noop -> false | G _ -> true
+
+  let set h v =
+    match h with
+    | Noop -> ()
+    | G c ->
+      locked c.glock (fun () ->
+          c.gv <- v;
+          c.gset <- true)
+
+  let observe_max h v =
+    match h with
+    | Noop -> ()
+    | G c ->
+      locked c.glock (fun () ->
+          if (not c.gset) || v > c.gv then begin
+            c.gv <- v;
+            c.gset <- true
+          end)
+
+  let value = function
+    | Noop -> None
+    | G c -> locked c.glock (fun () -> if c.gset then Some c.gv else None)
+end
+
+let gauge t name =
+  if not t.enabled then Gauge.Noop
+  else
+    Gauge.G
+      (intern t.gauges t.rlock (full_name t name) (fun () ->
+           { glock = lock_create (); gv = 0.; gset = false }))
+
+module Series = struct
+  type handle = Noop | S of series_cell
+
+  let noop = Noop
+
+  let active = function Noop -> false | S _ -> true
+
+  let push h x y =
+    match h with
+    | Noop -> ()
+    | S c ->
+      locked c.slock (fun () ->
+          let cap = Array.length c.sx in
+          if c.sn = cap then begin
+            let cap' = max 16 (2 * cap) in
+            let grow a = Array.append a (Array.make (cap' - cap) 0.) in
+            c.sx <- grow c.sx;
+            c.sy <- grow c.sy
+          end;
+          c.sx.(c.sn) <- x;
+          c.sy.(c.sn) <- y;
+          c.sn <- c.sn + 1)
+
+  let points = function
+    | Noop -> []
+    | S c ->
+      locked c.slock (fun () ->
+          List.init c.sn (fun i -> (c.sx.(i), c.sy.(i))))
+end
+
+let series t name =
+  if not t.enabled then Series.Noop
+  else
+    Series.S
+      (intern t.series_tbl t.rlock (full_name t name) (fun () ->
+           { slock = lock_create (); sx = [||]; sy = [||]; sn = 0 }))
+
+module Hist = struct
+  type handle = Noop | H of hist_cell
+
+  let noop = Noop
+
+  let active = function Noop -> false | H _ -> true
+
+  let add h v =
+    match h with Noop -> () | H c -> locked c.hlock (fun () -> Histogram.add c.hh v)
+
+  let count = function
+    | Noop -> 0
+    | H c -> locked c.hlock (fun () -> Histogram.count c.hh)
+end
+
+let hist t ~lo ~hi ~bins name =
+  if not t.enabled then Hist.Noop
+  else
+    Hist.H
+      (intern t.hists t.rlock (full_name t name) (fun () ->
+           { hlock = lock_create (); hh = Histogram.create ~lo ~hi ~bins }))
+
+module Span = struct
+  type handle = Noop | P of span_cell
+
+  let noop = Noop
+
+  let active = function Noop -> false | P _ -> true
+
+  let record h seconds =
+    match h with
+    | Noop -> ()
+    | P c ->
+      locked c.plock (fun () ->
+          c.pcount <- c.pcount + 1;
+          c.ptotal <- c.ptotal +. seconds;
+          if seconds > c.pmax then c.pmax <- seconds)
+
+  let time h f =
+    match h with
+    | Noop -> f ()
+    | P _ ->
+      let t0 = now_s () in
+      let finish () = record h (now_s () -. t0) in
+      (match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e)
+
+  let count = function Noop -> 0 | P c -> c.pcount
+end
+
+let span t name =
+  if not t.enabled then Span.Noop
+  else
+    Span.P
+      (intern t.spans t.rlock (full_name t name) (fun () ->
+           { plock = lock_create (); pcount = 0; ptotal = 0.; pmax = 0. }))
+
+let event t name fields =
+  if t.enabled then
+    locked t.rlock (fun () ->
+        if t.events_n >= event_cap then t.events_dropped <- t.events_dropped + 1
+        else begin
+          t.events <- { ev_name = full_name t name; ev_fields = fields } :: t.events;
+          t.events_n <- t.events_n + 1
+        end)
+
+(* ---------- dumping ---------- *)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let dump t =
+  locked t.rlock (fun () ->
+      let counters =
+        sorted_bindings t.counters
+        |> List.map (fun (name, a) ->
+               Json.Obj
+                 [
+                   ("record", Json.Str "counter");
+                   ("name", Json.Str name);
+                   ("value", Json.num_of_int (Atomic.get a));
+                 ])
+      in
+      let gauges =
+        sorted_bindings t.gauges
+        |> List.filter_map (fun (name, c) ->
+               if not c.gset then None
+               else
+                 Some
+                   (Json.Obj
+                      [
+                        ("record", Json.Str "gauge");
+                        ("name", Json.Str name);
+                        ("value", Json.Num c.gv);
+                      ]))
+      in
+      let series =
+        sorted_bindings t.series_tbl
+        |> List.map (fun (name, c) ->
+               let take a = List.init c.sn (fun i -> Json.Num a.(i)) in
+               Json.Obj
+                 [
+                   ("record", Json.Str "series");
+                   ("name", Json.Str name);
+                   ("xs", Json.Arr (take c.sx));
+                   ("ys", Json.Arr (take c.sy));
+                 ])
+      in
+      let hists =
+        sorted_bindings t.hists
+        |> List.map (fun (name, c) ->
+               let h = c.hh in
+               let lo, hi = Histogram.range h in
+               let counts =
+                 List.init (Histogram.bins h) (fun i ->
+                     Json.num_of_int (Histogram.bin_count h i))
+               in
+               Json.Obj
+                 [
+                   ("record", Json.Str "hist");
+                   ("name", Json.Str name);
+                   ("lo", Json.Num lo);
+                   ("hi", Json.Num hi);
+                   ("counts", Json.Arr counts);
+                   ("underflow", Json.num_of_int (Histogram.underflow h));
+                   ("overflow", Json.num_of_int (Histogram.overflow h));
+                   ("invalid", Json.num_of_int (Histogram.invalid h));
+                   ("total", Json.num_of_int (Histogram.count h));
+                 ])
+      in
+      let spans =
+        sorted_bindings t.spans
+        |> List.map (fun (name, c) ->
+               Json.Obj
+                 [
+                   ("record", Json.Str "span");
+                   ("name", Json.Str name);
+                   ("count", Json.num_of_int c.pcount);
+                   ("total_s", Json.Num c.ptotal);
+                   ("max_s", Json.Num c.pmax);
+                 ])
+      in
+      let events =
+        List.rev_map
+          (fun e ->
+            Json.Obj
+              [
+                ("record", Json.Str "event");
+                ("name", Json.Str e.ev_name);
+                ("fields", Json.Obj e.ev_fields);
+              ])
+          t.events
+      in
+      let dropped =
+        if t.events_dropped = 0 then []
+        else
+          [
+            Json.Obj
+              [
+                ("record", Json.Str "counter");
+                ("name", Json.Str "obs.events_dropped");
+                ("value", Json.num_of_int t.events_dropped);
+              ];
+          ]
+      in
+      counters @ dropped @ gauges @ series @ hists @ spans @ events)

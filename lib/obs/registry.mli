@@ -1,0 +1,145 @@
+(** Run-scoped telemetry registry.
+
+    A registry is either {e enabled} (created by [csync trace] or a test)
+    or the shared disabled singleton {!none}.  Handles minted from a
+    disabled registry are permanent no-ops — the disabled hot path is a
+    single pattern-match branch with no allocation, measured by the
+    [obs] bench kernel.
+
+    Instrumented components capture {!installed} at {e creation} time
+    (engine/buffer/automaton construction), so enabling telemetry never
+    changes call signatures, and — the cardinal invariant — never
+    changes what an experiment computes: instrumentation only observes,
+    it draws no randomness and alters no scheduling.
+
+    Enabled registries are safe to share across pool domains: counters
+    are atomics, everything else takes a short CAS spinlock (portable to
+    the 4.14 leg, which builds without the threads library). *)
+
+type t
+
+val none : t
+(** The disabled singleton. *)
+
+val create : unit -> t
+(** A fresh enabled registry. *)
+
+val enabled : t -> bool
+
+(** {2 Ambient installation} *)
+
+val install : t -> unit
+(** Make [t] the ambient registry picked up by components created from
+    now on.  Call before constructing the traced run. *)
+
+val installed : unit -> t
+(** The ambient registry ({!none} unless {!install} was called). *)
+
+val clear_installed : unit -> unit
+
+val set_label : t -> string -> unit
+(** Prefix subsequently minted metric names with [label ^ "/"]; the
+    harness sets this to the experiment-cell label around each task so
+    per-cell metrics don't collide.  Exact under [--jobs 1]; with
+    parallel workers the label is the last one set (metrics that embed
+    their own identity, e.g. per-process series, remain exact). *)
+
+val label : t -> string
+
+val now_s : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]), for span timing. *)
+
+(** {2 Instruments}
+
+    All [value]/[points]/[count] accessors return zero/empty on no-op
+    handles. *)
+
+module Counter : sig
+  type handle
+
+  val noop : handle
+
+  val incr : handle -> unit
+
+  val add : handle -> int -> unit
+
+  val value : handle -> int
+end
+
+module Gauge : sig
+  type handle
+
+  val noop : handle
+
+  val active : handle -> bool
+  (** [false] on no-op handles; guard expensive argument computation. *)
+
+  val set : handle -> float -> unit
+
+  val observe_max : handle -> float -> unit
+  (** High-water mark: keeps the max of all observations. *)
+
+  val value : handle -> float option
+end
+
+module Series : sig
+  type handle
+
+  val noop : handle
+
+  val active : handle -> bool
+
+  val push : handle -> float -> float -> unit
+  (** [push h x y] appends an (x, y) point. *)
+
+  val points : handle -> (float * float) list
+end
+
+module Hist : sig
+  type handle
+
+  val noop : handle
+
+  val active : handle -> bool
+
+  val add : handle -> float -> unit
+
+  val count : handle -> int
+end
+
+module Span : sig
+  type handle
+
+  val noop : handle
+
+  val active : handle -> bool
+
+  val record : handle -> float -> unit
+  (** Record a duration in seconds. *)
+
+  val time : handle -> (unit -> 'a) -> 'a
+  (** Run the thunk, recording its wall-clock duration (also on raise).
+      On a no-op handle this is exactly [f ()]. *)
+
+  val count : handle -> int
+end
+
+val counter : t -> string -> Counter.handle
+
+val gauge : t -> string -> Gauge.handle
+
+val series : t -> string -> Series.handle
+
+val hist : t -> lo:float -> hi:float -> bins:int -> string -> Hist.handle
+(** Interned by name; [lo]/[hi]/[bins] are taken from the first minting. *)
+
+val span : t -> string -> Span.handle
+
+val event : t -> string -> (string * Json.t) list -> unit
+(** Append a structured event (capped at 65536 per run; overflow is
+    counted and reported as [obs.events_dropped]). *)
+
+val dump : t -> Json.t list
+(** One JSON object per record, deterministically ordered: counters,
+    gauges, series, histograms, spans (each sorted by name), then events
+    in emission order. *)

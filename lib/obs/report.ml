@@ -1,0 +1,465 @@
+module MSeries = Csync_metrics.Series
+module Histogram = Csync_metrics.Histogram
+module Table = Csync_metrics.Table
+
+type hist_rec = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+  invalid : int;
+  total : int;
+}
+
+type span_rec = { count : int; total_s : float; max_s : float }
+
+type t = {
+  manifest : Json.t option;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  series : (string * float array * float array) list;
+  hists : (string * hist_rec) list;
+  spans : (string * span_rec) list;
+  events : (string * Json.t) list;
+}
+
+type record =
+  | Manifest of Json.t
+  | Counter of string * int
+  | Gauge of string * float
+  | Series_r of string * float array * float array
+  | Hist_r of string * hist_rec
+  | Span_r of string * span_rec
+  | Event of string * Json.t
+
+(* ---------- parsing ---------- *)
+
+let field name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or malformed field %S" name)
+
+let ( let* ) = Result.bind
+
+let parse_record j =
+  let* kind = field "record" Json.to_str j in
+  match kind with
+  | "manifest" -> Ok (Manifest j)
+  | "counter" ->
+    let* name = field "name" Json.to_str j in
+    let* v = field "value" Json.to_int j in
+    Ok (Counter (name, v))
+  | "gauge" ->
+    let* name = field "name" Json.to_str j in
+    let* v = field "value" Json.to_float j in
+    Ok (Gauge (name, v))
+  | "series" ->
+    let* name = field "name" Json.to_str j in
+    let* xs = field "xs" Json.float_array j in
+    let* ys = field "ys" Json.float_array j in
+    if Array.length xs <> Array.length ys then Error "series xs/ys length mismatch"
+    else Ok (Series_r (name, xs, ys))
+  | "hist" ->
+    let* name = field "name" Json.to_str j in
+    let* lo = field "lo" Json.to_float j in
+    let* hi = field "hi" Json.to_float j in
+    let* counts = field "counts" Json.int_array j in
+    let* underflow = field "underflow" Json.to_int j in
+    let* overflow = field "overflow" Json.to_int j in
+    let* invalid = field "invalid" Json.to_int j in
+    let* total = field "total" Json.to_int j in
+    Ok (Hist_r (name, { lo; hi; counts; underflow; overflow; invalid; total }))
+  | "span" ->
+    let* name = field "name" Json.to_str j in
+    let* count = field "count" Json.to_int j in
+    let* total_s = field "total_s" Json.to_float j in
+    let* max_s = field "max_s" Json.to_float j in
+    Ok (Span_r (name, { count; total_s; max_s }))
+  | "event" ->
+    let* name = field "name" Json.to_str j in
+    let fields = Option.value (Json.member "fields" j) ~default:(Json.Obj []) in
+    Ok (Event (name, fields))
+  | other -> Error (Printf.sprintf "unknown record kind %S" other)
+
+let parse_line line =
+  let* j = Json.of_string line in
+  parse_record j
+
+let check_line line = Result.map (fun (_ : record) -> ()) (parse_line line)
+
+let of_lines lines =
+  let empty =
+    {
+      manifest = None;
+      counters = [];
+      gauges = [];
+      series = [];
+      hists = [];
+      spans = [];
+      events = [];
+    }
+  in
+  let rec go acc lineno = function
+    | [] ->
+      Ok
+        {
+          acc with
+          counters = List.rev acc.counters;
+          gauges = List.rev acc.gauges;
+          series = List.rev acc.series;
+          hists = List.rev acc.hists;
+          spans = List.rev acc.spans;
+          events = List.rev acc.events;
+        }
+    | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
+    | line :: rest -> (
+      match parse_line line with
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+      | Ok r ->
+        let acc =
+          match r with
+          | Manifest j -> { acc with manifest = Some j }
+          | Counter (n, v) -> { acc with counters = (n, v) :: acc.counters }
+          | Gauge (n, v) -> { acc with gauges = (n, v) :: acc.gauges }
+          | Series_r (n, xs, ys) -> { acc with series = (n, xs, ys) :: acc.series }
+          | Hist_r (n, h) -> { acc with hists = (n, h) :: acc.hists }
+          | Span_r (n, s) -> { acc with spans = (n, s) :: acc.spans }
+          | Event (n, f) -> { acc with events = (n, f) :: acc.events }
+        in
+        go acc (lineno + 1) rest)
+  in
+  go empty 1 lines
+
+let of_file path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  of_lines (read [])
+
+(* ---------- name plumbing ---------- *)
+
+(* Metric names are "<cell label>/<base>"; base names use dots only, so
+   the last '/' is the split point. *)
+let split_name name =
+  match String.rindex_opt name '/' with
+  | None -> ("", name)
+  | Some i ->
+    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+
+let labels t =
+  let add acc name =
+    let l, _ = split_name name in
+    if List.mem l acc then acc else l :: acc
+  in
+  let acc = List.fold_left (fun acc (n, _) -> add acc n) [] t.counters in
+  let acc = List.fold_left (fun acc (n, _) -> add acc n) acc t.gauges in
+  let acc = List.fold_left (fun acc (n, _, _) -> add acc n) acc t.series in
+  let acc = List.fold_left (fun acc (n, _) -> add acc n) acc t.hists in
+  List.sort compare acc
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let proc_adj_pid base =
+  (* "proc.<pid>.adj" -> Some pid *)
+  if starts_with ~prefix:"proc." base then
+    let rest = String.sub base 5 (String.length base - 5) in
+    match String.index_opt rest '.' with
+    | Some i when String.sub rest i (String.length rest - i) = ".adj" ->
+      int_of_string_opt (String.sub rest 0 i)
+    | _ -> None
+  else None
+
+(* ---------- sections ---------- *)
+
+let section ppf title = Format.fprintf ppf "@.== %s ==@.@." title
+
+let render_manifest ppf j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  let b k = Option.bind (Json.member k j) Json.to_bool in
+  section ppf "Manifest";
+  Format.fprintf ppf "target: %s@." (Option.value (str "target") ~default:"?");
+  (match num "seed" with
+  | Some s -> Format.fprintf ppf "seed: %.0f@." s
+  | None -> ());
+  (match num "jobs" with
+  | Some s -> Format.fprintf ppf "jobs: %.0f@." s
+  | None -> ());
+  (match b "quick" with
+  | Some q -> Format.fprintf ppf "quick: %b@." q
+  | None -> ());
+  (match str "git_rev" with
+  | Some r -> Format.fprintf ppf "git rev: %s@." r
+  | None -> ());
+  (match Json.member "params" j with
+  | None -> ()
+  | Some p ->
+    let pf k =
+      match Option.bind (Json.member k p) Json.to_float with
+      | Some v -> Format.fprintf ppf "  %s = %g@." k v
+      | None -> ()
+    in
+    Format.fprintf ppf "params:@.";
+    List.iter pf
+      [ "n"; "f"; "rho"; "delta"; "eps"; "beta"; "big_p"; "t0";
+        "gamma"; "adjustment_bound" ])
+
+let render_skews ppf ~focus t =
+  let skews =
+    List.filter
+      (fun (name, xs, _) ->
+        let l, base = split_name name in
+        Array.length xs > 0
+        && (base = "run.skew" || base = "run.clean_skew")
+        && (focus = "" || l = focus))
+      t.series
+  in
+  if skews <> [] then begin
+    section ppf "Skew timelines";
+    List.iter
+      (fun (name, xs, ys) ->
+        let s = MSeries.of_arrays ~label:name xs ys in
+        let mx = Array.fold_left Float.max ys.(0) ys in
+        let last = ys.(Array.length ys - 1) in
+        Format.fprintf ppf "%-48s %s@."
+          (Printf.sprintf "%s (max %.3g, final %.3g)" name mx last)
+          (MSeries.sparkline s))
+      skews;
+    Format.fprintf ppf
+      "@.(y = max pairwise skew across the clean set at each sample time)@."
+  end
+
+let render_adj ppf ~focus t =
+  let per_pid =
+    List.filter_map
+      (fun (name, xs, ys) ->
+        let l, base = split_name name in
+        if l <> focus then None
+        else
+          match proc_adj_pid base with
+          | Some pid -> Some (pid, xs, ys)
+          | None -> None)
+      t.series
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  if per_pid <> [] then begin
+    Format.fprintf ppf "@.";
+    let rounds =
+      List.concat_map (fun (_, xs, _) -> Array.to_list xs) per_pid
+      |> List.sort_uniq compare
+    in
+    let columns =
+      "round" :: List.map (fun (pid, _, _) -> Printf.sprintf "p%d" pid) per_pid
+    in
+    let title =
+      if focus = "" then "ADJ per round" else "ADJ per round — " ^ focus
+    in
+    let table = Table.make ~title ~columns () in
+    let table =
+      List.fold_left
+        (fun table r ->
+          let row =
+            Printf.sprintf "%.0f" r
+            :: List.map
+                 (fun (_, xs, ys) ->
+                   let cell = ref "" in
+                   Array.iteri (fun i x -> if x = r then cell := Table.cell_e ys.(i)) xs;
+                   !cell)
+                 per_pid
+          in
+          Table.add_row table row)
+        table rounds
+    in
+    Table.render ppf table
+  end
+
+let render_hists ppf ~focus t =
+  let aggregate =
+    List.filter
+      (fun (name, h) ->
+        let l, base = split_name name in
+        base = "net.delay" && (focus = "" || l = focus) && h.total > 0)
+      t.hists
+  in
+  if aggregate <> [] then begin
+    section ppf "Message-delay histograms";
+    List.iter
+      (fun (name, h) ->
+        let hist =
+          Histogram.of_counts ~lo:h.lo ~hi:h.hi ~counts:h.counts
+            ~underflow:h.underflow ~overflow:h.overflow ~invalid:h.invalid
+            ~total:h.total
+        in
+        Format.fprintf ppf "%s (%d samples)@." name h.total;
+        Histogram.render ppf hist;
+        Format.fprintf ppf "@.")
+      aggregate;
+    let per_link =
+      List.length
+        (List.filter
+           (fun (name, _) ->
+             let _, base = split_name name in
+             starts_with ~prefix:"net.delay." base)
+           t.hists)
+    in
+    if per_link > 0 then
+      Format.fprintf ppf "(%d per-link histograms captured in the trace)@."
+        per_link
+  end
+
+let render_pool ppf t =
+  let workers =
+    List.filter_map
+      (fun (name, s) ->
+        let _, base = split_name name in
+        if starts_with ~prefix:"pool.worker" base then
+          Option.map
+            (fun w -> (w, s))
+            (int_of_string_opt
+               (String.sub base 11 (String.length base - 11)))
+        else None)
+      t.spans
+    |> List.sort compare
+  in
+  if workers <> [] then begin
+    Format.fprintf ppf "@.";
+    let table =
+      Table.make ~title:"Pool utilization (per-worker cell timings)"
+        ~columns:[ "worker"; "tasks"; "busy (s)"; "max task (s)" ] ()
+    in
+    let table =
+      List.fold_left
+        (fun table (w, s) ->
+          Table.add_row table
+            [
+              string_of_int w;
+              string_of_int s.count;
+              Table.cell_e s.total_s;
+              Table.cell_e s.max_s;
+            ])
+        table workers
+    in
+    let busy = List.map (fun (_, s) -> s.total_s) workers in
+    let mx = List.fold_left Float.max 0. busy in
+    let mean = List.fold_left ( +. ) 0. busy /. float_of_int (List.length busy) in
+    let table =
+      if mean > 0. then
+        Table.note table
+          (Printf.sprintf "imbalance (max/mean busy): %s" (Table.cell_ratio (mx /. mean)))
+      else table
+    in
+    Table.render ppf table
+  end
+
+let render_chaos ppf t =
+  let chaos_counters =
+    List.filter
+      (fun (name, v) ->
+        let _, base = split_name name in
+        starts_with ~prefix:"chaos." base && v > 0)
+      t.counters
+  in
+  let injections =
+    List.filter
+      (fun (name, _) ->
+        let _, base = split_name name in
+        base = "chaos.inject")
+      t.events
+  in
+  if chaos_counters <> [] || injections <> [] then begin
+    section ppf "Chaos ledger";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-40s %d@." name v)
+      chaos_counters;
+    let n = List.length injections in
+    if n > 0 then begin
+      Format.fprintf ppf "@.injected faults (%d recorded):@." n;
+      let show = 20 in
+      List.iteri
+        (fun i (_, fields) ->
+          if i < show then Format.fprintf ppf "  %s@." (Json.to_string fields))
+        injections;
+      if n > show then Format.fprintf ppf "  ... %d more@." (n - show)
+    end
+  end
+
+let render_check ppf t =
+  let find base' =
+    List.find_opt
+      (fun (name, xs, _) ->
+        let _, base = split_name name in
+        base = base' && Array.length xs > 0)
+      t.series
+  in
+  match (find "check.frontier", find "check.dedup_rate") with
+  | None, None -> ()
+  | frontier, dedup ->
+    section ppf "Exploration";
+    (match frontier with
+    | Some (name, xs, ys) ->
+      Format.fprintf ppf "%-32s %s  (depths 0..%.0f, peak %.0f)@." name
+        (MSeries.sparkline (MSeries.of_arrays ~label:name xs ys))
+        xs.(Array.length xs - 1)
+        (Array.fold_left Float.max 0. ys)
+    | None -> ());
+    (match dedup with
+    | Some (name, xs, ys) ->
+      let last = ys.(Array.length ys - 1) in
+      Format.fprintf ppf "%-32s %s  (final %.1f%%)@." name
+        (MSeries.sparkline (MSeries.of_arrays ~label:name xs ys))
+        (100. *. last)
+    | None -> ())
+
+let render_residual ppf t =
+  if t.counters <> [] then begin
+    section ppf "Counters";
+    List.iter (fun (name, v) -> Format.fprintf ppf "%-48s %d@." name v) t.counters
+  end;
+  if t.gauges <> [] then begin
+    section ppf "Gauges";
+    List.iter (fun (name, v) -> Format.fprintf ppf "%-48s %g@." name v) t.gauges
+  end
+
+let default_focus t =
+  match
+    List.find_opt
+      (fun (name, _, _) ->
+        let _, base = split_name name in
+        base = "run.skew" || base = "run.clean_skew")
+      t.series
+  with
+  | Some (name, _, _) -> fst (split_name name)
+  | None -> ( match labels t with l :: _ -> l | [] -> "")
+
+let render ?focus ppf t =
+  (match t.manifest with
+  | Some j -> render_manifest ppf j
+  | None -> Format.fprintf ppf "(no manifest record in trace)@.");
+  let ls = labels t in
+  let focus = match focus with Some f -> f | None -> default_focus t in
+  (match ls with
+  | [] | [ _ ] -> ()
+  | _ ->
+    section ppf "Cells";
+    List.iter
+      (fun l ->
+        Format.fprintf ppf "%s %s@."
+          (if l = focus then "*" else " ")
+          (if l = "" then "(unlabeled)" else l))
+      ls;
+    Format.fprintf ppf "@.(* = focused cell; pick another with --label)@.");
+  render_skews ppf ~focus t;
+  render_adj ppf ~focus t;
+  render_hists ppf ~focus t;
+  render_pool ppf t;
+  render_chaos ppf t;
+  render_check ppf t;
+  render_residual ppf t

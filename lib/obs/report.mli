@@ -1,0 +1,22 @@
+(** Parse a captured JSONL trace back into records and render the
+    human-readable explainer behind [csync report]. *)
+
+type t
+
+val check_line : string -> (unit, string) result
+(** Validate a single trace line (shape-checked, not just JSON). *)
+
+val of_lines : string list -> (t, string) result
+(** Blank lines are skipped; the error names the offending line. *)
+
+val of_file : string -> (t, string) result
+
+val labels : t -> string list
+(** Distinct cell labels appearing in metric names ([""] = unlabeled). *)
+
+val render : ?focus:string -> Format.formatter -> t -> unit
+(** Render the report: manifest, skew timelines, ADJ-per-round table,
+    message-delay histograms (via {!Csync_metrics.Histogram.render}),
+    pool utilization, chaos ledger, exploration stats, and residual
+    counters/gauges.  [focus] picks the cell label for the per-cell
+    sections (default: the first cell with a skew series). *)

@@ -91,10 +91,33 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
   in
   List.iter Thread.join threads;
   let wall_end = Unix.gettimeofday () in
+  let obs = Csync_obs.Registry.installed () in
   let reports =
     List.map
       (fun (pid, node, reader, _clock) ->
         let state = reader () in
+        if Csync_obs.Registry.enabled obs then begin
+          let gauge name v =
+            Csync_obs.Registry.(
+              Gauge.set (gauge obs (Printf.sprintf "live.p%d.%s" pid name)) v)
+          in
+          let received = Node.messages_received node in
+          gauge "recv_rate"
+            (if duration > 0. then float_of_int received /. duration else 0.);
+          gauge "rounds" (float_of_int (Maintenance.rounds_completed state));
+          (* Per-peer liveness: seconds since the last datagram from each
+             peer, measured at the end of the run. *)
+          List.iter
+            (fun (peer, _, _, _) ->
+              if peer <> pid then
+                match Node.last_heard node ~peer with
+                | Some at ->
+                  gauge
+                    (Printf.sprintf "last_heard.p%d" peer)
+                    (wall_end -. at)
+                | None -> ())
+            nodes
+        end;
         {
           pid;
           injected_offset = offsets.(pid);

@@ -1,6 +1,23 @@
-type 'a t = { queue : 'a Event_queue.t; mutable now : float }
+module Obs = Csync_obs.Registry
 
-let create ?(start_time = 0.) () = { queue = Event_queue.create (); now = start_time }
+type 'a t = {
+  queue : 'a Event_queue.t;
+  mutable now : float;
+  obs_events : Obs.Counter.handle;
+  obs_depth_hw : Obs.Gauge.handle;
+}
+
+(* The ambient registry is captured once, at creation; with telemetry
+   disabled both handles are permanent no-ops and the hot path below
+   costs one branch. *)
+let create ?(start_time = 0.) () =
+  let obs = Obs.installed () in
+  {
+    queue = Event_queue.create ();
+    now = start_time;
+    obs_events = Obs.counter obs "sim.events";
+    obs_depth_hw = Obs.gauge obs "sim.queue_depth_hw";
+  }
 
 let now t = t.now
 
@@ -8,7 +25,10 @@ let schedule t ~time ?(prio = Event_queue.prio_message) payload =
   if time < t.now then
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.now);
-  Event_queue.add t.queue ~time ~prio payload
+  Event_queue.add t.queue ~time ~prio payload;
+  if Obs.Gauge.active t.obs_depth_hw then
+    Obs.Gauge.observe_max t.obs_depth_hw
+      (float_of_int (Event_queue.size t.queue))
 
 let pending t = Event_queue.size t.queue
 
@@ -19,6 +39,7 @@ let next t =
   | None -> None
   | Some (time, payload) ->
     t.now <- time;
+    Obs.Counter.incr t.obs_events;
     Some (time, payload)
 
 let step t ~handler =

@@ -12,6 +12,7 @@ let () =
       ("adversary", Test_adversary.suite);
       ("baselines", Test_baselines.suite);
       ("metrics", Test_metrics.suite);
+      ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);

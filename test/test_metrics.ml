@@ -136,6 +136,51 @@ let histogram_tests =
     t "render does not raise" (fun () ->
         let h = Histogram.of_array [| 1.; 2.; 3. |] in
         ignore (Format.asprintf "%a" (Histogram.render ~width:20) h));
+    t "NaN lands in invalid, not bin 0" (fun () ->
+        let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+        Histogram.add h Float.nan;
+        Histogram.add h 0.1;
+        check_int "invalid" 1 (Histogram.invalid h);
+        check_int "bin 0 has only the real value" 1 (Histogram.bin_count h 0);
+        check_int "total counts the NaN" 2 (Histogram.count h);
+        let out = Format.asprintf "%a" (Histogram.render ~width:20) h in
+        check_true "render reports invalid" (Helpers.contains out "invalid"));
+    t "nonzero bins always render a mark" (fun () ->
+        (* 1 count against a 1000-count mode truncates to a zero-width
+           bar; the render must still show a mark. *)
+        let h = Histogram.create ~lo:0. ~hi:2. ~bins:2 in
+        for _ = 1 to 1000 do
+          Histogram.add h 0.5
+        done;
+        Histogram.add h 1.5;
+        let out = Format.asprintf "%a" (Histogram.render ~width:10) h in
+        let lines =
+          String.split_on_char '\n' out
+          |> List.filter (fun l -> Helpers.contains l ")")
+        in
+        check_int "two bin lines" 2 (List.length lines);
+        List.iter
+          (fun l -> check_true "bar mark present" (Helpers.contains l "#"))
+          lines);
+    t "of_counts round-trips" (fun () ->
+        let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+        List.iter (Histogram.add h) [ 0.1; 0.1; 0.6; 2.; -1.; Float.nan ];
+        let counts = Array.init (Histogram.bins h) (Histogram.bin_count h) in
+        let lo, hi = Histogram.range h in
+        let h' =
+          Histogram.of_counts ~lo ~hi ~counts
+            ~underflow:(Histogram.underflow h) ~overflow:(Histogram.overflow h)
+            ~invalid:(Histogram.invalid h) ~total:(Histogram.count h)
+        in
+        check_int "total" (Histogram.count h) (Histogram.count h');
+        check_int "bin 0" 2 (Histogram.bin_count h' 0);
+        check_int "under" 1 (Histogram.underflow h');
+        check_int "over" 1 (Histogram.overflow h');
+        check_int "invalid" 1 (Histogram.invalid h');
+        check_raises_invalid "negative count" (fun () ->
+            ignore
+              (Histogram.of_counts ~lo ~hi ~counts:[| -1 |] ~underflow:0
+                 ~overflow:0 ~invalid:0 ~total:0)));
     qcheck ~name:"every added in-range value is counted"
       QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1.))
       (fun l ->
@@ -143,7 +188,7 @@ let histogram_tests =
         List.iter (Histogram.add h) l;
         let binned = List.init 7 (Histogram.bin_count h) in
         List.fold_left ( + ) 0 binned
-        + Histogram.underflow h + Histogram.overflow h
+        + Histogram.underflow h + Histogram.overflow h + Histogram.invalid h
         = List.length l);
   ]
 

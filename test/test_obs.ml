@@ -1,0 +1,256 @@
+(* Tests for the telemetry subsystem: JSON round-trips, registry
+   semantics, the trace/report pipeline, and the cardinal invariant -
+   telemetry on/off and any worker count leave experiment output
+   byte-identical. *)
+
+module Obs = Csync_obs.Registry
+module Json = Csync_obs.Json
+module Manifest = Csync_obs.Manifest
+module Report = Csync_obs.Report
+open Helpers
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* Every test that installs a registry must clear it, or a failure would
+   leak telemetry into unrelated suites. *)
+let with_installed reg f =
+  Obs.install reg;
+  Fun.protect ~finally:Obs.clear_installed f
+
+let json_tests =
+  [
+    t "writer emits canonical scalars" (fun () ->
+        Alcotest.(check string)
+          "obj" {|{"a":1,"b":true,"c":"x\n","d":null}|}
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("a", Json.num_of_int 1);
+                  ("b", Json.Bool true);
+                  ("c", Json.Str "x\n");
+                  ("d", Json.Null);
+                ]));
+        Alcotest.(check string)
+          "ints have no fraction" "[3,-2,0]"
+          (Json.to_string (Json.Arr [ Json.Num 3.; Json.Num (-2.); Json.Num 0. ]));
+        Alcotest.(check string) "nan encodes as null" "null"
+          (Json.to_string (Json.Num Float.nan)));
+    t "parser round-trips the writer" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("name", Json.Str "net.delay.0->1");
+              ("xs", Json.Arr [ Json.Num 0.1; Json.Num 1e-9; Json.Num 12345.25 ]);
+              ("quote", Json.Str "a\"b\\c\td");
+              ("flags", Json.Arr [ Json.Bool false; Json.Null ]);
+            ]
+        in
+        match Json.of_string (Json.to_string v) with
+        | Error e -> Alcotest.failf "parse failed: %s" e
+        | Ok v' -> check_true "round-trip" (v = v'));
+    t "floats survive exactly" (fun () ->
+        let f = 0.1 +. 0.2 in
+        match Json.of_string (Json.to_string (Json.Num f)) with
+        | Ok (Json.Num f') -> check_true "bit-exact" (Float.equal f f')
+        | _ -> Alcotest.fail "expected a number");
+    t "parser rejects garbage" (fun () ->
+        check_true "trailing" (Result.is_error (Json.of_string "{} x"));
+        check_true "unterminated" (Result.is_error (Json.of_string "[1,"));
+        check_true "bad literal" (Result.is_error (Json.of_string "troo")));
+  ]
+
+let registry_tests =
+  [
+    t "disabled registry handles are no-ops" (fun () ->
+        let r = Obs.none in
+        let c = Obs.counter r "c" in
+        Obs.Counter.incr c;
+        check_int "counter" 0 (Obs.Counter.value c);
+        let g = Obs.gauge r "g" in
+        check_bool "inactive" false (Obs.Gauge.active g);
+        Obs.Gauge.set g 5.;
+        check_true "no value" (Obs.Gauge.value g = None);
+        let s = Obs.series r "s" in
+        Obs.Series.push s 1. 2.;
+        check_true "no points" (Obs.Series.points s = []);
+        Obs.event r "e" [];
+        check_int "no records" 0 (List.length (Obs.dump r)));
+    t "counters and gauges accumulate" (fun () ->
+        let r = Obs.create () in
+        let c = Obs.counter r "c" in
+        Obs.Counter.incr c;
+        Obs.Counter.add c 4;
+        check_int "counter" 5 (Obs.Counter.value c);
+        (* Interning: same name, same cell. *)
+        Obs.Counter.incr (Obs.counter r "c");
+        check_int "interned" 6 (Obs.Counter.value c);
+        let g = Obs.gauge r "g" in
+        Obs.Gauge.observe_max g 2.;
+        Obs.Gauge.observe_max g 7.;
+        Obs.Gauge.observe_max g 3.;
+        check_true "high water" (Obs.Gauge.value g = Some 7.));
+    t "series keeps insertion order" (fun () ->
+        let r = Obs.create () in
+        let s = Obs.series r "s" in
+        for i = 1 to 100 do
+          Obs.Series.push s (float_of_int i) (float_of_int (i * i))
+        done;
+        let pts = Obs.Series.points s in
+        check_int "length" 100 (List.length pts);
+        check_true "first" (List.hd pts = (1., 1.));
+        check_true "last" (List.nth pts 99 = (100., 10000.)));
+    t "span records durations" (fun () ->
+        let r = Obs.create () in
+        let p = Obs.span r "p" in
+        Obs.Span.record p 0.5;
+        let v = Obs.Span.time p (fun () -> 42) in
+        check_int "result" 42 v;
+        check_int "count" 2 (Obs.Span.count p));
+    t "label prefixes minted names" (fun () ->
+        let r = Obs.create () in
+        Obs.set_label r "cell A";
+        Obs.Counter.incr (Obs.counter r "x");
+        Obs.set_label r "";
+        Obs.Counter.incr (Obs.counter r "x");
+        let names =
+          List.filter_map
+            (fun j -> Option.bind (Json.member "name" j) Json.to_str)
+            (Obs.dump r)
+        in
+        check_true "labeled" (List.mem "cell A/x" names);
+        check_true "unlabeled" (List.mem "x" names));
+    t "dump is sorted and parseable" (fun () ->
+        let r = Obs.create () in
+        Obs.Counter.incr (Obs.counter r "b");
+        Obs.Counter.incr (Obs.counter r "a");
+        let h = Obs.hist r ~lo:0. ~hi:1. ~bins:4 "h" in
+        Obs.Hist.add h 0.5;
+        Obs.Hist.add h Float.nan;
+        Obs.event r "ev" [ ("k", Json.Str "v") ];
+        let dump = Obs.dump r in
+        let lines = List.map Json.to_string dump in
+        List.iter
+          (fun line ->
+            match Report.check_line line with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "bad record %s: %s" line e)
+          lines;
+        let counter_names =
+          List.filter_map
+            (fun j ->
+              match Json.member "record" j with
+              | Some (Json.Str "counter") ->
+                Option.bind (Json.member "name" j) Json.to_str
+              | _ -> None)
+            dump
+        in
+        check_true "sorted" (counter_names = [ "a"; "b" ]));
+    t "event cap drops excess and reports it" (fun () ->
+        let r = Obs.create () in
+        for _ = 1 to 65537 do
+          Obs.event r "e" []
+        done;
+        let dump = Obs.dump r in
+        let dropped =
+          List.exists
+            (fun j ->
+              Json.member "name" j = Some (Json.Str "obs.events_dropped"))
+            dump
+        in
+        check_true "dropped counter present" dropped);
+  ]
+
+let manifest_tests =
+  [
+    t "manifest shape" (fun () ->
+        let m = Manifest.make ~target:"E1" ~seed:7 ~jobs:2 ~quick:true () in
+        check_true "record" (Json.member "record" m = Some (Json.Str "manifest"));
+        check_true "schema"
+          (Json.member "schema" m = Some (Json.Str Manifest.schema));
+        check_true "seed"
+          (Option.bind (Json.member "seed" m) Json.to_int = Some 7);
+        match Report.check_line (Json.to_string m) with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "manifest rejected: %s" e);
+  ]
+
+let report_tests =
+  [
+    t "trace parses and renders every section" (fun () ->
+        let r = Obs.create () in
+        let run () =
+          let params = params () in
+          let scenario = Csync_harness.Scenario.default ~seed:42 params in
+          Csync_harness.Scenario.run
+            { scenario with Csync_harness.Scenario.rounds = 6 }
+        in
+        let _ = with_installed r run in
+        let lines =
+          Json.to_string (Manifest.make ~target:"test" ~seed:42 ~jobs:1 ~quick:true ())
+          :: List.map Json.to_string (Obs.dump r)
+        in
+        match Report.of_lines lines with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok parsed ->
+          let out = Format.asprintf "%a" (Report.render ?focus:None) parsed in
+          check_true "manifest section" (contains out "== Manifest ==");
+          check_true "skew timeline" (contains out "run.skew");
+          check_true "adj table" (contains out "ADJ per round");
+          check_true "delay histogram" (contains out "net.delay");
+          check_true "sim counter" (contains out "sim.events"));
+    t "malformed lines are rejected with a line number" (fun () ->
+        match Report.of_lines [ "{\"record\":\"manifest\"}"; "{oops" ] with
+        | Ok _ -> Alcotest.fail "expected parse error"
+        | Error e -> check_true "names line 2" (contains e "line 2"));
+  ]
+
+(* The cardinal invariant (tentpole acceptance): telemetry enabled vs
+   disabled, and --jobs 1 vs --jobs 4, produce byte-identical rendered
+   tables and identical results.  Telemetry only observes - it draws no
+   randomness and alters no scheduling - so any divergence here is a bug
+   in an instrumentation site. *)
+let determinism_tests =
+  let render_e1 ~traced ~jobs =
+    let e1 =
+      match Csync_harness.Registry.find "E1" with
+      | Some e -> e
+      | None -> Alcotest.fail "E1 not registered"
+    in
+    let go () =
+      Format.asprintf "%a"
+        (fun ppf () ->
+          Csync_harness.Registry.render_list ~jobs ppf ~quick:true [ e1 ])
+        ()
+    in
+    if traced then with_installed (Obs.create ()) go else go ()
+  in
+  let chaos_skews ~traced ~jobs =
+    let params = params () in
+    let go () =
+      List.map
+        (fun r -> r.Csync_harness.Runner_chaos.result.Csync_harness.Runner_chaos.max_clean_skew)
+        (Csync_harness.Runner_chaos.campaign ~jobs ~params
+           ~seeds:[ 1001; 1002 ] ())
+    in
+    if traced then with_installed (Obs.create ()) go else go ()
+  in
+  [
+    t "E1 tables byte-identical: telemetry on/off x jobs 1/4" (fun () ->
+        let base = render_e1 ~traced:false ~jobs:1 in
+        check_true "render is not vacuous" (String.length base > 200);
+        Alcotest.(check string) "traced jobs=1" base (render_e1 ~traced:true ~jobs:1);
+        Alcotest.(check string) "plain jobs=4" base (render_e1 ~traced:false ~jobs:4);
+        Alcotest.(check string) "traced jobs=4" base (render_e1 ~traced:true ~jobs:4));
+    t "chaos skews identical: telemetry on/off x jobs 1/4" (fun () ->
+        let base = chaos_skews ~traced:false ~jobs:1 in
+        check_int "two campaign runs" 2 (List.length base);
+        check_true "skews are meaningful" (List.for_all (fun s -> s > 0.) base);
+        let same skews = List.for_all2 Float.equal base skews in
+        check_true "traced jobs=1" (same (chaos_skews ~traced:true ~jobs:1));
+        check_true "plain jobs=4" (same (chaos_skews ~traced:false ~jobs:4));
+        check_true "traced jobs=4" (same (chaos_skews ~traced:true ~jobs:4)));
+  ]
+
+let suite =
+  json_tests @ registry_tests @ manifest_tests @ report_tests
+  @ determinism_tests

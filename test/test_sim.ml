@@ -242,6 +242,34 @@ let trace_tests =
         check_int "empty" 0 (Trace.length tr));
     t "capacity must be positive" (fun () ->
         check_raises_invalid "cap" (fun () -> ignore (Trace.create ~capacity:0 ())));
+    qcheck ~count:300 ~name:"ring semantics for arbitrary capacity and load"
+      QCheck2.Gen.(pair (int_range 1 10) (pair (int_range 0 40) (int_range 0 40)))
+      (fun (capacity, (texts, delays)) ->
+        let tr = Trace.create ~capacity () in
+        Trace.set_enabled tr true;
+        Trace.set_delays_enabled tr true;
+        for i = 1 to texts do
+          Trace.record tr ~time:(float_of_int i) (string_of_int i)
+        done;
+        for i = 1 to delays do
+          Trace.record_delay tr ~sent:(float_of_int i) ~src:0 ~dst:1
+            ~delay:(float_of_int i)
+        done;
+        (* Retention is capped; totals count evictions; both rings return
+           exactly the newest entries, oldest-first. *)
+        let expect_texts =
+          List.init (min texts capacity) (fun j ->
+              string_of_int (texts - min texts capacity + j + 1))
+        in
+        let expect_delays =
+          List.init (min delays capacity) (fun j ->
+              float_of_int (delays - min delays capacity + j + 1))
+        in
+        Trace.length tr = min texts capacity
+        && Trace.total tr = texts
+        && Trace.delays_total tr = delays
+        && List.map snd (Trace.to_list tr) = expect_texts
+        && List.map (fun c -> c.Trace.sent) (Trace.delays tr) = expect_delays);
   ]
 
 (* The canonical-state model checker (lib/check) assumes the event order of

@@ -181,11 +181,21 @@ let bench_obs =
   (* The telemetry invariant in numbers: a counter increment through a
      handle minted from the disabled registry (what every untraced
      simulation pays at each instrumentation point) vs the enabled
-     atomic path. *)
+     atomic path.  The monitor kernels hold the same line for the online
+     theorem checks: an unmonitored run pays one branch per check site. *)
   let off = Csync_obs.Registry.counter Csync_obs.Registry.none "bench.c" in
   let on_reg = Csync_obs.Registry.create () in
   let on = Csync_obs.Registry.counter on_reg "bench.c" in
   let g_off = Csync_obs.Registry.gauge Csync_obs.Registry.none "bench.g" in
+  let mon_off =
+    Csync_obs.Monitor.Agreement.handle Csync_obs.Monitor.none ~gamma:1.0
+      ~from_time:0.
+  in
+  let mon_on =
+    Csync_obs.Monitor.Agreement.handle
+      (Csync_obs.Monitor.create ())
+      ~gamma:1.0 ~from_time:0.
+  in
   Test.make_grouped ~name:"obs"
     [
       Test.make ~name:"counter-incr-disabled"
@@ -195,6 +205,12 @@ let bench_obs =
       Test.make ~name:"gauge-observe-disabled"
         (Staged.stage (fun () ->
              Csync_obs.Registry.Gauge.observe_max g_off 1.0));
+      Test.make ~name:"monitor-check-disabled"
+        (Staged.stage (fun () ->
+             Csync_obs.Monitor.Agreement.check mon_off ~time:1.0 ~skew:0.5));
+      Test.make ~name:"monitor-check-enabled"
+        (Staged.stage (fun () ->
+             Csync_obs.Monitor.Agreement.check mon_on ~time:1.0 ~skew:0.5));
     ]
 
 let ns_per_op ols =
@@ -244,6 +260,14 @@ let telemetry_disabled_ns t =
   | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
   | _ -> None
 
+(* Disabled-path monitor overhead per check site (one branch on a no-op
+   handle); the acceptance line holds it within 2x of the telemetry
+   no-op. *)
+let monitor_disabled_ns t =
+  match find_kernel t "obs/monitor-check-disabled" with
+  | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
+  | _ -> None
+
 let check_states_per_sec t =
   match find_kernel t "check/explore-n2f1-depth1" with
   | Some k when Float.is_finite k.ns_per_op && k.ns_per_op > 0. ->
@@ -289,9 +313,17 @@ let pp_summary ppf t =
   (match check_states_per_sec t with
   | Some r -> Format.fprintf ppf "model-checker exploration: %.0f states/s@." r
   | None -> ());
-  match telemetry_disabled_ns t with
+  (match telemetry_disabled_ns t with
   | Some r ->
     Format.fprintf ppf "telemetry disabled-path overhead: %.1f ns/op@." r
+  | None -> ());
+  match monitor_disabled_ns t with
+  | Some r ->
+    Format.fprintf ppf "monitor disabled-path overhead: %.1f ns/op%s@." r
+      (match telemetry_disabled_ns t with
+      | Some tele when tele > 0. ->
+        Printf.sprintf " (%.2fx the telemetry no-op)" (r /. tele)
+      | _ -> "")
   | None -> ()
 
 (* Hand-rolled JSON: the container has no JSON library and the shape is
@@ -349,8 +381,12 @@ let to_json t =
     (match check_states_per_sec t with
     | Some r -> json_float r
     | None -> "null");
-  add "    \"telemetry_disabled_ns\": %s\n"
+  add "    \"telemetry_disabled_ns\": %s,\n"
     (match telemetry_disabled_ns t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "    \"monitor_disabled_ns\": %s\n"
+    (match monitor_disabled_ns t with
     | Some r -> json_float r
     | None -> "null");
   add "  }\n";
@@ -361,3 +397,89 @@ let write_json t file =
   let oc = open_out file in
   output_string oc (to_json t);
   close_out oc
+
+(* ---------- baseline comparison ---------- *)
+
+(* A previously written BENCH_*.json, reloaded for delta reporting.  Only
+   the fields the comparison needs are kept; kernels the baseline lacks
+   (added since it was captured) or no longer produces are reported as
+   coverage rather than errors, so old baselines stay usable. *)
+type baseline = {
+  b_mode : string option;
+  b_suite_wall_s : float option;
+  b_kernels : (string * float) list;
+}
+
+let load_baseline file =
+  let module Json = Csync_obs.Json in
+  match
+    try
+      let ic = open_in_bin file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Ok s
+    with Sys_error e -> Error e
+  with
+  | Error e -> Error e
+  | Ok contents ->
+  match Json.of_string contents with
+  | Error e -> Error (Printf.sprintf "%s: %s" file e)
+  | Ok j ->
+    let b_mode = Option.bind (Json.member "mode" j) Json.to_str in
+    let b_suite_wall_s =
+      Option.bind (Json.member "suite" j) (fun s ->
+          Option.bind (Json.member "wall_s" s) Json.to_float)
+    in
+    let b_kernels =
+      match Json.member "kernels_ns_per_op" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) -> Option.map (fun ns -> (name, ns)) (Json.to_float v))
+          fields
+      | _ -> []
+    in
+    if b_kernels = [] then
+      Error (Printf.sprintf "%s: no kernels_ns_per_op object" file)
+    else Ok { b_mode; b_suite_wall_s; b_kernels }
+
+let pp_baseline_deltas ppf ~file t b =
+  Format.fprintf ppf "@.######## Deltas vs baseline %s%s@." file
+    (match b.b_mode with
+    | Some m when m <> t.mode ->
+      Printf.sprintf " (MODE MISMATCH: baseline %s, this run %s)" m t.mode
+    | _ -> "");
+  (match (t.suite, b.b_suite_wall_s) with
+  | Some s, Some w when w > 0. ->
+    Format.fprintf ppf "suite wall: %.3f s -> %.3f s (%+.1f%%)@." w s.wall_s
+      (100. *. ((s.wall_s /. w) -. 1.))
+  | _ -> ());
+  let shared = ref 0 in
+  List.iter
+    (fun { name; ns_per_op } ->
+      match List.assoc_opt name b.b_kernels with
+      | Some old when Float.is_finite old && old > 0. && Float.is_finite ns_per_op
+        ->
+        incr shared;
+        Format.fprintf ppf "  %-40s %12.1f -> %12.1f ns/op (%+.1f%%)@." name old
+          ns_per_op
+          (100. *. ((ns_per_op /. old) -. 1.))
+      | _ -> ())
+    t.kernels;
+  let new_kernels =
+    List.filter
+      (fun k -> not (List.mem_assoc k.name b.b_kernels))
+      t.kernels
+  in
+  let gone =
+    List.filter
+      (fun (name, _) -> not (List.exists (fun k -> k.name = name) t.kernels))
+      b.b_kernels
+  in
+  if new_kernels <> [] then
+    Format.fprintf ppf "  new since baseline: %s@."
+      (String.concat ", " (List.map (fun k -> k.name) new_kernels));
+  if gone <> [] then
+    Format.fprintf ppf "  in baseline only: %s@."
+      (String.concat ", " (List.map fst gone));
+  Format.fprintf ppf "  (%d kernels compared)@." !shared

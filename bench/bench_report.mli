@@ -38,6 +38,16 @@ val check_states_per_sec : t -> float option
     canonical states per second), if the kernel produced a finite
     estimate. *)
 
+val telemetry_disabled_ns : t -> float option
+(** Disabled-path cost of one telemetry instrumentation point
+    ([obs/counter-incr-disabled]), if the kernel produced a finite
+    estimate. *)
+
+val monitor_disabled_ns : t -> float option
+(** Disabled-path cost of one online-monitor check site
+    ([obs/monitor-check-disabled]); the observability acceptance keeps
+    this within 2x of {!telemetry_disabled_ns}. *)
+
 val pp_kernels : Format.formatter -> kernel list -> unit
 
 val pp_summary : Format.formatter -> t -> unit
@@ -45,3 +55,17 @@ val pp_summary : Format.formatter -> t -> unit
 val to_json : t -> string
 
 val write_json : t -> string -> unit
+
+(** {2 Baseline comparison} ([csync bench --baseline BENCH_quick.json]) *)
+
+type baseline
+
+val load_baseline : string -> (baseline, string) result
+(** Reload a previously written BENCH_*.json.  Kernels added or removed
+    since the baseline was captured are reported as coverage, not errors,
+    so old baselines stay usable. *)
+
+val pp_baseline_deltas :
+  Format.formatter -> file:string -> t -> baseline -> unit
+(** Per-kernel ns/op deltas (and the suite wall-clock delta when both
+    runs measured one) of this report against the baseline. *)

@@ -18,6 +18,41 @@ let jobs_arg =
 
 let jobs_opt jobs = if jobs > 0 then Some jobs else None
 
+(* Online theorem monitors (csync run/chaos/trace --monitor): evaluate the
+   paper's bounds while the run executes instead of post hoc.  The monitor
+   is installed ambiently, like the telemetry registry, and captured by
+   the simulator components at creation time. *)
+let monitor_arg =
+  let doc =
+    "Evaluate the paper's bounds online while the run executes (agreement \
+     gamma, the validity envelope, per-round |ADJ|, error halving) and \
+     print a per-monitor summary; an adjustment violation names the exact \
+     messages (and chaos faults) behind it.  Monitors only observe: output \
+     tables are byte-identical with or without this flag."
+  in
+  Arg.(value & flag & info [ "monitor" ] ~doc)
+
+let tighten_arg =
+  let doc =
+    "Multiply every monitored bound by $(docv) (< 1 tightens the bounds \
+     beyond the theorems - the standard way to force a violation and \
+     exercise provenance extraction).  Implies $(b,--monitor)."
+  in
+  Arg.(value & opt float 1.0 & info [ "tighten" ] ~docv:"FACTOR" ~doc)
+
+let with_monitor ~monitor ~tighten f =
+  if monitor || tighten <> 1.0 then begin
+    let mon = Csync_obs.Monitor.create ~tighten () in
+    Csync_obs.Monitor.install mon;
+    Fun.protect
+      ~finally:Csync_obs.Monitor.clear_installed
+      (fun () -> f (Some mon))
+  end
+  else f None
+
+let pp_monitor_summary mon =
+  Format.printf "@.== Monitors ==@.%a" Csync_obs.Monitor.pp_summary mon
+
 (* Resolve experiment ids (empty = all), preserving the requested order. *)
 let resolve_ids ids =
   match ids with
@@ -49,18 +84,29 @@ let run_cmd =
     let doc = "Experiment ids to run (default: all)." in
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
   in
-  let run quick jobs ids =
+  let run quick jobs monitor tighten ids =
     match resolve_ids ids with
     | Error msg -> `Error (false, msg)
     | Ok experiments ->
+      with_monitor ~monitor ~tighten @@ fun mon ->
       Csync_harness.Registry.render_list ?jobs:(jobs_opt jobs)
         Format.std_formatter ~quick experiments;
-      `Ok ()
+      (match mon with
+      | None -> `Ok ()
+      | Some mon ->
+        pp_monitor_summary mon;
+        if Csync_obs.Monitor.violations_total mon = 0 then `Ok ()
+        else
+          `Error
+            ( false,
+              "monitored bounds violated (expected for experiments that \
+               deliberately break the assumptions, e.g. the n <= 3f legs)" ))
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run experiments by id (all of them when no id is given).")
-    Term.(ret (const run $ quick_arg $ jobs_arg $ ids_arg))
+    Term.(
+      ret (const run $ quick_arg $ jobs_arg $ monitor_arg $ tighten_arg $ ids_arg))
 
 (* csync params *)
 let params_cmd =
@@ -163,10 +209,12 @@ let simulate_cmd =
 
 (* csync chaos *)
 let chaos_cmd =
-  let run quick seed plans n f rounds plan_file =
+  let run quick seed plans n f rounds plan_file monitor tighten =
     let module RC = Csync_harness.Runner_chaos in
     let module Plan = Csync_chaos.Plan in
     let module Injector = Csync_chaos.Injector in
+    with_monitor ~monitor ~tighten @@ fun mon ->
+    let result =
     match Csync_harness.Defaults.base ~n ~f () with
     | exception Invalid_argument msg -> `Error (false, msg)
     | _ when f < 1 -> `Error (false, "chaos needs a fault budget of f >= 1")
@@ -240,6 +288,14 @@ let chaos_cmd =
         ( false,
           Printf.sprintf "%d of %d chaos plans violated the bound"
             (List.length failures) plans )
+    in
+    (* Monitor verdicts are informational here: chaos victims are real
+       maintenance automata pushed outside the paper's assumptions, so
+       their bound breaches are the expected, provenance-annotated
+       outcome - the campaign's own suspect-aware check decides pass or
+       fail. *)
+    (match mon with Some mon -> pp_monitor_summary mon | None -> ());
+    result
   in
   let seed = Arg.(value & opt int 1000 & info [ "seed" ] ~doc:"First seed.") in
   let plans =
@@ -266,7 +322,10 @@ let chaos_cmd =
          "Run a campaign of randomized fault plans (crashes, partitions, \
           lossy links, clock disturbances) and check the suspect-aware \
           agreement bound plus reintegration of repaired crashers.")
-    Term.(ret (const run $ quick_arg $ seed $ plans $ n $ f $ rounds $ plan_file))
+    Term.(
+      ret
+        (const run $ quick_arg $ seed $ plans $ n $ f $ rounds $ plan_file
+       $ monitor_arg $ tighten_arg))
 
 (* csync check *)
 let check_cmd =
@@ -554,27 +613,44 @@ let bench_cmd =
     let doc = "Print the rendered experiment tables too (not just timings)." in
     Arg.(value & flag & info [ "tables" ] ~doc)
   in
-  let run quick jobs json tables =
-    let report, suite_output =
-      Bench_report.run ~jobs ~quick ~compare_jobs1:(json <> None) ()
+  let baseline_arg =
+    let doc =
+      "Compare this run's kernels (and suite wall-clock) against a \
+       previously written BENCH JSON report and print per-kernel deltas."
     in
-    if tables then print_string suite_output;
-    Format.printf "######## Micro-benchmarks (bechamel, ns per run)@.";
-    Bench_report.pp_kernels Format.std_formatter report.Bench_report.kernels;
-    Bench_report.pp_summary Format.std_formatter report;
-    (match json with
-    | None -> ()
-    | Some file ->
-      Bench_report.write_json report file;
-      Format.printf "wrote %s@." file);
-    `Ok ()
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+  in
+  let run quick jobs json tables baseline =
+    (* Load the baseline before the (slow) run so a bad path fails fast. *)
+    match Option.map Bench_report.load_baseline baseline with
+    | Some (Error e) -> `Error (false, e)
+    | (None | Some (Ok _)) as loaded ->
+      let report, suite_output =
+        Bench_report.run ~jobs ~quick ~compare_jobs1:(json <> None) ()
+      in
+      if tables then print_string suite_output;
+      Format.printf "######## Micro-benchmarks (bechamel, ns per run)@.";
+      Bench_report.pp_kernels Format.std_formatter report.Bench_report.kernels;
+      Bench_report.pp_summary Format.std_formatter report;
+      (match (loaded, baseline) with
+      | Some (Ok b), Some file ->
+        Bench_report.pp_baseline_deltas Format.std_formatter ~file report b
+      | _ -> ());
+      (match json with
+      | None -> ()
+      | Some file ->
+        Bench_report.write_json report file;
+        Format.printf "wrote %s@." file);
+      `Ok ()
   in
   Cmd.v
     (Cmd.info "bench"
        ~doc:
          "Time the experiment suite (optionally vs one worker) and \
-          micro-benchmark the kernels; optionally emit a BENCH JSON report.")
-    Term.(ret (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg))
+          micro-benchmark the kernels; optionally emit a BENCH JSON report \
+          or diff against a previous one.")
+    Term.(
+      ret (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg $ baseline_arg))
 
 (* csync trace *)
 let trace_cmd =
@@ -595,12 +671,15 @@ let trace_cmd =
         ("adjustment_bound", Json.Num (Csync_core.Params.adjustment_bound p));
       ]
   in
-  let write_trace ~out ~target ~seed ~jobs ~quick ~params reg =
+  let write_trace ~out ~target ~seed ~jobs ~quick ~params ~mon reg =
     let manifest =
       Csync_obs.Manifest.make ~target ~seed ~jobs ~quick
         ?params:(Option.map params_json params) ()
     in
-    let records = Obs.dump reg in
+    (* Monitor verdicts ride the same capture: one {"record":"monitor"}
+       line per configured check, so csync report and --diff can render
+       and compare them. *)
+    let records = Obs.dump reg @ Csync_obs.Monitor.dump mon in
     let oc = open_out out in
     output_string oc (Json.to_string manifest);
     output_char oc '\n';
@@ -612,19 +691,23 @@ let trace_cmd =
     close_out oc;
     Format.printf "wrote %s (%d records)@." out (1 + List.length records)
   in
-  let run quick jobs seed out target =
+  let run quick jobs seed monitor tighten out target =
     let jobs_v =
       match jobs_opt jobs with
       | Some j -> j
       | None -> Csync_harness.Pool.default_jobs ()
     in
+    with_monitor ~monitor ~tighten @@ fun mon_opt ->
     let reg = Obs.create () in
     Obs.install reg;
     let finish ~params result =
       Obs.clear_installed ();
       (match result with
       | Ok () ->
-        write_trace ~out ~target ~seed ~jobs:jobs_v ~quick ~params reg
+        write_trace ~out ~target ~seed ~jobs:jobs_v ~quick ~params
+          ~mon:(Option.value mon_opt ~default:Csync_obs.Monitor.none)
+          reg;
+        Option.iter pp_monitor_summary mon_opt
       | Error _ -> ());
       match result with Ok () -> `Ok () | Error msg -> `Error (false, msg)
     in
@@ -688,17 +771,35 @@ let trace_cmd =
           (manifest, counters, gauges, series, histograms, spans, events) \
           as JSONL.  The run's tables are byte-identical to an untraced \
           run; render the capture with csync report.")
-    Term.(ret (const run $ quick_arg $ jobs_arg $ seed $ out_arg $ target_arg))
+    Term.(
+      ret
+        (const run $ quick_arg $ jobs_arg $ seed $ monitor_arg $ tighten_arg
+       $ out_arg $ target_arg))
 
 (* csync report *)
 let report_cmd =
-  let run label file =
+  let load file =
     match Csync_obs.Report.of_file file with
-    | exception Sys_error e -> `Error (false, e)
-    | Error e -> `Error (false, Printf.sprintf "%s: %s" file e)
-    | Ok t ->
-      Csync_obs.Report.render ?focus:label Format.std_formatter t;
-      `Ok ()
+    | exception Sys_error e -> Error e
+    | Error e -> Error (Printf.sprintf "%s: %s" file e)
+    | Ok t -> Ok t
+  in
+  let run label diff files =
+    match (diff, files) with
+    | false, [ file ] -> (
+      match load file with
+      | Error e -> `Error (false, e)
+      | Ok t ->
+        Csync_obs.Report.render ?focus:label Format.std_formatter t;
+        `Ok ())
+    | true, [ a; b ] -> (
+      match (load a, load b) with
+      | Error e, _ | _, Error e -> `Error (false, e)
+      | Ok ta, Ok tb ->
+        Csync_obs.Diff.render Format.std_formatter ~name_a:a ~name_b:b ta tb;
+        `Ok ())
+    | false, _ -> `Error (true, "report renders exactly one FILE")
+    | true, _ -> `Error (true, "--diff aligns exactly two FILEs")
   in
   let label_arg =
     Arg.(
@@ -709,18 +810,31 @@ let report_cmd =
             "Cell label to focus the per-cell sections on (see the report's \
              Cells section for the choices).")
   in
-  let file_arg =
+  let diff_arg =
+    let doc =
+      "Align two traces by manifest and metric name and render what \
+       changed between the runs: manifest drift, monitor-verdict changes, \
+       per-round skew/ADJ deltas, histogram shifts, changed counters.  \
+       Identical runs render as an explicit \"no differences\" verdict."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let files_arg =
     Arg.(
-      required & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"A JSONL trace written by csync trace.")
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A JSONL trace written by csync trace (two traces with \
+             $(b,--diff)).")
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:
-         "Render a captured trace: skew timelines, ADJ-per-round tables, \
-          message-delay histograms, pool utilization, chaos ledger, and \
-          exploration statistics.")
-    Term.(ret (const run $ label_arg $ file_arg))
+         "Render a captured trace (skew timelines, ADJ-per-round tables, \
+          message-delay histograms, pool utilization, chaos ledger, monitor \
+          verdicts, exploration statistics) - or, with --diff, the \
+          differences between two traces.")
+    Term.(ret (const run $ label_arg $ diff_arg $ files_arg))
 
 let main_cmd =
   let doc =

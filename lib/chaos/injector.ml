@@ -39,6 +39,7 @@ let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
      joined with the blame accounting in [stats]. *)
   let obs = Obs.installed () in
   let traced = Obs.enabled obs in
+  let mon = Csync_obs.Monitor.installed () in
   let c_dropped = Obs.counter obs "chaos.dropped"
   and c_duplicated = Obs.counter obs "chaos.duplicated"
   and c_delayed = Obs.counter obs "chaos.delayed"
@@ -46,6 +47,10 @@ let tamper ~plan ~rng ~corrupt ~stats:st : 'm Mb.tamper =
   and c_partitioned = Obs.counter obs "chaos.partitioned" in
   let inject kind counter ~now ~src ~dst =
     Obs.Counter.incr counter;
+    (* Stage the fault kind for the monitor's provenance: the buffer mints
+       this send's copies right after the tamper returns, and each copy
+       picks the staged kinds up. *)
+    Csync_obs.Monitor.Prov.stage_fault mon kind;
     if traced then
       Obs.event obs "chaos.inject"
         [

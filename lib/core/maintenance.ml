@@ -2,6 +2,7 @@ module Automaton = Csync_process.Automaton
 module Cluster = Csync_process.Cluster
 module Multiset = Csync_multiset
 module Obs = Csync_obs.Registry
+module Mon = Csync_obs.Monitor
 
 type phase = Bcast | Update
 
@@ -221,19 +222,51 @@ let automaton ~self_hint cfg =
   let obs_adj = Obs.series obs (Printf.sprintf "proc.%d.adj" self_hint) in
   let obs_corr = Obs.series obs (Printf.sprintf "proc.%d.corr" self_hint) in
   let observing = Obs.Series.active obs_adj in
+  (* Online |ADJ| monitor (Theorem 18), captured like the obs handles.  The
+     shadow array remembers, per peer, the provenance id of the last
+     message that wrote ARR[q] (published worker-locally by the cluster),
+     so a violating update can name the exact message copies behind it. *)
+  let mon = Mon.installed () in
+  let mon_adj =
+    Mon.Adjustment.handle mon ~bound:(Params.adjustment_bound cfg.params)
+      ~pid:self_hint
+  in
+  let monitoring = Mon.Adjustment.active mon_adj in
+  let arr_prov =
+    if monitoring then Array.make cfg.params.Params.n Mon.Prov.null else [||]
+  in
+  let slots_of s =
+    let acc = ref [] in
+    for q = Array.length arr_prov - 1 downto 0 do
+      if arr_prov.(q) <> Mon.Prov.null then
+        acc := { Mon.pid = q; prov = arr_prov.(q); fresh = s.fresh.(q) } :: !acc
+    done;
+    Array.of_list !acc
+  in
   {
     Automaton.name = Printf.sprintf "wl-maintenance[%d]" self_hint;
     initial;
     handle =
       (fun ~self ~phys interrupt s ->
+        (match interrupt with
+        | Automaton.Message (src, _) when monitoring ->
+          arr_prov.(src) <- Mon.Prov.current mon
+        | _ -> ());
         let ((s', _) as result) = handle ~scratch cfg ~self ~phys interrupt s in
         (* An Update -> Bcast flag transition is exactly one completed
            round update (do_update); log ADJ and the running CORR against
            the round index at that boundary. *)
-        if observing && s.flag = Update && s'.flag = Bcast then begin
-          let r = float_of_int s.round in
-          Obs.Series.push obs_adj r (s'.corr -. s.corr);
-          Obs.Series.push obs_corr r s'.corr
+        if (observing || monitoring) && s.flag = Update && s'.flag = Bcast
+        then begin
+          let adj = s'.corr -. s.corr in
+          if observing then begin
+            let r = float_of_int s.round in
+            Obs.Series.push obs_adj r adj;
+            Obs.Series.push obs_corr r s'.corr
+          end;
+          if monitoring then
+            Mon.Adjustment.check mon_adj ~round:s.round ~time:phys ~adj
+              ~slots:(slots_of s)
         end;
         result);
     corr = (fun s -> s.corr);

@@ -32,8 +32,8 @@ let run_list ?jobs ~quick experiments =
   let run_task i =
     let label, thunk = flat.(i) in
     (* Prefix this cell's metrics with its label so cells don't collide.
-       The label is registry-global: exact at --jobs 1, best-effort when
-       cells run concurrently (per-process series stay unambiguous). *)
+       The label is worker-local (set here, on the worker executing the
+       task), so per-cell names are exact for any --jobs. *)
     if traced then Csync_obs.Registry.set_label obs label;
     thunk ()
   in

@@ -55,7 +55,7 @@ let drive (type m) ~(params : Params.t) ~env ~rounds
   let times =
     Sampling.grid ~from_time:tmax0 ~to_time:t_end ~count:(max 2 (rounds * 6))
   in
-  let sampling = Sampling.run ~cluster ~observe:env.Env.nonfaulty ~times in
+  let sampling = Sampling.run ~cluster ~observe:env.Env.nonfaulty ~times () in
   (* Max observed slope of the fastest local time between consecutive
      samples spaced >= one round apart (to average out jumps). *)
   let slope_max =

@@ -138,6 +138,14 @@ let run t =
   let checked = ref 0 and skipped = ref 0 and max_suspects = ref 0 in
   let obs = Csync_obs.Registry.installed () in
   let obs_clean_skew = Csync_obs.Registry.series obs "run.clean_skew" in
+  (* Online agreement check over the clean (unsuspected) set: the same
+     gamma the post-hoc [agreement_ok] verdict uses, but a violation is
+     pinned to its first sample time as it happens. *)
+  let mon_agree =
+    Csync_obs.Monitor.Agreement.handle
+      (Csync_obs.Monitor.installed ())
+      ~gamma:(Params.gamma t.params) ~from_time:warmup
+  in
   let post_join = Hashtbl.create 4 in
   let joined_real pid =
     match Hashtbl.find_opt life_readers pid with
@@ -167,6 +175,7 @@ let run t =
         let skew = hi -. lo in
         max_clean_skew := Float.max !max_clean_skew skew;
         Csync_obs.Registry.Series.push obs_clean_skew time skew;
+        Csync_obs.Monitor.Agreement.check mon_agree ~time ~skew;
         (* A rejoined ex-crasher is back inside the clean set once its
            suspicion window closes; record the skew it participates in. *)
         List.iter

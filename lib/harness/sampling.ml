@@ -5,7 +5,7 @@ type sample = { time : float; skew : float; min_local : float; max_local : float
 
 type t = { samples : sample array; observed : int list }
 
-let run ~cluster ~observe ~times =
+let run ?on_sample ~cluster ~observe ~times () =
   if observe = [] then invalid_arg "Sampling.run: empty observe list";
   let obs_skew =
     Csync_obs.Registry.(series (installed ()) "run.skew")
@@ -24,7 +24,9 @@ let run ~cluster ~observe ~times =
       (List.tl observe);
     let skew = !hi -. !lo in
     Csync_obs.Registry.Series.push obs_skew time skew;
-    { time; skew; min_local = !lo; max_local = !hi }
+    let s = { time; skew; min_local = !lo; max_local = !hi } in
+    (match on_sample with Some f -> f s | None -> ());
+    s
   in
   { samples = Array.map sample_at times; observed = observe }
 

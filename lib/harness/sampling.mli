@@ -19,12 +19,15 @@ type sample = {
 type t = { samples : sample array; observed : int list }
 
 val run :
+  ?on_sample:(sample -> unit) ->
   cluster:'m Csync_process.Cluster.t ->
   observe:int list ->
   times:float array ->
+  unit ->
   t
 (** Advance the cluster to each time (which must be nondecreasing) and
-    sample the processes in [observe].
+    sample the processes in [observe].  [on_sample] sees each sample as it
+    is taken (used to feed the online monitors); it must only observe.
     @raise Invalid_argument if [observe] is empty. *)
 
 val times : t -> float array

@@ -6,6 +6,8 @@ module Params = Csync_core.Params
 module Averaging = Csync_core.Averaging
 module Maintenance = Csync_core.Maintenance
 module Adversary = Csync_core.Adversary
+module Bounds = Csync_core.Bounds
+module Mon = Csync_obs.Monitor
 
 type clock_kind = Env.clock_kind = Perfect | Drifting | Adversarial_drift
 
@@ -100,7 +102,7 @@ let build_fault t ~rng spec =
   | Lying value_offset -> Adversary.lying_value ~params ~value_offset
 
 let run t =
-  let { Params.n; beta; big_p; rho; t0; _ } = t.params in
+  let { Params.n; beta; big_p; rho; delta; eps; t0; _ } = t.params in
   if t.offset_spread > beta then
     invalid_arg "Scenario.run: offset_spread exceeds beta (violates A4)";
   List.iter
@@ -143,8 +145,33 @@ let run t =
   let t_end = env.Env.horizon -. 1. in
   let samples = max 2 (t.rounds * t.samples_per_round) in
   let times = Sampling.grid ~from_time:tmax0 ~to_time:t_end ~count:samples in
-  let sampling = Sampling.run ~cluster ~observe:env.Env.nonfaulty ~times in
   let warmup = tmax0 +. (2. *. big_p *. (1. +. (2. *. rho))) in
+  (* Online monitors: the ambient monitor (no-op unless [--monitor]
+     installed one) sees every sample as it is taken — agreement skew
+     against gamma past the warmup horizon, and the Theorem 19 validity
+     envelope — instead of only the post-hoc summaries below. *)
+  let mon = Mon.installed () in
+  let on_sample =
+    if not (Mon.enabled mon) then None
+    else begin
+      let agree_h =
+        Mon.Agreement.handle mon ~gamma:(Params.gamma t.params)
+          ~from_time:warmup
+      in
+      let alpha1, alpha2, alpha3 = Params.validity t.params in
+      let valid_h =
+        Mon.Validity.handle mon ~alpha1 ~alpha2 ~alpha3 ~t0 ~tmin0 ~tmax0
+      in
+      Some
+        (fun (s : Sampling.sample) ->
+          Mon.Agreement.check agree_h ~time:s.time ~skew:s.skew;
+          Mon.Validity.check valid_h ~time:s.time ~min_local:s.min_local
+            ~max_local:s.max_local)
+    end
+  in
+  let sampling =
+    Sampling.run ?on_sample ~cluster ~observe:env.Env.nonfaulty ~times ()
+  in
   let histories =
     List.map
       (fun pid -> (pid, Maintenance.history ((Hashtbl.find readers pid) ())))
@@ -181,6 +208,17 @@ let run t =
       table []
     |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
   in
+  (* Error-halving monitor (Lemmas 9/10): consecutive round-start spreads
+     must contract under the maintenance recurrence. *)
+  if Mon.enabled mon then begin
+    let halving_h =
+      Mon.Halving.handle mon
+        ~recurrence:(Bounds.maintenance_recurrence ~rho ~delta ~eps ~big_p)
+    in
+    List.iter
+      (fun (round, spread) -> Mon.Halving.observe halving_h ~round ~spread)
+      round_spread
+  end;
   let adjustments =
     histories
     |> List.concat_map (fun (_, records) ->

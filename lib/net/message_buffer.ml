@@ -2,10 +2,11 @@ module Engine = Csync_sim.Engine
 module Event_queue = Csync_sim.Event_queue
 module Trace = Csync_sim.Trace
 module Obs = Csync_obs.Registry
+module Mon = Csync_obs.Monitor
 
 type 'm body = Start | Timer of float | Msg of 'm
 
-type 'm delivery = { src : int; dst : int; body : 'm body }
+type 'm delivery = { src : int; dst : int; prov : Mon.Prov.id; body : 'm body }
 
 type 'm fate = { payload : 'm; extra_delay : float }
 
@@ -19,6 +20,7 @@ type 'm t = {
   trace : Trace.t option;
   mutable sent : int;
   mutable tamper : 'm tamper option;
+  mon : Mon.t;
   obs_sent : Obs.Counter.handle;
   obs_tamper_drops : Obs.Counter.handle;
   obs_tamper_copies : Obs.Counter.handle;
@@ -47,6 +49,7 @@ let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
     trace;
     sent = 0;
     tamper = None;
+    mon = Mon.installed ();
     obs_sent = Obs.counter obs "net.sent";
     obs_tamper_drops = Obs.counter obs "net.tamper.drops";
     obs_tamper_copies = Obs.counter obs "net.tamper.copies";
@@ -76,7 +79,7 @@ let check_pid t pid name =
 let schedule_start t ~dst ~time =
   check_pid t dst "schedule_start";
   Engine.schedule t.engine ~time ~prio:Event_queue.prio_message
-    { src = dst; dst; body = Start }
+    { src = dst; dst; prov = Mon.Prov.null; body = Start }
 
 let send t ~src ~dst m =
   check_pid t src "send";
@@ -93,8 +96,9 @@ let send t ~src ~dst m =
     | Some tr -> Trace.record_delay tr ~sent:now ~src ~dst ~delay:d
     | None -> ());
     observe_delay t ~src ~dst d;
+    let prov = Mon.Prov.mint t.mon ~src ~dst ~sent:now ~delay:d in
     Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
-      { src; dst; body = Msg m }
+      { src; dst; prov; body = Msg m }
   | Some f ->
     let fates = f ~now ~src ~dst m in
     (match fates with
@@ -114,10 +118,16 @@ let send t ~src ~dst m =
           Trace.record_delay tr ~sent:now ~src ~dst ~delay:(d +. extra_delay)
         | None -> ());
         observe_delay t ~src ~dst (d +. extra_delay);
+        (* Every copy of this send shares the fault kinds the injector
+           staged while deciding the fates. *)
+        let prov =
+          Mon.Prov.mint t.mon ~src ~dst ~sent:now ~delay:(d +. extra_delay)
+        in
         Engine.schedule t.engine ~time:(now +. d +. extra_delay)
           ~prio:Event_queue.prio_message
-          { src; dst; body = Msg payload })
-      fates
+          { src; dst; prov; body = Msg payload })
+      fates;
+    Mon.Prov.clear_staged t.mon
 
 let broadcast t ~src m =
   for dst = 0 to t.n - 1 do
@@ -130,7 +140,7 @@ let set_timer t ~dst ~at_real ~phys_value =
   if at_real <= now then false
   else begin
     Engine.schedule t.engine ~time:at_real ~prio:Event_queue.prio_timer
-      { src = dst; dst; body = Timer phys_value };
+      { src = dst; dst; prov = Mon.Prov.null; body = Timer phys_value };
     true
   end
 

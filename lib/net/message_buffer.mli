@@ -20,7 +20,15 @@ type 'm body =
       (** Carries the physical-clock value the timer was set for. *)
   | Msg of 'm
 
-type 'm delivery = { src : int; dst : int; body : 'm body }
+type 'm delivery = {
+  src : int;
+  dst : int;
+  prov : Csync_obs.Monitor.Prov.id;
+      (** causal provenance of this copy (monitored runs only;
+          {!Csync_obs.Monitor.Prov.null} for START/TIMER and when no
+          monitor is installed) *)
+  body : 'm body;
+}
 
 type 'm fate = { payload : 'm; extra_delay : float }
 (** One scheduled copy of a tampered message: the (possibly corrupted)

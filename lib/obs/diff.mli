@@ -1,0 +1,19 @@
+(** Cross-run trace diffing: [csync report --diff a.jsonl b.jsonl].
+
+    Two captured traces are aligned by manifest and by metric name; the
+    rendering shows what changed between the runs — manifest drift
+    (different seed, jobs, params, schema), monitor-verdict changes,
+    per-round skew and ADJ deltas, histogram shift summaries, changed
+    counters — and what exists in only one of them.  Identical runs
+    (same seed, same build) render as an explicit "no differences"
+    verdict, the property the golden CI diff asserts. *)
+
+val render :
+  Format.formatter -> name_a:string -> name_b:string -> Report.t -> Report.t ->
+  unit
+(** [name_a]/[name_b] caption the two traces (typically the file paths). *)
+
+val identical : Report.t -> Report.t -> bool
+(** True when every aligned metric, monitor verdict, and manifest field
+    (ignoring capture timestamps and git revision) agrees — the
+    byte-identical-tables invariant seen through a trace. *)

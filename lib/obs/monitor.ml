@@ -1,0 +1,429 @@
+(* Online theorem monitors.  The structure mirrors Registry: an enabled
+   flag checked on every handle mint, permanent no-op handles, and a CAS
+   spinlock for the (rare) shared mutation — violation recording and
+   provenance ring writes.  Per-sample counters are atomics. *)
+
+type lock = bool Atomic.t
+
+let lock_create () : lock = Atomic.make false
+
+let acquire l = while not (Atomic.compare_and_set l false true) do () done
+
+let release l = Atomic.set l false
+
+let locked l f =
+  acquire l;
+  match f () with
+  | v ->
+    release l;
+    v
+  | exception e ->
+    release l;
+    raise e
+
+type check = Agreement | Validity | Adjustment | Halving
+
+let all_checks = [ Agreement; Validity; Adjustment; Halving ]
+
+let check_index = function
+  | Agreement -> 0
+  | Validity -> 1
+  | Adjustment -> 2
+  | Halving -> 3
+
+let check_name = function
+  | Agreement -> "agreement"
+  | Validity -> "validity"
+  | Adjustment -> "adjustment"
+  | Halving -> "halving"
+
+type prov_entry = {
+  id : int;
+  src : int;
+  dst : int;
+  sent : float;
+  delay : float;
+  faults : string list;
+}
+
+type slot = { pid : int; prov : int; fresh : bool }
+
+type violation = {
+  monitor : check;
+  label : string;
+  round : int option;
+  pid : int option;
+  time : float;
+  measured : float;
+  bound : float;
+  provenance : (prov_entry * bool) list;
+}
+
+type cell = {
+  evals : int Atomic.t;
+  viols : int Atomic.t;
+  mutable first : violation option;
+}
+
+(* Provenance ids are minted from one shared atomic; the ring slot is
+   [id land (cap - 1)], and a stored entry is only trusted when its own
+   id matches the probe, so eviction degrades to [find = None] instead of
+   misattribution. *)
+let ring_cap = 65536 (* power of two *)
+
+type t = {
+  enabled : bool;
+  tighten : float;
+  on : bool array; (* indexed by check_index *)
+  lock : lock;
+  cells : cell array;
+  mutable first_overall : violation option;
+  prov_next : int Atomic.t;
+  ring : prov_entry option array;
+}
+
+(* Worker-local side channels.  [staged_key] accumulates the chaos fault
+   kinds applied to the message currently passing through the injector
+   (drained by the next mint on the same worker); [current_key] carries
+   the provenance id of the delivery being dispatched to an automaton. *)
+let staged_key = Tls.new_key (fun () -> ([] : string list))
+
+let current_key = Tls.new_key (fun () -> -1)
+
+let make_monitor ~enabled ~checks ~tighten =
+  let on = Array.make 4 false in
+  if enabled then List.iter (fun c -> on.(check_index c) <- true) checks;
+  {
+    enabled;
+    tighten;
+    on;
+    lock = lock_create ();
+    cells =
+      Array.init 4 (fun _ ->
+          { evals = Atomic.make 0; viols = Atomic.make 0; first = None });
+    first_overall = None;
+    prov_next = Atomic.make 0;
+    ring = Array.make (if enabled then ring_cap else 1) None;
+  }
+
+let none = make_monitor ~enabled:false ~checks:[] ~tighten:1.0
+
+let create ?(checks = all_checks) ?(tighten = 1.0) () =
+  make_monitor ~enabled:true ~checks ~tighten
+
+let enabled t = t.enabled
+
+let installed_ref = ref none
+
+let install t = installed_ref := t
+
+let installed () = !installed_ref
+
+let clear_installed () = installed_ref := none
+
+let current_label () = Registry.label (Registry.installed ())
+
+let bump t c = ignore (Atomic.fetch_and_add t.cells.(check_index c).evals 1)
+
+let record t (v : violation) =
+  let cell = t.cells.(check_index v.monitor) in
+  ignore (Atomic.fetch_and_add cell.viols 1);
+  locked t.lock (fun () ->
+      if cell.first = None then cell.first <- Some v;
+      if t.first_overall = None then t.first_overall <- Some v)
+
+module Prov = struct
+  type id = int
+
+  let null = -1
+
+  let mint t ~src ~dst ~sent ~delay =
+    if not t.enabled then null
+    else begin
+      let faults = List.rev (Tls.get staged_key) in
+      let id = Atomic.fetch_and_add t.prov_next 1 in
+      let e = { id; src; dst; sent; delay; faults } in
+      locked t.lock (fun () -> t.ring.(id land (ring_cap - 1)) <- Some e);
+      id
+    end
+
+  let stage_fault t kind =
+    if t.enabled then Tls.set staged_key (kind :: Tls.get staged_key)
+
+  let clear_staged t =
+    if t.enabled then
+      match Tls.get staged_key with [] -> () | _ -> Tls.set staged_key []
+
+  let set_current t id = if t.enabled then Tls.set current_key id
+
+  let current t = if t.enabled then Tls.get current_key else null
+
+  type entry = prov_entry = {
+    id : id;
+    src : int;
+    dst : int;
+    sent : float;
+    delay : float;
+    faults : string list;
+  }
+
+  let find t id =
+    if (not t.enabled) || id < 0 then None
+    else
+      locked t.lock (fun () ->
+          match t.ring.(id land (ring_cap - 1)) with
+          | Some e when e.id = id -> Some e
+          | _ -> None)
+end
+
+(* Bound comparisons tolerate float noise the same way the offline
+   checkers do: a violation must exceed the bound by more than [tol]
+   relative to the bound's scale. *)
+let tol = 1e-9
+
+let exceeds measured bound = measured > bound +. (tol *. (1. +. Float.abs bound))
+
+module Agreement = struct
+  type handle = Noop | H of { t : t; gamma : float; from_time : float }
+
+  let handle t ~gamma ~from_time =
+    if t.enabled && t.on.(check_index Agreement) then
+      H { t; gamma = gamma *. t.tighten; from_time }
+    else Noop
+
+  let check h ~time ~skew =
+    match h with
+    | Noop -> ()
+    | H { t; gamma; from_time } ->
+      if time >= from_time then begin
+        bump t Agreement;
+        if exceeds skew gamma then
+          record t
+            {
+              monitor = Agreement;
+              label = current_label ();
+              round = None;
+              pid = None;
+              time;
+              measured = skew;
+              bound = gamma;
+              provenance = [];
+            }
+      end
+end
+
+module Validity = struct
+  type handle =
+    | Noop
+    | H of {
+        t : t;
+        alpha1 : float;
+        alpha2 : float;
+        alpha3 : float;
+        t0 : float;
+        tmin0 : float;
+        tmax0 : float;
+      }
+
+  let handle t ~alpha1 ~alpha2 ~alpha3 ~t0 ~tmin0 ~tmax0 =
+    if t.enabled && t.on.(check_index Validity) then
+      H { t; alpha1; alpha2; alpha3 = alpha3 *. t.tighten; t0; tmin0; tmax0 }
+    else Noop
+
+  let check h ~time ~min_local ~max_local =
+    match h with
+    | Noop -> ()
+    | H c ->
+      bump c.t Validity;
+      let lower = (c.alpha1 *. (time -. c.tmax0)) -. c.alpha3 in
+      let upper = (c.alpha2 *. (time -. c.tmin0)) +. c.alpha3 in
+      let violation measured bound =
+        record c.t
+          {
+            monitor = Validity;
+            label = current_label ();
+            round = None;
+            pid = None;
+            time;
+            measured;
+            bound;
+            provenance = [];
+          }
+      in
+      if exceeds lower (min_local -. c.t0) then violation (min_local -. c.t0) lower
+      else if exceeds (max_local -. c.t0) upper then
+        violation (max_local -. c.t0) upper
+end
+
+module Adjustment = struct
+  type handle = Noop | H of { t : t; bound : float; pid : int }
+
+  let handle t ~bound ~pid =
+    if t.enabled && t.on.(check_index Adjustment) then
+      H { t; bound = bound *. t.tighten; pid }
+    else Noop
+
+  let active = function Noop -> false | H _ -> true
+
+  let check h ~round ~time ~adj ~slots =
+    match h with
+    | Noop -> ()
+    | H { t; bound; pid } ->
+      bump t Adjustment;
+      if exceeds (Float.abs adj) bound then begin
+        let resolve fresh =
+          Array.to_list slots
+          |> List.filter_map (fun (s : slot) ->
+                 if s.fresh = fresh then
+                   match Prov.find t s.prov with
+                   | Some e -> Some (e, s.fresh)
+                   | None -> None
+                 else None)
+        in
+        record t
+          {
+            monitor = Adjustment;
+            label = current_label ();
+            round = Some round;
+            pid = Some pid;
+            time;
+            measured = Float.abs adj;
+            bound;
+            provenance = resolve true @ resolve false;
+          }
+      end
+end
+
+module Halving = struct
+  type handle =
+    | Noop
+    | H of {
+        t : t;
+        recurrence : float -> float;
+        mutable last : (int * float) option;
+      }
+
+  let handle t ~recurrence =
+    if t.enabled && t.on.(check_index Halving) then
+      H { t; recurrence; last = None }
+    else Noop
+
+  let observe h ~round ~spread =
+    match h with
+    | Noop -> ()
+    | H c ->
+      (match c.last with
+      | Some (r, b) when round = r + 1 ->
+        bump c.t Halving;
+        let bound = c.recurrence b *. c.t.tighten in
+        if exceeds spread bound then
+          record c.t
+            {
+              monitor = Halving;
+              label = current_label ();
+              round = Some round;
+              pid = None;
+              time = float_of_int round;
+              measured = spread;
+              bound;
+              provenance = [];
+            }
+      | _ -> ());
+      c.last <- Some (round, spread)
+end
+
+(* ---------- results ---------- *)
+
+let checks_performed t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c.evals) 0 t.cells
+
+let violations_total t =
+  Array.fold_left (fun acc c -> acc + Atomic.get c.viols) 0 t.cells
+
+let first_violation t = locked t.lock (fun () -> t.first_overall)
+
+let results t =
+  List.map
+    (fun c ->
+      let cell = t.cells.(check_index c) in
+      let first = locked t.lock (fun () -> cell.first) in
+      (c, Atomic.get cell.evals, Atomic.get cell.viols, first))
+    all_checks
+
+let opt_int = function None -> Json.Null | Some i -> Json.num_of_int i
+
+let entry_json ((e : prov_entry), fresh) =
+  Json.Obj
+    [
+      ("id", Json.num_of_int e.id);
+      ("src", Json.num_of_int e.src);
+      ("dst", Json.num_of_int e.dst);
+      ("sent", Json.Num e.sent);
+      ("delay", Json.Num e.delay);
+      ("fresh", Json.Bool fresh);
+      ("faults", Json.Arr (List.map (fun f -> Json.Str f) e.faults));
+    ]
+
+let violation_json (v : violation) =
+  Json.Obj
+    [
+      ("label", Json.Str v.label);
+      ("round", opt_int v.round);
+      ("pid", opt_int v.pid);
+      ("time", Json.Num v.time);
+      ("measured", Json.Num v.measured);
+      ("bound", Json.Num v.bound);
+      ("provenance", Json.Arr (List.map entry_json v.provenance));
+    ]
+
+let dump t =
+  results t
+  |> List.filter (fun (c, _, _, _) -> t.on.(check_index c))
+  |> List.map (fun (c, evals, viols, first) ->
+         Json.Obj
+           [
+             ("record", Json.Str "monitor");
+             ("monitor", Json.Str (check_name c));
+             ("checks", Json.num_of_int evals);
+             ("violations", Json.num_of_int viols);
+             ( "first",
+               match first with None -> Json.Null | Some v -> violation_json v
+             );
+           ])
+
+let pp_violation ppf (v : violation) =
+  Format.fprintf ppf "first at t=%.6f%s%s: measured %.6g > bound %.6g%s"
+    v.time
+    (match v.round with None -> "" | Some r -> Printf.sprintf " round %d" r)
+    (match v.pid with None -> "" | Some p -> Printf.sprintf " pid %d" p)
+    v.measured v.bound
+    (if v.label = "" then "" else Printf.sprintf " [%s]" v.label)
+
+let pp_summary ppf t =
+  if not t.enabled then Format.fprintf ppf "monitors: disabled@."
+  else begin
+    List.iter
+      (fun (c, evals, viols, first) ->
+        if t.on.(check_index c) then begin
+          Format.fprintf ppf "%-10s : %d checks, %d violation%s@."
+            (check_name c) evals viols
+            (if viols = 1 then "" else "s");
+          match first with
+          | None -> ()
+          | Some v ->
+            Format.fprintf ppf "             %a@." pp_violation v;
+            List.iter
+              (fun ((e : prov_entry), fresh) ->
+                Format.fprintf ppf
+                  "             msg #%d %d->%d sent=%.6f delay=%.6f%s%s@." e.id
+                  e.src e.dst e.sent e.delay
+                  (if fresh then "" else " (stale)")
+                  (match e.faults with
+                  | [] -> ""
+                  | fs -> " faults=" ^ String.concat "," fs))
+              v.provenance
+        end)
+      (results t);
+    Format.fprintf ppf "total      : %d checks, %d violations@."
+      (checks_performed t) (violations_total t)
+  end

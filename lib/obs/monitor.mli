@@ -1,0 +1,209 @@
+(** Online theorem monitors with causal message provenance.
+
+    A monitor evaluates the paper's closed-form bounds {e while a run
+    executes} instead of after it: the agreement bound gamma across
+    nonfaulty logical clocks (Theorem 16), the validity envelope
+    alpha1/alpha2/alpha3 (Theorem 19), the per-round |ADJ| bound
+    (Theorem 18), and the per-round error-halving recurrence
+    (Lemmas 9/10).  Each check records the {e first} violation with the
+    round, process, measured value and bound — and, for the adjustment
+    check, the causal provenance of the ARR slots behind the offending
+    ADJ: which message, sent when, delayed by how much, touched by which
+    injected chaos faults.
+
+    The module mirrors {!Registry}'s ambient-installation discipline: a
+    monitor is either {e enabled} (created by [csync ... --monitor] or a
+    test) or the shared disabled singleton {!none}; instrumented
+    components capture {!installed} at creation time, and handles minted
+    from a disabled monitor are permanent no-ops (a single branch —
+    measured by the [obs/monitor-check-disabled] bench kernel).
+
+    The cardinal invariant carries over: monitors only observe.  They
+    draw no randomness, alter no scheduling, and a monitored run's
+    experiment tables are byte-identical to an unmonitored run's at any
+    [--jobs]. *)
+
+type t
+
+type check = Agreement | Validity | Adjustment | Halving
+
+val all_checks : check list
+
+val none : t
+(** The disabled singleton. *)
+
+val create : ?checks:check list -> ?tighten:float -> unit -> t
+(** A fresh enabled monitor evaluating [checks] (default: all four).
+    [tighten] multiplies every bound (default [1.0]); values [< 1.0]
+    tighten the bounds beyond the theorems, the standard way to force a
+    violation and exercise extraction (cf. [csync check --weaken-gamma]). *)
+
+val enabled : t -> bool
+
+val install : t -> unit
+(** Make [t] the ambient monitor captured by components created from now
+    on.  Call before constructing the monitored run. *)
+
+val installed : unit -> t
+
+val clear_installed : unit -> unit
+
+(** {2 Causal message provenance}
+
+    [Message_buffer.send] mints one provenance id per scheduled message
+    copy; the id rides the delivery to the receiving automaton (via a
+    worker-local slot set by [Cluster]), lands in the ARR-slot shadow
+    array of [Maintenance], and is resolved back into the message's
+    (src, dst, sent, delay, faults) when an adjustment violation names
+    it.  Entries live in a bounded ring; a violation resolves its ids
+    immediately, so eviction only affects post-hoc lookups. *)
+
+module Prov : sig
+  type id = int
+
+  val null : id
+  (** The id minted by a disabled monitor; never resolves. *)
+
+  val mint :
+    t -> src:int -> dst:int -> sent:float -> delay:float -> id
+  (** Record one scheduled message copy.  Any fault kinds staged on this
+      worker are attached to the entry ({e not} cleared — every copy of a
+      duplicated send shares them; the sender calls {!clear_staged} once
+      the send is fully scheduled). *)
+
+  val stage_fault : t -> string -> unit
+  (** Note (worker-locally) that the fault [kind] touched the message
+      currently being sent; attached to every {!mint} until
+      {!clear_staged}. *)
+
+  val clear_staged : t -> unit
+  (** Clear staged fault kinds: after the last copy of a send is minted,
+      or when the message was dropped and no copy will carry them. *)
+
+  val set_current : t -> id -> unit
+  (** Worker-local delivery side-channel, set by the cluster just before
+      dispatching a delivery to its automaton. *)
+
+  val current : t -> id
+
+  type entry = {
+    id : id;
+    src : int;
+    dst : int;
+    sent : float;  (** real send time *)
+    delay : float;  (** total applied delay, including chaos extra *)
+    faults : string list;  (** chaos fault kinds that touched this copy *)
+  }
+
+  val find : t -> id -> entry option
+  (** [None] for {!null}, unminted ids, and ring-evicted entries. *)
+end
+
+(** {2 Violations} *)
+
+type slot = { pid : int; prov : Prov.id; fresh : bool }
+(** One ARR slot at the moment of an update: the process it came from,
+    the provenance of the last message that wrote it, and whether that
+    message arrived in the current round. *)
+
+type violation = {
+  monitor : check;
+  label : string;  (** experiment-cell label in force on the worker *)
+  round : int option;
+  pid : int option;
+  time : float;  (** sample real time, or the round index for Halving *)
+  measured : float;
+  bound : float;
+  provenance : (Prov.entry * bool) list;
+      (** resolved ARR provenance (adjustment violations only), paired
+          with the slot's freshness; fresh slots first, then stale ones *)
+}
+
+(** {2 Check handles}
+
+    All handles are no-ops when minted from a disabled monitor or for a
+    check outside the monitor's [checks] list. *)
+
+module Agreement : sig
+  type handle
+
+  val handle : t -> gamma:float -> from_time:float -> handle
+  (** Check samples at [time >= from_time] (the warmup horizon; before
+      it the theorem makes no claim) against [skew <= gamma]. *)
+
+  val check : handle -> time:float -> skew:float -> unit
+end
+
+module Validity : sig
+  type handle
+
+  val handle :
+    t ->
+    alpha1:float ->
+    alpha2:float ->
+    alpha3:float ->
+    t0:float ->
+    tmin0:float ->
+    tmax0:float ->
+    handle
+
+  val check : handle -> time:float -> min_local:float -> max_local:float -> unit
+  (** The Theorem 19 envelope:
+      [alpha1 (t - tmax0) - alpha3 <= L(t) - t0 <= alpha2 (t - tmin0) + alpha3]
+      for the slowest and fastest nonfaulty logical clocks, with the same
+      float-noise tolerance as the offline [Sampling.validity_check]. *)
+end
+
+module Adjustment : sig
+  type handle
+
+  val handle : t -> bound:float -> pid:int -> handle
+
+  val active : handle -> bool
+  (** [false] on no-op handles; guards the provenance shadow-array work. *)
+
+  val check :
+    handle -> round:int -> time:float -> adj:float -> slots:slot array -> unit
+  (** Check [|adj| <= bound]; on the first violation the [slots] are
+      resolved into {!Prov.entry} values immediately.  [time] is the
+      process' physical-clock reading at the update (recorded for the
+      report; monitors never read wall clocks). *)
+end
+
+module Halving : sig
+  type handle
+
+  val handle : t -> recurrence:(float -> float) -> handle
+  (** [recurrence b] is the Lemma 9/10 bound on the next round's
+      closeness given this round's closeness [b]
+      ({!Csync_core.Bounds.maintenance_recurrence} in practice). *)
+
+  val observe : handle -> round:int -> spread:float -> unit
+  (** Feed per-round real-time round-start spreads in round order; each
+      consecutive pair [(r, b)], [(r+1, b')] is checked against
+      [b' <= recurrence b].  Non-consecutive rounds reset the chain. *)
+end
+
+(** {2 Results} *)
+
+val checks_performed : t -> int
+(** Total bound evaluations across all four monitors. *)
+
+val violations_total : t -> int
+
+val first_violation : t -> violation option
+(** The overall first violation recorded (by wall order of recording). *)
+
+val results : t -> (check * int * int * violation option) list
+(** Per monitor in fixed order: (check, evaluations, violations, first
+    violation).  Monitors outside [checks] report zero evaluations. *)
+
+val check_name : check -> string
+
+val dump : t -> Json.t list
+(** One [{"record":"monitor", ...}] JSON object per configured check,
+    for appending to a [csync trace] JSONL capture. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line-per-monitor human summary (used by the CLI after a
+    monitored run). *)

@@ -54,8 +54,13 @@ type t = {
   mutable events : event list; (* newest first *)
   mutable events_n : int;
   mutable events_dropped : int;
-  mutable label : string;
 }
+
+(* The cell label is worker-local (Domain.DLS on OCaml 5): each pool worker
+   sets the label of the cell it is executing and mints names under it, so
+   per-cell metric names stay exact under any [--jobs], not last-writer-wins
+   as a shared field would be. *)
+let label_key = Tls.new_key (fun () -> "")
 
 let event_cap = 65536
 
@@ -71,7 +76,6 @@ let make_registry enabled =
     events = [];
     events_n = 0;
     events_dropped = 0;
-    label = "";
   }
 
 let none = make_registry false
@@ -80,11 +84,12 @@ let create () = make_registry true
 
 let enabled t = t.enabled
 
-let set_label t label = if t.enabled then locked t.rlock (fun () -> t.label <- label)
+let set_label t label = if t.enabled then Tls.set label_key label
 
-let label t = t.label
+let label (_ : t) = Tls.get label_key
 
-let full_name t name = if t.label = "" then name else t.label ^ "/" ^ name
+let full_name (_ : t) name =
+  match Tls.get label_key with "" -> name | l -> l ^ "/" ^ name
 
 (* Ambient registry: installed before a traced run, captured by
    components at creation time.  A plain ref is enough — install/clear

@@ -38,13 +38,14 @@ val installed : unit -> t
 val clear_installed : unit -> unit
 
 val set_label : t -> string -> unit
-(** Prefix subsequently minted metric names with [label ^ "/"]; the
-    harness sets this to the experiment-cell label around each task so
-    per-cell metrics don't collide.  Exact under [--jobs 1]; with
-    parallel workers the label is the last one set (metrics that embed
-    their own identity, e.g. per-process series, remain exact). *)
+(** Prefix metric names subsequently minted {e on this worker} with
+    [label ^ "/"]; the harness sets this to the experiment-cell label
+    around each task so per-cell metrics don't collide.  The label is
+    worker-local storage ({!Tls}: [Domain.DLS] on OCaml 5), so per-cell
+    names are exact under any [--jobs], including [> 1]. *)
 
 val label : t -> string
+(** The label currently in force on this worker. *)
 
 val now_s : unit -> float
 (** Wall-clock seconds ([Unix.gettimeofday]), for span timing. *)

@@ -14,6 +14,8 @@ type hist_rec = {
 
 type span_rec = { count : int; total_s : float; max_s : float }
 
+type monitor_rec = { checks : int; violations : int; first : Json.t option }
+
 type t = {
   manifest : Json.t option;
   counters : (string * int) list;
@@ -22,6 +24,8 @@ type t = {
   hists : (string * hist_rec) list;
   spans : (string * span_rec) list;
   events : (string * Json.t) list;
+  monitors : (string * monitor_rec) list;
+  warnings : string list;
 }
 
 type record =
@@ -32,6 +36,10 @@ type record =
   | Hist_r of string * hist_rec
   | Span_r of string * span_rec
   | Event of string * Json.t
+  | Monitor_r of string * monitor_rec
+  | Unknown_r of string
+      (* a record kind this reader does not know: skipped with a warning,
+         so traces from newer writers still render *)
 
 (* ---------- parsing ---------- *)
 
@@ -80,13 +88,50 @@ let parse_record j =
     let* name = field "name" Json.to_str j in
     let fields = Option.value (Json.member "fields" j) ~default:(Json.Obj []) in
     Ok (Event (name, fields))
-  | other -> Error (Printf.sprintf "unknown record kind %S" other)
+  | "monitor" ->
+    let* name = field "monitor" Json.to_str j in
+    let* checks = field "checks" Json.to_int j in
+    let* violations = field "violations" Json.to_int j in
+    let first =
+      match Json.member "first" j with
+      | None | Some Json.Null -> None
+      | Some f -> Some f
+    in
+    Ok (Monitor_r (name, { checks; violations; first }))
+  | other -> Ok (Unknown_r other)
 
 let parse_line line =
   let* j = Json.of_string line in
   parse_record j
 
-let check_line line = Result.map (fun (_ : record) -> ()) (parse_line line)
+(* The writer-side validator stays strict: a kind the reader would merely
+   skip is still a bug in anything this build produced. *)
+let check_line line =
+  match parse_line line with
+  | Ok (Unknown_r kind) -> Error (Printf.sprintf "unknown record kind %S" kind)
+  | Ok _ -> Ok ()
+  | Error e -> Error e
+
+(* Manifest fields this reader understands; anything else came from a
+   newer writer and is skipped with a warning rather than a failure. *)
+let known_manifest_fields =
+  [
+    "record"; "schema"; "target"; "seed"; "jobs"; "quick"; "params"; "git_rev";
+    "captured_unix";
+  ]
+
+let manifest_warnings lineno j =
+  match j with
+  | Json.Obj fields ->
+    List.filter_map
+      (fun (k, _) ->
+        if List.mem k known_manifest_fields then None
+        else
+          Some
+            (Printf.sprintf "line %d: skipped unknown manifest field %S" lineno
+               k))
+      fields
+  | _ -> []
 
 let of_lines lines =
   let empty =
@@ -98,6 +143,8 @@ let of_lines lines =
       hists = [];
       spans = [];
       events = [];
+      monitors = [];
+      warnings = [];
     }
   in
   let rec go acc lineno = function
@@ -111,6 +158,8 @@ let of_lines lines =
           hists = List.rev acc.hists;
           spans = List.rev acc.spans;
           events = List.rev acc.events;
+          monitors = List.rev acc.monitors;
+          warnings = List.rev acc.warnings;
         }
     | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
     | line :: rest -> (
@@ -119,13 +168,27 @@ let of_lines lines =
       | Ok r ->
         let acc =
           match r with
-          | Manifest j -> { acc with manifest = Some j }
+          | Manifest j ->
+            {
+              acc with
+              manifest = Some j;
+              warnings = List.rev_append (manifest_warnings lineno j) acc.warnings;
+            }
           | Counter (n, v) -> { acc with counters = (n, v) :: acc.counters }
           | Gauge (n, v) -> { acc with gauges = (n, v) :: acc.gauges }
           | Series_r (n, xs, ys) -> { acc with series = (n, xs, ys) :: acc.series }
           | Hist_r (n, h) -> { acc with hists = (n, h) :: acc.hists }
           | Span_r (n, s) -> { acc with spans = (n, s) :: acc.spans }
           | Event (n, f) -> { acc with events = (n, f) :: acc.events }
+          | Monitor_r (n, m) -> { acc with monitors = (n, m) :: acc.monitors }
+          | Unknown_r kind ->
+            {
+              acc with
+              warnings =
+                Printf.sprintf "line %d: skipped unknown record kind %S" lineno
+                  kind
+                :: acc.warnings;
+            }
         in
         go acc (lineno + 1) rest)
   in
@@ -141,6 +204,22 @@ let of_file path =
       List.rev acc
   in
   of_lines (read [])
+
+(* ---------- accessors (the diff renderer reads traces through these) ---------- *)
+
+let manifest t = t.manifest
+
+let counters t = t.counters
+
+let gauges t = t.gauges
+
+let series t = t.series
+
+let hists t = t.hists
+
+let monitors t = t.monitors
+
+let warnings t = t.warnings
 
 (* ---------- name plumbing ---------- *)
 
@@ -418,6 +497,42 @@ let render_check ppf t =
         (100. *. last)
     | None -> ())
 
+let render_monitors ppf t =
+  if t.monitors <> [] then begin
+    section ppf "Monitors";
+    List.iter
+      (fun (name, (m : monitor_rec)) ->
+        Format.fprintf ppf "%-12s %d checks, %d violation%s%s@." name m.checks
+          m.violations
+          (if m.violations = 1 then "" else "s")
+          (if m.violations = 0 && m.checks > 0 then "  [ok]" else "");
+        match m.first with
+        | None -> ()
+        | Some f ->
+          let g k = Option.bind (Json.member k f) Json.to_float in
+          (match (g "time", g "measured", g "bound") with
+          | Some time, Some measured, Some bound ->
+            Format.fprintf ppf "  first violation at t=%.6f: %.6g > %.6g@." time
+              measured bound
+          | _ -> ());
+          (match Option.bind (Json.member "provenance" f) Json.to_list with
+          | Some (_ :: _ as prov) ->
+            Format.fprintf ppf "  provenance (%d messages):@." (List.length prov);
+            List.iter
+              (fun p -> Format.fprintf ppf "    %s@." (Json.to_string p))
+              prov
+          | _ -> ()))
+      t.monitors
+  end
+
+let render_warnings ppf t =
+  match t.warnings with
+  | [] -> ()
+  | ws ->
+    Format.fprintf ppf "@.(%d reader warning%s)@." (List.length ws)
+      (if List.length ws = 1 then "" else "s");
+    List.iter (fun w -> Format.fprintf ppf "  %s@." w) ws
+
 let render_residual ppf t =
   if t.counters <> [] then begin
     section ppf "Counters";
@@ -461,5 +576,7 @@ let render ?focus ppf t =
   render_hists ppf ~focus t;
   render_pool ppf t;
   render_chaos ppf t;
+  render_monitors ppf t;
   render_check ppf t;
-  render_residual ppf t
+  render_residual ppf t;
+  render_warnings ppf t

@@ -1,10 +1,32 @@
 (** Parse a captured JSONL trace back into records and render the
-    human-readable explainer behind [csync report]. *)
+    human-readable explainer behind [csync report].
+
+    The reader is forward-compatible: record kinds and manifest fields it
+    does not know are skipped and counted in {!warnings} (a newer writer's
+    trace still renders), while truncated or malformed lines remain a
+    clean one-line error naming the line. *)
 
 type t
 
+type hist_rec = {
+  lo : float;
+  hi : float;
+  counts : int array;
+  underflow : int;
+  overflow : int;
+  invalid : int;
+  total : int;
+}
+
+type monitor_rec = {
+  checks : int;
+  violations : int;
+  first : Json.t option;  (** the first-violation object, if any *)
+}
+
 val check_line : string -> (unit, string) result
-(** Validate a single trace line (shape-checked, not just JSON). *)
+(** Validate a single trace line (shape-checked, not just JSON; unknown
+    kinds are errors here — this guards the writer, not the reader). *)
 
 val of_lines : string list -> (t, string) result
 (** Blank lines are skipped; the error names the offending line. *)
@@ -13,6 +35,24 @@ val of_file : string -> (t, string) result
 
 val labels : t -> string list
 (** Distinct cell labels appearing in metric names ([""] = unlabeled). *)
+
+(** {2 Accessors} (in trace order; the diff renderer reads through these) *)
+
+val manifest : t -> Json.t option
+
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * float) list
+
+val series : t -> (string * float array * float array) list
+
+val hists : t -> (string * hist_rec) list
+
+val monitors : t -> (string * monitor_rec) list
+(** Keyed by monitor name ([agreement], [validity], ...). *)
+
+val warnings : t -> string list
+(** Reader warnings: skipped unknown record kinds / manifest fields. *)
 
 val render : ?focus:string -> Format.formatter -> t -> unit
 (** Render the report: manifest, skew timelines, ADJ-per-round table,

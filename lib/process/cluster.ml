@@ -3,6 +3,7 @@ module Trace = Csync_sim.Trace
 module Hardware_clock = Csync_clock.Hardware_clock
 module Logical_clock = Csync_clock.Logical_clock
 module Message_buffer = Csync_net.Message_buffer
+module Mon = Csync_obs.Monitor
 
 type 'm proc = Proc : ('s, 'm) Automaton.t * 's ref -> 'm proc
 
@@ -22,6 +23,7 @@ type 'm t = {
      over registrations) and closure-free iteration on every delivery. *)
   mutable hooks : (float -> int -> 'm Automaton.interrupt -> unit) array;
   mutable n_hooks : int;
+  mon : Mon.t;
 }
 
 let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
@@ -40,6 +42,7 @@ let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
     trace;
     hooks = [||];
     n_hooks = 0;
+    mon = Mon.installed ();
   }
 
 let n t = Array.length t.procs
@@ -124,6 +127,10 @@ let handle_delivery t time (delivery : 'm Message_buffer.delivery) =
       | Message_buffer.Timer tag -> Automaton.Timer tag
       | Message_buffer.Msg m -> Automaton.Message (delivery.src, m)
     in
+    (* Publish the delivery's provenance id in the worker-local slot so the
+       receiving automaton's instrumentation (Maintenance's ARR shadow)
+       can attribute the interrupt to the exact message copy. *)
+    if Mon.enabled t.mon then Mon.Prov.set_current t.mon delivery.prov;
     let (Proc (auto, state)) = t.procs.(dst) in
     let phys = Hardware_clock.time t.clocks.(dst) time in
     let new_state, actions = auto.Automaton.handle ~self:dst ~phys interrupt !state in

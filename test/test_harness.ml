@@ -28,7 +28,7 @@ let sampling_tests =
             ~delay:(Csync_net.Delay.constant 1e-3) ~procs:[| proc |] ()
         in
         check_raises_invalid "empty" (fun () ->
-            ignore (Sampling.run ~cluster ~observe:[] ~times:[| 1. |])));
+            ignore (Sampling.run ~cluster ~observe:[] ~times:[| 1. |] ())));
     t "skew of identical silent clocks is zero" (fun () ->
         let clocks =
           Array.init 3 (fun _ -> Csync_clock.Hardware_clock.create Csync_clock.Drift.perfect)
@@ -40,7 +40,7 @@ let sampling_tests =
         in
         let s =
           Sampling.run ~cluster ~observe:[ 0; 1; 2 ]
-            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11)
+            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11) ()
         in
         check_float "max skew" 0. (Sampling.max_skew s);
         check_float "steady" 0. (Sampling.steady_skew s));
@@ -60,7 +60,7 @@ let sampling_tests =
         in
         let s =
           Sampling.run ~cluster ~observe:[ 0; 1 ]
-            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11)
+            ~times:(Sampling.grid ~from_time:0. ~to_time:10. ~count:11) ()
         in
         check_float "all" 1. (Sampling.max_skew s);
         check_float "after end" 0. (Sampling.max_skew ~from_time:11. s));

@@ -95,7 +95,7 @@ let buffer_tests =
         let engine, buffer = make_buffer () in
         Mb.send buffer ~src:0 ~dst:1 "hello";
         (match Engine.next engine with
-         | Some (tm, { Mb.src; dst; body = Mb.Msg m }) ->
+         | Some (tm, { Mb.src; dst; body = Mb.Msg m; _ }) ->
            check_float "time" 0.01 tm;
            check_int "src" 0 src;
            check_int "dst" 1 dst;
@@ -141,7 +141,9 @@ let buffer_tests =
     t "collision filter applies to ordinary messages only" (fun () ->
         let collision = Collision.bounded_buffer ~n:3 ~capacity:1 ~window:10. in
         let _, buffer = make_buffer ~collision () in
-        let msg body = { Mb.src = 0; dst = 1; body } in
+        let msg body =
+          { Mb.src = 0; dst = 1; prov = Csync_obs.Monitor.Prov.null; body }
+        in
         check_true "first msg" (Mb.admit buffer (msg (Mb.Msg "a")) ~now:0.);
         check_bool "second dropped" false (Mb.admit buffer (msg (Mb.Msg "b")) ~now:0.1);
         check_true "timer immune" (Mb.admit buffer (msg (Mb.Timer 0.)) ~now:0.2);

@@ -7,6 +7,8 @@ module Obs = Csync_obs.Registry
 module Json = Csync_obs.Json
 module Manifest = Csync_obs.Manifest
 module Report = Csync_obs.Report
+module Mon = Csync_obs.Monitor
+module Diff = Csync_obs.Diff
 open Helpers
 
 let t name f = Alcotest.test_case name `Quick f
@@ -16,6 +18,11 @@ let t name f = Alcotest.test_case name `Quick f
 let with_installed reg f =
   Obs.install reg;
   Fun.protect ~finally:Obs.clear_installed f
+
+(* Same discipline for the ambient monitor. *)
+let with_monitor mon f =
+  Mon.install mon;
+  Fun.protect ~finally:Mon.clear_installed f
 
 let json_tests =
   [
@@ -202,6 +209,333 @@ let report_tests =
         match Report.of_lines [ "{\"record\":\"manifest\"}"; "{oops" ] with
         | Ok _ -> Alcotest.fail "expected parse error"
         | Error e -> check_true "names line 2" (contains e "line 2"));
+    t "empty and manifest-only traces render" (fun () ->
+        (match Report.of_lines [] with
+        | Error e -> Alcotest.failf "empty trace: %s" e
+        | Ok t ->
+          let out = Format.asprintf "%a" (Report.render ?focus:None) t in
+          check_true "notes the missing manifest"
+            (contains out "no manifest record"));
+        let m =
+          Json.to_string (Manifest.make ~target:"E1" ~seed:1 ~jobs:1 ~quick:true ())
+        in
+        match Report.of_lines [ m ] with
+        | Error e -> Alcotest.failf "manifest-only trace: %s" e
+        | Ok t ->
+          let out = Format.asprintf "%a" (Report.render ?focus:None) t in
+          check_true "manifest section" (contains out "== Manifest ==");
+          check_true "target" (contains out "E1"));
+  ]
+
+(* Forward compatibility: the reader must survive traces from newer
+   writers (unknown record kinds, unknown manifest fields) with warnings,
+   while staying a clean one-line error on genuinely malformed input. *)
+let forward_compat_tests =
+  [
+    t "unknown record kinds are skipped with a warning" (fun () ->
+        let lines =
+          [
+            {|{"record":"manifest","schema":"csync-trace/1","target":"E1"}|};
+            {|{"record":"flux_capacitor","name":"x","value":88}|};
+            {|{"record":"counter","name":"c","value":3}|};
+          ]
+        in
+        match Report.of_lines lines with
+        | Error e -> Alcotest.failf "reader should not fail: %s" e
+        | Ok t ->
+          check_int "counter still read" 1 (List.length (Report.counters t));
+          check_int "one warning" 1 (List.length (Report.warnings t));
+          check_true "warning names the kind"
+            (contains (List.hd (Report.warnings t)) "flux_capacitor"));
+    t "unknown manifest fields are skipped with a warning" (fun () ->
+        let lines =
+          [ {|{"record":"manifest","schema":"csync-trace/1","hovercraft":true}|} ]
+        in
+        match Report.of_lines lines with
+        | Error e -> Alcotest.failf "reader should not fail: %s" e
+        | Ok t ->
+          check_int "one warning" 1 (List.length (Report.warnings t));
+          check_true "warning names the field"
+            (contains (List.hd (Report.warnings t)) "hovercraft"));
+    t "the writer-side validator stays strict on unknown kinds" (fun () ->
+        match Report.check_line {|{"record":"flux_capacitor"}|} with
+        | Ok () -> Alcotest.fail "check_line must reject unknown kinds"
+        | Error e -> check_true "names the kind" (contains e "flux_capacitor"));
+    t "truncated and shape-broken lines give one-line errors" (fun () ->
+        (match Report.of_lines [ {|{"record":"counter","na|} ] with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check_true "names line 1" (contains e "line 1"));
+        match
+          Report.of_lines
+            [ {|{"record":"series","name":"s","xs":[1],"ys":[1,2]}|} ]
+        with
+        | Ok _ -> Alcotest.fail "expected error"
+        | Error e -> check_true "mismatch named" (contains e "mismatch"));
+  ]
+
+(* Online theorem monitors: handle semantics of each of the four checks,
+   the provenance ring, and end-to-end violation extraction from a
+   chaos run. *)
+let monitor_tests =
+  let find_first mon check =
+    List.find_map
+      (fun (c, _, _, first) -> if c = check then first else None)
+      (Mon.results mon)
+  in
+  [
+    t "disabled monitor handles are permanent no-ops" (fun () ->
+        let m = Mon.none in
+        check_bool "disabled" false (Mon.enabled m);
+        Mon.Agreement.check
+          (Mon.Agreement.handle m ~gamma:1e-9 ~from_time:0.)
+          ~time:1. ~skew:99.;
+        Mon.Halving.observe
+          (Mon.Halving.handle m ~recurrence:(fun b -> b /. 2.))
+          ~round:1 ~spread:99.;
+        let adj_h = Mon.Adjustment.handle m ~bound:1e-9 ~pid:0 in
+        check_bool "inactive" false (Mon.Adjustment.active adj_h);
+        Mon.Adjustment.check adj_h ~round:1 ~time:1. ~adj:99. ~slots:[||];
+        check_true "mint yields null"
+          (Mon.Prov.mint m ~src:0 ~dst:1 ~sent:0. ~delay:1e-3 = Mon.Prov.null);
+        check_true "null never resolves" (Mon.Prov.find m Mon.Prov.null = None);
+        check_int "no evaluations" 0 (Mon.checks_performed m);
+        check_int "no records" 0 (List.length (Mon.dump m)));
+    t "agreement records the first violation past the warmup" (fun () ->
+        let m = Mon.create () in
+        let h = Mon.Agreement.handle m ~gamma:1.0 ~from_time:10. in
+        Mon.Agreement.check h ~time:5. ~skew:99.;
+        (* before warmup: no claim *)
+        Mon.Agreement.check h ~time:10. ~skew:0.5;
+        Mon.Agreement.check h ~time:11. ~skew:2.0;
+        Mon.Agreement.check h ~time:12. ~skew:3.0;
+        check_int "evaluations" 3 (Mon.checks_performed m);
+        check_int "violations" 2 (Mon.violations_total m);
+        match Mon.first_violation m with
+        | None -> Alcotest.fail "expected a violation"
+        | Some v ->
+          check_float "first one wins" 11. v.Mon.time;
+          check_float "measured" 2.0 v.Mon.measured;
+          check_float "bound" 1.0 v.Mon.bound);
+    t "validity checks both sides of the envelope" (fun () ->
+        let m = Mon.create () in
+        let h =
+          Mon.Validity.handle m ~alpha1:0.9 ~alpha2:1.1 ~alpha3:0.01 ~t0:0.
+            ~tmin0:0. ~tmax0:0.
+        in
+        Mon.Validity.check h ~time:1. ~min_local:0.95 ~max_local:1.05;
+        check_int "in envelope" 0 (Mon.violations_total m);
+        Mon.Validity.check h ~time:1. ~min_local:0.95 ~max_local:2.0;
+        check_int "upper breach" 1 (Mon.violations_total m);
+        Mon.Validity.check h ~time:1. ~min_local:0.5 ~max_local:1.05;
+        check_int "lower breach" 2 (Mon.violations_total m);
+        match find_first m Mon.Validity with
+        | Some v -> check_float "first is the upper breach" 2.0 v.Mon.measured
+        | None -> Alcotest.fail "expected a validity violation");
+    t "halving checks consecutive rounds and resets on gaps" (fun () ->
+        let m = Mon.create () in
+        let h = Mon.Halving.handle m ~recurrence:(fun b -> b /. 2.) in
+        Mon.Halving.observe h ~round:0 ~spread:1.0;
+        (* chain start *)
+        Mon.Halving.observe h ~round:1 ~spread:0.4;
+        (* 0.4 <= 0.5: ok *)
+        Mon.Halving.observe h ~round:2 ~spread:0.3;
+        (* 0.3 > 0.2: violation *)
+        Mon.Halving.observe h ~round:7 ~spread:10.0;
+        (* gap: chain resets, no check *)
+        check_int "two pairs evaluated" 2 (Mon.checks_performed m);
+        check_int "one violation" 1 (Mon.violations_total m);
+        match find_first m Mon.Halving with
+        | Some v ->
+          check_true "round recorded" (v.Mon.round = Some 2);
+          check_float "bound is the recurrence image" 0.2 v.Mon.bound
+        | None -> Alcotest.fail "expected a halving violation");
+    t "adjustment violation resolves slot provenance, fresh first" (fun () ->
+        let m = Mon.create () in
+        Mon.Prov.stage_fault m "drop";
+        let p1 = Mon.Prov.mint m ~src:1 ~dst:0 ~sent:0.1 ~delay:2e-3 in
+        Mon.Prov.clear_staged m;
+        let p2 = Mon.Prov.mint m ~src:2 ~dst:0 ~sent:0.2 ~delay:1e-3 in
+        (match Mon.Prov.find m p1 with
+        | Some e -> check_true "staged fault attached" (e.Mon.Prov.faults = [ "drop" ])
+        | None -> Alcotest.fail "p1 must resolve");
+        (match Mon.Prov.find m p2 with
+        | Some e -> check_true "cleared after clear_staged" (e.Mon.Prov.faults = [])
+        | None -> Alcotest.fail "p2 must resolve");
+        let h = Mon.Adjustment.handle m ~bound:1e-4 ~pid:0 in
+        check_bool "active" true (Mon.Adjustment.active h);
+        let slots : Mon.slot array =
+          [|
+            { Mon.pid = 2; prov = p2; fresh = false };
+            { Mon.pid = 1; prov = p1; fresh = true };
+          |]
+        in
+        Mon.Adjustment.check h ~round:3 ~time:1.5 ~adj:(-2e-4) ~slots;
+        match find_first m Mon.Adjustment with
+        | None -> Alcotest.fail "expected an adjustment violation"
+        | Some v ->
+          check_float "abs adj" 2e-4 v.Mon.measured;
+          check_true "pid" (v.Mon.pid = Some 0);
+          check_int "both slots resolved" 2 (List.length v.Mon.provenance);
+          (match v.Mon.provenance with
+          | (e1, fresh1) :: (e2, fresh2) :: [] ->
+            check_bool "fresh slot first" true fresh1;
+            check_int "fresh src" 1 e1.Mon.Prov.src;
+            check_bool "stale second" false fresh2;
+            check_int "stale src" 2 e2.Mon.Prov.src
+          | _ -> Alcotest.fail "expected two provenance entries"));
+    t "tightened bounds force violations in a clean scenario" (fun () ->
+        let m = Mon.create ~tighten:1e-6 () in
+        with_monitor m (fun () ->
+            let scenario = Csync_harness.Scenario.default ~seed:42 (params ()) in
+            ignore
+              (Csync_harness.Scenario.run
+                 { scenario with Csync_harness.Scenario.rounds = 6 }));
+        check_true "violations recorded" (Mon.violations_total m > 0);
+        check_true "a first violation exists" (Mon.first_violation m <> None));
+    t "dump round-trips through the report reader" (fun () ->
+        let m = Mon.create ~tighten:1e-6 () in
+        with_monitor m (fun () ->
+            let scenario = Csync_harness.Scenario.default ~seed:42 (params ()) in
+            ignore
+              (Csync_harness.Scenario.run
+                 { scenario with Csync_harness.Scenario.rounds = 6 }));
+        let lines = List.map Json.to_string (Mon.dump m) in
+        check_int "one record per check" 4 (List.length lines);
+        List.iter
+          (fun line ->
+            match Report.check_line line with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "bad monitor record %s: %s" line e)
+          lines;
+        match Report.of_lines lines with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok parsed ->
+          check_int "four monitors" 4 (List.length (Report.monitors parsed));
+          let out = Format.asprintf "%a" (Report.render ?focus:None) parsed in
+          check_true "monitors section" (contains out "== Monitors ==");
+          check_true "first violation rendered"
+            (contains out "first violation"));
+  ]
+
+(* End-to-end causal provenance: a chaos run whose network faults are
+   active from t=0 on every link, monitored with tightened bounds, must
+   yield an adjustment violation whose provenance names the injected
+   faults behind the offending ARR slots (the observability acceptance
+   criterion). *)
+let provenance_tests =
+  [
+    t "chaos breach names the injected faults behind the ADJ" (fun () ->
+        let params = params () in
+        let n = params.Csync_core.Params.n in
+        let over =
+          Csync_chaos.Plan.interval ~from_time:0. ~until_time:1e6
+        in
+        let plan =
+          List.concat_map
+            (fun src ->
+              List.filter_map
+                (fun dst ->
+                  if src = dst then None
+                  else
+                    Some
+                      (Csync_chaos.Plan.Link
+                         {
+                           src;
+                           dst;
+                           fault = Csync_chaos.Plan.Reorder 2e-4;
+                           over;
+                         }))
+                (List.init n Fun.id))
+            (List.init n Fun.id)
+        in
+        let m = Mon.create ~tighten:1e-4 () in
+        let result =
+          with_monitor m (fun () ->
+              Csync_harness.Runner_chaos.run
+                (Csync_harness.Runner_chaos.make ~seed:7 ~rounds:16 ~params plan))
+        in
+        check_true "faults were injected"
+          (Csync_chaos.Injector.total
+             result.Csync_harness.Runner_chaos.stats
+          > 0);
+        let adj_first =
+          List.find_map
+            (fun (c, _, _, first) -> if c = Mon.Adjustment then first else None)
+            (Mon.results m)
+        in
+        match adj_first with
+        | None -> Alcotest.fail "expected an adjustment violation"
+        | Some v ->
+          check_true "provenance resolved" (v.Mon.provenance <> []);
+          check_true "an injected fault is named"
+            (List.exists
+               (fun (e, _) -> List.mem "reorder" e.Mon.Prov.faults)
+               v.Mon.provenance));
+  ]
+
+(* Cross-run trace diffing (csync report --diff).  Captures are built
+   in memory - manifest line + registry dump + monitor dump, exactly
+   what [csync trace] writes - and parsed back through the reader. *)
+let diff_tests =
+  let capture ?(seed = 42) ?(tighten = 1.0) () =
+    let reg = Obs.create () and m = Mon.create ~tighten () in
+    Obs.install reg;
+    Mon.install m;
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.clear_installed ();
+        Mon.clear_installed ())
+      (fun () ->
+        let scenario = Csync_harness.Scenario.default ~seed (params ()) in
+        ignore
+          (Csync_harness.Scenario.run
+             { scenario with Csync_harness.Scenario.rounds = 6 }));
+    let lines =
+      List.map Json.to_string
+        (Manifest.make ~target:"scenario" ~seed ~jobs:1 ~quick:true ()
+         :: (Obs.dump reg @ Mon.dump m))
+    in
+    match Report.of_lines lines with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "capture did not parse: %s" e
+  in
+  let manifest_only ~target =
+    match
+      Report.of_lines
+        [ Json.to_string (Manifest.make ~target ~seed:1 ~jobs:1 ~quick:true ()) ]
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "manifest-only trace did not parse: %s" e
+  in
+  let render a b =
+    Format.asprintf "%a"
+      (fun ppf () -> Diff.render ppf ~name_a:"a.jsonl" ~name_b:"b.jsonl" a b)
+      ()
+  in
+  [
+    t "same-seed captures diff to a one-line verdict" (fun () ->
+        let a = capture () and b = capture () in
+        check_bool "identical" true (Diff.identical a b);
+        let out = render a b in
+        check_true "verdict" (contains out "no differences");
+        check_true "no sections" (not (contains out "==")));
+    t "different seeds surface skew deltas" (fun () ->
+        let a = capture ~seed:42 () and b = capture ~seed:43 () in
+        check_bool "not identical" false (Diff.identical a b);
+        let out = render a b in
+        check_true "seed named in manifest drift"
+          (contains out "Manifest differences" && contains out "seed");
+        check_true "skew deltas section" (contains out "Skew deltas"));
+    t "monitor verdict changes are reported" (fun () ->
+        let a = capture () and b = capture ~tighten:1e-6 () in
+        let out = render a b in
+        check_true "verdict section" (contains out "Monitor verdict changes");
+        check_true "breached side named" (contains out "VIOLATED"));
+    t "mismatched schema/target pair is called out" (fun () ->
+        let a = manifest_only ~target:"E1" and b = manifest_only ~target:"E4" in
+        let out = render a b in
+        check_true "manifest section" (contains out "Manifest differences");
+        check_true "mismatch warning" (contains out "schema/target mismatch"));
   ]
 
 (* The cardinal invariant (tentpole acceptance): telemetry enabled vs
@@ -210,7 +544,7 @@ let report_tests =
    randomness and alters no scheduling - so any divergence here is a bug
    in an instrumentation site. *)
 let determinism_tests =
-  let render_e1 ~traced ~jobs =
+  let render_e1 ?monitor ~traced ~jobs () =
     let e1 =
       match Csync_harness.Registry.find "E1" with
       | Some e -> e
@@ -222,7 +556,8 @@ let determinism_tests =
           Csync_harness.Registry.render_list ~jobs ppf ~quick:true [ e1 ])
         ()
     in
-    if traced then with_installed (Obs.create ()) go else go ()
+    let go () = if traced then with_installed (Obs.create ()) go else go () in
+    match monitor with None -> go () | Some m -> with_monitor m go
   in
   let chaos_skews ~traced ~jobs =
     let params = params () in
@@ -236,11 +571,28 @@ let determinism_tests =
   in
   [
     t "E1 tables byte-identical: telemetry on/off x jobs 1/4" (fun () ->
-        let base = render_e1 ~traced:false ~jobs:1 in
+        let base = render_e1 ~traced:false ~jobs:1 () in
         check_true "render is not vacuous" (String.length base > 200);
-        Alcotest.(check string) "traced jobs=1" base (render_e1 ~traced:true ~jobs:1);
-        Alcotest.(check string) "plain jobs=4" base (render_e1 ~traced:false ~jobs:4);
-        Alcotest.(check string) "traced jobs=4" base (render_e1 ~traced:true ~jobs:4));
+        Alcotest.(check string) "traced jobs=1" base
+          (render_e1 ~traced:true ~jobs:1 ());
+        Alcotest.(check string) "plain jobs=4" base
+          (render_e1 ~traced:false ~jobs:4 ());
+        Alcotest.(check string) "traced jobs=4" base
+          (render_e1 ~traced:true ~jobs:4 ()));
+    t "monitored fault-free E1: zero violations, byte-identical tables"
+      (fun () ->
+        let base = render_e1 ~traced:false ~jobs:1 () in
+        let m1 = Mon.create () in
+        Alcotest.(check string) "monitored jobs=1" base
+          (render_e1 ~monitor:m1 ~traced:false ~jobs:1 ());
+        check_true "bounds were evaluated" (Mon.checks_performed m1 > 0);
+        check_int "fault-free run is clean" 0 (Mon.violations_total m1);
+        let m4 = Mon.create () in
+        Alcotest.(check string) "monitored+traced jobs=4" base
+          (render_e1 ~monitor:m4 ~traced:true ~jobs:4 ());
+        check_int "clean at jobs=4" 0 (Mon.violations_total m4);
+        check_int "same evaluations at any jobs" (Mon.checks_performed m1)
+          (Mon.checks_performed m4));
     t "chaos skews identical: telemetry on/off x jobs 1/4" (fun () ->
         let base = chaos_skews ~traced:false ~jobs:1 in
         check_int "two campaign runs" 2 (List.length base);
@@ -253,4 +605,5 @@ let determinism_tests =
 
 let suite =
   json_tests @ registry_tests @ manifest_tests @ report_tests
+  @ forward_compat_tests @ monitor_tests @ provenance_tests @ diff_tests
   @ determinism_tests

@@ -213,6 +213,24 @@ let bench_obs =
              Csync_obs.Monitor.Agreement.check mon_on ~time:1.0 ~skew:0.5));
     ]
 
+(* The stabilizing recovery wrapper's pass-through cost: [Stabilize.probe]
+   on a healthy state with detection off and no schedule is the guard every
+   wrapped interrupt pays before delegating to the maintenance handler -
+   the acceptance line holds it within ~10 ns/op. *)
+let bench_stabilize =
+  let params = Csync_harness.Defaults.base () in
+  let cfg =
+    Csync_core.Stabilize.config ~detect:false
+      (Csync_core.Maintenance.config params)
+  in
+  let st = Csync_core.Stabilize.initial_state cfg ~self:0 in
+  Test.make_grouped ~name:"stabilize"
+    [
+      Test.make ~name:"wrapper-disabled"
+        (Staged.stage (fun () ->
+             ignore (Csync_core.Stabilize.probe cfg ~phys:1.0 st)));
+    ]
+
 let ns_per_op ols =
   match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
 
@@ -230,7 +248,8 @@ let run_kernels ~quick =
       Hashtbl.fold
         (fun name o acc -> { name; ns_per_op = ns_per_op o } :: acc)
         results [])
-    [ bench_multiset; bench_engine; bench_round; bench_check; bench_obs ]
+    [ bench_multiset; bench_engine; bench_round; bench_check; bench_obs;
+      bench_stabilize ]
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 let find_kernel t name =
@@ -265,6 +284,13 @@ let telemetry_disabled_ns t =
    no-op. *)
 let monitor_disabled_ns t =
   match find_kernel t "obs/monitor-check-disabled" with
+  | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
+  | _ -> None
+
+(* Disabled-path recovery-wrapper overhead per interrupt (the [probe]
+   guard on a healthy, schedule-free wrapper). *)
+let stabilize_disabled_ns t =
+  match find_kernel t "stabilize/wrapper-disabled" with
   | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
   | _ -> None
 
@@ -317,13 +343,17 @@ let pp_summary ppf t =
   | Some r ->
     Format.fprintf ppf "telemetry disabled-path overhead: %.1f ns/op@." r
   | None -> ());
-  match monitor_disabled_ns t with
+  (match monitor_disabled_ns t with
   | Some r ->
     Format.fprintf ppf "monitor disabled-path overhead: %.1f ns/op%s@." r
       (match telemetry_disabled_ns t with
       | Some tele when tele > 0. ->
         Printf.sprintf " (%.2fx the telemetry no-op)" (r /. tele)
       | _ -> "")
+  | None -> ());
+  match stabilize_disabled_ns t with
+  | Some r ->
+    Format.fprintf ppf "stabilize wrapper disabled-path overhead: %.1f ns/op@." r
   | None -> ()
 
 (* Hand-rolled JSON: the container has no JSON library and the shape is
@@ -385,8 +415,12 @@ let to_json t =
     (match telemetry_disabled_ns t with
     | Some r -> json_float r
     | None -> "null");
-  add "    \"monitor_disabled_ns\": %s\n"
+  add "    \"monitor_disabled_ns\": %s,\n"
     (match monitor_disabled_ns t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "    \"stabilize_disabled_ns\": %s\n"
+    (match stabilize_disabled_ns t with
     | Some r -> json_float r
     | None -> "null");
   add "  }\n";

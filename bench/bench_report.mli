@@ -48,6 +48,12 @@ val monitor_disabled_ns : t -> float option
     ([obs/monitor-check-disabled]); the observability acceptance keeps
     this within 2x of {!telemetry_disabled_ns}. *)
 
+val stabilize_disabled_ns : t -> float option
+(** Pass-through cost of the stabilizing recovery wrapper per interrupt
+    ([stabilize/wrapper-disabled]: the {!Csync_core.Stabilize.probe} guard
+    on a healthy, schedule-free wrapper); the robustness acceptance keeps
+    this within ~10 ns/op. *)
+
 val pp_kernels : Format.formatter -> kernel list -> unit
 
 val pp_summary : Format.formatter -> t -> unit

@@ -209,7 +209,8 @@ let simulate_cmd =
 
 (* csync chaos *)
 let chaos_cmd =
-  let run quick seed plans n f rounds plan_file monitor tighten =
+  let run quick seed plans n f rounds plan_file monitor tighten state_corrupt
+      =
     let module RC = Csync_harness.Runner_chaos in
     let module Plan = Csync_chaos.Plan in
     let module Injector = Csync_chaos.Injector in
@@ -219,6 +220,7 @@ let chaos_cmd =
     | exception Invalid_argument msg -> `Error (false, msg)
     | _ when f < 1 -> `Error (false, "chaos needs a fault budget of f >= 1")
     | params ->
+    let good r = RC.ok r && RC.stabilizations_ok ~params r in
     match plan_file with
     | Some file -> begin
       (* One deterministic run of a serialized plan (e.g. a model-checker
@@ -247,8 +249,8 @@ let chaos_cmd =
           Format.printf
             "injected %d faults; clean skew %.3e / gamma %.3e: %s@."
             (Injector.total r.RC.stats) r.RC.max_clean_skew r.RC.gamma
-            (if RC.ok r then "ok" else "BOUND VIOLATED");
-          if RC.ok r then `Ok ()
+            (if good r then "ok" else "BOUND VIOLATED");
+          if good r then `Ok ()
           else `Error (false, "plan violated the agreement bound"))
     end
     | None ->
@@ -257,7 +259,7 @@ let chaos_cmd =
     let rounds = max 15 rounds in
     Format.printf "chaos campaign: %d plans, %a@." plans Csync_core.Params.pp
       params;
-    let runs = RC.campaign ~rounds ~params ~seeds () in
+    let runs = RC.campaign ~rounds ~corrupt:state_corrupt ~params ~seeds () in
     let failures =
       List.filter
         (fun { RC.seed; plan; result = r } ->
@@ -266,9 +268,10 @@ let chaos_cmd =
             seed (Plan.describe plan)
             (Injector.total r.RC.stats)
             r.RC.max_clean_skew r.RC.gamma
-            (if RC.ok r then "ok"
-             else if RC.agreement_ok r then "REJOIN FAILED"
-             else "AGREEMENT VIOLATED");
+            (if good r then "ok"
+             else if not (RC.agreement_ok r) then "AGREEMENT VIOLATED"
+             else if not (RC.recoveries_ok r) then "REJOIN FAILED"
+             else "STABILIZATION FAILED");
           List.iter
             (fun v ->
               Format.printf "             recovery p%d: %s@." v.RC.pid
@@ -276,7 +279,15 @@ let chaos_cmd =
                  | Some r -> Printf.sprintf "rejoined at round %d" r
                  | None -> "never rejoined"))
             r.RC.recoveries;
-          not (RC.ok r))
+          List.iter
+            (fun s ->
+              Format.printf
+                "             corruption p%d sev %.2f: %d breach(es), back \
+                 in gamma %.1f rounds after the hit@."
+                s.RC.corrupted_pid s.RC.severity s.RC.wrapper_breaches
+                (s.RC.stabilized_in /. params.Csync_core.Params.big_p))
+            r.RC.stabilizations;
+          not (good r))
         runs
     in
     if failures = [] then begin
@@ -316,16 +327,29 @@ let chaos_cmd =
              plan in $(docv) (s-expression, as written by the plan \
              generator or csync check).")
   in
+  let state_corrupt =
+    Arg.(
+      value & flag
+      & info [ "state-corrupt" ]
+          ~doc:
+            "Force a transient state corruption into every generated plan \
+             (and add the fault kind to the random pool): the victim's \
+             correction, arrival buffers, and round bookkeeping are \
+             overwritten with garbage, and the stabilizing recovery \
+             wrapper must detect the breach and reintegrate within the \
+             derived round bound.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Run a campaign of randomized fault plans (crashes, partitions, \
-          lossy links, clock disturbances) and check the suspect-aware \
-          agreement bound plus reintegration of repaired crashers.")
+          lossy links, clock disturbances, transient state corruption) and \
+          check the suspect-aware agreement bound plus reintegration of \
+          repaired crashers and self-stabilization of corrupted state.")
     Term.(
       ret
         (const run $ quick_arg $ seed $ plans $ n $ f $ rounds $ plan_file
-       $ monitor_arg $ tighten_arg))
+       $ monitor_arg $ tighten_arg $ state_corrupt))
 
 (* csync check *)
 let check_cmd =

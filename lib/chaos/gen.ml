@@ -5,11 +5,13 @@ type spec = {
   params : Params.t;
   window : Plan.interval;
   include_crash : bool;
+  include_corrupt : bool;
   max_victims : int option;
 }
 
-let spec ?(include_crash = false) ?max_victims ~params ~window () =
-  { params; window; include_crash; max_victims }
+let spec ?(include_crash = false) ?(include_corrupt = false) ?max_victims
+    ~params ~window () =
+  { params; window; include_crash; include_corrupt; max_victims }
 
 type kind =
   | K_crash
@@ -20,9 +22,15 @@ type kind =
   | K_corrupt
   | K_step
   | K_rate
+  | K_state_corrupt
 
 let kinds =
   [| K_partition; K_drop; K_duplicate; K_reorder; K_corrupt; K_step; K_rate |]
+
+(* The state-corruption kind joins the pool only when asked for
+   ([include_corrupt]), so existing campaign seeds keep their exact RNG
+   draw sequence and plans. *)
+let kinds_with_corrupt = Array.append kinds [| K_state_corrupt |]
 
 (* Pick an interval inside the spec window: starts anywhere, lasts between
    half a round and ~2.5 rounds, clipped to the window. *)
@@ -117,6 +125,20 @@ let events_for ~rng spec ~victim kind =
     let sign = if Rng.bool rng then 1. else -1. in
     let factor = 1. +. (sign *. Rng.uniform rng ~lo:50. ~hi:400. *. rho) in
     [ Plan.Rate_change { pid = victim; factor; over = pick_interval ~rng spec } ]
+  | K_state_corrupt ->
+    (* Severities span the whole damage ladder (correction-only push up
+       through scrambled buffers and stuck timers); the instant leaves
+       at least ~3 rounds of window so the recovery wrapper's rejoin can
+       complete before the plan window closes. *)
+    let severity = Rng.uniform rng ~lo:0.25 ~hi:1. in
+    let at =
+      Rng.uniform rng ~lo:spec.window.Plan.from_time
+        ~hi:
+          (Float.max
+             (spec.window.Plan.from_time +. (0.1 *. p.Params.big_p))
+             (spec.window.Plan.until_time -. (3. *. p.Params.big_p)))
+    in
+    [ Plan.State_corrupt { pid = victim; at; severity } ]
 
 let random ~rng spec =
   let p = spec.params in
@@ -125,17 +147,31 @@ let random ~rng spec =
   if spec.window.Plan.until_time -. spec.window.Plan.from_time < p.Params.big_p
   then invalid_arg "Chaos.Gen.random: window shorter than one round";
   let budget = match spec.max_victims with Some m -> min m f | None -> f in
+  (* Forced kinds each claim one victim slot; raise the floor so a plan
+     asked to include both a crash and a corruption (budget permitting)
+     actually has victims for both.  The floor change draws no extra
+     randomness, so plans without [include_corrupt] are unchanged. *)
+  let forced =
+    (if spec.include_crash then 1 else 0)
+    + if spec.include_corrupt then 1 else 0
+  in
   let victims =
     let pids = Array.init n Fun.id in
     Rng.shuffle rng pids;
-    Array.to_list (Array.sub pids 0 (max 1 (1 + Rng.int rng budget)))
+    let count = max (min budget (max 1 forced)) (1 + Rng.int rng budget) in
+    Array.to_list (Array.sub pids 0 count)
   in
   let plan =
     List.concat
       (List.mapi
          (fun i victim ->
+           let corrupt_slot = if spec.include_crash then 1 else 0 in
            let kind =
              if spec.include_crash && i = 0 then K_crash
+             else if spec.include_corrupt && i = corrupt_slot then
+               K_state_corrupt
+             else if spec.include_corrupt then
+               kinds_with_corrupt.(Rng.int rng (Array.length kinds_with_corrupt))
              else kinds.(Rng.int rng (Array.length kinds))
            in
            events_for ~rng spec ~victim kind)

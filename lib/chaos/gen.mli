@@ -14,11 +14,17 @@ type spec = {
   window : Plan.interval;  (** real-time window faults may start in *)
   include_crash : bool;
       (** force the first victim to crash and later recover *)
+  include_corrupt : bool;
+      (** force a victim to suffer a transient state corruption, and add
+          the state-corruption kind to the random pool for the rest.
+          Off by default so existing campaign seeds keep their exact
+          plans. *)
   max_victims : int option;  (** further cap below [params.f] *)
 }
 
 val spec :
   ?include_crash:bool ->
+  ?include_corrupt:bool ->
   ?max_victims:int ->
   params:Csync_core.Params.t ->
   window:Plan.interval ->
@@ -29,7 +35,8 @@ val random : rng:Csync_sim.Rng.t -> spec -> Plan.t
 (** A fresh validated plan: 1 to [min f max_victims] victims, each hit by
     one randomly chosen fault kind (crash+recover, isolation partition,
     link drop/duplicate/reorder/corrupt toward 1-3 destinations, clock
-    step, or rate change).  Deterministic in [rng].
+    step, rate change, or - with [include_corrupt] - transient state
+    corruption).  Deterministic in [rng].
 
     @raise Invalid_argument if [params.f < 1] or the window is shorter
     than one round. *)

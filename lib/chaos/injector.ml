@@ -9,17 +9,46 @@ type stats = {
   mutable delayed : int;
   mutable corrupted : int;
   mutable partitioned : int;
+  mutable state_corrupted : int;
 }
 
 let stats () =
-  { dropped = 0; duplicated = 0; delayed = 0; corrupted = 0; partitioned = 0 }
+  {
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    corrupted = 0;
+    partitioned = 0;
+    state_corrupted = 0;
+  }
 
-let total s = s.dropped + s.duplicated + s.delayed + s.corrupted + s.partitioned
+let total s =
+  s.dropped + s.duplicated + s.delayed + s.corrupted + s.partitioned
+  + s.state_corrupted
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "dropped=%d duplicated=%d delayed=%d corrupted=%d partitioned=%d" s.dropped
-    s.duplicated s.delayed s.corrupted s.partitioned
+    "dropped=%d duplicated=%d delayed=%d corrupted=%d partitioned=%d \
+state-corrupted=%d"
+    s.dropped s.duplicated s.delayed s.corrupted s.partitioned s.state_corrupted
+
+(* State corruptions never pass through the message buffer - the recovery
+   wrapper applies them to process state directly from the plan's
+   schedule - so the runner notes them here explicitly, keeping the
+   campaign ledger (stats, counters, trace events) uniform across fault
+   kinds. *)
+let note_state_corrupt ~stats:st ~pid ~at ~severity =
+  st.state_corrupted <- st.state_corrupted + 1;
+  let obs = Obs.installed () in
+  Obs.Counter.incr (Obs.counter obs "chaos.state_corrupted");
+  if Obs.enabled obs then
+    Obs.event obs "chaos.inject"
+      [
+        ("kind", Json.Str "state-corrupt");
+        ("pid", Json.num_of_int pid);
+        ("severity", Json.Num severity);
+        ("t", Json.Num at);
+      ]
 
 let crosses_cut left right ~src ~dst =
   (List.mem src left && List.mem dst right)

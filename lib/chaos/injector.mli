@@ -12,10 +12,20 @@ type stats = {
   mutable delayed : int;
   mutable corrupted : int;
   mutable partitioned : int;  (** messages lost to an active partition *)
+  mutable state_corrupted : int;
+      (** transient state corruptions applied by the recovery wrapper *)
 }
 
 val stats : unit -> stats
 (** Fresh zeroed counters. *)
+
+val note_state_corrupt :
+  stats:stats -> pid:int -> at:float -> severity:float -> unit
+(** Record one applied [State_corrupt] fault.  These never cross the
+    message buffer (the {!Csync_core.Stabilize} wrapper applies them to
+    process state directly), so the runner notes them explicitly; bumps
+    [state_corrupted], the ambient [chaos.state_corrupted] counter, and -
+    when tracing - a [chaos.inject] event. *)
 
 val total : stats -> int
 

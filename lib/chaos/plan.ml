@@ -19,6 +19,7 @@ type event =
   | Rate_change of { pid : int; factor : float; over : interval }
   | Crash of { pid : int; at : float }
   | Recover of { pid : int; at : float }
+  | State_corrupt of { pid : int; at : float; severity : float }
 
 type t = event list
 
@@ -33,8 +34,43 @@ let check_probability name p =
 let check_interval i =
   if i.until_time <= i.from_time then invalid_arg "Chaos.Plan: empty interval"
 
+(* Crash/recover validation allows repeated kill/restart cycles per
+   process (soak-style plans): per pid, the time-sorted lifecycle events
+   must strictly alternate crash, recover, crash, ...  What stays
+   rejected: a recovery with no preceding crash, a crash while already
+   down (overlapping down intervals), and coincident lifecycle events. *)
+let validate_lifecycle pid evs =
+  let evs = List.sort (fun (a, _) (b, _) -> Float.compare a b) evs in
+  let rec go down prev = function
+    | [] -> ()
+    | (t, kind) :: rest ->
+      if t = prev then
+        invalid_arg
+          (Printf.sprintf
+             "Chaos.Plan: coincident crash/recovery events for process %d" pid);
+      (match kind with
+       | `Crash ->
+         if down then
+           invalid_arg
+             (Printf.sprintf
+                "Chaos.Plan: overlapping down intervals for process %d" pid)
+       | `Recover ->
+         if not down then
+           invalid_arg
+             (Printf.sprintf
+                "Chaos.Plan: recovery of process %d without a preceding crash"
+                pid));
+      go (kind = `Crash) t rest
+  in
+  go false Float.neg_infinity evs
+
 let validate ~n plan =
-  let crashes = Hashtbl.create 8 and recoveries = Hashtbl.create 8 in
+  let lifecycle = Hashtbl.create 8 in
+  let corrupted = ref [] in
+  let note_lifecycle pid entry =
+    let prior = Option.value ~default:[] (Hashtbl.find_opt lifecycle pid) in
+    Hashtbl.replace lifecycle pid (entry :: prior)
+  in
   List.iter
     (fun ev ->
       match ev with
@@ -68,32 +104,65 @@ let validate ~n plan =
         if factor <= 0. then invalid_arg "Chaos.Plan: nonpositive rate factor"
       | Crash { pid; at } ->
         check_pid ~n pid;
-        if Hashtbl.mem crashes pid then
-          invalid_arg "Chaos.Plan: multiple crashes of one process";
-        Hashtbl.add crashes pid at
+        if at < 0. then invalid_arg "Chaos.Plan: crash before time 0";
+        note_lifecycle pid (at, `Crash)
       | Recover { pid; at } ->
         check_pid ~n pid;
-        if Hashtbl.mem recoveries pid then
-          invalid_arg "Chaos.Plan: multiple recoveries of one process";
-        Hashtbl.add recoveries pid at)
+        if at < 0. then invalid_arg "Chaos.Plan: recovery before time 0";
+        note_lifecycle pid (at, `Recover)
+      | State_corrupt { pid; at; severity } ->
+        check_pid ~n pid;
+        if at < 0. then invalid_arg "Chaos.Plan: state corruption before time 0";
+        if not (severity > 0. && severity <= 1.) then
+          invalid_arg
+            (Printf.sprintf "Chaos.Plan: corruption severity %g out of (0, 1]"
+               severity);
+        corrupted := pid :: !corrupted)
     plan;
-  Hashtbl.iter
-    (fun pid at ->
-      match Hashtbl.find_opt crashes pid with
-      | None -> invalid_arg "Chaos.Plan: recovery without a crash"
-      | Some crash_at ->
-        if at <= crash_at then
-          invalid_arg "Chaos.Plan: recovery not after the crash")
-    recoveries
+  Hashtbl.iter validate_lifecycle lifecycle;
+  List.iter
+    (fun pid ->
+      if Hashtbl.mem lifecycle pid then
+        invalid_arg
+          (Printf.sprintf
+             "Chaos.Plan: state corruption of crashing process %d (unsupported)"
+             pid))
+    !corrupted
 
-let crash_schedule plan =
+(* Per-pid recovery times, sorted ascending; a crash pairs with the
+   earliest recovery strictly after it (validated plans alternate, so
+   this is exactly its own repair). *)
+let recovery_times plan =
   let recoveries = Hashtbl.create 8 in
   List.iter
-    (function Recover { pid; at } -> Hashtbl.replace recoveries pid at | _ -> ())
+    (function
+      | Recover { pid; at } ->
+        let prior = Option.value ~default:[] (Hashtbl.find_opt recoveries pid) in
+        Hashtbl.replace recoveries pid (at :: prior)
+      | _ -> ())
     plan;
+  Hashtbl.filter_map_inplace
+    (fun _ times -> Some (List.sort Float.compare times))
+    recoveries;
+  recoveries
+
+let recovery_after recoveries pid ~at =
+  match Hashtbl.find_opt recoveries pid with
+  | None -> None
+  | Some times -> List.find_opt (fun t -> t > at) times
+
+let crash_schedule plan =
+  let recoveries = recovery_times plan in
   List.filter_map
     (function
-      | Crash { pid; at } -> Some (pid, at, Hashtbl.find_opt recoveries pid)
+      | Crash { pid; at } -> Some (pid, at, recovery_after recoveries pid ~at)
+      | _ -> None)
+    plan
+
+let corruption_schedule plan =
+  List.filter_map
+    (function
+      | State_corrupt { pid; at; severity } -> Some (pid, at, severity)
       | _ -> None)
     plan
 
@@ -103,12 +172,21 @@ let crash_schedule plan =
    paper's model has no lossy links, so a cut makes one side faulty); clock
    disturbances and crashes on the disturbed process.  [settle] extends
    each window past the event's end: the time the algorithm needs to pull a
-   repaired or disturbed process back inside gamma. *)
-let suspect_windows ~settle plan =
-  let recoveries = Hashtbl.create 8 in
-  List.iter
-    (function Recover { pid; at } -> Hashtbl.replace recoveries pid at | _ -> ())
-    plan;
+   repaired or disturbed process back inside gamma.
+
+   A corrupted process mirrors crash semantics: suspect from the
+   corruption instant until [settle] after the recovery wrapper re-admits
+   it.  Re-admission is runtime knowledge, not plan data, so callers pass
+   it in as [readmitted] - [(pid, time)] pairs; with no matching
+   re-admission the process stays suspect forever. *)
+let suspect_windows ?(readmitted = []) ~settle plan =
+  let recoveries = recovery_times plan in
+  let readmission_after pid ~at =
+    List.filter_map
+      (fun (p, t) -> if p = pid && t > at then Some t else None)
+      readmitted
+    |> List.fold_left Float.min infinity
+  in
   List.filter_map
     (fun ev ->
       match ev with
@@ -126,31 +204,39 @@ let suspect_windows ~settle plan =
         Some ([ pid ], { over with until_time = over.until_time +. settle })
       | Crash { pid; at } ->
         let until =
-          match Hashtbl.find_opt recoveries pid with
+          match recovery_after recoveries pid ~at with
           | Some r -> r +. settle
           | None -> infinity
+        in
+        Some ([ pid ], { from_time = at; until_time = until })
+      | State_corrupt { pid; at; severity = _ } ->
+        let until =
+          match readmission_after pid ~at with
+          | r when Float.is_finite r -> r +. settle
+          | _ -> infinity
         in
         Some ([ pid ], { from_time = at; until_time = until })
       | Recover _ -> None)
     plan
 
-let suspects_at plan ~settle ~time =
-  suspect_windows ~settle plan
+let suspects_at ?readmitted plan ~settle ~time =
+  suspect_windows ?readmitted ~settle plan
   |> List.filter_map (fun (pids, w) ->
          if in_interval w ~time then Some pids else None)
   |> List.concat
   |> List.sort_uniq Int.compare
 
-let max_concurrent_suspects plan ~settle ~horizon =
+let max_concurrent_suspects ?readmitted plan ~settle ~horizon =
   (* The suspect count only changes at window boundaries; probing just
      inside each start suffices. *)
   let starts =
-    suspect_windows ~settle plan |> List.map (fun (_, w) -> w.from_time)
+    suspect_windows ?readmitted ~settle plan
+    |> List.map (fun (_, w) -> w.from_time)
   in
   List.fold_left
     (fun acc t0 ->
       if t0 > horizon then acc
-      else max acc (List.length (suspects_at plan ~settle ~time:t0)))
+      else max acc (List.length (suspects_at ?readmitted plan ~settle ~time:t0)))
     0 starts
 
 let affected_pids plan =
@@ -185,6 +271,8 @@ let pp_event ppf = function
       over.from_time over.until_time
   | Crash { pid; at } -> Format.fprintf ppf "crash p%d @@ %.2f" pid at
   | Recover { pid; at } -> Format.fprintf ppf "recover p%d @@ %.2f" pid at
+  | State_corrupt { pid; at; severity } ->
+    Format.fprintf ppf "state-corrupt p%d sev %.2f @@ %.2f" pid severity at
 
 let pp ppf plan =
   Format.fprintf ppf "@[<v>%a@]"
@@ -241,6 +329,12 @@ let sexp_of_event = function
       [ S.atom "recover";
         S.list [ S.atom "pid"; S.int_atom pid ];
         S.list [ S.atom "at"; S.float_atom at ] ]
+  | State_corrupt { pid; at; severity } ->
+    S.list
+      [ S.atom "state-corrupt";
+        S.list [ S.atom "pid"; S.int_atom pid ];
+        S.list [ S.atom "at"; S.float_atom at ];
+        S.list [ S.atom "severity"; S.float_atom severity ] ]
 
 let to_sexp_string plan =
   S.to_string (S.list (S.atom "plan" :: List.map sexp_of_event plan))
@@ -334,6 +428,11 @@ let event_of_sexp ev =
       let* pid = req_int "pid" ev in
       let* at = req_float "at" ev in
       Ok (Recover { pid; at })
+    | "state-corrupt" ->
+      let* pid = req_int "pid" ev in
+      let* at = req_float "at" ev in
+      let* severity = req_float "severity" ev in
+      Ok (State_corrupt { pid; at; severity })
     | _ -> Error ("unknown event kind " ^ kind))
   | _ -> Error "malformed event"
 
@@ -370,7 +469,8 @@ let describe plan =
         | Clock_step _ -> "step"
         | Rate_change _ -> "rate"
         | Crash _ -> "crash"
-        | Recover _ -> "recover"))
+        | Recover _ -> "recover"
+        | State_corrupt _ -> "corrupt-state"))
     plan;
   !parts
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -43,25 +43,49 @@ type event =
   | Recover of { pid : int; at : float }
       (** repair of a crashed process; it restarts with an arbitrary
           correction and must reintegrate (Section 9.1) *)
+  | State_corrupt of { pid : int; at : float; severity : float }
+      (** transient fault: the process's in-memory protocol state
+          (correction, ARR buffers, round bookkeeping) is overwritten
+          with adversarial garbage at real time [at].  [severity] in
+          (0, 1] scales how much state is destroyed - small values only
+          perturb the correction, large ones also scramble arrival
+          buffers and timers.  The process itself keeps running: this
+          models bit flips / partial resets, not a crash. *)
 
 type t = event list
 
 val validate : n:int -> t -> unit
 (** @raise Invalid_argument on out-of-range pids, malformed probabilities
-    or intervals, overlapping partition sides, recoveries without (or not
-    after) a matching crash, or repeated crash/recovery of one process. *)
+    or intervals, overlapping partition sides, corruption severities
+    outside (0, 1], state corruption of a process that also crashes,
+    recoveries without a preceding crash, or overlapping down intervals.
+    Repeated crash/recover cycles per process are allowed so long as the
+    per-process lifecycle strictly alternates crash, recover, crash, ... *)
 
 val crash_schedule : t -> (int * float * float option) list
-(** [(pid, crash_at, recover_at)] for every crash in the plan. *)
+(** [(pid, crash_at, recover_at)] for every crash in the plan, pairing
+    each crash with the earliest recovery after it (its own repair, for
+    validated plans). *)
 
-val suspects_at : t -> settle:float -> time:float -> int list
+val corruption_schedule : t -> (int * float * float) list
+(** [(pid, at, severity)] for every state corruption, in plan order. *)
+
+val suspects_at :
+  ?readmitted:(int * float) list -> t -> settle:float -> time:float -> int list
 (** Processes not covered by the paper's assumptions at [time]: blamed for
     an active fault, or still within [settle] seconds of one ending
     (crashed processes stay suspect until [settle] after recovery; never
     recovered means suspect forever).  Link faults blame the sender, a
-    partition its smaller side.  Sorted, duplicate-free. *)
+    partition its smaller side.  Sorted, duplicate-free.
 
-val max_concurrent_suspects : t -> settle:float -> horizon:float -> int
+    A state-corrupted process mirrors crash blame, except its repair is
+    runtime knowledge: pass the recovery wrapper's re-admission instants
+    as [readmitted] [(pid, time)] pairs and the process is suspect from
+    the corruption until [settle] after the first re-admission following
+    it; with no matching entry it stays suspect forever. *)
+
+val max_concurrent_suspects :
+  ?readmitted:(int * float) list -> t -> settle:float -> horizon:float -> int
 (** Peak of [suspects_at] over windows starting in [0, horizon]. *)
 
 val affected_pids : t -> int list

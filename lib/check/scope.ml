@@ -146,6 +146,25 @@ let presets =
             ~mode:Reintegrate ~lattice:2 ~init_points:2 ~depth:3
         in
         { t with garbage = [ -0x1p-7; 0x1p-7 ]; dedup = false } );
+    ( "stabilization-n3",
+      "3 maintainers + 1 rejoiner whose correction was corrupted before \
+       rejoining (Stabilize fallback): garbage up to rounds-scale, all \
+       delay paths, 3 rounds",
+      fun () ->
+        let t =
+          base ~name:"stabilization-n3" ~n_correct:3 ~byz:false
+            ~mode:Reintegrate ~lattice:2 ~init_points:2 ~depth:3
+        in
+        (* Corruption-shaped garbage: the recovery wrapper restarts
+           reintegration with whatever correction the corruption left
+           behind, so the rejoiner's initial corrections span sub-round
+           noise up to multiple-round displacement (d_big_p = 0x1p-6;
+           0x1p-4 is four rounds).  All dyadic, so the exploration stays
+           exact; dedup off, as for reintegration-n3. *)
+        { t with
+          garbage = [ -0x1p-5; -0x1p-7; 0x1p-7; 0x1p-4 ];
+          dedup = false
+        } );
     ( "divergence-n2f1",
       "2 nonfaulty + 1 Byzantine (n=3 = 3f): the [DHS] impossibility - gamma \
        must break",

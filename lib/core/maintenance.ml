@@ -286,6 +286,47 @@ let history s = List.rev s.history
 
 let arr s = Array.copy s.arr
 
+let fresh s = Array.copy s.fresh
+
+(* Transient-fault injection (Chaos State_corrupt): overwrite the
+   locally held protocol state with adversarial garbage, deterministically
+   derived from [severity] and [salt].  Graded damage:
+
+   - always: the correction is pushed by sign(salt) * severity * 4*beta -
+     small severities stay inside the averaging window's slack and heal in
+     about one round, large ones push the process clear of the message
+     window and force full reintegration;
+   - severity >= 1/2: the ARR buffer is filled with garbage arrival times
+     marked fresh, so the next update would average nonsense;
+   - severity >= 3/4: the broadcast deadline is pushed ~2.5 rounds into
+     the future, silencing the process (a stuck round timer).
+
+   [t] itself is left intact: a corrupted T value would turn the victim
+   into a Byzantine sender, which is a different fault model (the paper's
+   f-tolerance covers it, but E15 wants to measure recovery of the victim,
+   not poisoning of the others). *)
+let corrupt cfg ~severity ~salt s =
+  let p = cfg.params in
+  let sign = if salt >= 0. then 1. else -1. in
+  let offset = sign *. severity *. 4. *. p.Params.beta in
+  let corr = s.corr +. offset in
+  let arr, fresh =
+    if severity >= 0.5 then begin
+      let n = Array.length s.arr in
+      let garbage q =
+        let spread = (0.25 +. Float.abs salt) *. p.Params.big_p in
+        let dir = if (q + if salt >= 0. then 0 else 1) land 1 = 0 then 1. else -1. in
+        s.t +. (dir *. spread *. float_of_int (q + 1))
+      in
+      (Array.init n garbage, Array.make n true)
+    end
+    else (Array.copy s.arr, Array.copy s.fresh)
+  in
+  let bcast_at =
+    if severity >= 0.75 then s.bcast_at +. (2.5 *. p.Params.big_p) else s.bcast_at
+  in
+  { s with corr; arr; fresh; bcast_at }
+
 let state_for_rejoin cfg ~corr ~next_t ~round =
   let base = initial_state cfg ~self:0 in
   { base with corr; t = next_t; bcast_at = next_t; round; flag = Bcast }

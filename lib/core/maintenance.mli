@@ -77,6 +77,10 @@ val config :
     each other instead of over stale sentinels.
     @raise Invalid_argument if [exchanges < 1] or [stagger < 0]. *)
 
+val initial_state : config -> self:int -> state
+(** The phase-BCAST state a process starts in (also the automaton's
+    initial state). *)
+
 val automaton : self_hint:int -> config -> (state, float) Csync_process.Automaton.t
 (** The automaton for one process.  [self_hint] must equal the process id
     the automaton will run as (it determines the stagger offset and is
@@ -103,8 +107,22 @@ val arr : state -> float array
 (** Copy of the ARR array (local arrival times; huge-negative sentinel for
     never-heard-from senders). *)
 
+val fresh : state -> bool array
+(** Copy of the per-sender freshness flags: true iff that sender was heard
+    since this round's broadcast. *)
+
 val arr_sentinel : float
 (** The "initially arbitrary" value entries start at. *)
+
+val corrupt : config -> severity:float -> salt:float -> state -> state
+(** Transient-fault injection (the chaos layer's [State_corrupt]):
+    deterministically overwrite the state with adversarial garbage scaled
+    by [severity] in (0, 1] - the correction is always pushed off by
+    [sign(salt) * severity * 4 * beta]; severity >= 1/2 additionally fills
+    ARR with fresh garbage arrival times; severity >= 3/4 also pushes the
+    broadcast deadline ~2.5 rounds out (a stuck timer).  [salt] seeds the
+    garbage pattern.  The round value T is left intact, so the victim does
+    not become a Byzantine sender. *)
 
 (** {1 Reintegration support (Section 9.1)} *)
 

@@ -1,0 +1,119 @@
+(** Self-stabilizing recovery wrapper around {!Maintenance}.
+
+    The paper's bounds assume a process never holds arbitrary garbage in
+    memory; a transient fault (the chaos layer's [State_corrupt]) breaks
+    exactly that.  Following the recovery-wrapper shape of Herman's phase
+    clocks (and the self-stabilizing Byzantine clock-sync line of
+    Khanchandani-Lenzen), this wrapper composes three ingredients:
+
+    + {b Injection}: a schedule of (phys_at, severity, salt) corruption
+      instants, compiled from a plan's [State_corrupt] events, applied to
+      the wrapped state via {!Maintenance.corrupt}.
+    + {b Detection}, from locally observable evidence only (the detector
+      never reads the schedule): at each round update, at least f+1 of the
+      round's fresh arrivals must land inside the {!envelope} around
+      T + delta - fewer means the process is not listening where the
+      nonfaulty majority broadcasts, and with at most f faults elsewhere
+      only its own state explains that.  A second detector catches lost
+      round timers: {!stuck_threshold} messages without a phase flip.
+    + {b Recovery}: on a breach the process abandons its life and runs
+      Section 9.1 reintegration from scratch, exactly as a crash-recovered
+      process would ({!Csync_process.Fault.crash_recover}'s lifecycle);
+      once joined it pops back to a first-class healthy wrapper.
+
+    Small corruptions (correction pushed less than the averaging window's
+    slack) never trip the detector - one round of fault-tolerant averaging
+    absorbs them, which is the cheaper recovery.  The wrapper therefore
+    stabilizes in at most {!recovery_round_bound} rounds either way.
+
+    A wrapper with an empty schedule and detection off is a transparent
+    pass-through; its per-interrupt overhead is the {!probe} guard (a
+    couple of machine words - benchmarked in [bench] as
+    [stabilize/wrapper-disabled]). *)
+
+type mode_tag = Healthy | Recovering
+
+type state
+
+type config
+
+val config :
+  ?detect:bool ->
+  ?schedule:(float * float * float) list ->
+  Maintenance.config ->
+  config
+(** [schedule] lists (phys_at, severity, salt) corruption instants (any
+    order; sorted internally).  [detect] (default true) enables the breach
+    detectors.  @raise Invalid_argument if a severity is outside (0, 1],
+    or if detection or a nonempty schedule is combined with staggering or
+    multiple exchanges (reintegration is defined for the base
+    algorithm). *)
+
+val maintenance_config : config -> Maintenance.config
+
+val envelope : Params.t -> float
+(** Half-width of the healthy-arrival envelope around T + delta:
+    (1+rho) * 2 * (beta + eps) - twice the worst-case nonfaulty spread. *)
+
+val stuck_threshold : Params.t -> int
+(** Messages without a phase flip before the round timer is declared
+    lost: 3n (three rounds' traffic). *)
+
+val recovery_round_bound : Params.t -> int
+(** R such that a corrupted-but-otherwise-nonfaulty process re-enters
+    gamma within R rounds of its last corruption:
+    [ceil (stuck_threshold / (n - 1 - f))] rounds of worst-case stuck
+    detection (up to [f] other processes may be silent, starving the
+    message counter) plus three rounds of reintegration plus one round of
+    margin - 10 for the standard [n = 7, f = 2] set.  The E15
+    eventual-property monitors check against this. *)
+
+val initial_state : config -> self:int -> state
+
+val automaton :
+  self_hint:int -> config -> (state, float) Csync_process.Automaton.t
+(** The wrapped automaton.  The healthy path delegates through the
+    instrumented {!Maintenance.automaton}, so telemetry series and the
+    online |ADJ| monitor keep working for wrapped processes. *)
+
+val create :
+  self:int -> config -> float Csync_process.Cluster.proc * (unit -> state)
+
+val handle :
+  config ->
+  self:int ->
+  phys:float ->
+  float Csync_process.Automaton.interrupt ->
+  state ->
+  state * float Csync_process.Automaton.action list
+(** The raw transition function (uninstrumented inner maintenance), for
+    tests and embedding. *)
+
+val probe : config -> phys:float -> state -> bool
+(** The per-interrupt fast-path guard: [false] means nothing
+    stabilization-related can happen on this interrupt (no corruption
+    due, not recovering) and the wrapper delegates straight through.
+    Exposed so the bench suite can price the disabled path. *)
+
+(** {1 Accessors} *)
+
+val mode : state -> mode_tag
+
+val corr : state -> float
+
+val corruptions : state -> int
+(** Scheduled corruptions applied so far. *)
+
+val breaches : state -> int
+(** Detector firings (reintegrations started) so far. *)
+
+val readmissions : state -> (int * float) list
+(** [(join_round, phys)] for every completed breach recovery, oldest
+    first. *)
+
+val maintenance_state : state -> Maintenance.state option
+(** The wrapped maintenance state while {!Healthy}. *)
+
+val rounds_completed : state -> int
+(** Maintenance rounds completed; while {!Recovering}, the count at the
+    breach. *)

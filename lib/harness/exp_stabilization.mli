@@ -1,0 +1,6 @@
+(** E15: self-stabilization under transient state corruption - the
+    {!Csync_core.Stabilize} recovery wrapper's stabilization time as a
+    function of corruption breadth (1 to f simultaneous victims) and
+    severity, checked against the derived round bound R. *)
+
+val experiment : Experiment.t

@@ -13,6 +13,7 @@ let all =
     Exp_collision.experiment;
     Exp_ablation.experiment;
     Exp_chaos.experiment;
+    Exp_stabilization.experiment;
   ]
 
 let find id =

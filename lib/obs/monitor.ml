@@ -21,21 +21,32 @@ let locked l f =
     release l;
     raise e
 
-type check = Agreement | Validity | Adjustment | Halving
+type check =
+  | Agreement
+  | Validity
+  | Adjustment
+  | Halving
+  | Stabilization
+  | Reconvergence
 
-let all_checks = [ Agreement; Validity; Adjustment; Halving ]
+let all_checks =
+  [ Agreement; Validity; Adjustment; Halving; Stabilization; Reconvergence ]
 
 let check_index = function
   | Agreement -> 0
   | Validity -> 1
   | Adjustment -> 2
   | Halving -> 3
+  | Stabilization -> 4
+  | Reconvergence -> 5
 
 let check_name = function
   | Agreement -> "agreement"
   | Validity -> "validity"
   | Adjustment -> "adjustment"
   | Halving -> "halving"
+  | Stabilization -> "stabilization"
+  | Reconvergence -> "reconvergence"
 
 type prov_entry = {
   id : int;
@@ -90,8 +101,10 @@ let staged_key = Tls.new_key (fun () -> ([] : string list))
 
 let current_key = Tls.new_key (fun () -> -1)
 
+let n_checks = List.length all_checks
+
 let make_monitor ~enabled ~checks ~tighten =
-  let on = Array.make 4 false in
+  let on = Array.make n_checks false in
   if enabled then List.iter (fun c -> on.(check_index c) <- true) checks;
   {
     enabled;
@@ -99,7 +112,7 @@ let make_monitor ~enabled ~checks ~tighten =
     on;
     lock = lock_create ();
     cells =
-      Array.init 4 (fun _ ->
+      Array.init n_checks (fun _ ->
           { evals = Atomic.make 0; viols = Atomic.make 0; first = None });
     first_overall = None;
     prov_next = Atomic.make 0;
@@ -330,6 +343,144 @@ module Halving = struct
             }
       | _ -> ());
       c.last <- Some (round, spread)
+end
+
+(* Eventual properties ("within R rounds of the last corruption, ...").
+   Unlike the invariant monitors above, these carry per-pid obligations: a
+   corruption opens one, a later corruption of the same pid replaces it
+   (the property is anchored on the *last* corruption), and the obligation
+   resolves either as a violation - the predicate still fails after the
+   deadline - or as a pass at [finish], when the run has covered the
+   deadline without one.  Obligations whose deadline the run never reaches
+   are inconclusive and dropped, not counted.  Each opened obligation
+   mints a provenance entry naming the corrupting fault, so a first
+   violation names its cause like any message-borne fault would. *)
+module Eventual = struct
+  type pending = {
+    pid : int;
+    corrupted_at : float;
+    deadline : float;
+    provenance : (prov_entry * bool) list;
+    mutable breached : bool;
+  }
+
+  type body = { t : t; check : check; mutable pending : pending list }
+
+  let corrupted c ~pid ~time ~deadline =
+    Prov.stage_fault c.t "state-corrupt";
+    let id = Prov.mint c.t ~src:pid ~dst:pid ~sent:time ~delay:0. in
+    Prov.clear_staged c.t;
+    let provenance =
+      match Prov.find c.t id with None -> [] | Some e -> [ (e, true) ]
+    in
+    c.pending <-
+      { pid; corrupted_at = time; deadline; provenance; breached = false }
+      :: List.filter (fun p -> p.pid <> pid) c.pending
+
+  (* [bad] is the property's failure predicate at this observation.  After
+     the deadline, a failing observation is a violation (recorded once per
+     obligation, on its first breach). *)
+  let observe c ~pid ~time ~bad ~measured ~bound =
+    List.iter
+      (fun p ->
+        if p.pid = pid && (not p.breached) && time > p.deadline && bad then begin
+          p.breached <- true;
+          bump c.t c.check;
+          record c.t
+            {
+              monitor = c.check;
+              label = current_label ();
+              round = None;
+              pid = Some pid;
+              time;
+              measured;
+              bound;
+              provenance = p.provenance;
+            }
+        end)
+      c.pending
+
+  let finish c ~time =
+    List.iter
+      (fun p -> if (not p.breached) && p.deadline <= time then bump c.t c.check)
+      c.pending;
+    c.pending <- []
+end
+
+module Stabilization = struct
+  type handle = Noop | H of { body : Eventual.body; limit : float }
+
+  (* The property: a corrupted process re-enters gamma within [rounds]
+     rounds (of real length [big_p]) of its last corruption.  [tighten]
+     shrinks the allowance. *)
+  let handle t ~rounds ~big_p =
+    if t.enabled && t.on.(check_index Stabilization) then
+      H
+        {
+          body = { Eventual.t; check = Stabilization; pending = [] };
+          limit = float_of_int rounds *. big_p *. t.tighten;
+        }
+    else Noop
+
+  let active = function Noop -> false | H _ -> true
+
+  let corrupted h ~pid ~time =
+    match h with
+    | Noop -> ()
+    | H { body; limit } ->
+      Eventual.corrupted body ~pid ~time ~deadline:(time +. limit)
+
+  let observe h ~pid ~time ~within_gamma =
+    match h with
+    | Noop -> ()
+    | H { body; limit } ->
+      Eventual.observe body ~pid ~time ~bad:(not within_gamma)
+        ~measured:
+          (match
+             List.find_opt (fun p -> p.Eventual.pid = pid) body.Eventual.pending
+           with
+          | Some p -> time -. p.Eventual.corrupted_at
+          | None -> time)
+        ~bound:limit
+
+  let finish h ~time =
+    match h with Noop -> () | H { body; _ } -> Eventual.finish body ~time
+end
+
+module Reconvergence = struct
+  type handle = Noop | H of { body : Eventual.body; limit : float; bound : float }
+
+  (* The property: within [rounds] rounds of its last corruption, a
+     corrupted process' correction is back within [bound] of the clean
+     processes' (the gap the caller measures).  [tighten] shrinks the
+     gap bound. *)
+  let handle t ~rounds ~big_p ~bound =
+    if t.enabled && t.on.(check_index Reconvergence) then
+      H
+        {
+          body = { Eventual.t; check = Reconvergence; pending = [] };
+          limit = float_of_int rounds *. big_p;
+          bound = bound *. t.tighten;
+        }
+    else Noop
+
+  let active = function Noop -> false | H _ -> true
+
+  let corrupted h ~pid ~time =
+    match h with
+    | Noop -> ()
+    | H { body; limit; _ } ->
+      Eventual.corrupted body ~pid ~time ~deadline:(time +. limit)
+
+  let observe h ~pid ~time ~gap =
+    match h with
+    | Noop -> ()
+    | H { body; bound; _ } ->
+      Eventual.observe body ~pid ~time ~bad:(exceeds gap bound) ~measured:gap
+        ~bound
+
+  let finish h ~time =
+    match h with Noop -> () | H { body; _ } -> Eventual.finish body ~time
 end
 
 (* ---------- results ---------- *)

@@ -25,7 +25,17 @@
 
 type t
 
-type check = Agreement | Validity | Adjustment | Halving
+type check =
+  | Agreement
+  | Validity
+  | Adjustment
+  | Halving
+  | Stabilization
+      (** eventual: a corrupted process re-enters gamma within R rounds
+          of its last corruption *)
+  | Reconvergence
+      (** eventual: a corrupted process' correction returns within a
+          bound of the clean processes' *)
 
 val all_checks : check list
 
@@ -33,7 +43,7 @@ val none : t
 (** The disabled singleton. *)
 
 val create : ?checks:check list -> ?tighten:float -> unit -> t
-(** A fresh enabled monitor evaluating [checks] (default: all four).
+(** A fresh enabled monitor evaluating [checks] (default: all of them).
     [tighten] multiplies every bound (default [1.0]); values [< 1.0]
     tighten the bounds beyond the theorems, the standard way to force a
     violation and exercise extraction (cf. [csync check --weaken-gamma]). *)
@@ -182,6 +192,58 @@ module Halving : sig
   (** Feed per-round real-time round-start spreads in round order; each
       consecutive pair [(r, b)], [(r+1, b')] is checked against
       [b' <= recurrence b].  Non-consecutive rounds reset the chain. *)
+end
+
+(** {2 Eventual-property handles}
+
+    Unlike the invariant monitors, these carry per-process {e obligations}
+    opened by [corrupted] (a later corruption of the same process replaces
+    the obligation - the properties are anchored on the {e last}
+    corruption).  An obligation resolves as a violation when the property
+    still fails at an observation past its deadline, or as a pass at
+    [finish] once the run has covered the deadline violation-free;
+    deadlines the run never reaches are inconclusive and not counted.
+    Each obligation carries a minted provenance entry naming the
+    [state-corrupt] fault, so a first violation names the corruption that
+    caused it. *)
+
+module Stabilization : sig
+  type handle
+
+  val handle : t -> rounds:int -> big_p:float -> handle
+  (** The allowance is [rounds * big_p] real seconds ([tighten]
+      multiplies it); [rounds] is the wrapper's
+      [Stabilize.recovery_round_bound] in practice. *)
+
+  val active : handle -> bool
+
+  val corrupted : handle -> pid:int -> time:float -> unit
+
+  val observe : handle -> pid:int -> time:float -> within_gamma:bool -> unit
+  (** Feed each agreement sample of a corrupted process: an out-of-gamma
+      sample past the obligation's deadline is a violation (measured:
+      seconds since the corruption). *)
+
+  val finish : handle -> time:float -> unit
+  (** End of run at real time [time]: resolve covered obligations. *)
+end
+
+module Reconvergence : sig
+  type handle
+
+  val handle : t -> rounds:int -> big_p:float -> bound:float -> handle
+  (** After [rounds * big_p] seconds, the correction gap must be within
+      [bound] ([tighten] multiplies the gap bound). *)
+
+  val active : handle -> bool
+
+  val corrupted : handle -> pid:int -> time:float -> unit
+
+  val observe : handle -> pid:int -> time:float -> gap:float -> unit
+  (** [gap] is the caller's measure of how far the process' correction
+      sits from the clean processes' (e.g. distance to their median). *)
+
+  val finish : handle -> time:float -> unit
 end
 
 (** {2 Results} *)

@@ -1,5 +1,6 @@
 module Params = Csync_core.Params
 module Maintenance = Csync_core.Maintenance
+module Stabilize = Csync_core.Stabilize
 module Rng = Csync_sim.Rng
 module Plan = Csync_chaos.Plan
 module Injector = Csync_chaos.Injector
@@ -10,6 +11,8 @@ type node_report = {
   injected_rate : float;
   final_corr : float;
   rounds : int;
+  corruptions : int;
+  breaches : int;
   sent : int;
   received : int;
   malformed : int;
@@ -59,6 +62,19 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
         (* The filter applies on the receive side only: each receiver
            judges its own inbound link, so a lossy or cut src->dst link
            is sampled exactly once per datagram. *)
+        (* Plan state corruptions aimed at this node become a Stabilize
+           schedule in its own clock's readings; the wrapper applies the
+           garbage at the scheduled instant and must then detect and
+           recover.  Detection stays off for clean nodes, making their
+           wrapper a transparent pass-through. *)
+        let corruption_events =
+          match plan with
+          | None -> []
+          | Some plan ->
+            List.filter
+              (fun (p, _, _) -> p = pid)
+              (Plan.corruption_schedule plan)
+        in
         let recv_filter =
           match plan with
           | None -> None
@@ -69,9 +85,24 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
             in
             Some (fun ~now ~peer -> link ~now ~dir:`Recv ~peer)
         in
+        let schedule =
+          List.map
+            (fun (_, at, severity) ->
+              ( Wall_clock.of_wall clock (epoch +. at),
+                severity,
+                Rng.uniform rng ~lo:(-1.) ~hi:1. ))
+            corruption_events
+        in
+        let scfg =
+          Stabilize.config ~detect:(corruption_events <> []) ~schedule cfg
+        in
+        List.iter
+          (fun (_, at, severity) ->
+            Injector.note_state_corrupt ~stats ~pid ~at ~severity)
+          corruption_events;
         let node, reader =
           Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
-            ~automaton:(Maintenance.automaton ~self_hint:pid cfg)
+            ~automaton:(Stabilize.automaton ~self_hint:pid scfg)
             ?recv_filter ()
         in
         (pid, node, reader, clock))
@@ -104,7 +135,7 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
           let received = Node.messages_received node in
           gauge "recv_rate"
             (if duration > 0. then float_of_int received /. duration else 0.);
-          gauge "rounds" (float_of_int (Maintenance.rounds_completed state));
+          gauge "rounds" (float_of_int (Stabilize.rounds_completed state));
           (* Per-peer liveness: seconds since the last datagram from each
              peer, measured at the end of the run. *)
           List.iter
@@ -122,8 +153,10 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
           pid;
           injected_offset = offsets.(pid);
           injected_rate = rates.(pid);
-          final_corr = Maintenance.corr state;
-          rounds = Maintenance.rounds_completed state;
+          final_corr = Stabilize.corr state;
+          rounds = Stabilize.rounds_completed state;
+          corruptions = Stabilize.corruptions state;
+          breaches = Stabilize.breaches state;
           sent = Node.messages_sent node;
           received = Node.messages_received node;
           malformed = Node.malformed node;

@@ -14,6 +14,10 @@ type node_report = {
   injected_rate : float;
   final_corr : float;
   rounds : int;
+  corruptions : int;
+      (** transient state corruptions the Stabilize wrapper applied *)
+  breaches : int;
+      (** wrapper detector firings (recoveries through reintegration) *)
   sent : int;
   received : int;
   malformed : int;  (** datagrams rejected by the wire codec *)
@@ -46,7 +50,11 @@ val run_maintenance :
 
     [plan] imposes chaos events on the live links (loss, partitions,
     duplication; times relative to the shared epoch) via each node's
-    receive filter.  [degrade] makes every node average over whichever
+    receive filter; [State_corrupt] events are staged into the victim's
+    {!Csync_core.Stabilize} wrapper, which overwrites its state at the
+    scheduled instant and must then detect the breach and recover on its
+    own (every node runs under the wrapper; detection is enabled on the
+    corrupted ones).  [degrade] makes every node average over whichever
     peers it actually heard this round instead of insisting on all [n].
     [active] launches only the listed pids (default: all [n]) - with
     [degrade] this demonstrates graceful operation of a partial

@@ -78,6 +78,91 @@ let plan_tests =
           (Plan.suspects_at plan ~settle:0.5 ~time:2. = [ 3 ]);
         check_true "clears after settle"
           (Plan.suspects_at plan ~settle:0.5 ~time:3.1 = []));
+    t "repeated crash/recover cycles validate; malformed lifecycles don't"
+      (fun () ->
+        let v plan = Plan.validate ~n:7 plan in
+        (* Two full cycles on one process are a legitimate flaky machine. *)
+        v
+          [
+            Plan.Crash { pid = 1; at = 1. };
+            Plan.Recover { pid = 1; at = 2. };
+            Plan.Crash { pid = 1; at = 3. };
+            Plan.Recover { pid = 1; at = 4. };
+          ];
+        check_raises_invalid "crash while down" (fun () ->
+            v
+              [
+                Plan.Crash { pid = 1; at = 1. };
+                Plan.Crash { pid = 1; at = 2. };
+                Plan.Recover { pid = 1; at = 3. };
+              ]);
+        check_raises_invalid "coincident crash/recover" (fun () ->
+            v
+              [
+                Plan.Crash { pid = 1; at = 2. };
+                Plan.Recover { pid = 1; at = 2. };
+              ]);
+        check_raises_invalid "second recover without crash" (fun () ->
+            v
+              [
+                Plan.Crash { pid = 1; at = 1. };
+                Plan.Recover { pid = 1; at = 2. };
+                Plan.Recover { pid = 1; at = 3. };
+              ]));
+    t "crash schedule pairs each cycle's recovery" (fun () ->
+        let plan =
+          [
+            Plan.Crash { pid = 3; at = 1. };
+            Plan.Recover { pid = 3; at = 2. };
+            Plan.Crash { pid = 3; at = 5. };
+          ]
+        in
+        check_true "cycles paired in order"
+          (Plan.crash_schedule plan = [ (3, 1., Some 2.); (3, 5., None) ]));
+    t "state corruption validates pid, time, severity, and lifecycle"
+      (fun () ->
+        let v plan = Plan.validate ~n:7 plan in
+        v [ Plan.State_corrupt { pid = 2; at = 1.; severity = 0.5 } ];
+        check_raises_invalid "severity zero" (fun () ->
+            v [ Plan.State_corrupt { pid = 2; at = 1.; severity = 0. } ]);
+        check_raises_invalid "severity above one" (fun () ->
+            v [ Plan.State_corrupt { pid = 2; at = 1.; severity = 1.5 } ]);
+        check_raises_invalid "negative time" (fun () ->
+            v [ Plan.State_corrupt { pid = 2; at = -1.; severity = 0.5 } ]);
+        check_raises_invalid "corrupting a crashing process" (fun () ->
+            v
+              [
+                Plan.Crash { pid = 2; at = 1. };
+                Plan.Recover { pid = 2; at = 2. };
+                Plan.State_corrupt { pid = 2; at = 4.; severity = 0.5 };
+              ]));
+    t "state corruption blames the victim until readmission + settle"
+      (fun () ->
+        let plan =
+          [ Plan.State_corrupt { pid = 2; at = 10.; severity = 0.5 } ]
+        in
+        let at ?readmitted time =
+          Plan.suspects_at ?readmitted plan ~settle:1. ~time
+        in
+        (* Without a readmission the wrapper never vouched for the victim:
+           suspect from the corruption instant onward. *)
+        check_true "clean before the hit" (at 9.99 = []);
+        check_true "suspect at the hit (closed edge)" (at 10. = [ 2 ]);
+        check_true "suspect forever without readmission" (at 1000. = [ 2 ]);
+        (* A readmission at 12 closes the window at 13 (settle 1). *)
+        let r = [ (2, 12.) ] in
+        check_true "still suspect while settling"
+          (at ~readmitted:r 12.99 = [ 2 ]);
+        check_true "clean at readmit + settle (open edge)"
+          (at ~readmitted:r 13.0 = []);
+        (* Only readmissions strictly after the corruption count, and the
+           earliest such one wins. *)
+        check_true "stale readmission ignored"
+          (at ~readmitted:[ (2, 9.) ] 1000. = [ 2 ]);
+        check_true "earliest later readmission wins"
+          (at ~readmitted:[ (2, 50.); (2, 12.) ] 13.0 = []);
+        check_true "other pids' readmissions irrelevant"
+          (at ~readmitted:[ (3, 12.) ] 1000. = [ 2 ]));
     t "describe summarizes" (fun () ->
         let plan =
           [
@@ -256,6 +341,35 @@ let gen_tests =
           in
           check_int "one victim" 1 (List.length (Plan.affected_pids plan))
         done);
+    t "include_corrupt forces a corruption; its default changes nothing"
+      (fun () ->
+        let window = iv (2. *. p.Params.big_p) (10. *. p.Params.big_p) in
+        for seed = 0 to 19 do
+          let gen spec = Gen.random ~rng:(Rng.create seed) spec in
+          let plan =
+            gen
+              (Gen.spec ~include_crash:(seed mod 2 = 0) ~include_corrupt:true
+                 ~params:p ~window ())
+          in
+          Plan.validate ~n:p.Params.n plan;
+          (match Plan.corruption_schedule plan with
+          | [] -> Alcotest.failf "seed %d: no corruption generated" seed
+          | cs ->
+            List.iter
+              (fun (_, at, severity) ->
+                check_true "severity in (0, 1]" (severity > 0. && severity <= 1.);
+                check_true "inside the window"
+                  (at >= window.Plan.from_time && at < window.Plan.until_time))
+              cs);
+          if seed mod 2 = 0 then
+            check_true "crash still included" (Plan.crash_schedule plan <> []);
+          (* The corrupt slot is gated, not interleaved: with it off, the
+             generator draws the same stream as before the kind existed, so
+             archived seeds keep their plans. *)
+          check_true "default = explicitly off"
+            (gen (Gen.spec ~params:p ~window ())
+            = gen (Gen.spec ~include_corrupt:false ~params:p ~window ()))
+        done);
   ]
 
 (* The acceptance property for the whole chaos layer: across >= 20 seeded
@@ -311,6 +425,57 @@ let campaign_tests =
           check_int "pid" 6 v.RC.pid;
           check_true "rejoined" (v.RC.join_round <> None)
         | _ -> Alcotest.fail "expected one recovery");
+    t "a full-severity corruption breaches the wrapper and stabilizes"
+      (fun () ->
+        let big_p = p.Params.big_p in
+        let plan =
+          [ Plan.State_corrupt { pid = 2; at = 5. *. big_p; severity = 1. } ]
+        in
+        let r = RC.run (RC.make ~seed:11 ~rounds:24 ~params:p plan) in
+        check_true "agreement over the clean set" (RC.agreement_ok r);
+        check_int "injector applied it" 1 r.RC.stats.Injector.state_corrupted;
+        (match r.RC.stabilizations with
+        | [ s ] ->
+          check_int "pid" 2 s.RC.corrupted_pid;
+          check_int "applied" 1 s.RC.applied;
+          check_true "full severity forces a detector breach"
+            (s.RC.wrapper_breaches >= 1);
+          check_true "re-admitted" (s.RC.readmitted_at <> None);
+          check_true "healthy at end" (s.RC.healthy_at_end);
+          check_true "stabilized within the derived bound"
+            (s.RC.stabilized_in <= RC.stabilization_bound ~params:p)
+        | _ -> Alcotest.fail "expected one stabilization");
+        check_true "verdict agrees" (RC.stabilizations_ok ~params:p r));
+    t "a mild corruption is absorbed without a breach" (fun () ->
+        let big_p = p.Params.big_p in
+        let plan =
+          [ Plan.State_corrupt { pid = 4; at = 5. *. big_p; severity = 0.25 } ]
+        in
+        let r = RC.run (RC.make ~seed:7 ~rounds:24 ~params:p plan) in
+        check_true "agreement over the clean set" (RC.agreement_ok r);
+        match r.RC.stabilizations with
+        | [ s ] ->
+          check_int "no breach" 0 s.RC.wrapper_breaches;
+          check_true "still re-admitted after the absorb window"
+            (s.RC.readmitted_at <> None);
+          check_true "healthy at end" s.RC.healthy_at_end;
+          check_true "verdict agrees" (RC.stabilizations_ok ~params:p r)
+        | _ -> Alcotest.fail "expected one stabilization");
+    t "corrupt campaign: 8 seeded plans stabilize" (fun () ->
+        let seeds = List.init 8 (fun i -> 2000 + i) in
+        let runs = RC.campaign ~corrupt:true ~params:p ~seeds () in
+        List.iter
+          (fun { RC.seed; plan; result } ->
+            let label what =
+              Printf.sprintf "seed %d (%s): %s" seed (Plan.describe plan) what
+            in
+            check_true (label "plan includes a corruption")
+              (Plan.corruption_schedule plan <> []);
+            check_true (label "agreement") (RC.agreement_ok result);
+            check_true (label "stabilized")
+              (RC.stabilizations_ok ~params:p result);
+            check_true (label "recoveries rejoined") (RC.recoveries_ok result))
+          runs);
   ]
 
 let sexp_tests =
@@ -332,6 +497,7 @@ let sexp_tests =
             Plan.Rate_change { pid = 2; factor = 1.0009765625; over = iv 2. 5. };
             Plan.Crash { pid = 3; at = 6. };
             Plan.Recover { pid = 3; at = 7.5 };
+            Plan.State_corrupt { pid = 0; at = 3.25; severity = 0.5 };
           ]
         in
         (match Plan.of_sexp_string (Plan.to_sexp_string plan) with
@@ -356,6 +522,64 @@ let sexp_tests =
         | Ok [] -> ()
         | Ok _ -> Alcotest.fail "expected empty plan"
         | Error e -> Alcotest.failf "empty: %s" e);
+    (* Property version of the round-trip: random plans over every event
+       constructor, with full-mantissa random floats (the %h codec must be
+       bit-exact, not just close).  Parsing is structural, so the plans
+       need not be semantically valid. *)
+    (let open QCheck2.Gen in
+     let pid = int_range 0 6 in
+     let time = float_bound_inclusive 100. in
+     let interval =
+       map2
+         (fun from w -> iv from (from +. 1e-6 +. w))
+         time (float_bound_inclusive 10.)
+     in
+     let prob = float_range 1e-6 1.0 in
+     let link_fault =
+       oneof
+         [
+           map (fun x -> Plan.Drop x) prob;
+           map (fun x -> Plan.Duplicate x) prob;
+           map (fun x -> Plan.Reorder x) (float_range 1e-6 0.1);
+           map (fun x -> Plan.Corrupt x) prob;
+         ]
+     in
+     let event =
+       oneof
+         [
+           map2
+             (fun cut over ->
+               let left = List.init cut Fun.id in
+               let right = List.init (7 - cut) (fun i -> cut + i) in
+               Plan.Partition { left; right; over })
+             (int_range 1 6) interval;
+           map2
+             (fun (src, dst) (fault, over) -> Plan.Link { src; dst; fault; over })
+             (pair pid pid)
+             (pair link_fault interval);
+           map2
+             (fun (pid, at) amount -> Plan.Clock_step { pid; at; amount })
+             (pair pid time)
+             (float_range (-1.) 1.);
+           map2
+             (fun (pid, factor) over -> Plan.Rate_change { pid; factor; over })
+             (pair pid (float_range 0.25 4.))
+             interval;
+           map2 (fun pid at -> Plan.Crash { pid; at }) pid time;
+           map2 (fun pid at -> Plan.Recover { pid; at }) pid time;
+           map2
+             (fun (pid, at) severity -> Plan.State_corrupt { pid; at; severity })
+             (pair pid time)
+             (float_range 1e-6 1.0);
+         ]
+     in
+     qcheck ~count:300
+       ~name:"random plans round-trip through sexp bit-exactly"
+       (list_size (int_range 0 8) event)
+       (fun plan ->
+         match Plan.of_sexp_string (Plan.to_sexp_string plan) with
+         | Ok plan' -> plan = plan'
+         | Error e -> QCheck2.Test.fail_reportf "parse failed: %s" e));
   ]
 
 let suite =

@@ -392,6 +392,93 @@ let monitor_tests =
                  { scenario with Csync_harness.Scenario.rounds = 6 }));
         check_true "violations recorded" (Mon.violations_total m > 0);
         check_true "a first violation exists" (Mon.first_violation m <> None));
+    t "stabilization monitor: tight allowance fires, generous stays silent"
+      (fun () ->
+        (* Tight: 2 rounds x 0.5 s = 1 s allowance.  A corruption at t=10
+           must be back in gamma by t=11; an out-of-gamma sample past the
+           deadline is the violation, and its provenance names the
+           corrupting fault. *)
+        let m = Mon.create () in
+        let h = Mon.Stabilization.handle m ~rounds:2 ~big_p:0.5 in
+        check_bool "active" true (Mon.Stabilization.active h);
+        Mon.Stabilization.corrupted h ~pid:3 ~time:10.;
+        Mon.Stabilization.observe h ~pid:3 ~time:10.5 ~within_gamma:false;
+        (* still inside the allowance: no claim yet *)
+        check_int "no early violation" 0 (Mon.violations_total m);
+        Mon.Stabilization.observe h ~pid:3 ~time:11.2 ~within_gamma:false;
+        Mon.Stabilization.observe h ~pid:3 ~time:11.4 ~within_gamma:false;
+        (* recorded once per obligation, on the first breach *)
+        check_int "one violation" 1 (Mon.violations_total m);
+        Mon.Stabilization.finish h ~time:12.;
+        (match Mon.first_violation m with
+        | None -> Alcotest.fail "expected a stabilization violation"
+        | Some v ->
+          check_true "names the pid" (v.Mon.pid = Some 3);
+          check_float "measured: seconds since the corruption" 1.2
+            v.Mon.measured;
+          check_float "bound: the allowance" 1.0 v.Mon.bound;
+          match v.Mon.provenance with
+          | [ (e, _) ] ->
+            check_true "provenance names the corruption"
+              (e.Mon.Prov.faults = [ "state-corrupt" ])
+          | _ -> Alcotest.fail "expected one minted provenance entry");
+        (* Generous: 20 rounds = 10 s.  The same trajectory recovers well
+           before the deadline, so the covered obligation passes. *)
+        let m2 = Mon.create () in
+        let h2 = Mon.Stabilization.handle m2 ~rounds:20 ~big_p:0.5 in
+        Mon.Stabilization.corrupted h2 ~pid:3 ~time:10.;
+        Mon.Stabilization.observe h2 ~pid:3 ~time:11.2 ~within_gamma:false;
+        Mon.Stabilization.observe h2 ~pid:3 ~time:14. ~within_gamma:true;
+        Mon.Stabilization.finish h2 ~time:30.;
+        check_int "silent" 0 (Mon.violations_total m2);
+        check_int "obligation resolved as a pass" 1 (Mon.checks_performed m2));
+    t "eventual obligations anchor on the last corruption" (fun () ->
+        let m = Mon.create () in
+        let h = Mon.Stabilization.handle m ~rounds:2 ~big_p:0.5 in
+        Mon.Stabilization.corrupted h ~pid:1 ~time:10.;
+        (* A second hit at 10.8 replaces the obligation: deadline moves
+           from 11 to 11.8, so a bad sample at 11.2 is no violation. *)
+        Mon.Stabilization.corrupted h ~pid:1 ~time:10.8;
+        Mon.Stabilization.observe h ~pid:1 ~time:11.2 ~within_gamma:false;
+        check_int "re-anchored deadline not yet breached" 0
+          (Mon.violations_total m);
+        Mon.Stabilization.observe h ~pid:1 ~time:11.9 ~within_gamma:false;
+        check_int "breached after the moved deadline" 1
+          (Mon.violations_total m);
+        (* An obligation whose deadline the run never covers is
+           inconclusive: neither a violation nor a pass. *)
+        let m2 = Mon.create () in
+        let h2 = Mon.Stabilization.handle m2 ~rounds:2 ~big_p:0.5 in
+        Mon.Stabilization.corrupted h2 ~pid:1 ~time:10.;
+        Mon.Stabilization.finish h2 ~time:10.5;
+        check_int "inconclusive: no claim" 0 (Mon.checks_performed m2));
+    t "reconvergence monitor: gap bound enforced after the allowance"
+      (fun () ->
+        let m = Mon.create () in
+        let h =
+          Mon.Reconvergence.handle m ~rounds:2 ~big_p:0.5 ~bound:0.1
+        in
+        Mon.Reconvergence.corrupted h ~pid:5 ~time:0.;
+        Mon.Reconvergence.observe h ~pid:5 ~time:0.5 ~gap:7.;
+        (* inside the allowance *)
+        check_int "no early violation" 0 (Mon.violations_total m);
+        Mon.Reconvergence.observe h ~pid:5 ~time:1.2 ~gap:0.5;
+        check_int "stale gap past the deadline" 1 (Mon.violations_total m);
+        (match Mon.first_violation m with
+        | Some v ->
+          check_float "measured: the gap" 0.5 v.Mon.measured;
+          check_float "bound" 0.1 v.Mon.bound
+        | None -> Alcotest.fail "expected a reconvergence violation");
+        (* A converged trajectory stays silent. *)
+        let m2 = Mon.create () in
+        let h2 =
+          Mon.Reconvergence.handle m2 ~rounds:2 ~big_p:0.5 ~bound:0.1
+        in
+        Mon.Reconvergence.corrupted h2 ~pid:5 ~time:0.;
+        Mon.Reconvergence.observe h2 ~pid:5 ~time:1.2 ~gap:0.05;
+        Mon.Reconvergence.finish h2 ~time:2.;
+        check_int "silent" 0 (Mon.violations_total m2);
+        check_int "pass recorded" 1 (Mon.checks_performed m2));
     t "dump round-trips through the report reader" (fun () ->
         let m = Mon.create ~tighten:1e-6 () in
         with_monitor m (fun () ->
@@ -400,7 +487,7 @@ let monitor_tests =
               (Csync_harness.Scenario.run
                  { scenario with Csync_harness.Scenario.rounds = 6 }));
         let lines = List.map Json.to_string (Mon.dump m) in
-        check_int "one record per check" 4 (List.length lines);
+        check_int "one record per check" 6 (List.length lines);
         List.iter
           (fun line ->
             match Report.check_line line with
@@ -410,7 +497,7 @@ let monitor_tests =
         match Report.of_lines lines with
         | Error e -> Alcotest.failf "parse: %s" e
         | Ok parsed ->
-          check_int "four monitors" 4 (List.length (Report.monitors parsed));
+          check_int "six monitors" 6 (List.length (Report.monitors parsed));
           let out = Format.asprintf "%a" (Report.render ?focus:None) parsed in
           check_true "monitors section" (contains out "== Monitors ==");
           check_true "first violation rendered"

@@ -181,6 +181,26 @@ let live_tests =
         in
         check_true "majority heard each other"
           (List.for_all (fun n -> n.Live.received > 0) majority));
+    Alcotest.test_case "a state corruption is applied and absorbed live"
+      `Slow (fun () ->
+        (* A mild corruption (correction push only, no scrambled buffers)
+           lands on node 1 early in the run; the Stabilize wrapper applies
+           it at the scheduled instant and one round of fault-tolerant
+           averaging absorbs it, so the pack ends within gamma. *)
+        let params = live_params ~n:4 ~f:1 in
+        let plan =
+          [ Plan.State_corrupt { pid = 1; at = 0.9; severity = 0.3 } ]
+        in
+        let report =
+          Live.run_maintenance ~base_port:17_620 ~params ~plan ~degrade:true
+            ~duration:2.5 ()
+        in
+        let node1 = List.find (fun n -> n.Live.pid = 1) report.Live.nodes in
+        check_int "corruption applied" 1 node1.Live.corruptions;
+        check_true "rounds happened"
+          (List.for_all (fun n -> n.Live.rounds >= 2) report.Live.nodes);
+        check_true "back within gamma"
+          (report.Live.final_skew <= Params.gamma params));
   ]
 
 let suite = codec_tests @ live_tests

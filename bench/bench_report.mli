@@ -14,12 +14,26 @@ type suite = {
       (** jobs-N suite output byte-identical to the jobs-1 output *)
 }
 
+type alloc = {
+  engine_words_per_event : float;
+      (** raw wheel schedule+drain: float boxing at the callback boundary *)
+  delivery_words_per_event : float;
+      (** warm cluster ping-pong: slab-recycled deliveries, so only the
+          handler's action list and closure-boundary boxing remain *)
+  soa_words_per_event : float;
+      (** one struct-of-arrays round at n = 10^4, merge included *)
+}
+(** The zero-alloc audit: minor-heap words per simulated event on each
+    layer's steady-state path, measured with [Gc.minor_words] after a
+    warm-up pass (slabs and wheels at their high-water marks). *)
+
 type t = {
   mode : string;  (** "quick" or "full" *)
   jobs : int;
   parallel_available : bool;
   suite : suite option;
   kernels : kernel list;
+  alloc : alloc option;
 }
 
 val run : ?jobs:int -> quick:bool -> compare_jobs1:bool -> unit -> t * string

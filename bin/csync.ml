@@ -644,7 +644,44 @@ let bench_cmd =
     in
     Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
   in
-  let run quick jobs json tables baseline =
+  let max_ns_arg =
+    let doc =
+      "Fail (exit nonzero) if the named kernel's measured time exceeds the \
+       bound, e.g. $(b,engine/schedule-pop-1k=404794).  Repeatable; the CI \
+       perf gate."
+    in
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "max-ns" ] ~docv:"KERNEL=NS" ~doc)
+  in
+  let check_max_ns report bounds =
+    let failures =
+      List.filter_map
+        (fun (name, bound) ->
+          match
+            List.find_opt
+              (fun k -> String.equal k.Bench_report.name name)
+              report.Bench_report.kernels
+          with
+          | None -> Some (Printf.sprintf "kernel %s not measured" name)
+          | Some k when not (Float.is_finite k.Bench_report.ns_per_op) ->
+            Some (Printf.sprintf "kernel %s has no finite estimate" name)
+          | Some k when k.Bench_report.ns_per_op > bound ->
+            Some
+              (Printf.sprintf "kernel %s: %.1f ns/op exceeds bound %.1f" name
+                 k.Bench_report.ns_per_op bound)
+          | Some k ->
+            Format.printf "max-ns ok: %s %.1f <= %.1f ns/op@." name
+              k.Bench_report.ns_per_op bound;
+            None)
+        bounds
+    in
+    match failures with
+    | [] -> `Ok ()
+    | fs -> `Error (false, String.concat "; " fs)
+  in
+  let run quick jobs json tables baseline max_ns =
     (* Load the baseline before the (slow) run so a bad path fails fast. *)
     match Option.map Bench_report.load_baseline baseline with
     | Some (Error e) -> `Error (false, e)
@@ -665,7 +702,7 @@ let bench_cmd =
       | Some file ->
         Bench_report.write_json report file;
         Format.printf "wrote %s@." file);
-      `Ok ()
+      check_max_ns report max_ns
   in
   Cmd.v
     (Cmd.info "bench"
@@ -674,7 +711,9 @@ let bench_cmd =
           micro-benchmark the kernels; optionally emit a BENCH JSON report \
           or diff against a previous one.")
     Term.(
-      ret (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg $ baseline_arg))
+      ret
+        (const run $ quick_arg $ jobs_arg $ json_arg $ suite_arg $ baseline_arg
+       $ max_ns_arg))
 
 (* csync trace *)
 let trace_cmd =

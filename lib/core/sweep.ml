@@ -1,0 +1,44 @@
+(* Struct-of-arrays fault-tolerant averaging: the reduced-midpoint round
+   update of Section 4.1 applied row-by-row over a flat slab, with no
+   per-row arrays.  Csync_multiset is the reference implementation; the
+   test suite checks every slab result against it. *)
+
+let g_of ~f ~count = if count <= 0 then 0 else min f ((count - 1) / 3)
+
+(* Rows are short (a ring degree plus one) and arrive nearly sorted from a
+   time-ordered event drain, so insertion sort - O(len + inversions) - beats
+   anything with setup cost here. *)
+let sort_row slab ~off ~len =
+  for i = off + 1 to off + len - 1 do
+    let x = Array.unsafe_get slab i in
+    let j = ref i in
+    while !j > off && Array.unsafe_get slab (!j - 1) > x do
+      Array.unsafe_set slab !j (Array.unsafe_get slab (!j - 1));
+      decr j
+    done;
+    Array.unsafe_set slab !j x
+  done
+
+let mid_sorted slab ~off ~count ~g =
+  (Array.unsafe_get slab (off + g) +. Array.unsafe_get slab (off + count - 1 - g))
+  /. 2.
+
+let mid_row slab ~off ~count ~f =
+  if count <= 0 then invalid_arg "Sweep.mid_row: empty row";
+  sort_row slab ~off ~len:count;
+  mid_sorted slab ~off ~count ~g:(g_of ~f ~count)
+
+let sweep ~slab ~width ~counts ~f ~out =
+  let rows = Array.length counts in
+  if Array.length out < rows then invalid_arg "Sweep.sweep: out too short";
+  if f < 0 then invalid_arg "Sweep.sweep: negative f";
+  for row = 0 to rows - 1 do
+    let count = Array.unsafe_get counts row in
+    if count < 0 || count > width then invalid_arg "Sweep.sweep: bad row count";
+    if count = 0 then Array.unsafe_set out row Float.nan
+    else begin
+      let off = row * width in
+      sort_row slab ~off ~len:count;
+      Array.unsafe_set out row (mid_sorted slab ~off ~count ~g:(g_of ~f ~count))
+    end
+  done

@@ -1,0 +1,41 @@
+(** Struct-of-arrays fault-tolerant averaging (Section 4.1 at scale).
+
+    {!Csync_core.Maintenance} computes each round's correction through
+    {!Csync_multiset}: one sorted array per process per round.  At n in the
+    10^5 range that representation is cache-hostile - n small allocations
+    per round, pointer-chased.  This module applies the same
+    reduced-midpoint update over a single flat slab of estimates,
+    [width] floats per process, sorted and averaged in place with zero
+    allocation.
+
+    The degradation rule matches {!Maintenance}'s degraded average: a row
+    that heard [count] estimates discards its [g = min f ((count - 1) / 3)]
+    extremes on each side, so partially-heard rows (crashed neighbours,
+    sparse topologies) still produce a defined correction.  With full
+    attendance ([count = n] and [f < n/3]) this is exactly the paper's
+    [mid o reduce]. *)
+
+val g_of : f:int -> count:int -> int
+(** Per-row discard width: [min f ((count - 1) / 3)] (0 for an empty row),
+    i.e. the most extremes a [count]-element row can shed per side while
+    keeping a nonempty, majority-correct core. *)
+
+val sort_row : float array -> off:int -> len:int -> unit
+(** Insertion-sort [slab.(off .. off+len-1)] ascending, in place.  Rows
+    come out of a time-ordered event drain nearly sorted, making this
+    O(len + inversions). *)
+
+val mid_row : float array -> off:int -> count:int -> f:int -> float
+(** Sort one row in place and return its reduced midpoint
+    [(row.(g) + row.(count-1-g)) / 2] with [g = g_of ~f ~count].
+    Agrees with [Csync_multiset.mid_reduced ~f:g] on the same values.
+    @raise Invalid_argument if [count <= 0]. *)
+
+val sweep :
+  slab:float array -> width:int -> counts:int array -> f:int ->
+  out:float array -> unit
+(** Row [i] of the slab is [slab.(i*width .. i*width + counts.(i) - 1)].
+    Sorts every row in place and writes its reduced midpoint to [out.(i)];
+    empty rows ([counts.(i) = 0]) write [nan].  Allocation-free.
+    @raise Invalid_argument if [f < 0], [out] is shorter than [counts],
+    or any count is negative or exceeds [width]. *)

@@ -1,0 +1,129 @@
+(* Sharded driver for the struct-of-arrays cluster model.
+
+   A round at n = 10^5 is n(degree+1) events.  Because Soa's topology and
+   delays are pure functions of (seed, src, dst, round), destination ranges
+   are independent: each shard replays its own slice of the round on its
+   own timing-wheel queue, and no cross-shard messaging exists to
+   serialize.  Determinism then rests on two facts:
+
+   - corrections are a positional stitch of per-destination values that do
+     not depend on shard boundaries, so Pool's index-ordered results make
+     the state trajectory byte-identical at any worker count;
+
+   - the canonical event order is recovered by a k-way merge of the shard
+     pop streams on (time, prio, stable id) - each stream is already
+     sorted by that key (Soa.run_shard schedules ids in ascending order),
+     and ids are globally unique, so the merged sequence, and the checksum
+     folded over it, cannot depend on where the shard cuts fell. *)
+
+module Soa = Csync_process.Soa
+module Sweep = Csync_core.Sweep
+
+(* Same 62-bit mixer family as Soa's hash: allocation-free, deterministic
+   across 64-bit platforms. *)
+let mix x =
+  let x = x lxor (x lsr 31) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1F123BB5159A55E5 in
+  x lxor (x lsr 32)
+
+let mix_int h k = mix (h lxor k)
+
+let mix_float h x = mix_int h (Int64.to_int (Int64.bits_of_float x))
+
+let shard_bounds ~n ~shards s = (s * n / shards, (s + 1) * n / shards)
+
+let resolve_jobs jobs =
+  match jobs with Some j when j > 0 -> j | _ -> Pool.default_jobs ()
+
+let round ?jobs t =
+  let n = Soa.n t in
+  let jobs = resolve_jobs jobs in
+  let shards = max 1 (min jobs n) in
+  let results =
+    Pool.init ~jobs shards (fun s ->
+        let lo, hi = shard_bounds ~n ~shards s in
+        let shard = Soa.run_shard t ~lo ~hi in
+        let mids = Array.make (hi - lo) Float.nan in
+        Sweep.sweep ~slab:shard.Soa.slab ~width:(Soa.width t)
+          ~counts:shard.Soa.counts ~f:(Soa.f t) ~out:mids;
+        (shard, mids))
+  in
+  (* Canonical order: k-way merge of the sorted shard streams on
+     (time, packed (prio, id)).  Linear head scan - the stream count is the
+     worker count, not the process count. *)
+  let heads = Array.make shards 0 in
+  let events = ref 0 in
+  let checksum = ref 0x5EED in
+  let exhausted = ref false in
+  while not !exhausted do
+    let best = ref (-1) in
+    let best_time = ref Float.infinity in
+    let best_key = ref max_int in
+    for s = 0 to shards - 1 do
+      let shard, _ = results.(s) in
+      let i = heads.(s) in
+      if i < shard.Soa.count then begin
+        let time = shard.Soa.times.(i) in
+        let key = shard.Soa.keys.(i) in
+        if time < !best_time || (time = !best_time && key < !best_key) then begin
+          best := s;
+          best_time := time;
+          best_key := key
+        end
+      end
+    done;
+    if !best < 0 then exhausted := true
+    else begin
+      heads.(!best) <- heads.(!best) + 1;
+      incr events;
+      checksum := mix_int (mix_float !checksum !best_time) !best_key
+    end
+  done;
+  Array.iter
+    (fun (shard, mids) -> Soa.apply t ~lo:shard.Soa.lo mids)
+    results;
+  Soa.advance t;
+  (!events, !checksum)
+
+type stats = {
+  n : int;
+  jobs : int;
+  shards : int;
+  rounds : int;
+  events : int;
+  checksum : int;
+  spread0 : float;
+  spread1 : float;
+}
+
+let run ?jobs ?(rounds = 1) t =
+  if rounds < 0 then invalid_arg "Scale.run: negative rounds";
+  let jobs = resolve_jobs jobs in
+  let shards = max 1 (min jobs (Soa.n t)) in
+  let spread0 = Soa.spread t in
+  let events = ref 0 in
+  let checksum = ref 0 in
+  for _ = 1 to rounds do
+    let ev, ck = round ~jobs t in
+    events := !events + ev;
+    checksum := mix_int !checksum ck
+  done;
+  {
+    n = Soa.n t;
+    jobs;
+    shards;
+    rounds;
+    events = !events;
+    checksum = !checksum;
+    spread0;
+    spread1 = Soa.spread t;
+  }
+
+let state_checksum t =
+  let h = ref (mix_int (Soa.round t) (Soa.n t)) in
+  for p = 0 to Soa.n t - 1 do
+    h := mix_float !h (Soa.corr t p)
+  done;
+  !h

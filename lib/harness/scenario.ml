@@ -138,7 +138,7 @@ let run t =
   Csync_sim.Trace.set_enabled trace t.trace;
   let cluster =
     Cluster.create ~clocks:env.Env.clocks ~delay:env.Env.delay ~collision ~trace
-      ~procs ()
+      ~exchanges:t.exchanges ~procs ()
   in
   Cluster.schedule_starts_at_logical cluster ~t0 ~corrs:(Array.make n 0.);
   let tmin0 = Env.tmin0 env and tmax0 = Env.tmax0 env in

@@ -6,7 +6,12 @@ module Mon = Csync_obs.Monitor
 
 type 'm body = Start | Timer of float | Msg of 'm
 
-type 'm delivery = { src : int; dst : int; prov : Mon.Prov.id; body : 'm body }
+type 'm delivery = {
+  mutable src : int;
+  mutable dst : int;
+  mutable prov : Mon.Prov.id;
+  mutable body : 'm body;
+}
 
 type 'm fate = { payload : 'm; extra_delay : float }
 
@@ -18,6 +23,12 @@ type 'm t = {
   collision : Collision.t;
   engine : 'm delivery Engine.t;
   trace : Trace.t option;
+  (* Free-list slab of delivery records.  Every scheduled event owns one
+     record; the cluster returns it through [release] once the event has
+     been handled, so a steady-state run stops allocating delivery records
+     entirely.  [slab.(0 .. n_free-1)] are free. *)
+  mutable slab : 'm delivery array;
+  mutable n_free : int;
   mutable sent : int;
   mutable tamper : 'm tamper option;
   mon : Mon.t;
@@ -47,6 +58,8 @@ let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
     collision;
     engine;
     trace;
+    slab = [||];
+    n_free = 0;
     sent = 0;
     tamper = None;
     mon = Mon.installed ();
@@ -62,6 +75,34 @@ let observe_delay t ~src ~dst d =
   Obs.Hist.add t.obs_delay d;
   if Array.length t.obs_link_delay > 0 then
     Obs.Hist.add t.obs_link_delay.((src * t.n) + dst) d
+
+(* Reuse a released record when one is available; the fresh-allocation path
+   only runs while the in-flight high-water mark is still rising. *)
+let acquire t ~src ~dst ~prov ~body =
+  let i = t.n_free - 1 in
+  if i < 0 then { src; dst; prov; body }
+  else begin
+    t.n_free <- i;
+    let d = Array.unsafe_get t.slab i in
+    d.src <- src;
+    d.dst <- dst;
+    d.prov <- prov;
+    d.body <- body;
+    d
+  end
+
+let release t d =
+  (* Drop the payload reference so a parked record cannot retain it. *)
+  d.body <- Start;
+  d.prov <- Mon.Prov.null;
+  let cap = Array.length t.slab in
+  if t.n_free = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) d in
+    Array.blit t.slab 0 grown 0 t.n_free;
+    t.slab <- grown
+  end;
+  t.slab.(t.n_free) <- d;
+  t.n_free <- t.n_free + 1
 
 let set_tamper t f = t.tamper <- Some f
 
@@ -79,7 +120,7 @@ let check_pid t pid name =
 let schedule_start t ~dst ~time =
   check_pid t dst "schedule_start";
   Engine.schedule t.engine ~time ~prio:Event_queue.prio_message
-    { src = dst; dst; prov = Mon.Prov.null; body = Start }
+    (acquire t ~src:dst ~dst ~prov:Mon.Prov.null ~body:Start)
 
 let send t ~src ~dst m =
   check_pid t src "send";
@@ -98,7 +139,7 @@ let send t ~src ~dst m =
     observe_delay t ~src ~dst d;
     let prov = Mon.Prov.mint t.mon ~src ~dst ~sent:now ~delay:d in
     Engine.schedule t.engine ~time:(now +. d) ~prio:Event_queue.prio_message
-      { src; dst; prov; body = Msg m }
+      (acquire t ~src ~dst ~prov ~body:(Msg m))
   | Some f ->
     let fates = f ~now ~src ~dst m in
     (match fates with
@@ -125,7 +166,7 @@ let send t ~src ~dst m =
         in
         Engine.schedule t.engine ~time:(now +. d +. extra_delay)
           ~prio:Event_queue.prio_message
-          { src; dst; prov; body = Msg payload })
+          (acquire t ~src ~dst ~prov ~body:(Msg payload)))
       fates;
     Mon.Prov.clear_staged t.mon
 
@@ -140,7 +181,7 @@ let set_timer t ~dst ~at_real ~phys_value =
   if at_real <= now then false
   else begin
     Engine.schedule t.engine ~time:at_real ~prio:Event_queue.prio_timer
-      { src = dst; dst; prov = Mon.Prov.null; body = Timer phys_value };
+      (acquire t ~src:dst ~dst ~prov:Mon.Prov.null ~body:(Timer phys_value));
     true
   end
 

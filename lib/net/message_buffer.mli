@@ -21,14 +21,18 @@ type 'm body =
   | Msg of 'm
 
 type 'm delivery = {
-  src : int;
-  dst : int;
-  prov : Csync_obs.Monitor.Prov.id;
+  mutable src : int;
+  mutable dst : int;
+  mutable prov : Csync_obs.Monitor.Prov.id;
       (** causal provenance of this copy (monitored runs only;
           {!Csync_obs.Monitor.Prov.null} for START/TIMER and when no
           monitor is installed) *)
-  body : 'm body;
+  mutable body : 'm body;
 }
+(** Fields are mutable because delivery records live in a preallocated slab:
+    the buffer reuses records returned through {!release}, so the hot path
+    of a steady-state run schedules messages without allocating.  Treat a
+    record as read-only and dead after handling it (see {!release}). *)
 
 type 'm fate = { payload : 'm; extra_delay : float }
 (** One scheduled copy of a tampered message: the (possibly corrupted)
@@ -85,6 +89,13 @@ val set_timer : 'm t -> dst:int -> at_real:float -> phys_value:float -> bool
 val admit : 'm t -> 'm delivery -> now:float -> bool
 (** Collision filter, consulted at delivery time.  START and TIMER are
     always admitted; ordinary messages pass through the collision model. *)
+
+val release : 'm t -> 'm delivery -> unit
+(** Return a {e handled} delivery record to the slab for reuse.  Call at
+    most once per record, only after the engine delivered it and every
+    consumer is done reading it; the record's payload reference is cleared
+    and its fields will be overwritten by a future send.  Records that are
+    never released are simply collected by the GC. *)
 
 val sent_count : 'm t -> int
 (** Ordinary (non-START, non-TIMER) messages sent so far - the message

@@ -26,12 +26,35 @@ type 'm t = {
   mon : Mon.t;
 }
 
-let create ~clocks ~delay ?collision ?(trace = Trace.create ()) ~procs () =
+(* The wheel's bucket width comes from the delay model: deliveries spread
+   over the [delta - eps, delta + eps] jitter window, so eps / 2 resolves it
+   into a few buckets; a jitter-free model falls back to a fraction of the
+   base delay itself. *)
+let wheel_backend delay =
+  match Csync_sim.Event_queue.default_backend () with
+  | Csync_sim.Event_queue.Heap -> Csync_sim.Event_queue.Heap
+  | Csync_sim.Event_queue.Wheel { buckets; width = default_width } ->
+    let eps = Csync_net.Delay.eps delay in
+    let delta = Csync_net.Delay.delta delay in
+    let width =
+      if eps > 0. then eps /. 2.
+      else if delta > 0. then delta /. 8.
+      else default_width
+    in
+    Csync_sim.Event_queue.Wheel { width; buckets }
+
+let create ~clocks ~delay ?collision ?(trace = Trace.create ())
+    ?(exchanges = 1) ~procs () =
   let n = Array.length procs in
   if Array.length clocks <> n then
     invalid_arg "Cluster.create: clocks and procs length mismatch";
   if n = 0 then invalid_arg "Cluster.create: empty cluster";
-  let engine = Engine.create () in
+  (* Peak queue depth is one exchange's worth of traffic in flight: n^2
+     deliveries plus a START and a TIMER per process. *)
+  let expected = if exchanges <= 0 then 2 * n else n * (n + 2) in
+  let engine =
+    Engine.create ~backend:(wheel_backend delay) ~expected ()
+  in
   let buffer = Message_buffer.create ~n ~delay ?collision ~trace ~engine () in
   {
     clocks;
@@ -127,10 +150,14 @@ let handle_delivery t time (delivery : 'm Message_buffer.delivery) =
       | Message_buffer.Timer tag -> Automaton.Timer tag
       | Message_buffer.Msg m -> Automaton.Message (delivery.src, m)
     in
+    let prov = delivery.prov in
+    (* All fields are captured in [interrupt]/[prov]; recycle the record
+       before running the automaton so the sends it triggers reuse it. *)
+    Message_buffer.release t.buffer delivery;
     (* Publish the delivery's provenance id in the worker-local slot so the
        receiving automaton's instrumentation (Maintenance's ARR shadow)
        can attribute the interrupt to the exact message copy. *)
-    if Mon.enabled t.mon then Mon.Prov.set_current t.mon delivery.prov;
+    if Mon.enabled t.mon then Mon.Prov.set_current t.mon prov;
     let (Proc (auto, state)) = t.procs.(dst) in
     let phys = Hardware_clock.time t.clocks.(dst) time in
     let new_state, actions = auto.Automaton.handle ~self:dst ~phys interrupt !state in
@@ -152,6 +179,9 @@ let handle_delivery t time (delivery : 'm Message_buffer.delivery) =
       t.hooks.(i) time dst interrupt
     done
   end
+  else
+    (* Dead process or collision drop: the record is dead on arrival. *)
+    Message_buffer.release t.buffer delivery
 
 let run_until t until =
   Engine.run_until t.engine ~until ~handler:(fun time delivery ->

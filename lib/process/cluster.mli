@@ -29,10 +29,17 @@ val create :
   delay:Csync_net.Delay.t ->
   ?collision:Csync_net.Collision.t ->
   ?trace:Csync_sim.Trace.t ->
+  ?exchanges:int ->
   procs:'m proc array ->
   unit ->
   'm t
-(** @raise Invalid_argument if [clocks] and [procs] differ in length. *)
+(** [exchanges] (default 1) sizes the engine's event-queue capacity hint:
+    the peak in-flight event count is one exchange's n^2 messages plus a
+    START and TIMER per process; 0 means a messaging-free run.  The engine
+    backend follows {!Csync_sim.Event_queue.default_backend}, with the
+    wheel's bucket width derived from [delay]'s jitter (eps / 2, falling
+    back to delta / 8 for jitter-free models).
+    @raise Invalid_argument if [clocks] and [procs] differ in length. *)
 
 val n : 'm t -> int
 

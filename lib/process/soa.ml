@@ -1,0 +1,247 @@
+(* Struct-of-arrays cluster model for n in the 10^5 range.
+
+   Process.Cluster carries each process as an automaton closure behind a
+   heap-allocated state cell - ideal for the paper-faithful experiments at
+   n <= a few hundred, hopeless at n = 10^5.  This module keeps the whole
+   system as parallel flat arrays (rate, offset, corr, status) and replays
+   one synchronization round as a pure function of that state: broadcast
+   times, hashed per-link delays and arrival estimates are all recomputed
+   from (seed, src, dst, round) rather than stored, so a shard of the
+   process space can be simulated with nothing but its own event queue.
+
+   Events are integers: an arrival or round timer for destination [dst] is
+   [dst * (degree + 1) + slot], giving every event a globally stable id -
+   the merge key (time, prio, id) that Harness.Scale uses to stitch shard
+   streams back into one canonical order. *)
+
+module Event_queue = Csync_sim.Event_queue
+
+type t = {
+  n : int;
+  degree : int;
+  f : int;
+  seed : int;
+  hseed : int;  (* mix seed, hoisted out of every per-link hash *)
+  rho : float;
+  delta : float;
+  eps : float;
+  period : float;
+  rate : float array;  (* drift in [-rho, rho] *)
+  offset : float array;  (* hardware-clock offset at real time 0 *)
+  corr : float array;
+  status : int array;  (* 0 ok, 1 crashed, 2 pull-faulty *)
+  pull : float array;  (* broadcast-time skew of pull-faulty processes *)
+  mutable round : int;
+}
+
+let st_ok = 0
+let st_crashed = 1
+let st_pull = 2
+
+(* 62-bit mixer (splitmix-style, constants chosen to fit OCaml's native
+   int): deterministic across 64-bit platforms and allocation-free, unlike
+   the boxed Int64 route. *)
+let mix x =
+  let x = x lxor (x lsr 31) in
+  let x = x * 0x2545F4914F6CDD1D in
+  let x = x lxor (x lsr 29) in
+  let x = x * 0x1F123BB5159A55E5 in
+  x lxor (x lsr 32)
+
+let u01_scale = 1. /. 1099511627776.  (* 2^-40 *)
+
+let u01 h = float_of_int ((h land max_int) land ((1 lsl 40) - 1)) *. u01_scale
+
+let create ?(degree = 8) ?(f = 2) ?(seed = 1) ?(rho = 1e-5) ?(delta = 0.01)
+    ?(eps = 0.001) ?(period = 10.) ?(dispersion = 1.) ~n () =
+  if n <= 0 then invalid_arg "Soa.create: nonpositive n";
+  if degree <= 0 then invalid_arg "Soa.create: nonpositive degree";
+  if f < 0 then invalid_arg "Soa.create: negative f";
+  if not (delta > 0. && eps >= 0. && eps < delta) then
+    invalid_arg "Soa.create: need 0 <= eps < delta";
+  let degree = min degree (n - 1) in
+  let degree = max degree 1 in
+  let hseed = mix seed in
+  let rate = Array.init n (fun p -> rho *. ((2. *. u01 (mix (p + mix (1 + hseed)))) -. 1.)) in
+  let offset = Array.init n (fun p -> dispersion *. u01 (mix (p + mix (2 + hseed)))) in
+  {
+    n;
+    degree;
+    f;
+    seed;
+    hseed;
+    rho;
+    delta;
+    eps;
+    period;
+    rate;
+    offset;
+    corr = Array.make n 0.;
+    status = Array.make n st_ok;
+    pull = Array.make n 0.;
+    round = 0;
+  }
+
+let n t = t.n
+let degree t = t.degree
+let f t = t.f
+let round t = t.round
+let width t = t.degree + 1
+let stride t = t.degree + 1
+
+let check_pid t pid name =
+  if pid < 0 || pid >= t.n then invalid_arg ("Soa." ^ name ^ ": pid out of range")
+
+let crash t pid =
+  check_pid t pid "crash";
+  t.status.(pid) <- st_crashed
+
+let set_pull t pid skew =
+  check_pid t pid "set_pull";
+  t.status.(pid) <- st_pull;
+  t.pull.(pid) <- skew
+
+let is_ok t pid = t.status.(pid) = st_ok
+
+let in_neighbor t ~dst j = (dst - 1 - j + t.n) mod t.n
+
+(* Real time at which p's logical clock reads the current round's target
+   T_r = period * (round + 1): L_p(b) = (1 + rate) b + offset + corr = T_r. *)
+let broadcast_time t p =
+  let target = t.period *. float_of_int (t.round + 1) in
+  (target -. t.offset.(p) -. t.corr.(p)) /. (1. +. t.rate.(p))
+
+let report_time t p =
+  let b = broadcast_time t p in
+  if t.status.(p) = st_pull then b +. t.pull.(p) else b
+
+let delay t ~hround ~src ~dst =
+  let u = u01 (mix (src + mix (dst + hround))) in
+  t.delta -. t.eps +. (2. *. t.eps *. u)
+
+let spread t =
+  let lo = ref infinity and hi = ref neg_infinity in
+  for p = 0 to t.n - 1 do
+    if t.status.(p) = st_ok then begin
+      let b = broadcast_time t p in
+      if b < !lo then lo := b;
+      if b > !hi then hi := b
+    end
+  done;
+  if !hi < !lo then 0. else !hi -. !lo
+
+type shard = {
+  lo : int;
+  hi : int;
+  count : int;
+  times : float array;
+  keys : int array;
+  slab : float array;
+  counts : int array;
+}
+
+let prio_bits = 42
+
+let shard_key ~prio ~id = (prio lsl prio_bits) lor id
+
+let key_prio k = k lsr prio_bits
+let key_id k = k land ((1 lsl prio_bits) - 1)
+
+(* Unlike Cluster, a round's arrivals spread over the whole dispersion span,
+   not just one delay window - size the buckets so the wheel's horizon
+   covers the span (else most events detour through the overflow heap),
+   but never finer than the delay jitter resolves. *)
+let wheel_backend t ~span =
+  match Event_queue.default_backend () with
+  | Event_queue.Heap -> Event_queue.Heap
+  | Event_queue.Wheel { buckets; width = default_width } ->
+    let jitter =
+      if t.eps > 0. then t.eps /. 2.
+      else if t.delta > 0. then t.delta /. 8.
+      else default_width
+    in
+    let width = Float.max jitter (span /. float_of_int buckets) in
+    Event_queue.Wheel { width; buckets }
+
+let run_shard t ~lo ~hi =
+  if lo < 0 || hi > t.n || lo >= hi then invalid_arg "Soa.run_shard: bad range";
+  let rows = hi - lo in
+  let stride = stride t in
+  let width = width t in
+  let hround = mix (t.round + mix (3 + t.hseed)) in
+  (* Round horizon: the latest claimed broadcast plus the worst-case delay
+     bounds every arrival, so the per-destination round timers (prio 1,
+     after messages at equal time) close every row. *)
+  let hmax = ref neg_infinity and hmin = ref infinity in
+  for p = 0 to t.n - 1 do
+    if t.status.(p) <> st_crashed then begin
+      let b = report_time t p in
+      if b > !hmax then hmax := b;
+      if b < !hmin then hmin := b
+    end
+  done;
+  let horizon = !hmax +. t.delta +. t.eps in
+  let span = Float.max 0. (horizon -. (!hmin +. t.delta -. t.eps)) in
+  let cap = rows * stride in
+  let q = Event_queue.create ~backend:(wheel_backend t ~span) ~expected:cap () in
+  let slab = Array.make (rows * width) 0. in
+  let counts = Array.make rows 0 in
+  for dst = lo to hi - 1 do
+    if t.status.(dst) = st_ok then begin
+      let row = dst - lo in
+      (* A process hears its own broadcast exactly. *)
+      slab.(row * width) <- broadcast_time t dst;
+      counts.(row) <- 1;
+      for j = 0 to t.degree - 1 do
+        let src = in_neighbor t ~dst j in
+        if t.status.(src) <> st_crashed then begin
+          let a = report_time t src +. delay t ~hround ~src ~dst in
+          Event_queue.add q ~time:a ~prio:0 ((dst * stride) + j)
+        end
+      done;
+      Event_queue.add q ~time:horizon ~prio:1 ((dst * stride) + t.degree)
+    end
+  done;
+  let times = Array.make (max cap 1) 0. in
+  let keys = Array.make (max cap 1) 0 in
+  let count = ref 0 in
+  let delta = t.delta in
+  let n =
+    Event_queue.iter_pop_until q ~until:Float.infinity ~f:(fun time id ->
+        let i = !count in
+        incr count;
+        Array.unsafe_set times i time;
+        let slot = id mod stride in
+        if slot < t.degree then begin
+          (* Arrival: the estimate of the sender's round start is the
+             arrival time minus the nominal delay (Section 4's ARR - delta),
+             off by at most eps. *)
+          Array.unsafe_set keys i (shard_key ~prio:0 ~id);
+          let row = (id / stride) - lo in
+          let c = Array.unsafe_get counts row in
+          Array.unsafe_set slab ((row * width) + c) (time -. delta);
+          Array.unsafe_set counts row (c + 1)
+        end
+        else Array.unsafe_set keys i (shard_key ~prio:1 ~id))
+  in
+  assert (n = !count);
+  { lo; hi; count = !count; times; keys; slab; counts }
+
+(* Retarget each surviving row's broadcast toward its reduced midpoint:
+   b' = mid requires corr' = corr - (mid - b)(1 + rate), since
+   db/dcorr = -1/(1 + rate).  Faulty processes never adjust. *)
+let apply t ~lo mids =
+  for i = 0 to Array.length mids - 1 do
+    let p = lo + i in
+    let m = mids.(i) in
+    if t.status.(p) = st_ok && Float.is_finite m then begin
+      let b = broadcast_time t p in
+      t.corr.(p) <- t.corr.(p) -. ((m -. b) *. (1. +. t.rate.(p)))
+    end
+  done
+
+let advance t = t.round <- t.round + 1
+
+let corr t p =
+  check_pid t p "corr";
+  t.corr.(p)

@@ -1,0 +1,123 @@
+(** Struct-of-arrays cluster model: one synchronization round at
+    n ~ 10^5.
+
+    {!Cluster} represents each process as an automaton closure - the right
+    fidelity for the paper's experiments at n <= a few hundred, but memory-
+    and cache-hostile five orders of magnitude up.  Here the whole system
+    is four flat arrays (drift rate, hardware offset, correction, status)
+    plus two pure functions of [(seed, src, dst, round)]: the ring topology
+    and the per-link delay, drawn deterministically from the paper's
+    [delta - eps, delta + eps] window by an integer hash.  Nothing else is
+    stored, so any contiguous range of destinations can be simulated
+    independently - the basis of {!Csync_harness}'s sharded driver.
+
+    Topology is a directed ring: process [p] hears its [degree]
+    predecessors [p-1 .. p-degree] (mod n) plus itself, so each round is
+    n(degree+1) estimates rather than the full mesh's n^2.  Faults are
+    crash (broadcasts nothing) or pull (broadcasts [skew] late, a simple
+    Byzantine pattern); the per-row discard follows the same degradation
+    rule as {!Csync_core.Maintenance}'s degraded average. *)
+
+type t
+
+val create :
+  ?degree:int ->
+  ?f:int ->
+  ?seed:int ->
+  ?rho:float ->
+  ?delta:float ->
+  ?eps:float ->
+  ?period:float ->
+  ?dispersion:float ->
+  n:int ->
+  unit ->
+  t
+(** Fresh system of [n] processes at round 0: drift rates uniform in
+    [-rho, rho], hardware offsets uniform in [0, dispersion], corrections
+    zero, everyone nonfaulty - all drawn from [seed].  [degree] (default 8,
+    clamped to [n - 1]) is the ring in-degree; [f] (default 2) the per-row
+    fault bound; [period] the logical time between round targets.
+    @raise Invalid_argument unless [n > 0] and [0 <= eps < delta]. *)
+
+val n : t -> int
+val degree : t -> int
+val f : t -> int
+val round : t -> int
+
+val width : t -> int
+(** Estimate-row width, [degree + 1] (the ring in-neighbours plus self). *)
+
+val stride : t -> int
+(** Event-id stride: destination [dst]'s events occupy ids
+    [dst * stride .. dst * stride + degree]; slots [0 .. degree - 1] are
+    arrivals from its in-neighbours in ring order, slot [degree] the round
+    timer.  Ids are stable across shardings - the third component of the
+    canonical merge key. *)
+
+val crash : t -> int -> unit
+(** Crash fault: the process stops broadcasting (and, being dead, its own
+    row is no longer simulated). *)
+
+val set_pull : t -> int -> float -> unit
+(** Pull fault: the process broadcasts [skew] later than its clock says,
+    dragging naive averages; it never applies corrections itself. *)
+
+val is_ok : t -> int -> bool
+
+val in_neighbor : t -> dst:int -> int -> int
+(** [in_neighbor t ~dst j] is the source of [dst]'s [j]-th in-edge,
+    [(dst - 1 - j) mod n]. *)
+
+val broadcast_time : t -> int -> float
+(** Real time at which the process' logical clock reaches the current
+    round's target - where a nonfaulty process broadcasts. *)
+
+val report_time : t -> int -> float
+(** {!broadcast_time}, plus the pull skew if the process is pull-faulty:
+    the round start the rest of the system actually observes. *)
+
+val spread : t -> float
+(** Max minus min {!broadcast_time} over nonfaulty processes: the paper's
+    per-round dispersion B. *)
+
+type shard = {
+  lo : int;
+  hi : int;
+  count : int;  (** events logged; [times]/[keys] are valid below it *)
+  times : float array;  (** event times in pop order *)
+  keys : int array;  (** packed [(prio, id)] in pop order, see {!shard_key} *)
+  slab : float array;  (** [(hi-lo) * width] row estimates, unsorted *)
+  counts : int array;  (** per-row estimate counts *)
+}
+
+val shard_key : prio:int -> id:int -> int
+(** [prio lsl 42 lor id] - compares in (prio, id) order for equal times,
+    matching the engine's (time, prio, seq) discipline with the stable id
+    in place of the insertion seqno. *)
+
+val key_prio : int -> int
+val key_id : int -> int
+
+val run_shard : t -> lo:int -> hi:int -> shard
+(** Simulate the current round for destinations [lo .. hi - 1]: schedule
+    every arrival and the per-destination round timer into a fresh
+    timing-wheel event queue (bucket width from the delay model, as in
+    {!Cluster}), drain it in (time, prio, insertion) order, and record the
+    pop stream and the estimate rows.  Ids are scheduled in ascending
+    order, so within a shard the insertion seqno order coincides with the
+    stable-id order and the logged stream is already sorted by the
+    canonical (time, prio, id) key.  Read-only on [t]: shards of the same
+    round may run concurrently.
+    @raise Invalid_argument unless [0 <= lo < hi <= n]. *)
+
+val apply : t -> lo:int -> float array -> unit
+(** [apply t ~lo mids] retargets each nonfaulty process [lo + i]'s
+    broadcast at its row midpoint [mids.(i)] by adjusting its correction
+    variable ([nan] entries - empty rows - are skipped).  Call after every
+    shard of the round has been swept, then {!advance}. *)
+
+val advance : t -> unit
+(** Move to the next round (later round targets, fresh hashed delays). *)
+
+val corr : t -> int -> float
+(** Current correction variable (for state checksums and tests). *)

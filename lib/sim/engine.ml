@@ -10,14 +10,16 @@ type 'a t = {
 (* The ambient registry is captured once, at creation; with telemetry
    disabled both handles are permanent no-ops and the hot path below
    costs one branch. *)
-let create ?(start_time = 0.) () =
+let create ?(start_time = 0.) ?backend ?expected () =
   let obs = Obs.installed () in
   {
-    queue = Event_queue.create ();
+    queue = Event_queue.create ?backend ?expected ();
     now = start_time;
     obs_events = Obs.counter obs "sim.events";
     obs_depth_hw = Obs.gauge obs "sim.queue_depth_hw";
   }
+
+let backend_kind t = Event_queue.backend_kind t.queue
 
 let now t = t.now
 
@@ -50,23 +52,31 @@ let step t ~handler =
     true
 
 let run_until t ~until ~handler =
-  let rec loop () =
-    match peek_time t with
-    | Some time when time <= until ->
-      (match next t with
-       | Some (tm, payload) ->
-         handler tm payload;
-         loop ()
-       | None -> ())
-    | Some _ | None -> ()
+  (* One queue traversal per event (no peek-then-pop), and no per-event
+     option/tuple allocation: the closure advances [now] before handing the
+     event to [handler]. *)
+  let deliver time payload =
+    t.now <- time;
+    Obs.Counter.incr t.obs_events;
+    handler time payload
   in
-  loop ();
+  ignore (Event_queue.iter_pop_until t.queue ~until ~f:deliver);
   if until > t.now then t.now <- until
 
+exception Drained
+
 let drain t ~handler ~max_events =
-  let rec loop delivered =
-    if delivered >= max_events then delivered
-    else if step t ~handler then loop (delivered + 1)
-    else delivered
+  (* Same fused single-traversal loop as [run_until]; the exception only
+     fires when the [max_events] guard trips. *)
+  let delivered = ref 0 in
+  let deliver time payload =
+    t.now <- time;
+    Obs.Counter.incr t.obs_events;
+    handler time payload;
+    incr delivered;
+    if !delivered >= max_events then raise Drained
   in
-  loop 0
+  (try
+     ignore (Event_queue.iter_pop_until t.queue ~until:Float.infinity ~f:deliver)
+   with Drained -> ());
+  !delivered

@@ -50,8 +50,11 @@ let push h x =
 
 let peek h = if h.len = 0 then None else Some h.data.(0)
 
-let pop h =
-  if h.len = 0 then None
+let min_elt h =
+  if h.len = 0 then invalid_arg "Heap.min_elt: empty heap" else h.data.(0)
+
+let pop_exn h =
+  if h.len = 0 then invalid_arg "Heap.pop_exn: empty heap"
   else begin
     let top = h.data.(0) in
     h.len <- h.len - 1;
@@ -59,13 +62,10 @@ let pop h =
       h.data.(0) <- h.data.(h.len);
       sift_down h 0
     end;
-    Some top
+    top
   end
 
-let pop_exn h =
-  match pop h with
-  | Some x -> x
-  | None -> invalid_arg "Heap.pop_exn: empty heap"
+let pop h = if h.len = 0 then None else Some (pop_exn h)
 
 let clear h = h.len <- 0
 (* The backing array is kept: a cleared-and-refilled heap (the common reuse

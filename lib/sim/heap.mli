@@ -16,6 +16,10 @@ val push : 'a t -> 'a -> unit
 
 val peek : 'a t -> 'a option
 
+val min_elt : 'a t -> 'a
+(** The minimum element without removing it; allocation-free.
+    @raise Invalid_argument on an empty heap. *)
+
 val pop : 'a t -> 'a option
 (** Removes and returns the minimum element, or [None] if empty. *)
 

@@ -14,6 +14,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
+      ("scale", Test_scale.suite);
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);
       ("runtime", Test_runtime.suite);

@@ -1,0 +1,235 @@
+(* The million-process simulation core: the struct-of-arrays sweep against
+   its multiset reference, the SoA cluster model's determinism, and the
+   sharded driver's worker-count and backend identities. *)
+
+module Sweep = Csync_core.Sweep
+module Soa = Csync_process.Soa
+module Scale = Csync_harness.Scale
+module Multiset = Csync_multiset
+module Registry = Csync_harness.Registry
+module Mon = Csync_obs.Monitor
+
+let t name f = Alcotest.test_case name `Quick f
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let check_int msg a b = Alcotest.(check int) msg a b
+
+let check_float msg a b = Alcotest.(check (float 1e-12)) msg a b
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let sweep_tests =
+  [
+    qcheck
+      (QCheck.Test.make ~count:500
+         ~name:"sweep midpoint matches the multiset reference"
+         QCheck.(
+           pair (int_bound 3)
+             (list_of_size Gen.(1 -- 12) (float_bound_exclusive 100.)))
+         (fun (f, row) ->
+           let count = List.length row in
+           let a = Array.of_list row in
+           let slab = Array.copy a in
+           let got = Sweep.mid_row slab ~off:0 ~count ~f in
+           let g = Sweep.g_of ~f ~count in
+           let want = Multiset.mid_reduced ~f:g (Multiset.of_array a) in
+           got = want));
+    t "sweep handles offsets, empty rows and slack width" (fun () ->
+        (* width 4, three rows: full, partial, empty. *)
+        let slab = [| 3.; 1.; 2.; 9.; 5.; 4.; 0.; 0.; 0.; 0.; 0.; 0. |] in
+        let counts = [| 4; 2; 0 |] in
+        let out = Array.make 3 0. in
+        Sweep.sweep ~slab ~width:4 ~counts ~f:1 ~out;
+        (* Row 0 sorted: 1 2 3 9, g = min 1 1 = 1 -> (2 + 3) / 2. *)
+        check_float "full row" 2.5 out.(0);
+        (* Row 1: count 2, g = min 1 0 = 0 -> (4 + 5) / 2. *)
+        check_float "partial row" 4.5 out.(1);
+        check_true "empty row is nan" (Float.is_nan out.(2));
+        (* The sort happened in place and stayed inside the row. *)
+        check_float "row 0 sorted" 1. slab.(0);
+        check_float "row 1 untouched tail" 0. slab.(6));
+    t "sweep rejects bad shapes" (fun () ->
+        let reject msg f =
+          match f () with
+          | () -> Alcotest.failf "%s: expected Invalid_argument" msg
+          | exception Invalid_argument _ -> ()
+        in
+        reject "negative f" (fun () ->
+            Sweep.sweep ~slab:[| 1. |] ~width:1 ~counts:[| 1 |] ~f:(-1)
+              ~out:[| 0. |]);
+        reject "count over width" (fun () ->
+            Sweep.sweep ~slab:[| 1.; 2. |] ~width:1 ~counts:[| 2 |] ~f:0
+              ~out:[| 0. |]);
+        reject "short out" (fun () ->
+            Sweep.sweep ~slab:[| 1.; 2. |] ~width:1 ~counts:[| 1; 1 |] ~f:0
+              ~out:[| 0. |]);
+        reject "empty mid_row" (fun () ->
+            ignore (Sweep.mid_row [| 1. |] ~off:0 ~count:0 ~f:0)));
+    t "degradation rule" (fun () ->
+        check_int "empty" 0 (Sweep.g_of ~f:5 ~count:0);
+        check_int "one" 0 (Sweep.g_of ~f:5 ~count:1);
+        check_int "four" 1 (Sweep.g_of ~f:5 ~count:4);
+        check_int "full attendance" 2 (Sweep.g_of ~f:2 ~count:7));
+  ]
+
+let soa_tests =
+  [
+    t "ring neighbours wrap and are distinct" (fun () ->
+        let m = Soa.create ~n:10 ~degree:3 () in
+        check_int "j=0" 4 (Soa.in_neighbor m ~dst:5 0);
+        check_int "j=2" 2 (Soa.in_neighbor m ~dst:5 2);
+        check_int "wrap" 9 (Soa.in_neighbor m ~dst:0 0);
+        check_int "wrap deep" 7 (Soa.in_neighbor m ~dst:0 2));
+    t "same seed, same model; different seed, different delays" (fun () ->
+        let a = Soa.create ~n:64 ~seed:3 () in
+        let b = Soa.create ~n:64 ~seed:3 () in
+        let c = Soa.create ~n:64 ~seed:4 () in
+        let same = ref true and diff = ref false in
+        for p = 0 to 63 do
+          if Soa.broadcast_time a p <> Soa.broadcast_time b p then same := false;
+          if Soa.broadcast_time a p <> Soa.broadcast_time c p then diff := true
+        done;
+        check_true "seed 3 twice agrees" !same;
+        check_true "seed 4 differs somewhere" !diff);
+    t "round event count is exact on a clean ring" (fun () ->
+        (* All nonfaulty: every process contributes degree arrivals plus a
+           round timer. *)
+        let m = Soa.create ~n:50 ~degree:5 () in
+        let events, _ = Scale.round ~jobs:1 m in
+        check_int "n (degree + 1)" (50 * 6) events);
+    t "crash removes a row and its out-edges" (fun () ->
+        let m = Soa.create ~n:50 ~degree:5 () in
+        Soa.crash m 10;
+        let events, _ = Scale.round ~jobs:1 m in
+        (* Its own row (5 arrivals + timer) and one arrival in each of its
+           5 successors' rows are gone. *)
+        check_int "minus row and edges" ((50 * 6) - 6 - 5) events);
+    t "shard stream is sorted by the canonical key" (fun () ->
+        let m = Soa.create ~n:200 ~degree:6 ~seed:9 () in
+        let s = Soa.run_shard m ~lo:50 ~hi:150 in
+        check_true "nonempty" (s.Soa.count > 0);
+        let sorted = ref true in
+        for i = 1 to s.Soa.count - 1 do
+          let ta = s.Soa.times.(i - 1) and tb = s.Soa.times.(i) in
+          if ta > tb || (ta = tb && s.Soa.keys.(i - 1) >= s.Soa.keys.(i)) then
+            sorted := false
+        done;
+        check_true "(time, prio, id) nondecreasing" !sorted;
+        (* Ids stay inside the shard's destination range. *)
+        let stride = Soa.stride m in
+        Array.iteri
+          (fun i k ->
+            if i < s.Soa.count then begin
+              let dst = Soa.key_id k / stride in
+              check_true "dst in range" (dst >= 50 && dst < 150)
+            end)
+          s.Soa.keys);
+    t "estimates land within eps of the sender's round start" (fun () ->
+        let m = Soa.create ~n:40 ~degree:4 ~eps:0.002 ~seed:5 () in
+        let s = Soa.run_shard m ~lo:0 ~hi:40 in
+        let width = Soa.width m in
+        for row = 0 to 39 do
+          check_int "full row" (width) s.Soa.counts.(row);
+          (* Slot 0 is the exact self-sample; arrivals follow. *)
+          for c = 1 to s.Soa.counts.(row) - 1 do
+            let est = s.Soa.slab.((row * width) + c) in
+            let ok = ref false in
+            for j = 0 to Soa.degree m - 1 do
+              let src = Soa.in_neighbor m ~dst:row j in
+              if Float.abs (est -. Soa.report_time m src) <= 0.002 +. 1e-9 then
+                ok := true
+            done;
+            check_true "within eps of some in-neighbour" !ok
+          done
+        done);
+  ]
+
+let with_engine_env value f =
+  let prev = Option.value (Sys.getenv_opt "CSYNC_ENGINE") ~default:"wheel" in
+  Unix.putenv "CSYNC_ENGINE" value;
+  Fun.protect ~finally:(fun () -> Unix.putenv "CSYNC_ENGINE" prev) f
+
+let scale_model () =
+  let m = Soa.create ~n:500 ~degree:7 ~f:2 ~seed:11 ~dispersion:0.5 () in
+  Soa.crash m 17;
+  Soa.set_pull m 42 0.3;
+  Soa.set_pull m 499 (-0.2);
+  m
+
+let scale_tests =
+  [
+    t "trajectory and merge checksum are worker-count invariant" (fun () ->
+        let run jobs =
+          let m = scale_model () in
+          let s = Scale.run ~jobs ~rounds:3 m in
+          (s.Scale.events, s.Scale.checksum, Scale.state_checksum m)
+        in
+        let e1, c1, st1 = run 1 in
+        let e3, c3, st3 = run 3 in
+        let e4, c4, st4 = run 4 in
+        check_int "events 3 jobs" e1 e3;
+        check_int "events 4 jobs" e1 e4;
+        check_true "checksum 3 jobs" (c1 = c3);
+        check_true "checksum 4 jobs" (c1 = c4);
+        check_true "state 3 jobs" (st1 = st3);
+        check_true "state 4 jobs" (st1 = st4));
+    t "heap and wheel backends follow the same trajectory" (fun () ->
+        let run () =
+          let m = scale_model () in
+          let s = Scale.run ~jobs:1 ~rounds:2 m in
+          (s.Scale.events, s.Scale.checksum, Scale.state_checksum m)
+        in
+        let wheel = with_engine_env "wheel" run in
+        let heap = with_engine_env "heap" run in
+        check_true "identical" (wheel = heap));
+    t "reduced midpoint contracts the dispersion" (fun () ->
+        let m = Soa.create ~n:400 ~degree:8 ~f:2 ~seed:2 ~dispersion:1.0 () in
+        let s = Scale.run ~jobs:1 ~rounds:4 m in
+        check_true "spread0 near dispersion" (s.Scale.spread0 > 0.5);
+        check_true "contracted" (s.Scale.spread1 < 0.7 *. s.Scale.spread0));
+    t "faulty processes never adjust" (fun () ->
+        let m = scale_model () in
+        let s = Scale.run ~jobs:1 ~rounds:2 m in
+        check_true "ran" (s.Scale.events > 0);
+        check_float "crashed corr untouched" 0. (Soa.corr m 17);
+        check_float "pull corr untouched" 0. (Soa.corr m 42));
+  ]
+
+(* The satellite identity: a monitored experiment run - online theorem
+   checks live - still renders byte-identically at 1 and 4 workers on the
+   wheel backend. *)
+let monitored_identity_tests =
+  [
+    t "monitored E1 tables byte-identical at 1 and 4 workers" (fun () ->
+        let e1 =
+          List.filter
+            (fun e -> String.equal e.Csync_harness.Experiment.id "E1")
+            Registry.all
+        in
+        check_int "E1 exists" 1 (List.length e1);
+        let render jobs =
+          let mon = Mon.create () in
+          Mon.install mon;
+          let out =
+            Fun.protect ~finally:Mon.clear_installed (fun () ->
+                Registry.run_list ~jobs ~quick:true e1
+                |> List.concat_map (fun (_, tables) ->
+                       List.map Csync_metrics.Table.to_csv tables)
+                |> String.concat "\n")
+          in
+          (out, Mon.checks_performed mon, Mon.violations_total mon)
+        in
+        with_engine_env "wheel" (fun () ->
+            let out1, checks1, viol1 = render 1 in
+            let out4, checks4, viol4 = render 4 in
+            check_true "tables nonempty" (String.length out1 > 0);
+            Alcotest.(check string) "tables" out1 out4;
+            check_int "monitor checks" checks1 checks4;
+            check_int "monitor violations" viol1 viol4;
+            check_int "no violations" 0 viol1));
+  ]
+
+let suite =
+  List.concat
+    [ sweep_tests; soa_tests; scale_tests; monitored_identity_tests ]

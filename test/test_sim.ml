@@ -306,6 +306,163 @@ let tie_break_tests =
         List.rev !order = expected);
   ]
 
+(* The timing wheel must be observationally identical to the reference heap
+   backend: same pop order (time, then prio class, then FIFO seq) over any
+   insertion pattern, including tie clusters, interleaved pops, adds behind
+   the current bucket window, and events past the wheel horizon (overflow
+   promotion).  Geometry is drawn randomly so tiny wheels (1-2 buckets,
+   narrow horizons) are exercised as hard as roomy ones. *)
+let wheel_tests =
+  let drain_both wheel heap =
+    let ok = ref true in
+    let more = ref true in
+    while !more do
+      let a = Event_queue.pop wheel and b = Event_queue.pop heap in
+      if a <> b then ok := false;
+      if a = None && b = None then more := false
+    done;
+    !ok
+  in
+  [
+    qcheck ~count:500 ~name:"wheel pops exactly the heap's order"
+      QCheck2.Gen.(
+        triple
+          (list_size (int_range 1 150)
+             (frequency
+                [
+                  ( 4,
+                    map2
+                      (fun tm p -> `Add (tm, p))
+                      (int_range 0 60) (int_range 0 3) );
+                  (2, pure `Pop);
+                ]))
+          (int_range 0 3) (int_range 0 3))
+      (fun (ops, wi, bi) ->
+        let width = [| 0.1; 0.3; 1.0; 5.0 |].(wi) in
+        let buckets = [| 1; 2; 8; 64 |].(bi) in
+        let wheel =
+          Event_queue.create ~backend:(Wheel { width; buckets }) ()
+        in
+        let heap = Event_queue.create ~backend:Heap () in
+        let next_id = ref 0 in
+        let ok = ref true in
+        List.iter
+          (fun op ->
+            match op with
+            | `Add (tm, p) ->
+              let time = float_of_int tm *. 0.25 in
+              Event_queue.add wheel ~time ~prio:p !next_id;
+              Event_queue.add heap ~time ~prio:p !next_id;
+              incr next_id
+            | `Pop ->
+              if Event_queue.pop wheel <> Event_queue.pop heap then
+                ok := false)
+          ops;
+        !ok
+        && Event_queue.size wheel = Event_queue.size heap
+        && drain_both wheel heap);
+    qcheck ~count:300 ~name:"wheel pop_if_before agrees with heap"
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 80)
+             (pair (int_range 0 40) (int_range 0 1)))
+          (list_size (int_range 1 40) (int_range 0 45)))
+      (fun (adds, cuts) ->
+        let wheel =
+          Event_queue.create ~backend:(Wheel { width = 0.5; buckets = 4 }) ()
+        in
+        let heap = Event_queue.create ~backend:Heap () in
+        List.iteri
+          (fun i (tm, prio) ->
+            let time = float_of_int tm in
+            Event_queue.add wheel ~time ~prio i;
+            Event_queue.add heap ~time ~prio i)
+          adds;
+        List.for_all
+          (fun cut ->
+            let until = float_of_int cut in
+            Event_queue.pop_if_before wheel ~until
+            = Event_queue.pop_if_before heap ~until)
+          cuts
+        && drain_both wheel heap);
+    t "overflow promotes in order across the horizon" (fun () ->
+        let q =
+          Event_queue.create ~backend:(Wheel { width = 1.0; buckets = 4 }) ()
+        in
+        (* Horizon is 4: times 0..40 force most adds through the overflow
+           heap and back out via promotion as the epoch advances. *)
+        let times = [ 17.; 3.; 40.; 0.5; 22.; 22.; 8.; 39.5; 4. ] in
+        List.iteri
+          (fun i time -> Event_queue.add q ~time ~prio:0 i)
+          times;
+        let popped = ref [] in
+        let rec go () =
+          match Event_queue.pop q with
+          | Some (time, _) ->
+            popped := time :: !popped;
+            go ()
+          | None -> ()
+        in
+        go ();
+        check_true "sorted"
+          (List.rev !popped = List.sort compare times));
+    t "iter_pop_until delivers in-window adds made by the callback" (fun () ->
+        let q =
+          Event_queue.create ~backend:(Wheel { width = 0.5; buckets = 8 }) ()
+        in
+        Event_queue.add q ~time:1. ~prio:0 `Seed;
+        let seen = ref [] in
+        let n =
+          Event_queue.iter_pop_until q ~until:3. ~f:(fun time payload ->
+              seen := (time, payload) :: !seen;
+              if payload = `Seed then begin
+                Event_queue.add q ~time:2. ~prio:0 `Child;
+                Event_queue.add q ~time:9. ~prio:0 `Late
+              end)
+        in
+        check_int "delivered both in-window events" 2 n;
+        check_true "order" (List.rev !seen = [ (1., `Seed); (2., `Child) ]);
+        check_int "late event still queued" 1 (Event_queue.size q));
+    t "backend_kind reflects creation choice" (fun () ->
+        let h = Event_queue.create ~backend:Heap () in
+        check_true "heap" (Event_queue.backend_kind h = Event_queue.Heap);
+        let w =
+          Event_queue.create ~backend:(Wheel { width = 0.5; buckets = 6 }) ()
+        in
+        (* Bucket counts round up to a power of two. *)
+        check_true "wheel rounded"
+          (Event_queue.backend_kind w
+          = Event_queue.Wheel { width = 0.5; buckets = 8 }));
+    t "rejects out-of-range prio" (fun () ->
+        check_raises_invalid "negative" (fun () ->
+            Event_queue.add (Event_queue.create ()) ~time:1. ~prio:(-1) ());
+        check_raises_invalid "huge" (fun () ->
+            Event_queue.add (Event_queue.create ()) ~time:1. ~prio:(1 lsl 20)
+              ()));
+    t "rejects bad wheel geometry" (fun () ->
+        check_raises_invalid "zero width" (fun () ->
+            ignore
+              (Event_queue.create
+                 ~backend:(Wheel { width = 0.; buckets = 4 })
+                 ()
+                : unit Event_queue.t));
+        check_raises_invalid "no buckets" (fun () ->
+            ignore
+              (Event_queue.create
+                 ~backend:(Wheel { width = 1.; buckets = 0 })
+                 ()
+                : unit Event_queue.t)));
+    t "expected capacity hint is behaviour-neutral" (fun () ->
+        let a = Event_queue.create ~expected:4096 () in
+        let b = Event_queue.create () in
+        for i = 0 to 99 do
+          let time = float_of_int ((i * 37) mod 19) in
+          Event_queue.add a ~time ~prio:(i land 1) i;
+          Event_queue.add b ~time ~prio:(i land 1) i
+        done;
+        check_true "same drain" (drain_both a b));
+  ]
+
 let delay_trace_tests =
   [
     t "delay provenance off by default" (fun () ->
@@ -350,5 +507,5 @@ let delay_trace_tests =
   ]
 
 let suite =
-  rng_tests @ heap_tests @ queue_tests @ tie_break_tests @ engine_tests
-  @ trace_tests @ delay_trace_tests
+  rng_tests @ heap_tests @ queue_tests @ tie_break_tests @ wheel_tests
+  @ engine_tests @ trace_tests @ delay_trace_tests

@@ -173,6 +173,19 @@ let bench_round =
   let scale_model =
     lazy (Csync_process.Soa.create ~n:100_000 ~degree:8 ~f:2 ~seed:1 ())
   in
+  (* The same event volume routed through an explicit sparse topology in
+     gradient mode: a degree-8 circulant expander at n = 10^5, neighbor
+     averaging instead of the full midpoint jump.  Holds the line that
+     graph-indirected adjacency and the gradient correction stay within
+     noise of the hardcoded-ring path. *)
+  let gradient_model =
+    lazy
+      (let graph =
+         Csync_topo.Graph.expander ~n:100_000 ~degree:8 ~seed:5
+       in
+       Csync_process.Soa.create ~graph ~f:2 ~seed:1
+         ~mode:(Csync_process.Soa.Gradient_avg 1.0) ~n:100_000 ())
+  in
   Test.make_grouped ~name:"simulation"
     [
       Test.make ~name:"five-rounds-n7"
@@ -182,6 +195,9 @@ let bench_round =
       Test.make ~name:"one-round-n100k"
         (Staged.stage (fun () ->
              ignore (Csync_harness.Scale.round (Lazy.force scale_model))));
+      Test.make ~name:"gradient-round-n100k"
+        (Staged.stage (fun () ->
+             ignore (Csync_harness.Scale.round (Lazy.force gradient_model))));
     ]
 
 (* The model checker's exploration loop, at a scope small enough to finish

@@ -899,6 +899,129 @@ let report_cmd =
           differences between two traces.")
     Term.(ret (const run $ label_arg $ diff_arg $ files_arg))
 
+(* csync topo *)
+let topo_cmd =
+  let module Graph = Csync_topo.Graph in
+  let module Gradient = Csync_topo.Gradient in
+  let module Soa = Csync_process.Soa in
+  let family_arg =
+    let family_conv =
+      Arg.enum
+        [ ("ring", `Ring); ("grid", `Grid); ("torus", `Torus);
+          ("expander", `Expander); ("hier", `Hier); ("complete", `Complete) ]
+    in
+    let doc =
+      "Topology family: $(b,ring) (directed predecessor circulant), \
+       $(b,grid)/$(b,torus) (2-d lattice), $(b,expander) (seeded random \
+       circulant), $(b,hier) (Welch-Lynch cliques on a leader tree), \
+       $(b,complete) (full mesh)."
+    in
+    Arg.(value & opt family_conv `Ring & info [ "family" ] ~docv:"FAMILY" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 1000 & info [ "n" ] ~doc:"Number of processes.")
+  in
+  let degree_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "degree" ] ~doc:"Ring/expander degree (ignored elsewhere).")
+  in
+  let cluster_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "cluster" ] ~doc:"Clique size (hier only).")
+  in
+  let branching_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "branching" ] ~doc:"Leader-tree arity (hier only).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 5 & info [ "seed" ] ~doc:"Expander generator seed.")
+  in
+  let rounds_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "rounds" ]
+          ~doc:
+            "Also run $(docv) gradient synchronization rounds over the \
+             graph (struct-of-arrays model) and print per-round global and \
+             local skew against the per-hop allowance kappa."
+          ~docv:"R")
+  in
+  let gain_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "gain" ]
+          ~doc:"Neighbor-averaging gain in (0, 1]; 1 = full midpoint jump.")
+  in
+  let run family n degree cluster branching seed rounds gain =
+    let build () =
+      match family with
+      | `Ring -> Graph.ring ~n ~degree:(max 1 (min degree (n - 1)))
+      | `Grid | `Torus ->
+        (* Squarest factorization of n. *)
+        let rows = ref 1 in
+        let s = int_of_float (Float.sqrt (float_of_int n)) in
+        for d = 1 to s do
+          if n mod d = 0 then rows := d
+        done;
+        if family = `Grid then Graph.grid ~rows:!rows ~cols:(n / !rows)
+        else Graph.torus ~rows:!rows ~cols:(n / !rows)
+      | `Expander -> Graph.expander ~n ~degree ~seed
+      | `Hier -> Graph.hier_tree ~n ~cluster ~branching
+      | `Complete -> Graph.complete ~n
+    in
+    match build () with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | g ->
+      Format.printf "%a@." Graph.pp g;
+      Format.printf "  edges      = %d (directed)@." (Graph.edges g);
+      Format.printf "  in-degree  = %d .. %d@." (Graph.min_in_degree g)
+        (Graph.max_in_degree g);
+      Format.printf "  symmetric  = %b@." (Graph.is_symmetric g);
+      Format.printf "  connected  = %b@." (Graph.is_connected g);
+      Format.printf "  diameter   = %s@."
+        (let d = Graph.diameter g in
+         if d = max_int then "inf" else string_of_int d);
+      Format.printf "  tolerated Byzantine faults (weakest neighborhood) = %d@."
+        (Graph.tolerated_faults g);
+      if rounds <= 0 then `Ok ()
+      else begin
+        let rho = 1e-5 and delta = 0.01 and eps = 0.001 and period = 10. in
+        match
+          Soa.create ~graph:g ~f:2 ~seed:3 ~rho ~delta ~eps ~period
+            ~dispersion:(2. *. eps) ~mode:(Soa.Gradient_avg gain) ~n ()
+        with
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | m ->
+          let kappa = Gradient.kappa ~rho ~eps ~period ~gain in
+          Format.printf "@.gradient rounds (gain %.2f, kappa %.4g):@." gain
+            kappa;
+          Format.printf "  %-6s %-12s %-12s %s@." "round" "global" "local"
+            "local<=kappa";
+          Format.printf "  %-6d %-12.4g %-12.4g -@." 0 (Soa.spread m)
+            (Soa.local_skew m);
+          for r = 1 to rounds do
+            ignore (Csync_harness.Scale.round m);
+            let l = Soa.local_skew m in
+            Format.printf "  %-6d %-12.4g %-12.4g %s@." r (Soa.spread m) l
+              (if l <= kappa then "yes" else "NO")
+          done;
+          `Ok ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:
+         "Inspect a sparse topology (degrees, diameter, symmetry, fault \
+          budget) and optionally run gradient synchronization rounds over \
+          it.")
+    Term.(
+      ret
+        (const run $ family_arg $ n_arg $ degree_arg $ cluster_arg
+        $ branching_arg $ seed_arg $ rounds_arg $ gain_arg))
+
 let main_cmd =
   let doc =
     "Fault-tolerant clock synchronization (Welch & Lynch 1984/1988) - \
@@ -906,6 +1029,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; check_cmd;
-      export_cmd; bench_cmd; trace_cmd; report_cmd ]
+      export_cmd; bench_cmd; trace_cmd; report_cmd; topo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

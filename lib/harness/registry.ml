@@ -14,6 +14,8 @@ let all =
     Exp_ablation.experiment;
     Exp_chaos.experiment;
     Exp_stabilization.experiment;
+    Exp_topology.experiment;
+    Exp_hierarchy.experiment;
   ]
 
 let find id =

@@ -96,6 +96,8 @@ type stats = {
   checksum : int;
   spread0 : float;
   spread1 : float;
+  local0 : float;
+  local1 : float;
 }
 
 let run ?jobs ?(rounds = 1) t =
@@ -103,6 +105,7 @@ let run ?jobs ?(rounds = 1) t =
   let jobs = resolve_jobs jobs in
   let shards = max 1 (min jobs (Soa.n t)) in
   let spread0 = Soa.spread t in
+  let local0 = Soa.local_skew t in
   let events = ref 0 in
   let checksum = ref 0 in
   for _ = 1 to rounds do
@@ -119,6 +122,8 @@ let run ?jobs ?(rounds = 1) t =
     checksum = !checksum;
     spread0;
     spread1 = Soa.spread t;
+    local0;
+    local1 = Soa.local_skew t;
   }
 
 let state_checksum t =

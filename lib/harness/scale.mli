@@ -26,6 +26,8 @@ type stats = {
   checksum : int;  (** fold of the per-round merge checksums *)
   spread0 : float;  (** nonfaulty broadcast-time spread before round 1 *)
   spread1 : float;  (** same spread after the last round *)
+  local0 : float;  (** worst per-edge spread (local skew) before round 1 *)
+  local1 : float;  (** same after the last round *)
 }
 
 val run : ?jobs:int -> ?rounds:int -> Csync_process.Soa.t -> stats

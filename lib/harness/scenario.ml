@@ -37,6 +37,7 @@ type t = {
   rounds : int;
   samples_per_round : int;
   trace : bool;
+  graph : Csync_topo.Graph.t option;
 }
 
 let default ?(seed = 42) (params : Params.t) =
@@ -54,6 +55,7 @@ let default ?(seed = 42) (params : Params.t) =
     rounds = 30;
     samples_per_round = 8;
     trace = false;
+    graph = None;
   }
 
 let with_standard_faults t =
@@ -137,8 +139,8 @@ let run t =
   let trace = Csync_sim.Trace.create ~capacity:2048 () in
   Csync_sim.Trace.set_enabled trace t.trace;
   let cluster =
-    Cluster.create ~clocks:env.Env.clocks ~delay:env.Env.delay ~collision ~trace
-      ~exchanges:t.exchanges ~procs ()
+    Cluster.create ~clocks:env.Env.clocks ?graph:t.graph ~delay:env.Env.delay
+      ~collision ~trace ~exchanges:t.exchanges ~procs ()
   in
   Cluster.schedule_starts_at_logical cluster ~t0 ~corrs:(Array.make n 0.);
   let tmin0 = Env.tmin0 env and tmax0 = Env.tmax0 env in

@@ -48,6 +48,8 @@ type t = {
   rounds : int;  (** measurement horizon, in rounds *)
   samples_per_round : int;
   trace : bool;  (** record a delivery trace (kept in [result.trace]) *)
+  graph : Csync_topo.Graph.t option;
+      (** communication topology; [None] = the paper's full mesh *)
 }
 
 val default : ?seed:int -> Csync_core.Params.t -> t

@@ -19,6 +19,7 @@ type 'm tamper = now:float -> src:int -> dst:int -> 'm -> 'm fate list
 
 type 'm t = {
   n : int;
+  graph : Csync_topo.Graph.t option;
   delay : Delay.t;
   collision : Collision.t;
   engine : 'm delivery Engine.t;
@@ -40,8 +41,12 @@ type 'm t = {
   obs_link_delay : Obs.Hist.handle array; (* src * n + dst; [||] when disabled *)
 }
 
-let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
+let create ~n ?graph ~delay ?(collision = Collision.none) ?trace ~engine () =
   if n <= 0 then invalid_arg "Message_buffer.create: nonpositive n";
+  (match graph with
+  | Some g when Csync_topo.Graph.n g <> n ->
+    invalid_arg "Message_buffer.create: graph size mismatch"
+  | _ -> ());
   let obs = Obs.installed () in
   let lo, hi = Delay.bounds delay in
   let hi = if hi > lo then hi else lo +. 1e-9 in
@@ -54,6 +59,7 @@ let create ~n ~delay ?(collision = Collision.none) ?trace ~engine () =
   in
   {
     n;
+    graph;
     delay;
     collision;
     engine;
@@ -109,6 +115,8 @@ let set_tamper t f = t.tamper <- Some f
 let clear_tamper t = t.tamper <- None
 
 let n t = t.n
+
+let graph t = t.graph
 
 let engine t = t.engine
 
@@ -170,10 +178,16 @@ let send t ~src ~dst m =
       fates;
     Mon.Prov.clear_staged t.mon
 
+(* On the full mesh (graph = None, or a Complete graph whose broadcast
+   list is 0 .. n-1) the two paths send to the same destinations in the
+   same order, so traces and provenance ids agree byte for byte. *)
 let broadcast t ~src m =
-  for dst = 0 to t.n - 1 do
-    send t ~src ~dst m
-  done
+  match t.graph with
+  | None ->
+    for dst = 0 to t.n - 1 do
+      send t ~src ~dst m
+    done
+  | Some g -> Csync_topo.Graph.iter_bcast g ~src (fun dst -> send t ~src ~dst m)
 
 let set_timer t ~dst ~at_real ~phys_value =
   check_pid t dst "set_timer";

@@ -47,18 +47,24 @@ type 'm t
 
 val create :
   n:int ->
+  ?graph:Csync_topo.Graph.t ->
   delay:Delay.t ->
   ?collision:Collision.t ->
   ?trace:Csync_sim.Trace.t ->
   engine:'m delivery Csync_sim.Engine.t ->
   unit ->
   'm t
-(** [trace], when given and delay recording is enabled on it, receives one
-    {!Csync_sim.Trace.delay_choice} per scheduled message copy (after any
-    tamper-added extra delay), so a run's latency choices can be audited
-    against a model-checker schedule. *)
+(** [graph], when given, restricts {!broadcast} to the sender's
+    neighborhood (see {!broadcast}); point-to-point {!send} is never
+    filtered.  [trace], when given and delay recording is enabled on it,
+    receives one {!Csync_sim.Trace.delay_choice} per scheduled message
+    copy (after any tamper-added extra delay), so a run's latency choices
+    can be audited against a model-checker schedule.
+    @raise Invalid_argument if the graph's size differs from [n]. *)
 
 val n : 'm t -> int
+
+val graph : 'm t -> Csync_topo.Graph.t option
 
 val engine : 'm t -> 'm delivery Csync_sim.Engine.t
 
@@ -78,8 +84,12 @@ val set_tamper : 'm t -> 'm tamper -> unit
 val clear_tamper : 'm t -> unit
 
 val broadcast : 'm t -> src:int -> 'm -> unit
-(** Send to every process, including the sender (the paper's broadcast
-    primitive).  Each copy draws its own delay. *)
+(** Without a graph: send to every process, including the sender (the
+    paper's broadcast primitive).  With one: neighbor-multicast to the
+    sender and its out-neighbors, ascending
+    ({!Csync_topo.Graph.iter_bcast}) - on a {!Csync_topo.Graph.complete}
+    graph the destination order is [0 .. n-1], byte-identical to the
+    full-mesh path.  Each copy draws its own delay. *)
 
 val set_timer : 'm t -> dst:int -> at_real:float -> phys_value:float -> bool
 (** Place a TIMER for [dst] at real time [at_real], tagged with the

@@ -28,9 +28,18 @@ type check =
   | Halving
   | Stabilization
   | Reconvergence
+  | Local_skew
 
 let all_checks =
-  [ Agreement; Validity; Adjustment; Halving; Stabilization; Reconvergence ]
+  [
+    Agreement;
+    Validity;
+    Adjustment;
+    Halving;
+    Stabilization;
+    Reconvergence;
+    Local_skew;
+  ]
 
 let check_index = function
   | Agreement -> 0
@@ -39,6 +48,7 @@ let check_index = function
   | Halving -> 3
   | Stabilization -> 4
   | Reconvergence -> 5
+  | Local_skew -> 6
 
 let check_name = function
   | Agreement -> "agreement"
@@ -47,6 +57,7 @@ let check_name = function
   | Halving -> "halving"
   | Stabilization -> "stabilization"
   | Reconvergence -> "reconvergence"
+  | Local_skew -> "local_skew"
 
 type prov_entry = {
   id : int;
@@ -481,6 +492,42 @@ module Reconvergence = struct
 
   let finish h ~time =
     match h with Noop -> () | H { body; _ } -> Eventual.finish body ~time
+end
+
+module Local_skew = struct
+  type handle = Noop | H of { t : t; kappa : float }
+
+  (* The gradient property, per observation: the skew between two
+     processes at graph distance [dist] stays within [kappa * dist]
+     (distance 1 - an edge - is the local-skew bound proper).  [kappa]
+     comes from the gradient rule's fixed point; [tighten] shrinks it. *)
+  let handle t ~kappa =
+    if t.enabled && t.on.(check_index Local_skew) then
+      H { t; kappa = kappa *. t.tighten }
+    else Noop
+
+  let active = function Noop -> false | H _ -> true
+
+  let check h ~round ~time ~dist ~skew =
+    match h with
+    | Noop -> ()
+    | H { t; kappa } ->
+      if dist > 0 then begin
+        bump t Local_skew;
+        let bound = kappa *. float_of_int dist in
+        if exceeds skew bound then
+          record t
+            {
+              monitor = Local_skew;
+              label = current_label ();
+              round = Some round;
+              pid = None;
+              time;
+              measured = skew;
+              bound;
+              provenance = [];
+            }
+      end
 end
 
 (* ---------- results ---------- *)

@@ -36,6 +36,9 @@ type check =
   | Reconvergence
       (** eventual: a corrupted process' correction returns within a
           bound of the clean processes' *)
+  | Local_skew
+      (** gradient property: skew between processes at graph distance d
+          stays within [kappa * d] ({!Csync_topo} runs) *)
 
 val all_checks : check list
 
@@ -244,6 +247,23 @@ module Reconvergence : sig
       sits from the clean processes' (e.g. distance to their median). *)
 
   val finish : handle -> time:float -> unit
+end
+
+module Local_skew : sig
+  type handle
+
+  val handle : t -> kappa:float -> handle
+  (** [kappa] is the per-hop skew allowance (the gradient rule's fixed
+      point, [Csync_topo.Gradient.kappa] in practice); [tighten]
+      multiplies it. *)
+
+  val active : handle -> bool
+
+  val check : handle -> round:int -> time:float -> dist:int -> skew:float -> unit
+  (** Check one observed pair: processes at graph distance [dist] with
+      clock (or round-start) skew [skew] must satisfy
+      [skew <= kappa * dist].  [dist <= 0] (same process, or unreachable)
+      is ignored. *)
 end
 
 (** {2 Results} *)

@@ -43,19 +43,27 @@ let wheel_backend delay =
     in
     Csync_sim.Event_queue.Wheel { width; buckets }
 
-let create ~clocks ~delay ?collision ?(trace = Trace.create ())
+let create ~clocks ?graph ~delay ?collision ?(trace = Trace.create ())
     ?(exchanges = 1) ~procs () =
   let n = Array.length procs in
   if Array.length clocks <> n then
     invalid_arg "Cluster.create: clocks and procs length mismatch";
   if n = 0 then invalid_arg "Cluster.create: empty cluster";
-  (* Peak queue depth is one exchange's worth of traffic in flight: n^2
-     deliveries plus a START and a TIMER per process. *)
-  let expected = if exchanges <= 0 then 2 * n else n * (n + 2) in
+  (* Peak queue depth is one exchange's worth of traffic in flight: the
+     broadcast edges (n^2 on the full mesh, self + out-edges on a sparse
+     graph) plus a START and a TIMER per process. *)
+  let bcast_total =
+    match graph with
+    | None -> n * n
+    | Some g -> n + Csync_topo.Graph.edges g
+  in
+  let expected = if exchanges <= 0 then 2 * n else bcast_total + (2 * n) in
   let engine =
     Engine.create ~backend:(wheel_backend delay) ~expected ()
   in
-  let buffer = Message_buffer.create ~n ~delay ?collision ~trace ~engine () in
+  let buffer =
+    Message_buffer.create ~n ?graph ~delay ?collision ~trace ~engine ()
+  in
   {
     clocks;
     buffer;

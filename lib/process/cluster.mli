@@ -26,6 +26,7 @@ type 'm t
 
 val create :
   clocks:Csync_clock.Hardware_clock.t array ->
+  ?graph:Csync_topo.Graph.t ->
   delay:Csync_net.Delay.t ->
   ?collision:Csync_net.Collision.t ->
   ?trace:Csync_sim.Trace.t ->
@@ -33,13 +34,18 @@ val create :
   procs:'m proc array ->
   unit ->
   'm t
-(** [exchanges] (default 1) sizes the engine's event-queue capacity hint:
-    the peak in-flight event count is one exchange's n^2 messages plus a
-    START and TIMER per process; 0 means a messaging-free run.  The engine
-    backend follows {!Csync_sim.Event_queue.default_backend}, with the
-    wheel's bucket width derived from [delay]'s jitter (eps / 2, falling
-    back to delta / 8 for jitter-free models).
-    @raise Invalid_argument if [clocks] and [procs] differ in length. *)
+(** [graph], when given, makes automaton broadcasts neighbor-multicasts
+    over that topology (see {!Csync_net.Message_buffer.broadcast});
+    without one, broadcasts reach every process - the paper's full mesh.
+    [exchanges] (default 1) sizes the engine's event-queue capacity hint:
+    the peak in-flight event count is one exchange's broadcast traffic
+    (n^2 messages on the mesh, self + out-edges per process on a graph)
+    plus a START and TIMER per process; 0 means a messaging-free run.
+    The engine backend follows {!Csync_sim.Event_queue.default_backend},
+    with the wheel's bucket width derived from [delay]'s jitter (eps / 2,
+    falling back to delta / 8 for jitter-free models).
+    @raise Invalid_argument if [clocks] and [procs] differ in length or
+    the graph's size is not [n]. *)
 
 val n : 'm t -> int
 

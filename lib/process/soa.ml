@@ -9,16 +9,34 @@
    from (seed, src, dst, round) rather than stored, so a shard of the
    process space can be simulated with nothing but its own event queue.
 
+   Who hears whom is a Topo.Graph - the default is the same directed
+   predecessor ring the model hardcoded before topologies existed (and
+   [Graph.ring] reproduces its neighbor order exactly, so default-model
+   checksums are byte-identical to the hardcoded era), but any sparse
+   graph works: grids, tori, seeded circulant expanders, hierarchical
+   synchronization cliques.  The correction [mode] chooses between the
+   full reduced-midpoint jump (Welch-Lynch) and the gradient rule
+   (Topo.Gradient: move [gain] of the way toward the neighborhood
+   midpoint), whose per-hop skew guarantee is what sparse topologies are
+   for.
+
    Events are integers: an arrival or round timer for destination [dst] is
-   [dst * (degree + 1) + slot], giving every event a globally stable id -
-   the merge key (time, prio, id) that Harness.Scale uses to stitch shard
-   streams back into one canonical order. *)
+   [dst * width + slot], where [width] = max in-degree + 1; arrival slots
+   are in-neighbor positions, the timer is slot [width - 1].  This gives
+   every event a globally stable id - the merge key (time, prio, id) that
+   Harness.Scale uses to stitch shard streams back into one canonical
+   order. *)
 
 module Event_queue = Csync_sim.Event_queue
+module Graph = Csync_topo.Graph
+module Gradient = Csync_topo.Gradient
+
+type mode = Midpoint | Gradient_avg of float
 
 type t = {
   n : int;
-  degree : int;
+  graph : Graph.t;
+  width : int;  (* max in-degree + 1: slab row width and event-id stride *)
   f : int;
   seed : int;
   hseed : int;  (* mix seed, hoisted out of every per-link hash *)
@@ -26,6 +44,7 @@ type t = {
   delta : float;
   eps : float;
   period : float;
+  mode : mode;
   rate : float array;  (* drift in [-rho, rho] *)
   offset : float array;  (* hardware-clock offset at real time 0 *)
   corr : float array;
@@ -52,21 +71,36 @@ let u01_scale = 1. /. 1099511627776.  (* 2^-40 *)
 
 let u01 h = float_of_int ((h land max_int) land ((1 lsl 40) - 1)) *. u01_scale
 
-let create ?(degree = 8) ?(f = 2) ?(seed = 1) ?(rho = 1e-5) ?(delta = 0.01)
-    ?(eps = 0.001) ?(period = 10.) ?(dispersion = 1.) ~n () =
-  if n <= 0 then invalid_arg "Soa.create: nonpositive n";
+let create ?graph ?(degree = 8) ?(f = 2) ?(seed = 1) ?(rho = 1e-5)
+    ?(delta = 0.01) ?(eps = 0.001) ?(period = 10.) ?(dispersion = 1.)
+    ?(mode = Midpoint) ~n () =
+  if n <= 1 then invalid_arg "Soa.create: need n > 1";
   if degree <= 0 then invalid_arg "Soa.create: nonpositive degree";
   if f < 0 then invalid_arg "Soa.create: negative f";
   if not (delta > 0. && eps >= 0. && eps < delta) then
     invalid_arg "Soa.create: need 0 <= eps < delta";
-  let degree = min degree (n - 1) in
-  let degree = max degree 1 in
+  (match mode with
+  | Midpoint -> ()
+  | Gradient_avg gain ->
+    if not (gain > 0. && gain <= 1.) then
+      invalid_arg "Soa.create: need 0 < gain <= 1");
+  let graph =
+    match graph with
+    | Some g ->
+      if Graph.n g <> n then invalid_arg "Soa.create: graph size mismatch";
+      g
+    | None ->
+      (* The historical default: the directed predecessor ring. *)
+      let degree = max 1 (min degree (n - 1)) in
+      Graph.ring ~n ~degree
+  in
   let hseed = mix seed in
   let rate = Array.init n (fun p -> rho *. ((2. *. u01 (mix (p + mix (1 + hseed)))) -. 1.)) in
   let offset = Array.init n (fun p -> dispersion *. u01 (mix (p + mix (2 + hseed)))) in
   {
     n;
-    degree;
+    graph;
+    width = Graph.max_in_degree graph + 1;
     f;
     seed;
     hseed;
@@ -74,6 +108,7 @@ let create ?(degree = 8) ?(f = 2) ?(seed = 1) ?(rho = 1e-5) ?(delta = 0.01)
     delta;
     eps;
     period;
+    mode;
     rate;
     offset;
     corr = Array.make n 0.;
@@ -83,11 +118,13 @@ let create ?(degree = 8) ?(f = 2) ?(seed = 1) ?(rho = 1e-5) ?(delta = 0.01)
   }
 
 let n t = t.n
-let degree t = t.degree
+let graph t = t.graph
+let mode t = t.mode
+let degree t = t.width - 1
 let f t = t.f
 let round t = t.round
-let width t = t.degree + 1
-let stride t = t.degree + 1
+let width t = t.width
+let stride t = t.width
 
 let check_pid t pid name =
   if pid < 0 || pid >= t.n then invalid_arg ("Soa." ^ name ^ ": pid out of range")
@@ -103,7 +140,9 @@ let set_pull t pid skew =
 
 let is_ok t pid = t.status.(pid) = st_ok
 
-let in_neighbor t ~dst j = (dst - 1 - j + t.n) mod t.n
+let in_degree t dst = Graph.in_degree t.graph dst
+
+let in_neighbor t ~dst j = Graph.in_neighbor t.graph ~dst j
 
 (* Real time at which p's logical clock reads the current round's target
    T_r = period * (round + 1): L_p(b) = (1 + rate) b + offset + corr = T_r. *)
@@ -129,6 +168,11 @@ let spread t =
     end
   done;
   if !hi < !lo then 0. else !hi -. !lo
+
+let local_skew t =
+  Gradient.local_skew ~graph:t.graph
+    ~ok:(fun p -> t.status.(p) = st_ok)
+    ~value:(broadcast_time t)
 
 type shard = {
   lo : int;
@@ -192,27 +236,28 @@ let run_shard t ~lo ~hi =
       (* A process hears its own broadcast exactly. *)
       slab.(row * width) <- broadcast_time t dst;
       counts.(row) <- 1;
-      for j = 0 to t.degree - 1 do
+      for j = 0 to in_degree t dst - 1 do
         let src = in_neighbor t ~dst j in
         if t.status.(src) <> st_crashed then begin
           let a = report_time t src +. delay t ~hround ~src ~dst in
           Event_queue.add q ~time:a ~prio:0 ((dst * stride) + j)
         end
       done;
-      Event_queue.add q ~time:horizon ~prio:1 ((dst * stride) + t.degree)
+      Event_queue.add q ~time:horizon ~prio:1 ((dst * stride) + (stride - 1))
     end
   done;
   let times = Array.make (max cap 1) 0. in
   let keys = Array.make (max cap 1) 0 in
   let count = ref 0 in
   let delta = t.delta in
+  let timer_slot = stride - 1 in
   let n =
     Event_queue.iter_pop_until q ~until:Float.infinity ~f:(fun time id ->
         let i = !count in
         incr count;
         Array.unsafe_set times i time;
         let slot = id mod stride in
-        if slot < t.degree then begin
+        if slot < timer_slot then begin
           (* Arrival: the estimate of the sender's round start is the
              arrival time minus the nominal delay (Section 4's ARR - delta),
              off by at most eps. *)
@@ -227,15 +272,23 @@ let run_shard t ~lo ~hi =
   assert (n = !count);
   { lo; hi; count = !count; times; keys; slab; counts }
 
-(* Retarget each surviving row's broadcast toward its reduced midpoint:
-   b' = mid requires corr' = corr - (mid - b)(1 + rate), since
-   db/dcorr = -1/(1 + rate).  Faulty processes never adjust. *)
+(* Retarget each surviving row's broadcast toward its correction target:
+   the row's reduced midpoint under [Midpoint] (the Welch-Lynch jump), or
+   [gain] of the way there under [Gradient_avg] (the neighbor-averaging
+   rule whose fixed point bounds neighbor skew).  b' = m requires
+   corr' = corr - (m - b)(1 + rate), since db/dcorr = -1/(1 + rate).
+   Faulty processes never adjust. *)
 let apply t ~lo mids =
   for i = 0 to Array.length mids - 1 do
     let p = lo + i in
     let m = mids.(i) in
     if t.status.(p) = st_ok && Float.is_finite m then begin
       let b = broadcast_time t p in
+      let m =
+        match t.mode with
+        | Midpoint -> m
+        | Gradient_avg gain -> Gradient.target ~gain ~own:b ~mid:m
+      in
       t.corr.(p) <- t.corr.(p) -. ((m -. b) *. (1. +. t.rate.(p)))
     end
   done

@@ -5,22 +5,32 @@
     fidelity for the paper's experiments at n <= a few hundred, but memory-
     and cache-hostile five orders of magnitude up.  Here the whole system
     is four flat arrays (drift rate, hardware offset, correction, status)
-    plus two pure functions of [(seed, src, dst, round)]: the ring topology
+    plus two pure functions of [(seed, src, dst, round)]: the topology
     and the per-link delay, drawn deterministically from the paper's
     [delta - eps, delta + eps] window by an integer hash.  Nothing else is
     stored, so any contiguous range of destinations can be simulated
     independently - the basis of {!Csync_harness}'s sharded driver.
 
-    Topology is a directed ring: process [p] hears its [degree]
-    predecessors [p-1 .. p-degree] (mod n) plus itself, so each round is
-    n(degree+1) estimates rather than the full mesh's n^2.  Faults are
-    crash (broadcasts nothing) or pull (broadcasts [skew] late, a simple
+    Topology is any {!Csync_topo.Graph} - by default the directed
+    predecessor ring the model originally hardcoded (process [p] hears
+    [p-1 .. p-degree] mod n plus itself), reproduced neighbor-for-neighbor
+    by [Graph.ring] so default-model event streams and checksums are
+    byte-identical to the hardcoded era.  The correction [mode] is either
+    the full reduced-midpoint jump (Welch-Lynch) or the gradient
+    neighbor-averaging rule ({!Csync_topo.Gradient}).  Faults are crash
+    (broadcasts nothing) or pull (broadcasts [skew] late, a simple
     Byzantine pattern); the per-row discard follows the same degradation
     rule as {!Csync_core.Maintenance}'s degraded average. *)
+
+type mode =
+  | Midpoint  (** jump all the way to the row's reduced midpoint *)
+  | Gradient_avg of float
+      (** move [gain] of the way toward it ({!Csync_topo.Gradient.target}) *)
 
 type t
 
 val create :
+  ?graph:Csync_topo.Graph.t ->
   ?degree:int ->
   ?f:int ->
   ?seed:int ->
@@ -29,30 +39,43 @@ val create :
   ?eps:float ->
   ?period:float ->
   ?dispersion:float ->
+  ?mode:mode ->
   n:int ->
   unit ->
   t
 (** Fresh system of [n] processes at round 0: drift rates uniform in
     [-rho, rho], hardware offsets uniform in [0, dispersion], corrections
-    zero, everyone nonfaulty - all drawn from [seed].  [degree] (default 8,
-    clamped to [n - 1]) is the ring in-degree; [f] (default 2) the per-row
-    fault bound; [period] the logical time between round targets.
-    @raise Invalid_argument unless [n > 0] and [0 <= eps < delta]. *)
+    zero, everyone nonfaulty - all drawn from [seed].  [graph] is who
+    hears whom; when absent, the historical ring of in-degree [degree]
+    (default 8, clamped to [n - 1]).  [f] (default 2) is the per-row
+    fault bound; [period] the logical time between round targets; [mode]
+    (default {!Midpoint}) the correction rule.
+    @raise Invalid_argument unless [n > 1], [0 <= eps < delta], the graph
+    (when given) has exactly [n] nodes, and a [Gradient_avg] gain is in
+    (0, 1]. *)
 
 val n : t -> int
+val graph : t -> Csync_topo.Graph.t
+val mode : t -> mode
+
 val degree : t -> int
+(** Max in-degree of the topology ([width - 1]); on the default ring,
+    the [degree] passed to {!create}. *)
+
 val f : t -> int
 val round : t -> int
 
 val width : t -> int
-(** Estimate-row width, [degree + 1] (the ring in-neighbours plus self). *)
+(** Estimate-row width, max in-degree + 1 (worst-case in-neighbours plus
+    self).  Rows of lower-degree destinations simply hold fewer
+    estimates. *)
 
 val stride : t -> int
-(** Event-id stride: destination [dst]'s events occupy ids
-    [dst * stride .. dst * stride + degree]; slots [0 .. degree - 1] are
-    arrivals from its in-neighbours in ring order, slot [degree] the round
-    timer.  Ids are stable across shardings - the third component of the
-    canonical merge key. *)
+(** Event-id stride ([= width]): destination [dst]'s events occupy ids
+    [dst * stride .. dst * stride + stride - 1]; slots
+    [0 .. in_degree - 1] are arrivals from its in-neighbours in adjacency
+    order, slot [stride - 1] the round timer.  Ids are stable across
+    shardings - the third component of the canonical merge key. *)
 
 val crash : t -> int -> unit
 (** Crash fault: the process stops broadcasting (and, being dead, its own
@@ -64,9 +87,12 @@ val set_pull : t -> int -> float -> unit
 
 val is_ok : t -> int -> bool
 
+val in_degree : t -> int -> int
+
 val in_neighbor : t -> dst:int -> int -> int
-(** [in_neighbor t ~dst j] is the source of [dst]'s [j]-th in-edge,
-    [(dst - 1 - j) mod n]. *)
+(** [in_neighbor t ~dst j] is the source of [dst]'s [j]-th in-edge
+    (topology adjacency order; [(dst - 1 - j) mod n] on the default
+    ring). *)
 
 val broadcast_time : t -> int -> float
 (** Real time at which the process' logical clock reaches the current
@@ -78,7 +104,12 @@ val report_time : t -> int -> float
 
 val spread : t -> float
 (** Max minus min {!broadcast_time} over nonfaulty processes: the paper's
-    per-round dispersion B. *)
+    per-round dispersion B (the {e global} skew). *)
+
+val local_skew : t -> float
+(** Worst {!broadcast_time} difference across a graph edge between
+    nonfaulty endpoints - the quantity the gradient property bounds per
+    hop ({!Csync_topo.Gradient.local_skew}). *)
 
 type shard = {
   lo : int;
@@ -112,9 +143,11 @@ val run_shard : t -> lo:int -> hi:int -> shard
 
 val apply : t -> lo:int -> float array -> unit
 (** [apply t ~lo mids] retargets each nonfaulty process [lo + i]'s
-    broadcast at its row midpoint [mids.(i)] by adjusting its correction
-    variable ([nan] entries - empty rows - are skipped).  Call after every
-    shard of the round has been swept, then {!advance}. *)
+    broadcast toward its row midpoint [mids.(i)] by adjusting its
+    correction variable - all the way under {!Midpoint}, a [gain]
+    fraction of the way under {!Gradient_avg} ([nan] entries - empty
+    rows - are skipped).  Call after every shard of the round has been
+    swept, then {!advance}. *)
 
 val advance : t -> unit
 (** Move to the next round (later round targets, fresh hashed delays). *)

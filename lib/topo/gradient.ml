@@ -1,0 +1,90 @@
+(* Fault-tolerant gradient clock synchronization, in the style of
+   Bund-Lenzen-Rosenbaum: instead of every process jumping to the global
+   reduced midpoint (impossible off the full mesh - nobody hears
+   everyone), each process averages toward the Byzantine-tolerant reduced
+   midpoint of its *neighborhood*, moving a fraction [gain] of the way
+   per round.  The payoff is the gradient property: skew between
+   processes is bounded in proportion to their graph distance, so
+   neighbors stay tightly synchronized even when the diameter - and hence
+   the achievable global skew - is large.
+
+   This module is the pure algorithm layer: the degradation rule, the
+   correction rule, the skew metrics, and the empirical per-hop bound.
+   The system wiring (events, delays, sharding) lives in Process.Soa /
+   Harness.Scale, which call into these rules. *)
+
+(* The degradation rule, shared with Core.Sweep: a row of [count]
+   estimates (in-neighbors heard this round, plus self) tolerates
+   g = min f ((count - 1) / 3) traitors - each node's resilience is read
+   off its *local* degree and the global fault budget, not off n. *)
+let g_of ~f ~count = if count <= 0 then 0 else min f ((count - 1) / 3)
+
+let target ~gain ~own ~mid = own +. (gain *. (mid -. own))
+(* Neighbor-averaging correction: move [gain] of the way from the node's
+   own round start toward its neighborhood's reduced midpoint.  [gain
+   = 1] is the full midpoint jump (the Welch-Lynch rule); smaller gains
+   trade convergence speed for smoother trajectories. *)
+
+(* Per-hop skew allowance.  One round's sources of neighbor divergence:
+   estimate error (delay jitter, +-eps), drift accumulated over the
+   round (2 rho P between the fastest and slowest clock), and the
+   fraction (1 - gain) of the previous divergence the averaging step
+   leaves in place.  The geometric fixed point of
+   s <- (1 - gain) s + (eps + 2 rho P) is (eps + 2 rho P) / gain; the
+   factor 2 on top is margin for the reduced midpoint discarding
+   different extremes on the two sides of an edge. *)
+let kappa ~rho ~eps ~period ~gain =
+  if not (gain > 0. && gain <= 1.) then
+    invalid_arg "Gradient.kappa: need 0 < gain <= 1";
+  2. *. (eps +. (2. *. rho *. period)) /. gain
+
+let global_skew ~n ~ok ~value =
+  let lo = ref infinity and hi = ref neg_infinity in
+  for p = 0 to n - 1 do
+    if ok p then begin
+      let v = value p in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v
+    end
+  done;
+  if !hi < !lo then 0. else !hi -. !lo
+
+let local_skew ~graph ~ok ~value =
+  let worst = ref 0. in
+  for dst = 0 to Graph.n graph - 1 do
+    if ok dst then begin
+      let vd = value dst in
+      Graph.iter_in graph ~dst (fun src ->
+          if ok src then begin
+            let d = Float.abs (vd -. value src) in
+            if d > !worst then worst := d
+          end)
+    end
+  done;
+  !worst
+
+(* The gradient property itself: skew(u, v) <= kappa * dist(u, v), checked
+   from [sources] BFS roots (all pairs is O(n^2) - at n = 10^5 a handful
+   of roots already covers every distance scale).  Returns the worst
+   violation margin [skew - kappa * dist] (<= 0 when the property holds)
+   and the pair count inspected. *)
+let check ~graph ~ok ~value ~kappa ~sources =
+  let worst = ref neg_infinity in
+  let pairs = ref 0 in
+  List.iter
+    (fun s ->
+      if ok s then begin
+        let vs = value s in
+        let dist = Graph.distances graph ~from:s in
+        for p = 0 to Graph.n graph - 1 do
+          if p <> s && ok p && dist.(p) > 0 then begin
+            incr pairs;
+            let margin =
+              Float.abs (value p -. vs) -. (kappa *. float_of_int dist.(p))
+            in
+            if margin > !worst then worst := margin
+          end
+        done
+      end)
+    sources;
+  if !pairs = 0 then (0., 0) else (!worst, !pairs)

@@ -1,0 +1,52 @@
+(** Fault-tolerant gradient clock synchronization (Bund-Lenzen-Rosenbaum
+    style) - the pure algorithm layer.
+
+    On a sparse {!Graph} nobody hears every clock, so the full-mesh
+    reduced-midpoint jump is replaced by {e neighbor averaging}: each
+    round a process moves a fraction [gain] of the way toward the
+    Byzantine-tolerant reduced midpoint of the estimates it actually
+    heard (its in-neighborhood plus itself), with the discard count
+    degraded to its {e local} degree via {!g_of}.  The resulting
+    {e gradient property} - skew between two processes stays proportional
+    to their graph distance - is what {!check} measures and what the
+    [local_skew] monitor enforces per hop.
+
+    The event-level wiring (who hears whom, delays, sharding) lives in
+    [Process.Soa] and [Harness.Scale]; this module only holds the rules
+    and metrics they share. *)
+
+val g_of : f:int -> count:int -> int
+(** Degradation rule (shared with [Core.Sweep]): a row of [count]
+    estimates tolerates [min f ((count - 1) / 3)] traitors. *)
+
+val target : gain:float -> own:float -> mid:float -> float
+(** Neighbor-averaging correction: the new round start,
+    [own + gain * (mid - own)].  [gain = 1] is the full Welch-Lynch
+    midpoint jump. *)
+
+val kappa : rho:float -> eps:float -> period:float -> gain:float -> float
+(** Per-hop skew allowance [2 (eps + 2 rho P) / gain]: the fixed point of
+    one round's estimate error and drift against the fraction of
+    divergence the averaging step removes, with a 2x margin for the two
+    sides of an edge discarding different extremes.
+    @raise Invalid_argument unless [0 < gain <= 1]. *)
+
+val global_skew : n:int -> ok:(int -> bool) -> value:(int -> float) -> float
+(** Max minus min of [value] over processes with [ok]. *)
+
+val local_skew :
+  graph:Graph.t -> ok:(int -> bool) -> value:(int -> float) -> float
+(** Worst [|value dst - value src|] over graph edges between [ok]
+    endpoints - the quantity the gradient property bounds by
+    [kappa * 1]. *)
+
+val check :
+  graph:Graph.t ->
+  ok:(int -> bool) ->
+  value:(int -> float) ->
+  kappa:float ->
+  sources:int list ->
+  float * int
+(** Gradient property from the given BFS roots: worst margin
+    [skew(s, p) - kappa * dist(s, p)] over all [ok] pairs reached
+    (property holds iff [<= 0]), and the number of pairs inspected. *)

@@ -1,0 +1,107 @@
+(** Sparse communication topologies for the cluster wiring.
+
+    A graph is compressed in-adjacency over [0 .. n-1]: [in_neighbor t
+    ~dst j] is the [j]-th process destination [dst] {e hears}.  Every
+    family except {!ring} is symmetric (in-edges = out-edges); the ring
+    keeps the directed predecessor orientation of the original
+    struct-of-arrays model so replacing the hardcoded wiring with
+    [Graph.ring] leaves the scale stack's event ids, delay hashes and
+    checksums byte-identical.
+
+    Construction is a pure function of the named parameters (plus [seed]
+    for {!expander}); the same arguments always produce the same arrays.
+    Transposed views (out-edges, broadcast lists) are derived lazily and
+    cached in the value. *)
+
+type kind = Ring | Grid | Torus | Expander | Hier_tree | Complete
+
+val kind_name : kind -> string
+
+type t
+
+(** {2 Generators} *)
+
+val ring : n:int -> degree:int -> t
+(** Directed circulant: [dst] hears its [degree] predecessors
+    [dst - 1, dst - 2, ..., dst - degree] (mod [n]), in that order - the
+    exact wiring (and neighbor order) the scale stack hardcoded before
+    topologies existed.
+    @raise Invalid_argument unless [n > 1] and [1 <= degree <= n - 1]. *)
+
+val complete : n:int -> t
+(** Full mesh: every process hears every other, ascending.  Broadcast
+    lists are [0 .. n-1] for every source - the legacy mesh order. *)
+
+val grid : rows:int -> cols:int -> t
+(** 2-d grid (no wraparound): up/down/left/right neighbors, symmetric,
+    degree 2..4.  Node [p] sits at row [p / cols], column [p mod cols]. *)
+
+val torus : rows:int -> cols:int -> t
+(** {!grid} with wraparound: 4-regular (degenerate dimensions dedup). *)
+
+val expander : n:int -> degree:int -> seed:int -> t
+(** Deterministic random circulant: generator 1 (connectivity) plus
+    [degree/2 - 1] generators drawn from the seeded hash stream; node [p]
+    is adjacent to [p +- g] for each.  Symmetric, connected,
+    [2 * (degree/2)]-regular, and a pure function of [(n, degree, seed)].
+    @raise Invalid_argument unless [n > 3] and [degree >= 2]. *)
+
+val hier_tree : n:int -> cluster:int -> branching:int -> t
+(** Hierarchical synchronization clusters: consecutive blocks of
+    [cluster] nodes are cliques (a full Welch-Lynch mesh each); the first
+    node of each block - its leader - joins a [branching]-ary tree of
+    leaders stitching the clusters together. *)
+
+(** {2 Queries} *)
+
+val n : t -> int
+val kind : t -> kind
+val seed : t -> int
+
+val edges : t -> int
+(** Directed edge count, [sum of in-degrees]. *)
+
+val in_degree : t -> int -> int
+val max_in_degree : t -> int
+val min_in_degree : t -> int
+
+val in_neighbor : t -> dst:int -> int -> int
+(** [in_neighbor t ~dst j] is the [j]-th process [dst] hears,
+    [0 <= j < in_degree t dst]. *)
+
+val iter_in : t -> dst:int -> (int -> unit) -> unit
+
+val out_degree : t -> int -> int
+val iter_out : t -> src:int -> (int -> unit) -> unit
+(** Out-neighbors (who hears [src]), ascending. *)
+
+val bcast_degree : t -> int -> int
+val iter_bcast : t -> src:int -> (int -> unit) -> unit
+(** Broadcast targets of [src]: itself plus its out-neighbors, merged
+    ascending.  On {!complete} this is [0 .. n-1] - the full-mesh
+    broadcast loop, byte for byte. *)
+
+val is_symmetric : t -> bool
+
+val is_connected : t -> bool
+(** Over the undirected skeleton. *)
+
+val distances : t -> from:int -> int array
+(** BFS hop counts over the undirected skeleton; [-1] = unreachable. *)
+
+val distance : t -> int -> int -> int option
+
+val eccentricity : t -> from:int -> int
+
+val diameter : t -> int
+(** Exact (all-pairs BFS) up to a few thousand nodes; a double-sweep BFS
+    lower bound above that (exact on trees, tight on the circulant
+    families).  [max_int] when disconnected. *)
+
+val tolerated_faults : t -> int
+(** Weakest neighborhood's Byzantine resilience under the degradation
+    rule: [min over p of in_degree(p) / 3] (a full-attendance row holds
+    [in_degree + 1] estimates and the reduced midpoint survives
+    [(count - 1) / 3] traitors). *)
+
+val pp : Format.formatter -> t -> unit

@@ -174,10 +174,10 @@ let scenario_tests =
 
 let registry_tests =
   [
-    t "fourteen experiments, unique ids, E-order" (fun () ->
-        check_int "count" 14 (List.length Registry.all);
+    t "sixteen experiments, unique ids, E-order" (fun () ->
+        check_int "count" 16 (List.length Registry.all);
         let ids = List.map (fun e -> e.Csync_harness.Experiment.id) Registry.all in
-        check_int "unique" 14 (List.length (List.sort_uniq String.compare ids));
+        check_int "unique" 16 (List.length (List.sort_uniq String.compare ids));
         check_true "E1 first" (List.hd ids = "E1"));
     t "find is case-insensitive" (fun () ->
         check_true "e10" (Registry.find "e10" <> None);

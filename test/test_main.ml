@@ -15,6 +15,7 @@ let () =
       ("obs", Test_obs.suite);
       ("harness", Test_harness.suite);
       ("scale", Test_scale.suite);
+      ("topo", Test_topo.suite);
       ("extensions", Test_extensions.suite);
       ("chaos", Test_chaos.suite);
       ("runtime", Test_runtime.suite);

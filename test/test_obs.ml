@@ -487,7 +487,7 @@ let monitor_tests =
               (Csync_harness.Scenario.run
                  { scenario with Csync_harness.Scenario.rounds = 6 }));
         let lines = List.map Json.to_string (Mon.dump m) in
-        check_int "one record per check" 6 (List.length lines);
+        check_int "one record per check" 7 (List.length lines);
         List.iter
           (fun line ->
             match Report.check_line line with
@@ -497,7 +497,7 @@ let monitor_tests =
         match Report.of_lines lines with
         | Error e -> Alcotest.failf "parse: %s" e
         | Ok parsed ->
-          check_int "six monitors" 6 (List.length (Report.monitors parsed));
+          check_int "seven monitors" 7 (List.length (Report.monitors parsed));
           let out = Format.asprintf "%a" (Report.render ?focus:None) parsed in
           check_true "monitors section" (contains out "== Monitors ==");
           check_true "first violation rendered"

@@ -245,6 +245,12 @@ let bench_obs =
       (Csync_obs.Monitor.create ())
       ~gamma:1.0 ~from_time:0.
   in
+  (* Same line for the sharded/profiled paths: a worker-shard counter hit
+     and a phase-span wrap on the disabled registry are what every
+     untraced Scale round pays per instrumentation point. *)
+  let shard_off = Csync_obs.Shard.create Csync_obs.Registry.none in
+  let sc_off = Csync_obs.Shard.counter shard_off "bench.sc" in
+  let prof_off = Csync_obs.Profile.create Csync_obs.Registry.none in
   Test.make_grouped ~name:"obs"
     [
       Test.make ~name:"counter-incr-disabled"
@@ -254,6 +260,11 @@ let bench_obs =
       Test.make ~name:"gauge-observe-disabled"
         (Staged.stage (fun () ->
              Csync_obs.Registry.Gauge.observe_max g_off 1.0));
+      Test.make ~name:"shard-incr-disabled"
+        (Staged.stage (fun () -> Csync_obs.Shard.Counter.incr sc_off));
+      Test.make ~name:"phase-span-disabled"
+        (Staged.stage (fun () ->
+             Csync_obs.Profile.time prof_off Csync_obs.Profile.Merge ignore));
       Test.make ~name:"monitor-check-disabled"
         (Staged.stage (fun () ->
              Csync_obs.Monitor.Agreement.check mon_off ~time:1.0 ~skew:0.5));
@@ -420,6 +431,13 @@ let monitor_disabled_ns t =
   | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
   | _ -> None
 
+(* Disabled-path round-phase profiler overhead per wrapped phase (one
+   branch plus the closure call on a disabled [Profile.time]). *)
+let profile_disabled_ns t =
+  match find_kernel t "obs/phase-span-disabled" with
+  | Some k when Float.is_finite k.ns_per_op -> Some k.ns_per_op
+  | _ -> None
+
 (* Disabled-path recovery-wrapper overhead per interrupt (the [probe]
    guard on a healthy, schedule-free wrapper). *)
 let stabilize_disabled_ns t =
@@ -484,6 +502,10 @@ let pp_summary ppf t =
       | Some tele when tele > 0. ->
         Printf.sprintf " (%.2fx the telemetry no-op)" (r /. tele)
       | _ -> "")
+  | None -> ());
+  (match profile_disabled_ns t with
+  | Some r ->
+    Format.fprintf ppf "phase-profiler disabled-path overhead: %.1f ns/op@." r
   | None -> ());
   (match stabilize_disabled_ns t with
   | Some r ->
@@ -566,6 +588,10 @@ let to_json t =
     | None -> "null");
   add "    \"monitor_disabled_ns\": %s,\n"
     (match monitor_disabled_ns t with
+    | Some r -> json_float r
+    | None -> "null");
+  add "    \"profile_disabled_ns\": %s,\n"
+    (match profile_disabled_ns t with
     | Some r -> json_float r
     | None -> "null");
   add "    \"stabilize_disabled_ns\": %s\n"

@@ -734,7 +734,9 @@ let trace_cmd =
         ("adjustment_bound", Json.Num (Csync_core.Params.adjustment_bound p));
       ]
   in
-  let write_trace ~out ~target ~seed ~jobs ~quick ~params ~mon reg =
+  let write_trace ~out ~format ~canonical ~target ~seed ~jobs ~quick ~params
+      ~mon reg =
+    let module Record = Csync_obs.Record in
     let manifest =
       Csync_obs.Manifest.make ~target ~seed ~jobs ~quick
         ?params:(Option.map params_json params) ()
@@ -742,19 +744,28 @@ let trace_cmd =
     (* Monitor verdicts ride the same capture: one {"record":"monitor"}
        line per configured check, so csync report and --diff can render
        and compare them. *)
-    let records = Obs.dump reg @ Csync_obs.Monitor.dump mon in
-    let oc = open_out out in
-    output_string oc (Json.to_string manifest);
-    output_char oc '\n';
-    List.iter
-      (fun r ->
-        output_string oc (Json.to_string r);
-        output_char oc '\n')
-      records;
-    close_out oc;
-    Format.printf "wrote %s (%d records)@." out (1 + List.length records)
+    let records =
+      List.map
+        (fun j ->
+          match Record.of_json j with
+          | Ok r -> r
+          | Error e -> failwith ("trace dump produced a bad record: " ^ e))
+        (manifest :: (Obs.dump reg @ Csync_obs.Monitor.dump mon))
+    in
+    let records = if canonical then Record.canonical records else records in
+    (match format with
+    | `Binary -> Csync_obs.Btrace.write_file out records
+    | `Jsonl ->
+      let oc = open_out out in
+      List.iter
+        (fun r ->
+          output_string oc (Json.to_string (Record.to_json r));
+          output_char oc '\n')
+        records;
+      close_out oc);
+    Format.printf "wrote %s (%d records)@." out (List.length records)
   in
-  let run quick jobs seed monitor tighten out target =
+  let run quick jobs seed monitor tighten out format canonical target =
     let jobs_v =
       match jobs_opt jobs with
       | Some j -> j
@@ -767,7 +778,8 @@ let trace_cmd =
       Obs.clear_installed ();
       (match result with
       | Ok () ->
-        write_trace ~out ~target ~seed ~jobs:jobs_v ~quick ~params
+        write_trace ~out ~format ~canonical ~target ~seed ~jobs:jobs_v ~quick
+          ~params
           ~mon:(Option.value mon_opt ~default:Csync_obs.Monitor.none)
           reg;
         Option.iter pp_monitor_summary mon_opt
@@ -818,7 +830,28 @@ let trace_cmd =
   let out_arg =
     Arg.(
       value & opt string "run.jsonl"
-      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output path (JSONL).")
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace output path.")
+  in
+  let format_arg =
+    let doc =
+      "Container: $(b,jsonl) (one JSON object per line) or $(b,binary) \
+       (csync-btrace/1 - length-prefixed records with interned names, \
+       roughly an order of magnitude smaller at scale).  csync report \
+       reads both."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("binary", `Binary) ]) `Jsonl
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let canonical_arg =
+    let doc =
+      "Restrict the capture to records that are a pure function of the \
+       run's inputs: drop spans, gauges, pool/profile metrics, and \
+       volatile manifest fields.  Canonical traces are byte-identical \
+       across $(b,--jobs) and across machines."
+    in
+    Arg.(value & flag & info [ "canonical" ] ~doc)
   in
   let target_arg =
     let doc =
@@ -832,12 +865,13 @@ let trace_cmd =
        ~doc:
          "Run a target with telemetry enabled and capture the full trace \
           (manifest, counters, gauges, series, histograms, spans, events) \
-          as JSONL.  The run's tables are byte-identical to an untraced \
-          run; render the capture with csync report.")
+          as JSONL or binary btrace.  The run's tables are byte-identical \
+          to an untraced run; render the capture with csync report or \
+          watch it with csync top.")
     Term.(
       ret
         (const run $ quick_arg $ jobs_arg $ seed $ monitor_arg $ tighten_arg
-       $ out_arg $ target_arg))
+       $ out_arg $ format_arg $ canonical_arg $ target_arg))
 
 (* csync report *)
 let report_cmd =
@@ -887,8 +921,8 @@ let report_cmd =
       non_empty & pos_all string []
       & info [] ~docv:"FILE"
           ~doc:
-            "A JSONL trace written by csync trace (two traces with \
-             $(b,--diff)).")
+            "A trace written by csync trace - JSONL or binary btrace, \
+             sniffed by magic (two traces with $(b,--diff)).")
   in
   Cmd.v
     (Cmd.info "report"
@@ -1022,6 +1056,52 @@ let topo_cmd =
         (const run $ family_arg $ n_arg $ degree_arg $ cluster_arg
         $ branching_arg $ seed_arg $ rounds_arg $ gain_arg))
 
+(* csync top *)
+let top_cmd =
+  let run label interval once file =
+    match Csync_obs.Top.watch ?focus:label ~interval ~once file with
+    | Ok () -> `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  let label_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "label" ] ~docv:"CELL"
+          ~doc:"Cell label to focus the sparkline/phase sections on.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Refresh period (clamped to >= 0.1s).")
+  in
+  let once_arg =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "Render a single frame (no ANSI clear, no loop) and exit - \
+             the scriptable / CI smoke mode.")
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace to watch (JSONL or binary btrace), typically the \
+             $(b,--out) of a csync trace still running.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal view of a trace: round counter, convergence \
+          sparklines, round-phase time bars, monitor verdict lights and \
+          fault counters, redrawn in place as the capture grows.  Point \
+          it at the --out file of a running csync trace, or replay a \
+          finished one.")
+    Term.(ret (const run $ label_arg $ interval_arg $ once_arg $ file_arg))
+
 let main_cmd =
   let doc =
     "Fault-tolerant clock synchronization (Welch & Lynch 1984/1988) - \
@@ -1029,6 +1109,6 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; check_cmd;
-      export_cmd; bench_cmd; trace_cmd; report_cmd; topo_cmd ]
+      export_cmd; bench_cmd; trace_cmd; report_cmd; top_cmd; topo_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

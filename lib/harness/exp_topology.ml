@@ -67,7 +67,22 @@ let build family n =
 
 let families = [ Ring; Grid; Expander ]
 
-let sizes ~quick = if quick then [ 1000 ] else [ 1000; 10_000; 100_000 ]
+(* CSYNC_E16_SIZES overrides the size ladder (comma-separated n values) —
+   CI uses it to trace one mid-scale cell (n = 10^4) without paying for
+   the full ladder.  Malformed entries fall back to the defaults. *)
+let sizes ~quick =
+  let defaults = if quick then [ 1000 ] else [ 1000; 10_000; 100_000 ] in
+  match Sys.getenv_opt "CSYNC_E16_SIZES" with
+  | None -> defaults
+  | Some s -> (
+    let parsed =
+      String.split_on_char ',' s
+      |> List.filter_map (fun tok ->
+             match int_of_string_opt (String.trim tok) with
+             | Some n when n > 1 -> Some n
+             | Some _ | None -> None)
+    in
+    match parsed with [] -> defaults | ns -> ns)
 
 let rounds ~quick = if quick then 6 else 8
 

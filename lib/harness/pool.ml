@@ -1,4 +1,5 @@
 module Obs = Csync_obs.Registry
+module Shard = Csync_obs.Shard
 
 let parallel_available = Pool_backend.available
 
@@ -18,19 +19,29 @@ let init ~jobs n f =
   else begin
     (* Mirror the backend's round-robin sharding (task i runs on worker
        i mod effective-jobs) so per-worker timings attribute correctly;
-       this only wraps observation around f, so results are unchanged. *)
+       this only wraps observation around f, so results are unchanged.
+       Each worker gets its own telemetry shard — plain cells, no
+       contention during the region — folded into the registry in
+       worker-id order after the join, so trace output is independent of
+       completion order. *)
     let eff = if Pool_backend.available then max 1 (min jobs n) else 1 in
+    let shards = Array.init eff (fun _ -> Shard.create obs) in
     let spans =
-      Array.init eff (fun w -> Obs.span obs (Printf.sprintf "pool.worker%d" w))
+      Array.init eff (fun w ->
+          Shard.span shards.(w) (Printf.sprintf "pool.worker%d" w))
     in
     let tasks =
       Array.init eff (fun w ->
-          Obs.counter obs (Printf.sprintf "pool.tasks.worker%d" w))
+          Shard.counter shards.(w) (Printf.sprintf "pool.tasks.worker%d" w))
     in
-    Pool_backend.run ~jobs n (fun i ->
-        let w = i mod eff in
-        Obs.Counter.incr tasks.(w);
-        Obs.Span.time spans.(w) (fun () -> f i))
+    let result =
+      Pool_backend.run ~jobs n (fun i ->
+          let w = i mod eff in
+          Shard.Counter.incr tasks.(w);
+          Shard.Span.time spans.(w) (fun () -> f i))
+    in
+    Array.iter Shard.merge shards;
+    result
   end
 
 let map ~jobs f a = init ~jobs (Array.length a) (fun i -> f a.(i))

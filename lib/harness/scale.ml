@@ -18,6 +18,9 @@
 
 module Soa = Csync_process.Soa
 module Sweep = Csync_core.Sweep
+module Obs = Csync_obs.Registry
+module Shard = Csync_obs.Shard
+module Profile = Csync_obs.Profile
 
 (* Same 62-bit mixer family as Soa's hash: allocation-free, deterministic
    across 64-bit platforms. *)
@@ -37,17 +40,52 @@ let shard_bounds ~n ~shards s = (s * n / shards, (s + 1) * n / shards)
 let resolve_jobs jobs =
   match jobs with Some j when j > 0 -> j | _ -> Pool.default_jobs ()
 
+(* Per-shard telemetry, recorded by the worker into its own shard scope
+   (zero contention), then folded into the registry in shard-index order.
+   Everything recorded is a pure observation of [t]; the run itself is
+   untouched, so results stay byte-identical with telemetry on or off. *)
+let observe_shard t sh (shard : Soa.shard) =
+  if Shard.active sh then begin
+    Shard.Counter.add (Shard.counter sh "scale.events") shard.Soa.count;
+    (* Delays live in [delta - eps, delta + eps] (~1e-2 at the paper's
+       params); local skews span many decades as they contract round
+       over round — both are log-histogram shaped. *)
+    let delays =
+      Shard.hist_log sh ~lo:1e-3 ~hi:1e-1 ~per_decade:32 "scale.link_delay"
+    in
+    let skews =
+      Shard.hist_log sh ~lo:1e-9 ~hi:1.0 ~per_decade:8 "scale.local_skew"
+    in
+    for dst = shard.Soa.lo to shard.Soa.hi - 1 do
+      for j = 0 to Soa.in_degree t dst - 1 do
+        let src = Soa.in_neighbor t ~dst j in
+        if src <> dst then
+          Shard.Hist.add delays (Soa.link_delay t ~src ~dst)
+      done;
+      Shard.Hist.add skews (Soa.local_skew_at t dst)
+    done
+  end
+
 let round ?jobs t =
   let n = Soa.n t in
   let jobs = resolve_jobs jobs in
   let shards = max 1 (min jobs n) in
+  let obs = Obs.installed () in
+  let prof = Profile.create obs in
+  let tele = Array.init shards (fun _ -> Shard.create obs) in
   let results =
     Pool.init ~jobs shards (fun s ->
         let lo, hi = shard_bounds ~n ~shards s in
-        let shard = Soa.run_shard t ~lo ~hi in
+        let sh = tele.(s) in
+        let shard =
+          Shard.Span.time (Shard.span sh "profile.drain") (fun () ->
+              Soa.run_shard t ~lo ~hi)
+        in
         let mids = Array.make (hi - lo) Float.nan in
-        Sweep.sweep ~slab:shard.Soa.slab ~width:(Soa.width t)
-          ~counts:shard.Soa.counts ~f:(Soa.f t) ~out:mids;
+        Shard.Span.time (Shard.span sh "profile.sweep") (fun () ->
+            Sweep.sweep ~slab:shard.Soa.slab ~width:(Soa.width t)
+              ~counts:shard.Soa.counts ~f:(Soa.f t) ~out:mids);
+        observe_shard t sh shard;
         (shard, mids))
   in
   (* Canonical order: k-way merge of the sorted shard streams on
@@ -56,35 +94,54 @@ let round ?jobs t =
   let heads = Array.make shards 0 in
   let events = ref 0 in
   let checksum = ref 0x5EED in
-  let exhausted = ref false in
-  while not !exhausted do
-    let best = ref (-1) in
-    let best_time = ref Float.infinity in
-    let best_key = ref max_int in
-    for s = 0 to shards - 1 do
-      let shard, _ = results.(s) in
-      let i = heads.(s) in
-      if i < shard.Soa.count then begin
-        let time = shard.Soa.times.(i) in
-        let key = shard.Soa.keys.(i) in
-        if time < !best_time || (time = !best_time && key < !best_key) then begin
-          best := s;
-          best_time := time;
-          best_key := key
+  Profile.time prof Profile.Merge (fun () ->
+      let exhausted = ref false in
+      while not !exhausted do
+        let best = ref (-1) in
+        let best_time = ref Float.infinity in
+        let best_key = ref max_int in
+        for s = 0 to shards - 1 do
+          let shard, _ = results.(s) in
+          let i = heads.(s) in
+          if i < shard.Soa.count then begin
+            let time = shard.Soa.times.(i) in
+            let key = shard.Soa.keys.(i) in
+            if time < !best_time || (time = !best_time && key < !best_key)
+            then begin
+              best := s;
+              best_time := time;
+              best_key := key
+            end
+          end
+        done;
+        if !best < 0 then exhausted := true
+        else begin
+          heads.(!best) <- heads.(!best) + 1;
+          incr events;
+          checksum := mix_int (mix_float !checksum !best_time) !best_key
         end
-      end
-    done;
-    if !best < 0 then exhausted := true
-    else begin
-      heads.(!best) <- heads.(!best) + 1;
-      incr events;
-      checksum := mix_int (mix_float !checksum !best_time) !best_key
-    end
-  done;
-  Array.iter
-    (fun (shard, mids) -> Soa.apply t ~lo:shard.Soa.lo mids)
-    results;
-  Soa.advance t;
+      done);
+  Profile.time prof Profile.Apply (fun () ->
+      Array.iter
+        (fun (shard, mids) -> Soa.apply t ~lo:shard.Soa.lo mids)
+        results);
+  Profile.time prof Profile.Advance (fun () -> Soa.advance t);
+  (* Index-ordered fold keeps the merged telemetry — and with it the
+     trace bytes — independent of which worker finished first. *)
+  Profile.time prof Profile.Shard_merge (fun () -> Array.iter Shard.merge tele);
+  (* Per-round convergence series (an O(n)/O(edges) observation pass,
+     only when telemetry is on).  Pushed here rather than in [run] so
+     every round-driving caller — the experiments loop rounds themselves
+     — feeds the same series; x is the round counter [advance] just
+     incremented past. *)
+  let sp_s = Obs.series obs "scale.spread" in
+  if Obs.Series.active sp_s then begin
+    let r = float_of_int (Soa.round t - 1) in
+    Obs.Series.push (Obs.series obs "scale.events_per_round") r
+      (float_of_int !events);
+    Obs.Series.push sp_s r (Soa.spread t);
+    Obs.Series.push (Obs.series obs "scale.local_skew_max") r (Soa.local_skew t)
+  end;
   (!events, !checksum)
 
 type stats = {
@@ -94,16 +151,26 @@ type stats = {
   rounds : int;
   events : int;
   checksum : int;
+  state : int;
   spread0 : float;
   spread1 : float;
   local0 : float;
   local1 : float;
 }
 
+let state_checksum t =
+  let h = ref (mix_int (Soa.round t) (Soa.n t)) in
+  for p = 0 to Soa.n t - 1 do
+    h := mix_float !h (Soa.corr t p)
+  done;
+  !h
+
 let run ?jobs ?(rounds = 1) t =
   if rounds < 0 then invalid_arg "Scale.run: negative rounds";
   let jobs = resolve_jobs jobs in
   let shards = max 1 (min jobs (Soa.n t)) in
+  let obs = Obs.installed () in
+  let prof = Profile.create obs in
   let spread0 = Soa.spread t in
   let local0 = Soa.local_skew t in
   let events = ref 0 in
@@ -113,6 +180,7 @@ let run ?jobs ?(rounds = 1) t =
     events := !events + ev;
     checksum := mix_int !checksum ck
   done;
+  let state = Profile.time prof Profile.Checksum (fun () -> state_checksum t) in
   {
     n = Soa.n t;
     jobs;
@@ -120,15 +188,9 @@ let run ?jobs ?(rounds = 1) t =
     rounds;
     events = !events;
     checksum = !checksum;
+    state;
     spread0;
     spread1 = Soa.spread t;
     local0;
     local1 = Soa.local_skew t;
   }
-
-let state_checksum t =
-  let h = ref (mix_int (Soa.round t) (Soa.n t)) in
-  for p = 0 to Soa.n t - 1 do
-    h := mix_float !h (Soa.corr t p)
-  done;
-  !h

@@ -9,7 +9,18 @@
     pop streams are k-way merged on the canonical (time, prio, stable id)
     key, so both the state trajectory and the {!stats} checksum are
     byte-identical for any worker count - the same invariant the
-    experiment suite holds through {!Pool}. *)
+    experiment suite holds through {!Pool}.
+
+    When the ambient {!Csync_obs.Registry} is enabled, each worker
+    additionally fills a private telemetry shard ({!Csync_obs.Shard}:
+    [scale.events], log-bucketed [scale.link_delay] / [scale.local_skew]
+    histograms, [profile.drain] / [profile.sweep] spans), folded into the
+    registry in shard-index order after the join; the orchestrator times
+    the merge/apply/advance/shard-merge/checksum phases through
+    {!Csync_obs.Profile} and pushes per-round convergence series.  All of
+    it observes only - results are byte-identical with telemetry on or
+    off, and the merged trace is byte-identical at any [--jobs] (modulo
+    the wall-clock records a canonical trace drops). *)
 
 val round : ?jobs:int -> Csync_process.Soa.t -> int * int
 (** Simulate one round across [jobs] shards (default
@@ -24,6 +35,7 @@ type stats = {
   rounds : int;
   events : int;  (** total events across all rounds *)
   checksum : int;  (** fold of the per-round merge checksums *)
+  state : int;  (** {!state_checksum} of the final model state *)
   spread0 : float;  (** nonfaulty broadcast-time spread before round 1 *)
   spread1 : float;  (** same spread after the last round *)
   local0 : float;  (** worst per-edge spread (local skew) before round 1 *)

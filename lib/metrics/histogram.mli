@@ -1,17 +1,39 @@
 (** Fixed-bin histograms, for inspecting the distributions behind the
     experiment summaries (adjustment sizes, per-round spreads, message
-    delays). *)
+    delays).
+
+    Two binning schemes: {!create} splits [lo, hi] into equal-width
+    bins; {!log} (HDR-style) spaces them geometrically with a fixed
+    number of bins per decade — the right shape for skew and delay
+    distributions spanning several orders of magnitude. *)
+
+type scheme =
+  | Linear
+  | Log of int  (** bins per decade *)
 
 type t
 
 val create : lo:float -> hi:float -> bins:int -> t
-(** @raise Invalid_argument if [lo >= hi] or [bins <= 0]. *)
+(** Linear bins.  @raise Invalid_argument if [lo >= hi] or [bins <= 0]. *)
+
+val log : lo:float -> hi:float -> per_decade:int -> t
+(** Log-bucketed bins: bin [i] spans
+    [lo * 10^(i/per_decade), lo * 10^((i+1)/per_decade)), with enough
+    bins to cover [hi].  @raise Invalid_argument unless
+    [0 < lo < hi] (finite) and [per_decade > 0]. *)
+
+val scheme : t -> scheme
+
+val per_decade : t -> int option
+(** [Some pd] on log histograms, [None] on linear ones (the serialized
+    discriminator: traces carry [per_decade] only for log schemes). *)
 
 val of_array : ?bins:int -> float array -> t
-(** Bins spanning [min, max] of the data (default 20 bins); values are
-    added.  @raise Invalid_argument on an empty array. *)
+(** Linear bins spanning [min, max] of the data (default 20 bins); values
+    are added.  @raise Invalid_argument on an empty array. *)
 
 val of_counts :
+  ?per_decade:int ->
   lo:float ->
   hi:float ->
   counts:int array ->
@@ -19,15 +41,23 @@ val of_counts :
   overflow:int ->
   invalid:int ->
   total:int ->
+  unit ->
   t
 (** Rebuild a histogram from serialized bin counts (the telemetry trace
-    format); [counts] is copied.  @raise Invalid_argument on an empty or
-    negative count array or [lo >= hi]. *)
+    format); [counts] is copied and [per_decade] selects the log scheme.
+    @raise Invalid_argument on an empty or negative count array,
+    [lo >= hi], or a log scheme with nonpositive [lo] or [per_decade]. *)
 
 val add : t -> float -> unit
 (** Values outside [lo, hi] land in the under/overflow counters; NaN (which
     is neither below [lo] nor above [hi]) lands in the {!invalid} counter
     rather than being silently binned. *)
+
+val merge : t -> t -> unit
+(** [merge dst src] adds [src]'s bin and under/overflow/invalid/total
+    counters into [dst] — the shard-fold primitive.  @raise
+    Invalid_argument unless both histograms have the same scheme, bounds
+    and bin count. *)
 
 val count : t -> int
 (** Total values added, under/overflow and invalid included. *)
@@ -49,6 +79,8 @@ val invalid : t -> int
 (** NaN values offered to {!add}. *)
 
 val bin_bounds : t -> int -> float * float
+(** Scheme-aware bin bounds: equal-width under {!Linear}, geometric under
+    {!Log}. *)
 
 val mode_bin : t -> int
 (** Index of the fullest bin (ties: lowest index).  Meaningless when

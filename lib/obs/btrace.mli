@@ -1,0 +1,53 @@
+(** [csync-btrace/1] — the streaming binary trace container.
+
+    A magic line followed by length-prefixed records; numeric metrics get
+    compact varint/binary64 bodies with label/base names interned in a
+    string table, while manifest/event/monitor records are carried as
+    embedded JSON text.  Roughly an order of magnitude smaller than the
+    equivalent JSONL at scale, and readable record-at-a-time in constant
+    memory.  See [btrace.ml] for the exact layout. *)
+
+val magic : string
+(** ["csync-btrace/1\n"], the file's first bytes. *)
+
+(** {2 Writing} *)
+
+type writer
+
+val writer : out_channel -> writer
+(** Writes the magic immediately.  The channel should be in binary mode. *)
+
+val write : writer -> Record.t -> unit
+(** Appends one record (interning any new name strings first).  The
+    channel is flushed every few records, bounding how stale a tailing
+    reader can observe the file. *)
+
+val close_writer : writer -> unit
+(** Flushes; does not close the channel. *)
+
+val write_file : string -> Record.t list -> unit
+
+(** {2 Reading} *)
+
+type reader
+(** Streaming decoder state (the string table accumulated so far). *)
+
+val reader : in_channel -> (reader, string) result
+(** Checks the magic. *)
+
+val next :
+  reader ->
+  [ `Record of Record.t | `Eof | `Truncated | `Error of string ]
+(** Next record.  [`Eof] is a clean end at a record boundary;
+    [`Truncated] means the file currently ends mid-record — the channel
+    is rewound to the record boundary so a tailing caller ([csync top
+    --follow]) can retry after the writer appends more.  String-table and
+    unknown-tag records are consumed internally. *)
+
+val fold_file :
+  string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
+(** Stream every record of a file through [f] in constant memory
+    (truncation is an error here, unlike {!next}). *)
+
+val sniff_file : string -> bool
+(** Whether the file starts with the btrace magic. *)

@@ -18,9 +18,10 @@ let starts_with ~prefix s =
 
 (* ---------- manifest ---------- *)
 
-(* Capture instant and git revision legitimately differ between otherwise
-   identical runs; everything else in the manifest is run identity. *)
-let volatile_manifest_fields = [ "captured_unix"; "git_rev" ]
+(* Capture instant, git revision and worker count legitimately differ
+   between otherwise identical runs (jobs never changes what a run
+   computes); everything else in the manifest is run identity. *)
+let volatile_manifest_fields = Record.volatile_manifest_fields
 
 let manifest_core m =
   match m with
@@ -146,12 +147,21 @@ let hist_mean (h : Report.hist_rec) =
   let n = Array.length h.Report.counts in
   if n = 0 || h.Report.total = 0 then nan
   else begin
-    let width = (h.Report.hi -. h.Report.lo) /. float_of_int n in
+    (* Bin midpoint under the histogram's scheme: arithmetic for linear
+       bins, geometric (midpoint in log space) for log bins. *)
+    let midpoint i =
+      match h.Report.per_decade with
+      | None ->
+        let width = (h.Report.hi -. h.Report.lo) /. float_of_int n in
+        h.Report.lo +. ((float_of_int i +. 0.5) *. width)
+      | Some pd ->
+        h.Report.lo
+        *. Float.pow 10. ((float_of_int i +. 0.5) /. float_of_int pd)
+    in
     let sum = ref 0. and cnt = ref 0 in
     Array.iteri
       (fun i c ->
-        sum :=
-          !sum +. (float_of_int c *. (h.Report.lo +. ((float_of_int i +. 0.5) *. width)));
+        sum := !sum +. (float_of_int c *. midpoint i);
         cnt := !cnt + c)
       h.Report.counts;
     if !cnt = 0 then nan else !sum /. float_of_int !cnt
@@ -190,12 +200,38 @@ let metric_names t =
   @ List.map (fun (n, _, _) -> n) (Report.series t)
   @ List.map fst (Report.hists t)
 
+(* Wall-clock data (spans, gauges, profiler/pool series) differs between
+   any two real runs; the diff compares only the subset [Record.canonical]
+   keeps, so the golden "no differences" verdict survives the profiler. *)
+let volatile_metric name = Record.volatile_base (snd (split_name name))
+
+let stable_counters t =
+  List.filter (fun (n, _) -> not (volatile_metric n)) (Report.counters t)
+
+let stable_series t =
+  List.filter (fun (n, _, _) -> not (volatile_metric n)) (Report.series t)
+
+let stable_hists t =
+  List.filter (fun (n, _) -> not (volatile_metric n)) (Report.hists t)
+
+let stable_metric_names t =
+  List.map fst (stable_counters t)
+  @ List.map (fun (n, _, _) -> n) (stable_series t)
+  @ List.map fst (stable_hists t)
+
+let timing_counts t =
+  let vol names = List.length (List.filter volatile_metric names) in
+  ( vol (List.map fst (Report.counters t))
+    + vol (List.map (fun (n, _, _) -> n) (Report.series t))
+    + vol (List.map fst (Report.hists t)),
+    List.length (Report.gauges t),
+    List.length (Report.spans t) )
+
 let identical a b =
   manifest_diffs a b = []
-  && Report.counters a = Report.counters b
-  && Report.gauges a = Report.gauges b
-  && Report.series a = Report.series b
-  && Report.hists a = Report.hists b
+  && stable_counters a = stable_counters b
+  && stable_series a = stable_series b
+  && stable_hists a = stable_hists b
   && monitor_changes a b = []
 
 let render ppf ~name_a ~name_b a b =
@@ -204,7 +240,7 @@ let render ppf ~name_a ~name_b a b =
     Format.fprintf ppf
       "@.no differences: %d aligned metrics agree (manifest, monitors, \
        series, histograms, counters)@."
-      (List.length (metric_names a))
+      (List.length (stable_metric_names a))
   else begin
     (* Manifest drift first: a seed or schema mismatch reframes every
        other delta below. *)
@@ -293,6 +329,13 @@ let render ppf ~name_a ~name_b a b =
       iter_capped ppf only_b (fun n -> Format.fprintf ppf "  %s@." n)
     end
   end;
+  (match (timing_counts a, timing_counts b) with
+  | (0, 0, 0), (0, 0, 0) -> ()
+  | (ma, ga, pa), (mb, gb, pb) ->
+    Format.fprintf ppf
+      "@.(wall-clock data not compared: %d timing metrics, %d gauges, %d \
+       spans)@."
+      (max ma mb) (max ga gb) (max pa pb));
   match (Report.warnings a, Report.warnings b) with
   | [], [] -> ()
   | wa, wb ->

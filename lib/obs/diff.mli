@@ -4,9 +4,12 @@
     rendering shows what changed between the runs — manifest drift
     (different seed, jobs, params, schema), monitor-verdict changes,
     per-round skew and ADJ deltas, histogram shift summaries, changed
-    counters — and what exists in only one of them.  Identical runs
-    (same seed, same build) render as an explicit "no differences"
-    verdict, the property the golden CI diff asserts. *)
+    counters — and what exists in only one of them.  Wall-clock data
+    (spans, gauges, profiler/pool metrics — the records
+    [Record.canonical] drops) is excluded from the comparison and
+    footnoted, so identical runs (same seed, same build) render as an
+    explicit "no differences" verdict even when they carry profiler
+    timings, the property the golden CI diff asserts. *)
 
 val render :
   Format.formatter -> name_a:string -> name_b:string -> Report.t -> Report.t ->
@@ -15,5 +18,6 @@ val render :
 
 val identical : Report.t -> Report.t -> bool
 (** True when every aligned metric, monitor verdict, and manifest field
-    (ignoring capture timestamps and git revision) agrees — the
+    agrees, ignoring capture timestamps, git revision, and wall-clock
+    data ({!Record.volatile_base} metrics, gauges, spans) — the
     byte-identical-tables invariant seen through a trace. *)

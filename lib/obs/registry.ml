@@ -34,11 +34,14 @@ type series_cell = {
 
 type hist_cell = { hlock : lock; hh : Histogram.t }
 
+(* Durations accumulate as integer nanoseconds: the clock resolves µs at
+   best, summing exact ns quotients avoids float drift, and the trace
+   encoder stores ns-exact span times as varints instead of raw f64. *)
 type span_cell = {
   plock : lock;
   mutable pcount : int;
-  mutable ptotal : float;
-  mutable pmax : float;
+  mutable ptotal_ns : int;
+  mutable pmax_ns : int;
 }
 
 type event = { ev_name : string; ev_fields : (string * Json.t) list }
@@ -217,6 +220,13 @@ module Hist = struct
   let count = function
     | Noop -> 0
     | H c -> locked c.hlock (fun () -> Histogram.count c.hh)
+
+  (* Shard-fold primitive: add a worker-local histogram's counters into
+     the shared one (same shape required, see {!Histogram.merge}). *)
+  let merge h src =
+    match h with
+    | Noop -> ()
+    | H c -> locked c.hlock (fun () -> Histogram.merge c.hh src)
 end
 
 let hist t ~lo ~hi ~bins name =
@@ -226,6 +236,13 @@ let hist t ~lo ~hi ~bins name =
       (intern t.hists t.rlock (full_name t name) (fun () ->
            { hlock = lock_create (); hh = Histogram.create ~lo ~hi ~bins }))
 
+let hist_log t ~lo ~hi ~per_decade name =
+  if not t.enabled then Hist.Noop
+  else
+    Hist.H
+      (intern t.hists t.rlock (full_name t name) (fun () ->
+           { hlock = lock_create (); hh = Histogram.log ~lo ~hi ~per_decade }))
+
 module Span = struct
   type handle = Noop | P of span_cell
 
@@ -233,14 +250,17 @@ module Span = struct
 
   let active = function Noop -> false | P _ -> true
 
+  let to_ns seconds = max 0 (int_of_float (Float.round (seconds *. 1e9)))
+
   let record h seconds =
     match h with
     | Noop -> ()
     | P c ->
+      let ns = to_ns seconds in
       locked c.plock (fun () ->
           c.pcount <- c.pcount + 1;
-          c.ptotal <- c.ptotal +. seconds;
-          if seconds > c.pmax then c.pmax <- seconds)
+          c.ptotal_ns <- c.ptotal_ns + ns;
+          if ns > c.pmax_ns then c.pmax_ns <- ns)
 
   let time h f =
     match h with
@@ -257,6 +277,17 @@ module Span = struct
         raise e)
 
   let count = function Noop -> 0 | P c -> c.pcount
+
+  (* Shard-fold primitive: fold a worker-local span accumulator in. *)
+  let add h ~count ~total_s ~max_s =
+    match h with
+    | Noop -> ()
+    | P c ->
+      let total_ns = to_ns total_s and max_ns = to_ns max_s in
+      locked c.plock (fun () ->
+          c.pcount <- c.pcount + count;
+          c.ptotal_ns <- c.ptotal_ns + total_ns;
+          if max_ns > c.pmax_ns then c.pmax_ns <- max_ns)
 end
 
 let span t name =
@@ -264,7 +295,7 @@ let span t name =
   else
     Span.P
       (intern t.spans t.rlock (full_name t name) (fun () ->
-           { plock = lock_create (); pcount = 0; ptotal = 0.; pmax = 0. }))
+           { plock = lock_create (); pcount = 0; ptotal_ns = 0; pmax_ns = 0 }))
 
 let event t name fields =
   if t.enabled then
@@ -327,18 +358,26 @@ let dump t =
                  List.init (Histogram.bins h) (fun i ->
                      Json.num_of_int (Histogram.bin_count h i))
                in
+               let scheme =
+                 match Histogram.per_decade h with
+                 | None -> []
+                 | Some pd -> [ ("per_decade", Json.num_of_int pd) ]
+               in
                Json.Obj
-                 [
-                   ("record", Json.Str "hist");
-                   ("name", Json.Str name);
-                   ("lo", Json.Num lo);
-                   ("hi", Json.Num hi);
-                   ("counts", Json.Arr counts);
-                   ("underflow", Json.num_of_int (Histogram.underflow h));
-                   ("overflow", Json.num_of_int (Histogram.overflow h));
-                   ("invalid", Json.num_of_int (Histogram.invalid h));
-                   ("total", Json.num_of_int (Histogram.count h));
-                 ])
+                 ([
+                    ("record", Json.Str "hist");
+                    ("name", Json.Str name);
+                    ("lo", Json.Num lo);
+                    ("hi", Json.Num hi);
+                  ]
+                 @ scheme
+                 @ [
+                     ("counts", Json.Arr counts);
+                     ("underflow", Json.num_of_int (Histogram.underflow h));
+                     ("overflow", Json.num_of_int (Histogram.overflow h));
+                     ("invalid", Json.num_of_int (Histogram.invalid h));
+                     ("total", Json.num_of_int (Histogram.count h));
+                   ]))
       in
       let spans =
         sorted_bindings t.spans
@@ -348,8 +387,8 @@ let dump t =
                    ("record", Json.Str "span");
                    ("name", Json.Str name);
                    ("count", Json.num_of_int c.pcount);
-                   ("total_s", Json.Num c.ptotal);
-                   ("max_s", Json.Num c.pmax);
+                   ("total_s", Json.Num (float_of_int c.ptotal_ns /. 1e9));
+                   ("max_s", Json.Num (float_of_int c.pmax_ns /. 1e9));
                  ])
       in
       let events =

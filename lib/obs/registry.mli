@@ -106,6 +106,10 @@ module Hist : sig
   val add : handle -> float -> unit
 
   val count : handle -> int
+
+  val merge : handle -> Csync_metrics.Histogram.t -> unit
+  (** Fold a worker-local histogram's counters in (the {!Shard} merge
+      primitive).  @raise Invalid_argument on a shape mismatch. *)
 end
 
 module Span : sig
@@ -118,11 +122,19 @@ module Span : sig
   val record : handle -> float -> unit
   (** Record a duration in seconds. *)
 
+  val to_ns : float -> int
+  (** Seconds to the integer nanoseconds spans accumulate in (rounded,
+      clamped at zero).  Exposed for shard-local span accumulators. *)
+
   val time : handle -> (unit -> 'a) -> 'a
   (** Run the thunk, recording its wall-clock duration (also on raise).
       On a no-op handle this is exactly [f ()]. *)
 
   val count : handle -> int
+
+  val add : handle -> count:int -> total_s:float -> max_s:float -> unit
+  (** Fold a worker-local span accumulator in (the {!Shard} merge
+      primitive). *)
 end
 
 val counter : t -> string -> Counter.handle
@@ -133,6 +145,11 @@ val series : t -> string -> Series.handle
 
 val hist : t -> lo:float -> hi:float -> bins:int -> string -> Hist.handle
 (** Interned by name; [lo]/[hi]/[bins] are taken from the first minting. *)
+
+val hist_log : t -> lo:float -> hi:float -> per_decade:int -> string -> Hist.handle
+(** Log-bucketed (HDR-style) histogram, [per_decade] bins per decade over
+    [lo, hi] ({!Csync_metrics.Histogram.log}) — for skew/delay
+    distributions spanning decades.  Interned by name like {!hist}. *)
 
 val span : t -> string -> Span.handle
 

@@ -2,9 +2,10 @@ module MSeries = Csync_metrics.Series
 module Histogram = Csync_metrics.Histogram
 module Table = Csync_metrics.Table
 
-type hist_rec = {
+type hist_rec = Record.hist_rec = {
   lo : float;
   hi : float;
+  per_decade : int option;
   counts : int array;
   underflow : int;
   overflow : int;
@@ -12,9 +13,13 @@ type hist_rec = {
   total : int;
 }
 
-type span_rec = { count : int; total_s : float; max_s : float }
+type span_rec = Record.span_rec = { count : int; total_s : float; max_s : float }
 
-type monitor_rec = { checks : int; violations : int; first : Json.t option }
+type monitor_rec = Record.monitor_rec = {
+  checks : int;
+  violations : int;
+  first : Json.t option;
+}
 
 type t = {
   manifest : Json.t option;
@@ -28,87 +33,22 @@ type t = {
   warnings : string list;
 }
 
-type record =
-  | Manifest of Json.t
-  | Counter of string * int
-  | Gauge of string * float
-  | Series_r of string * float array * float array
-  | Hist_r of string * hist_rec
-  | Span_r of string * span_rec
-  | Event of string * Json.t
-  | Monitor_r of string * monitor_rec
-  | Unknown_r of string
-      (* a record kind this reader does not know: skipped with a warning,
-         so traces from newer writers still render *)
+(* ---------- reading ----------
 
-(* ---------- parsing ---------- *)
-
-let field name conv j =
-  match Option.bind (Json.member name j) conv with
-  | Some v -> Ok v
-  | None -> Error (Printf.sprintf "missing or malformed field %S" name)
-
-let ( let* ) = Result.bind
-
-let parse_record j =
-  let* kind = field "record" Json.to_str j in
-  match kind with
-  | "manifest" -> Ok (Manifest j)
-  | "counter" ->
-    let* name = field "name" Json.to_str j in
-    let* v = field "value" Json.to_int j in
-    Ok (Counter (name, v))
-  | "gauge" ->
-    let* name = field "name" Json.to_str j in
-    let* v = field "value" Json.to_float j in
-    Ok (Gauge (name, v))
-  | "series" ->
-    let* name = field "name" Json.to_str j in
-    let* xs = field "xs" Json.float_array j in
-    let* ys = field "ys" Json.float_array j in
-    if Array.length xs <> Array.length ys then Error "series xs/ys length mismatch"
-    else Ok (Series_r (name, xs, ys))
-  | "hist" ->
-    let* name = field "name" Json.to_str j in
-    let* lo = field "lo" Json.to_float j in
-    let* hi = field "hi" Json.to_float j in
-    let* counts = field "counts" Json.int_array j in
-    let* underflow = field "underflow" Json.to_int j in
-    let* overflow = field "overflow" Json.to_int j in
-    let* invalid = field "invalid" Json.to_int j in
-    let* total = field "total" Json.to_int j in
-    Ok (Hist_r (name, { lo; hi; counts; underflow; overflow; invalid; total }))
-  | "span" ->
-    let* name = field "name" Json.to_str j in
-    let* count = field "count" Json.to_int j in
-    let* total_s = field "total_s" Json.to_float j in
-    let* max_s = field "max_s" Json.to_float j in
-    Ok (Span_r (name, { count; total_s; max_s }))
-  | "event" ->
-    let* name = field "name" Json.to_str j in
-    let fields = Option.value (Json.member "fields" j) ~default:(Json.Obj []) in
-    Ok (Event (name, fields))
-  | "monitor" ->
-    let* name = field "monitor" Json.to_str j in
-    let* checks = field "checks" Json.to_int j in
-    let* violations = field "violations" Json.to_int j in
-    let first =
-      match Json.member "first" j with
-      | None | Some Json.Null -> None
-      | Some f -> Some f
-    in
-    Ok (Monitor_r (name, { checks; violations; first }))
-  | other -> Ok (Unknown_r other)
+   Both containers stream record-at-a-time into the accumulator below:
+   JSONL via [input_line] (one line in memory at a time), binary via
+   {!Btrace.fold_file}.  The reader never materializes the file text, so
+   a million-process trace costs its decoded records, not 2x its bytes. *)
 
 let parse_line line =
-  let* j = Json.of_string line in
-  parse_record j
+  Result.bind (Json.of_string line) Record.of_json
 
 (* The writer-side validator stays strict: a kind the reader would merely
    skip is still a bug in anything this build produced. *)
 let check_line line =
   match parse_line line with
-  | Ok (Unknown_r kind) -> Error (Printf.sprintf "unknown record kind %S" kind)
+  | Ok (Record.Unknown (kind, _)) ->
+    Error (Printf.sprintf "unknown record kind %S" kind)
   | Ok _ -> Ok ()
   | Error e -> Error e
 
@@ -120,90 +60,116 @@ let known_manifest_fields =
     "captured_unix";
   ]
 
-let manifest_warnings lineno j =
+let manifest_warnings where j =
   match j with
   | Json.Obj fields ->
     List.filter_map
       (fun (k, _) ->
         if List.mem k known_manifest_fields then None
         else
-          Some
-            (Printf.sprintf "line %d: skipped unknown manifest field %S" lineno
-               k))
+          Some (Printf.sprintf "%s: skipped unknown manifest field %S" where k))
       fields
   | _ -> []
 
-let of_lines lines =
-  let empty =
+let empty =
+  {
+    manifest = None;
+    counters = [];
+    gauges = [];
+    series = [];
+    hists = [];
+    spans = [];
+    events = [];
+    monitors = [];
+    warnings = [];
+  }
+
+(* Accumulate one record; [where] names its position ("line 7" /
+   "record 7") for warnings. *)
+let add_record ~where acc (r : Record.t) =
+  match r with
+  | Record.Manifest j ->
     {
-      manifest = None;
-      counters = [];
-      gauges = [];
-      series = [];
-      hists = [];
-      spans = [];
-      events = [];
-      monitors = [];
-      warnings = [];
+      acc with
+      manifest = Some j;
+      warnings = List.rev_append (manifest_warnings where j) acc.warnings;
     }
-  in
+  | Record.Counter (n, v) -> { acc with counters = (n, v) :: acc.counters }
+  | Record.Gauge (n, v) -> { acc with gauges = (n, v) :: acc.gauges }
+  | Record.Series (n, xs, ys) -> { acc with series = (n, xs, ys) :: acc.series }
+  | Record.Hist (n, h) -> { acc with hists = (n, h) :: acc.hists }
+  | Record.Span (n, s) -> { acc with spans = (n, s) :: acc.spans }
+  | Record.Event (n, f) -> { acc with events = (n, f) :: acc.events }
+  | Record.Monitor (n, m) -> { acc with monitors = (n, m) :: acc.monitors }
+  | Record.Unknown (kind, _) ->
+    {
+      acc with
+      warnings =
+        Printf.sprintf "%s: skipped unknown record kind %S" where kind
+        :: acc.warnings;
+    }
+
+let finalize acc =
+  {
+    acc with
+    counters = List.rev acc.counters;
+    gauges = List.rev acc.gauges;
+    series = List.rev acc.series;
+    hists = List.rev acc.hists;
+    spans = List.rev acc.spans;
+    events = List.rev acc.events;
+    monitors = List.rev acc.monitors;
+    warnings = List.rev acc.warnings;
+  }
+
+let add_line acc lineno line =
+  if String.trim line = "" then Ok acc
+  else
+    match parse_line line with
+    | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+    | Ok r -> Ok (add_record ~where:(Printf.sprintf "line %d" lineno) acc r)
+
+let of_lines lines =
   let rec go acc lineno = function
-    | [] ->
-      Ok
-        {
-          acc with
-          counters = List.rev acc.counters;
-          gauges = List.rev acc.gauges;
-          series = List.rev acc.series;
-          hists = List.rev acc.hists;
-          spans = List.rev acc.spans;
-          events = List.rev acc.events;
-          monitors = List.rev acc.monitors;
-          warnings = List.rev acc.warnings;
-        }
-    | line :: rest when String.trim line = "" -> go acc (lineno + 1) rest
+    | [] -> Ok (finalize acc)
     | line :: rest -> (
-      match parse_line line with
-      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
-      | Ok r ->
-        let acc =
-          match r with
-          | Manifest j ->
-            {
-              acc with
-              manifest = Some j;
-              warnings = List.rev_append (manifest_warnings lineno j) acc.warnings;
-            }
-          | Counter (n, v) -> { acc with counters = (n, v) :: acc.counters }
-          | Gauge (n, v) -> { acc with gauges = (n, v) :: acc.gauges }
-          | Series_r (n, xs, ys) -> { acc with series = (n, xs, ys) :: acc.series }
-          | Hist_r (n, h) -> { acc with hists = (n, h) :: acc.hists }
-          | Span_r (n, s) -> { acc with spans = (n, s) :: acc.spans }
-          | Event (n, f) -> { acc with events = (n, f) :: acc.events }
-          | Monitor_r (n, m) -> { acc with monitors = (n, m) :: acc.monitors }
-          | Unknown_r kind ->
-            {
-              acc with
-              warnings =
-                Printf.sprintf "line %d: skipped unknown record kind %S" lineno
-                  kind
-                :: acc.warnings;
-            }
-        in
-        go acc (lineno + 1) rest)
+      match add_line acc lineno line with
+      | Error _ as e -> e
+      | Ok acc -> go acc (lineno + 1) rest)
   in
   go empty 1 lines
 
-let of_file path =
-  let ic = open_in path in
-  let rec read acc =
-    match input_line ic with
-    | line -> read (line :: acc)
-    | exception End_of_file ->
-      close_in ic;
-      List.rev acc
+let of_records records =
+  let acc, _ =
+    List.fold_left
+      (fun (acc, i) r ->
+        (add_record ~where:(Printf.sprintf "record %d" i) acc r, i + 1))
+      (empty, 1) records
   in
-  of_lines (read [])
+  finalize acc
+
+let of_jsonl_channel ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> Ok (finalize acc)
+    | line -> (
+      match add_line acc lineno line with
+      | Error _ as e -> e
+      | Ok acc -> go acc (lineno + 1))
+  in
+  go empty 1
+
+let of_file path =
+  if Btrace.sniff_file path then
+    let f (acc, i) r =
+      (add_record ~where:(Printf.sprintf "record %d" i) acc r, i + 1)
+    in
+    match Btrace.fold_file path ~init:(empty, 1) ~f with
+    | Error e -> Error e
+    | Ok (acc, _) -> Ok (finalize acc)
+  else
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> of_jsonl_channel ic)
 
 (* ---------- accessors (the diff renderer reads traces through these) ---------- *)
 
@@ -217,19 +183,17 @@ let series t = t.series
 
 let hists t = t.hists
 
+let spans t = t.spans
+
+let events t = t.events
+
 let monitors t = t.monitors
 
 let warnings t = t.warnings
 
 (* ---------- name plumbing ---------- *)
 
-(* Metric names are "<cell label>/<base>"; base names use dots only, so
-   the last '/' is the split point. *)
-let split_name name =
-  match String.rindex_opt name '/' with
-  | None -> ("", name)
-  | Some i ->
-    (String.sub name 0 i, String.sub name (i + 1) (String.length name - i - 1))
+let split_name = Record.split_name
 
 let labels t =
   let add acc name =
@@ -360,25 +324,28 @@ let render_adj ppf ~focus t =
     Table.render ppf table
   end
 
+let rebuild_hist (h : hist_rec) =
+  Histogram.of_counts ?per_decade:h.per_decade ~lo:h.lo ~hi:h.hi ~counts:h.counts
+    ~underflow:h.underflow ~overflow:h.overflow ~invalid:h.invalid ~total:h.total
+    ()
+
 let render_hists ppf ~focus t =
-  let aggregate =
-    List.filter
-      (fun (name, h) ->
-        let l, base = split_name name in
-        base = "net.delay" && (focus = "" || l = focus) && h.total > 0)
-      t.hists
+  let shown (name, h) =
+    let l, base = split_name name in
+    (base = "net.delay" || base = "scale.link_delay" || base = "scale.local_skew")
+    && (focus = "" || l = focus)
+    && h.total > 0
   in
+  let aggregate = List.filter shown t.hists in
   if aggregate <> [] then begin
-    section ppf "Message-delay histograms";
+    section ppf "Delay and skew histograms";
     List.iter
       (fun (name, h) ->
-        let hist =
-          Histogram.of_counts ~lo:h.lo ~hi:h.hi ~counts:h.counts
-            ~underflow:h.underflow ~overflow:h.overflow ~invalid:h.invalid
-            ~total:h.total
-        in
-        Format.fprintf ppf "%s (%d samples)@." name h.total;
-        Histogram.render ppf hist;
+        Format.fprintf ppf "%s (%d samples%s)@." name h.total
+          (match h.per_decade with
+          | None -> ""
+          | Some pd -> Printf.sprintf ", log %d/decade" pd);
+        Histogram.render ppf (rebuild_hist h);
         Format.fprintf ppf "@.")
       aggregate;
     let per_link =
@@ -392,6 +359,81 @@ let render_hists ppf ~focus t =
     if per_link > 0 then
       Format.fprintf ppf "(%d per-link histograms captured in the trace)@."
         per_link
+  end
+
+(* The scale pipeline's phase spans, in execution order within a round;
+   phases a trace lacks are simply absent from the table. *)
+let phase_order = [ "drain"; "sweep"; "merge"; "apply"; "checksum"; "advance" ]
+
+let phase_rank p =
+  let rec go i = function
+    | [] -> List.length phase_order
+    | q :: rest -> if q = p then i else go (i + 1) rest
+  in
+  go 0 phase_order
+
+let render_profile ppf ~focus t =
+  let phases =
+    List.filter_map
+      (fun (name, s) ->
+        let l, base = split_name name in
+        if
+          (focus = "" || l = focus)
+          && starts_with ~prefix:"profile." base
+          && s.count > 0
+        then Some (String.sub base 8 (String.length base - 8), s)
+        else None)
+      t.spans
+    |> List.sort (fun (a, _) (b, _) -> compare (phase_rank a, a) (phase_rank b, b))
+  in
+  if phases <> [] then begin
+    section ppf "Round-phase profile";
+    let grand = List.fold_left (fun acc (_, s) -> acc +. s.total_s) 0. phases in
+    let table =
+      Table.make
+        ~title:
+          (if focus = "" then "Per-phase wall time"
+           else "Per-phase wall time — " ^ focus)
+        ~columns:[ "phase"; "calls"; "total (ms)"; "mean (ns)"; "max (ns)"; "share" ]
+        ()
+    in
+    let table =
+      List.fold_left
+        (fun table (p, s) ->
+          let share = if grand > 0. then s.total_s /. grand else 0. in
+          let bar = String.make (int_of_float (share *. 24.)) '#' in
+          Table.add_row table
+            [
+              p;
+              string_of_int s.count;
+              Printf.sprintf "%.3f" (s.total_s *. 1e3);
+              Printf.sprintf "%.0f" (s.total_s *. 1e9 /. float_of_int s.count);
+              Printf.sprintf "%.0f" (s.max_s *. 1e9);
+              Printf.sprintf "%3.0f%% %s" (share *. 100.) bar;
+            ])
+        table phases
+    in
+    let g base' =
+      List.find_map
+        (fun (name, v) ->
+          let l, base = split_name name in
+          if base = base' && (focus = "" || l = focus) then Some v else None)
+        t.gauges
+    in
+    let table =
+      match (g "sim.queue_depth_hw", g "sim.queue_occupancy_hw") with
+      | None, None -> table
+      | depth, occ ->
+        let part label v =
+          match v with Some v -> Printf.sprintf "%s %.0f" label v | None -> ""
+        in
+        Table.note table
+          (String.trim
+             (Printf.sprintf "engine high-water: %s %s"
+                (part "queue depth" depth)
+                (part " occupied slots" occ)))
+    in
+    Table.render ppf table
   end
 
 let render_pool ppf t =
@@ -574,6 +616,7 @@ let render ?focus ppf t =
   render_skews ppf ~focus t;
   render_adj ppf ~focus t;
   render_hists ppf ~focus t;
+  render_profile ppf ~focus t;
   render_pool ppf t;
   render_chaos ppf t;
   render_monitors ppf t;

@@ -1,16 +1,23 @@
-(** Parse a captured JSONL trace back into records and render the
-    human-readable explainer behind [csync report].
+(** Load a captured trace — JSONL ([csync-trace/1]) or binary
+    ([csync-btrace/1], sniffed by magic) — and render the human-readable
+    explainer behind [csync report].
+
+    Both containers stream record-at-a-time into the report accumulator
+    ({!Record} via [input_line] or {!Btrace.fold_file}); the file text is
+    never materialized, so traces from million-process runs load in
+    memory proportional to their decoded records.
 
     The reader is forward-compatible: record kinds and manifest fields it
     does not know are skipped and counted in {!warnings} (a newer writer's
-    trace still renders), while truncated or malformed lines remain a
-    clean one-line error naming the line. *)
+    trace still renders), while truncated or malformed input remains a
+    clean one-line error naming the position. *)
 
 type t
 
-type hist_rec = {
+type hist_rec = Record.hist_rec = {
   lo : float;
   hi : float;
+  per_decade : int option;  (** [Some pd] = log-bucketed *)
   counts : int array;
   underflow : int;
   overflow : int;
@@ -18,23 +25,32 @@ type hist_rec = {
   total : int;
 }
 
-type monitor_rec = {
+type span_rec = Record.span_rec = { count : int; total_s : float; max_s : float }
+
+type monitor_rec = Record.monitor_rec = {
   checks : int;
   violations : int;
   first : Json.t option;  (** the first-violation object, if any *)
 }
 
 val check_line : string -> (unit, string) result
-(** Validate a single trace line (shape-checked, not just JSON; unknown
-    kinds are errors here — this guards the writer, not the reader). *)
+(** Validate a single JSONL trace line (shape-checked, not just JSON;
+    unknown kinds are errors here — this guards the writer, not the
+    reader). *)
 
 val of_lines : string list -> (t, string) result
 (** Blank lines are skipped; the error names the offending line. *)
 
+val of_records : Record.t list -> t
+
 val of_file : string -> (t, string) result
+(** Streams either container, dispatching on the btrace magic. *)
 
 val labels : t -> string list
 (** Distinct cell labels appearing in metric names ([""] = unlabeled). *)
+
+val rebuild_hist : hist_rec -> Csync_metrics.Histogram.t
+(** Reconstitute a live histogram (scheme-aware) from trace counts. *)
 
 (** {2 Accessors} (in trace order; the diff renderer reads through these) *)
 
@@ -48,6 +64,10 @@ val series : t -> (string * float array * float array) list
 
 val hists : t -> (string * hist_rec) list
 
+val spans : t -> (string * span_rec) list
+
+val events : t -> (string * Json.t) list
+
 val monitors : t -> (string * monitor_rec) list
 (** Keyed by monitor name ([agreement], [validity], ...). *)
 
@@ -56,7 +76,8 @@ val warnings : t -> string list
 
 val render : ?focus:string -> Format.formatter -> t -> unit
 (** Render the report: manifest, skew timelines, ADJ-per-round table,
-    message-delay histograms (via {!Csync_metrics.Histogram.render}),
-    pool utilization, chaos ledger, exploration stats, and residual
-    counters/gauges.  [focus] picks the cell label for the per-cell
-    sections (default: the first cell with a skew series). *)
+    delay/skew histograms (via {!Csync_metrics.Histogram.render}), the
+    round-phase profile table, pool utilization, chaos ledger,
+    exploration stats, and residual counters/gauges.  [focus] picks the
+    cell label for the per-cell sections (default: the first cell with a
+    skew series). *)

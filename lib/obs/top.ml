@@ -1,0 +1,225 @@
+(* csync top — a live terminal view over a trace file.
+
+   top is a trace *viewer*, not a second telemetry channel: it tails the
+   file csync trace is writing (or re-reads a finished one), folds it
+   into a {!Report.t} in constant memory, and redraws one frame in place
+   with an ANSI clear.  The btrace reader's [`Truncated] contract (rewind
+   to the record boundary) is what makes tailing a live binary trace
+   safe: a half-written record renders as "capture in progress" rather
+   than an error, and the next refresh picks it up whole. *)
+
+module MSeries = Csync_metrics.Series
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let split_name = Record.split_name
+
+(* ---------- frame model ---------- *)
+
+(* Round-driven series, in preference order for the round counter. *)
+let round_bases =
+  [ "scale.events_per_round"; "run.skew"; "run.clean_skew"; "check.frontier" ]
+
+(* Series worth a sparkline, in display order. *)
+let spark_bases =
+  [
+    "run.skew"; "run.clean_skew"; "scale.spread"; "scale.local_skew_max";
+    "scale.events_per_round"; "check.frontier";
+  ]
+
+let find_series t ~focus base' =
+  List.find_opt
+    (fun (name, xs, _) ->
+      let l, base = split_name name in
+      base = base' && Array.length xs > 0 && (focus = "" || l = focus))
+    (Report.series t)
+
+let round_of t ~focus =
+  List.find_map
+    (fun b ->
+      Option.map
+        (fun (_, xs, _) -> int_of_float xs.(Array.length xs - 1))
+        (find_series t ~focus b))
+    round_bases
+
+let total_events t =
+  List.fold_left
+    (fun acc (name, v) ->
+      let _, base = split_name name in
+      if base = "scale.events" || base = "sim.events" then acc + v else acc)
+    0 (Report.counters t)
+
+let phase_rank p =
+  let order = [ "drain"; "sweep"; "merge"; "apply"; "checksum"; "advance" ] in
+  let rec go i = function
+    | [] -> List.length order
+    | q :: rest -> if q = p then i else go (i + 1) rest
+  in
+  go 0 order
+
+let phases t ~focus =
+  List.filter_map
+    (fun (name, (s : Record.span_rec)) ->
+      let l, base = split_name name in
+      if (focus = "" || l = focus) && starts_with ~prefix:"profile." base
+         && s.count > 0
+      then Some (String.sub base 8 (String.length base - 8), s)
+      else None)
+    (Report.spans t)
+  |> List.sort (fun (a, _) (b, _) -> compare (phase_rank a, a) (phase_rank b, b))
+
+let fault_counters t =
+  List.filter
+    (fun (name, v) ->
+      let _, base = split_name name in
+      v > 0
+      && (starts_with ~prefix:"chaos." base
+         || starts_with ~prefix:"net.tamper" base
+         || base = "net.collision_dropped" || base = "obs.events_dropped"))
+    (Report.counters t)
+
+let default_focus t =
+  match
+    List.find_opt
+      (fun (name, _, _) ->
+        let _, base = split_name name in
+        List.mem base spark_bases)
+      (Report.series t)
+  with
+  | Some (name, _, _) -> fst (split_name name)
+  | None -> ( match Report.labels t with l :: _ -> l | [] -> "")
+
+(* ---------- frame rendering ---------- *)
+
+let bar ~width share =
+  let full = int_of_float (Float.round (share *. float_of_int width)) in
+  let full = max 0 (min width full) in
+  String.make full '#' ^ String.make (width - full) '.'
+
+let header_line t path =
+  let m = Report.manifest t in
+  let str k = Option.bind m (fun j -> Option.bind (Json.member k j) Json.to_str) in
+  let num k =
+    Option.bind m (fun j -> Option.bind (Json.member k j) Json.to_float)
+  in
+  Printf.sprintf "csync top — %s   seed %s   jobs %s   %s"
+    (Option.value (str "target") ~default:"?")
+    (match num "seed" with Some s -> Printf.sprintf "%.0f" s | None -> "?")
+    (match num "jobs" with Some j -> Printf.sprintf "%.0f" j | None -> "?")
+    path
+
+let frame ?focus ?(width = 32) t ~path =
+  let focus = match focus with Some f -> f | None -> default_focus t in
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "%s\n" (header_line t path);
+  if focus <> "" then pr "cell %s\n" focus;
+  (match (round_of t ~focus, total_events t) with
+  | None, 0 -> ()
+  | r, ev ->
+    pr "round %s   events %d\n"
+      (match r with Some r -> string_of_int r | None -> "?")
+      ev);
+  Buffer.add_char b '\n';
+  (* sparklines *)
+  let sparks =
+    List.filter_map
+      (fun base ->
+        Option.map
+          (fun (name, xs, ys) ->
+            let s = MSeries.of_arrays ~label:name xs ys in
+            let last = ys.(Array.length ys - 1) in
+            let mx = Array.fold_left Float.max ys.(0) ys in
+            Printf.sprintf "%-28s %s  last %.3g  max %.3g"
+              (snd (split_name name))
+              (MSeries.sparkline s) last mx)
+          (find_series t ~focus base))
+      spark_bases
+  in
+  if sparks <> [] then begin
+    List.iter (fun l -> pr "%s\n" l) sparks;
+    Buffer.add_char b '\n'
+  end;
+  (* phase bars *)
+  let ph = phases t ~focus in
+  if ph <> [] then begin
+    let grand = List.fold_left (fun acc (_, s) -> acc +. s.Record.total_s) 0. ph in
+    pr "round phases (total %.1f ms)\n" (grand *. 1e3);
+    List.iter
+      (fun (p, (s : Record.span_rec)) ->
+        let share = if grand > 0. then s.total_s /. grand else 0. in
+        pr "  %-12s %s %5.1f%%  %8.3f ms\n" p (bar ~width share)
+          (share *. 100.) (s.total_s *. 1e3))
+      ph;
+    Buffer.add_char b '\n'
+  end;
+  (* monitor lights *)
+  let mons = Report.monitors t in
+  if mons <> [] then begin
+    pr "monitors  ";
+    List.iteri
+      (fun i (name, (m : Record.monitor_rec)) ->
+        if i > 0 then pr "   ";
+        if m.violations = 0 then pr "[ok]   %s (%d checks)" name m.checks
+        else pr "[FAIL] %s (%d/%d violations)" name m.violations m.checks)
+      mons;
+    pr "\n\n"
+  end;
+  (* drop / fault counters *)
+  let faults = fault_counters t in
+  if faults <> [] then begin
+    pr "faults and drops\n";
+    List.iter (fun (name, v) -> pr "  %-34s %d\n" name v) faults;
+    Buffer.add_char b '\n'
+  end;
+  Buffer.contents b
+
+(* ---------- the watch loop ---------- *)
+
+let clear_screen = "\027[2J\027[H"
+
+(* A btrace being written can legitimately end mid-record; render the
+   last good frame (or a waiting notice) instead of failing. *)
+let load path =
+  match Report.of_file path with
+  | Ok t -> Ok t
+  | Error e -> Error e
+  | exception Sys_error e -> Error e
+
+let watch ?focus ?(interval = 1.0) ~once path =
+  let interval = Float.max 0.1 interval in
+  let last = ref None in
+  let draw () =
+    match load path with
+    | Ok t ->
+      last := Some t;
+      Some (frame ?focus t ~path)
+    | Error e -> (
+      match !last with
+      | Some t ->
+        Some (frame ?focus t ~path ^ Printf.sprintf "(capture in progress: %s)\n" e)
+      | None -> Some (Printf.sprintf "%s\nwaiting for trace data: %s\n" path e))
+  in
+  if once then (
+    match load path with
+    | Error e -> Error e
+    | Ok t ->
+      print_string (frame ?focus t ~path);
+      Ok ())
+  else begin
+    let rec loop () =
+      (match draw () with
+      | Some f ->
+        print_string clear_screen;
+        print_string f;
+        print_string
+          (Printf.sprintf "(refreshing every %gs — ctrl-c to quit)\n" interval);
+        flush stdout
+      | None -> ());
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  end

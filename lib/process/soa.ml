@@ -174,6 +174,28 @@ let local_skew t =
     ~ok:(fun p -> t.status.(p) = st_ok)
     ~value:(broadcast_time t)
 
+let local_skew_at t p =
+  if p < 0 || p >= t.n then invalid_arg "Soa.local_skew_at";
+  if t.status.(p) <> st_ok then 0.
+  else begin
+    let bp = broadcast_time t p in
+    let worst = ref 0. in
+    let d = Graph.in_degree t.graph p in
+    for j = 0 to d - 1 do
+      let q = Graph.in_neighbor t.graph ~dst:p j in
+      if q <> p && t.status.(q) = st_ok then begin
+        let dv = Float.abs (bp -. broadcast_time t q) in
+        if dv > !worst then worst := dv
+      end
+    done;
+    !worst
+  end
+
+let link_delay t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Soa.link_delay";
+  delay t ~hround:(mix (t.round + mix (3 + t.hseed))) ~src ~dst
+
 type shard = {
   lo : int;
   hi : int;

@@ -111,6 +111,18 @@ val local_skew : t -> float
     nonfaulty endpoints - the quantity the gradient property bounds per
     hop ({!Csync_topo.Gradient.local_skew}). *)
 
+val local_skew_at : t -> int -> float
+(** One destination's local skew: the worst {!broadcast_time} difference
+    against its nonfaulty in-neighbours (0 for faulty processes or
+    isolated rows).  Pure per-destination read - telemetry histograms
+    fill from it shard-locally without affecting the run. *)
+
+val link_delay : t -> src:int -> dst:int -> float
+(** The current round's network delay on edge [src -> dst] - the same
+    deterministic draw from [[delta - eps, delta + eps]] that
+    {!run_shard} schedules with, exposed so telemetry can histogram the
+    delay distribution without replaying the round. *)
+
 type shard = {
   lo : int;
   hi : int;

@@ -5,6 +5,7 @@ type 'a t = {
   mutable now : float;
   obs_events : Obs.Counter.handle;
   obs_depth_hw : Obs.Gauge.handle;
+  obs_occ_hw : Obs.Gauge.handle;
 }
 
 (* The ambient registry is captured once, at creation; with telemetry
@@ -17,6 +18,7 @@ let create ?(start_time = 0.) ?backend ?expected () =
     now = start_time;
     obs_events = Obs.counter obs "sim.events";
     obs_depth_hw = Obs.gauge obs "sim.queue_depth_hw";
+    obs_occ_hw = Obs.gauge obs "sim.queue_occupancy_hw";
   }
 
 let backend_kind t = Event_queue.backend_kind t.queue
@@ -28,9 +30,12 @@ let schedule t ~time ?(prio = Event_queue.prio_message) payload =
     invalid_arg
       (Printf.sprintf "Engine.schedule: time %g is before now %g" time t.now);
   Event_queue.add t.queue ~time ~prio payload;
-  if Obs.Gauge.active t.obs_depth_hw then
+  if Obs.Gauge.active t.obs_depth_hw then begin
     Obs.Gauge.observe_max t.obs_depth_hw
-      (float_of_int (Event_queue.size t.queue))
+      (float_of_int (Event_queue.size t.queue));
+    Obs.Gauge.observe_max t.obs_occ_hw
+      (float_of_int (Event_queue.occupancy t.queue))
+  end
 
 let pending t = Event_queue.size t.queue
 

@@ -412,6 +412,15 @@ let size q =
 
 let is_empty q = size q = 0
 
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let occupancy q =
+  match q.repr with
+  | Heap_q _ -> 0
+  | Wheel_q w -> Array.fold_left (fun acc word -> acc + popcount word) 0 w.occ
+
 let add q ~time ~prio payload =
   if not (Float.is_finite time) then
     invalid_arg "Event_queue.add: non-finite time";

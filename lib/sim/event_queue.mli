@@ -56,6 +56,12 @@ val backend_kind : 'a t -> backend
 
 val size : 'a t -> int
 
+val occupancy : 'a t -> int
+(** Occupied bucket count of the wheel backend's bitmask (how spread out
+    the pending horizon is; telemetry reads it for the engine's
+    occupancy gauge).  Always 0 on the heap backend, which has no
+    buckets. *)
+
 val is_empty : 'a t -> bool
 
 val add : 'a t -> time:float -> prio:int -> 'a -> unit

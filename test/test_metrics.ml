@@ -170,7 +170,7 @@ let histogram_tests =
         let h' =
           Histogram.of_counts ~lo ~hi ~counts
             ~underflow:(Histogram.underflow h) ~overflow:(Histogram.overflow h)
-            ~invalid:(Histogram.invalid h) ~total:(Histogram.count h)
+            ~invalid:(Histogram.invalid h) ~total:(Histogram.count h) ()
         in
         check_int "total" (Histogram.count h) (Histogram.count h');
         check_int "bin 0" 2 (Histogram.bin_count h' 0);
@@ -180,7 +180,59 @@ let histogram_tests =
         check_raises_invalid "negative count" (fun () ->
             ignore
               (Histogram.of_counts ~lo ~hi ~counts:[| -1 |] ~underflow:0
-                 ~overflow:0 ~invalid:0 ~total:0)));
+                 ~overflow:0 ~invalid:0 ~total:0 ())));
+    t "log bins give each decade per_decade bins" (fun () ->
+        let h = Histogram.log ~lo:1e-3 ~hi:1e0 ~per_decade:4 in
+        check_int "bins" 12 (Histogram.bins h);
+        check_true "scheme" (Histogram.per_decade h = Some 4);
+        (* 1e-3 lands in bin 0, 1e-2 in bin 4, 0.999e0 in the last bin *)
+        Histogram.add h 1e-3;
+        Histogram.add h 1e-2;
+        Histogram.add h 0.999;
+        check_int "bin 0" 1 (Histogram.bin_count h 0);
+        check_int "bin 4" 1 (Histogram.bin_count h 4);
+        check_int "last bin" 1 (Histogram.bin_count h 11);
+        (* bounds are geometric and consecutive bins share an edge *)
+        let b0_lo, b0_hi = Histogram.bin_bounds h 0 in
+        let b1_lo, _ = Histogram.bin_bounds h 1 in
+        check_float_tol 1e-12 "b0 lo" 1e-3 b0_lo;
+        check_float_tol 1e-12 "edge shared" b0_hi b1_lo;
+        check_raises_invalid "nonpositive lo" (fun () ->
+            ignore (Histogram.log ~lo:0. ~hi:1. ~per_decade:4));
+        check_raises_invalid "nonpositive per_decade" (fun () ->
+            ignore (Histogram.log ~lo:1e-3 ~hi:1. ~per_decade:0)));
+    t "log under/overflow and of_counts round-trip" (fun () ->
+        let h = Histogram.log ~lo:1e-3 ~hi:1e0 ~per_decade:4 in
+        List.iter (Histogram.add h) [ 1e-4; 2.; 5e-3; Float.nan ];
+        check_int "under" 1 (Histogram.underflow h);
+        check_int "over" 1 (Histogram.overflow h);
+        check_int "invalid" 1 (Histogram.invalid h);
+        let counts = Array.init (Histogram.bins h) (Histogram.bin_count h) in
+        let lo, hi = Histogram.range h in
+        let h' =
+          Histogram.of_counts ~per_decade:4 ~lo ~hi ~counts
+            ~underflow:(Histogram.underflow h) ~overflow:(Histogram.overflow h)
+            ~invalid:(Histogram.invalid h) ~total:(Histogram.count h) ()
+        in
+        check_true "scheme survives" (Histogram.per_decade h' = Some 4);
+        check_int "total" (Histogram.count h) (Histogram.count h');
+        check_int "bins" (Histogram.bins h) (Histogram.bins h'));
+    t "merge folds counters and rejects shape mismatches" (fun () ->
+        let a = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+        let b = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+        List.iter (Histogram.add a) [ 0.1; 0.9 ];
+        List.iter (Histogram.add b) [ 0.1; -1.; 2.; Float.nan ];
+        Histogram.merge a b;
+        check_int "bin 0 summed" 2 (Histogram.bin_count a 0);
+        check_int "total summed" 6 (Histogram.count a);
+        check_int "under" 1 (Histogram.underflow a);
+        check_int "over" 1 (Histogram.overflow a);
+        check_int "invalid" 1 (Histogram.invalid a);
+        check_raises_invalid "bin mismatch" (fun () ->
+            Histogram.merge a (Histogram.create ~lo:0. ~hi:1. ~bins:5));
+        check_raises_invalid "scheme mismatch" (fun () ->
+            let l = Histogram.log ~lo:1e-2 ~hi:1e2 ~per_decade:1 in
+            Histogram.merge (Histogram.create ~lo:1e-2 ~hi:1e2 ~bins:4) l));
     qcheck ~name:"every added in-range value is counted"
       QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1.))
       (fun l ->

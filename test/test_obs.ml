@@ -9,6 +9,7 @@ module Manifest = Csync_obs.Manifest
 module Report = Csync_obs.Report
 module Mon = Csync_obs.Monitor
 module Diff = Csync_obs.Diff
+module Record = Csync_obs.Record
 open Helpers
 
 let t name f = Alcotest.test_case name `Quick f
@@ -606,6 +607,33 @@ let diff_tests =
         let out = render a b in
         check_true "verdict" (contains out "no differences");
         check_true "no sections" (not (contains out "==")));
+    t "wall-clock profiler data never breaks the golden verdict" (fun () ->
+        (* Same deterministic content, different profiler timings/spans:
+           exactly what two real same-seed runs look like.  The verdict
+           must hold and the footnote must own up to what was skipped. *)
+        let with_timing v =
+          let lines =
+            List.map Json.to_string
+              [
+                Manifest.make ~target:"scenario" ~seed:1 ~jobs:1 ~quick:true ();
+                Record.to_json (Record.Counter ("E/run.rounds", 6));
+                Record.to_json
+                  (Record.Series ("E/profile.drain.ns", [| 1.; 2. |], [| v; v +. 7. |]));
+                Record.to_json
+                  (Record.Span
+                     ("E/phase.drain", { Record.count = 8; total_s = v; max_s = v }));
+                Record.to_json (Record.Gauge ("E/engine.wheel.depth", v));
+              ]
+          in
+          match Report.of_lines lines with
+          | Ok t -> t
+          | Error e -> Alcotest.failf "timing trace did not parse: %s" e
+        in
+        let a = with_timing 10. and b = with_timing 1000. in
+        check_bool "identical" true (Diff.identical a b);
+        let out = render a b in
+        check_true "verdict" (contains out "no differences");
+        check_true "footnote" (contains out "wall-clock data not compared"));
     t "different seeds surface skew deltas" (fun () ->
         let a = capture ~seed:42 () and b = capture ~seed:43 () in
         check_bool "not identical" false (Diff.identical a b);
@@ -690,7 +718,388 @@ let determinism_tests =
         check_true "traced jobs=4" (same (chaos_skews ~traced:true ~jobs:4)));
   ]
 
+(* ---------- binary trace container ---------- *)
+
+module Btrace = Csync_obs.Btrace
+
+(* Arbitrary records for the encode/decode round-trip: every tag, both
+   series encodings (integral arrays hit INT_DELTA, fractional RAW64),
+   labeled and bare names, linear and log histograms. *)
+let record_gen =
+  let open QCheck2.Gen in
+  let base =
+    oneofl
+      [ "run.skew"; "net.delay"; "scale.events"; "proc.3.adj"; "profile.drain" ]
+  in
+  let label = oneofl [ ""; "E1/eps=0.0001"; "ring n=100" ] in
+  let name = map2 (fun l b -> if l = "" then b else l ^ "/" ^ b) label base in
+  let finite = map (fun f -> if Float.is_finite f then f else 1.5) float in
+  let integral = map float_of_int (int_range (-100_000) 100_000) in
+  let value = oneof [ finite; integral ] in
+  let counter = map2 (fun n v -> Record.Counter (n, v)) name (int_range (-5) 1_000_000) in
+  let gauge = map2 (fun n v -> Record.Gauge (n, v)) name finite in
+  let series =
+    int_range 0 16 >>= fun len ->
+    map2
+      (fun n (xs, ys) -> Record.Series (n, xs, ys))
+      name
+      (pair (array_size (return len) value) (array_size (return len) value))
+  in
+  let hist =
+    name >>= fun n ->
+    pair finite finite >>= fun (lo, hi) ->
+    option (int_range 1 32) >>= fun per_decade ->
+    array_size (int_range 0 12) (int_range 0 1000) >>= fun counts ->
+    pair (int_range 0 50) (int_range 0 50) >>= fun (underflow, overflow) ->
+    int_range 0 5 >>= fun invalid ->
+    let total =
+      Array.fold_left ( + ) (underflow + overflow + invalid) counts
+    in
+    return
+      (Record.Hist
+         ( n,
+           { Record.lo; hi; per_decade; counts; underflow; overflow; invalid;
+             total } ))
+  in
+  let span =
+    map2
+      (fun n (count, (total_s, max_s)) ->
+        Record.Span (n, { Record.count; total_s; max_s }))
+      name
+      (pair (int_range 0 100_000) (pair finite finite))
+  in
+  let event =
+    map2
+      (fun n v -> Record.Event (n, Json.Obj [ ("v", Json.num_of_int v) ]))
+      name (int_range 0 100)
+  in
+  let monitor =
+    map2
+      (fun mname (checks, (violations, first)) ->
+        Record.Monitor (mname, { Record.checks; violations; first }))
+      (oneofl [ "agreement"; "local_skew" ])
+      (pair (int_range 0 1000)
+         (pair (int_range 0 5)
+            (option (return (Json.Obj [ ("time", Json.Num 1.5) ])))))
+  in
+  let manifest =
+    return
+      (Record.Manifest
+         (Json.Obj
+            [
+              ("record", Json.Str "manifest");
+              ("schema", Json.Str "csync-trace/1");
+              ("target", Json.Str "E1");
+            ]))
+  in
+  let unknown =
+    return
+      (Record.Unknown
+         ("zzz", Json.Obj [ ("record", Json.Str "zzz"); ("k", Json.Num 2.) ]))
+  in
+  oneof [ counter; gauge; series; hist; span; event; monitor; manifest; unknown ]
+
+let with_tmp suffix f =
+  let path = Filename.temp_file "csync_test" suffix in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let btrace_tests =
+  [
+    qcheck ~count:100 ~name:"btrace encode/decode round-trips every record"
+      QCheck2.Gen.(list_size (0 -- 20) record_gen)
+      (fun records ->
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path records;
+            match Btrace.fold_file path ~init:[] ~f:(fun acc r -> r :: acc) with
+            | Error e -> QCheck2.Test.fail_reportf "read failed: %s" e
+            | Ok rev -> List.rev rev = records));
+    t "btrace magic is sniffable and jsonl is not" (fun () ->
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path [ Record.Counter ("a", 1) ];
+            check_true "btrace sniffs" (Btrace.sniff_file path));
+        with_tmp ".jsonl" (fun path ->
+            let oc = open_out path in
+            output_string oc "{\"record\":\"counter\",\"name\":\"a\",\"value\":1}\n";
+            close_out oc;
+            check_true "jsonl does not sniff" (not (Btrace.sniff_file path))));
+    t "a truncated tail is truncation, not garbage" (fun () ->
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path
+              [
+                Record.Counter ("whole", 7);
+                Record.Series
+                  ("tail", [| 1.; 2.; 3. |], [| 0.5; 0.25; 0.125 |]);
+              ];
+            let bytes = read_all path in
+            with_tmp ".cut" (fun cut ->
+                let oc = open_out_bin cut in
+                output_string oc (String.sub bytes 0 (String.length bytes - 4));
+                close_out oc;
+                (match Btrace.fold_file cut ~init:0 ~f:(fun n _ -> n + 1) with
+                | Error e -> check_true "names truncation" (contains e "truncated")
+                | Ok _ -> Alcotest.fail "expected a truncation error");
+                (* The streaming reader rewinds at the cut, stably - what
+                   csync top leans on while the writer is mid-record. *)
+                let ic = open_in_bin cut in
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () ->
+                    match Btrace.reader ic with
+                    | Error e -> Alcotest.fail e
+                    | Ok r ->
+                      (match Btrace.next r with
+                      | `Record (Record.Counter ("whole", 7)) -> ()
+                      | _ -> Alcotest.fail "expected the whole record first");
+                      check_true "truncated" (Btrace.next r = `Truncated);
+                      check_true "stable on retry" (Btrace.next r = `Truncated));
+                (* Once the writer finishes the record, a fresh pass reads
+                   the whole file. *)
+                let oc =
+                  open_out_gen [ Open_append; Open_binary ] 0o644 cut
+                in
+                output_string oc
+                  (String.sub bytes
+                     (String.length bytes - 4)
+                     4);
+                close_out oc;
+                match Btrace.fold_file cut ~init:0 ~f:(fun n _ -> n + 1) with
+                | Ok 2 -> ()
+                | Ok n -> Alcotest.failf "expected 2 records, got %d" n
+                | Error e -> Alcotest.fail e)));
+    t "report reads the binary container" (fun () ->
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path
+              [
+                Record.Manifest
+                  (Json.Obj
+                     [
+                       ("record", Json.Str "manifest");
+                       ("target", Json.Str "E9");
+                     ]);
+                Record.Counter ("cell/n.events", 12);
+                Record.Series ("cell/run.skew", [| 1.; 2. |], [| 0.5; 0.25 |]);
+              ];
+            match Report.of_file path with
+            | Error e -> Alcotest.fail e
+            | Ok rep ->
+              check_int "counter survives" 12
+                (List.assoc "cell/n.events" (Report.counters rep));
+              check_int "series survives" 1 (List.length (Report.series rep))));
+    t "canonical keeps the computation, drops the wall clock" (fun () ->
+        let manifest =
+          Json.Obj
+            [
+              ("record", Json.Str "manifest");
+              ("target", Json.Str "E1");
+              ("seed", Json.num_of_int 7);
+              ("jobs", Json.num_of_int 4);
+              ("captured_unix", Json.Num 1.7e9);
+              ("git_rev", Json.Str "abc");
+            ]
+        in
+        let keep_series =
+          Record.Series ("E1/run.skew", [| 1. |], [| 0.5 |])
+        in
+        let records =
+          [
+            Record.Manifest manifest;
+            Record.Counter ("E1/run.count", 3);
+            Record.Counter ("pool.tasks.worker0", 5);
+            Record.Gauge ("sim.queue_depth_hw", 9.);
+            Record.Span
+              ("E1/profile.drain", { Record.count = 1; total_s = 0.1; max_s = 0.1 });
+            Record.Series ("E1/profile.drain.ns", [| 0. |], [| 100. |]);
+            Record.Series ("obs.worker3", [| 0. |], [| 1. |]);
+            keep_series;
+            Record.Monitor
+              ("agreement", { Record.checks = 2; violations = 0; first = None });
+          ]
+        in
+        match Record.canonical records with
+        | [ Record.Manifest m; Record.Counter ("E1/run.count", 3); s; mon ] ->
+          check_true "volatile manifest fields stripped"
+            (Json.member "captured_unix" m = None
+            && Json.member "git_rev" m = None
+            && Json.member "jobs" m = None);
+          check_true "target survives" (Json.member "target" m <> None);
+          check_true "series kept" (s = keep_series);
+          check_true "monitor kept"
+            (match mon with Record.Monitor ("agreement", _) -> true | _ -> false)
+        | other ->
+          Alcotest.failf "unexpected canonical shape (%d records)"
+            (List.length other));
+  ]
+
+(* ---------- worker shards and the round-phase profiler ---------- *)
+
+module Shard = Csync_obs.Shard
+module Profile = Csync_obs.Profile
+
+let report_of_registry reg =
+  Report.of_records
+    (List.filter_map
+       (fun j -> Result.to_option (Record.of_json j))
+       (Obs.dump reg))
+
+let shard_profile_tests =
+  [
+    t "shard cells fold into the registry on merge" (fun () ->
+        let reg = Obs.create () in
+        let sh = Shard.create reg in
+        check_true "active on a live registry" (Shard.active sh);
+        let c = Shard.counter sh "s.count" in
+        Shard.Counter.add c 3;
+        Shard.Counter.incr c;
+        check_int "local value" 4 (Shard.Counter.value c);
+        let h = Shard.hist sh ~lo:0. ~hi:10. ~bins:5 "s.h" in
+        Shard.Hist.add h 1.;
+        Shard.Hist.add h 7.;
+        let hl = Shard.hist_log sh ~lo:1e-3 ~hi:1. ~per_decade:4 "s.hl" in
+        Shard.Hist.add hl 0.01;
+        let sr = Shard.series sh "s.series" in
+        Shard.Series.push sr 1. 10.;
+        Shard.Series.push sr 2. 20.;
+        let sp = Shard.span sh "s.span" in
+        Shard.Span.record sp 0.5;
+        check_int "nothing reaches the registry before merge" 0
+          (List.length (Report.counters (report_of_registry reg)));
+        Shard.merge sh;
+        let rep = report_of_registry reg in
+        check_int "counter merged" 4 (List.assoc "s.count" (Report.counters rep));
+        let hr = List.assoc "s.h" (Report.hists rep) in
+        check_int "hist merged" 2 hr.Report.total;
+        let hlr = List.assoc "s.hl" (Report.hists rep) in
+        check_true "log shape survives" (hlr.Report.per_decade = Some 4);
+        let _, xs, ys =
+          List.find (fun (n, _, _) -> n = "s.series") (Report.series rep)
+        in
+        check_true "series points appended in order"
+          (xs = [| 1.; 2. |] && ys = [| 10.; 20. |]);
+        let spr = List.assoc "s.span" (Report.spans rep) in
+        check_int "span count" 1 spr.Report.count;
+        check_float "span total" 0.5 spr.Report.total_s);
+    t "shard names intern per kind and reject clashes" (fun () ->
+        let sh = Shard.create (Obs.create ()) in
+        let a = Shard.counter sh "x" in
+        Shard.Counter.incr a;
+        Shard.Counter.incr (Shard.counter sh "x");
+        check_int "same cell" 2 (Shard.Counter.value a);
+        check_raises_invalid "kind clash" (fun () ->
+            ignore (Shard.series sh "x")));
+    t "disabled shard is inert" (fun () ->
+        let sh = Shard.create Obs.none in
+        check_true "inactive" (not (Shard.active sh));
+        let c = Shard.counter sh "dead" in
+        Shard.Counter.incr c;
+        check_int "no-op counter" 0 (Shard.Counter.value c);
+        check_true "no-op hist"
+          (not (Shard.Hist.active (Shard.hist sh ~lo:0. ~hi:1. ~bins:2 "h")));
+        Shard.merge sh);
+    t "profiler spans and per-occurrence series accumulate" (fun () ->
+        let reg = Obs.create () in
+        let p = Profile.create reg in
+        check_true "active" (Profile.active p);
+        check_int "passthrough" 42 (Profile.time p Profile.Merge (fun () -> 42));
+        Profile.record_ns p Profile.Merge 1_000_000;
+        (* A fresh profiler over the same registry continues the same
+           interned instruments - the per-round case in Scale.round. *)
+        Profile.record_ns (Profile.create reg) Profile.Merge 2_000_000;
+        let rep = report_of_registry reg in
+        let spr = List.assoc "profile.merge" (Report.spans rep) in
+        check_int "three occurrences" 3 spr.Report.count;
+        let _, xs, ys =
+          List.find (fun (n, _, _) -> n = "profile.merge.ns") (Report.series rep)
+        in
+        check_true "x is the occurrence index" (xs = [| 0.; 1.; 2. |]);
+        check_float "recorded ns" 1_000_000. ys.(1);
+        check_float "continues across instances" 2_000_000. ys.(2));
+    t "disabled profiler is an exact passthrough" (fun () ->
+        check_true "inactive" (not (Profile.active Profile.disabled));
+        check_int "result" 7
+          (Profile.time Profile.disabled Profile.Drain (fun () -> 7));
+        Profile.record_ns Profile.disabled Profile.Checksum 5;
+        check_true "time is monotone nonneg" (Profile.now_ns () >= 0));
+    t "profiler timing also records when the thunk raises" (fun () ->
+        let reg = Obs.create () in
+        let p = Profile.create reg in
+        (match Profile.time p Profile.Apply (fun () -> failwith "boom") with
+        | exception Failure _ -> ()
+        | _ -> Alcotest.fail "expected the exception through");
+        let rep = report_of_registry reg in
+        check_int "occurrence recorded" 1
+          (List.assoc "profile.apply" (Report.spans rep)).Report.count);
+  ]
+
+(* ---------- csync top ---------- *)
+
+module Top = Csync_obs.Top
+
+let top_tests =
+  [
+    t "top frame renders every section from a report" (fun () ->
+        let rep =
+          Report.of_records
+            [
+              Record.Manifest
+                (Json.Obj
+                   [
+                     ("record", Json.Str "manifest");
+                     ("target", Json.Str "E16");
+                     ("seed", Json.num_of_int 7);
+                     ("jobs", Json.num_of_int 4);
+                   ]);
+              Record.Series
+                ( "cell/scale.spread",
+                  [| 1.; 2.; 3. |],
+                  [| 0.5; 0.25; 0.125 |] );
+              Record.Series
+                ( "cell/scale.events_per_round",
+                  [| 1.; 2.; 3. |],
+                  [| 10.; 10.; 10. |] );
+              Record.Counter ("cell/scale.events", 30);
+              Record.Counter ("chaos.dropped", 2);
+              Record.Span
+                ( "cell/profile.drain",
+                  { Record.count = 3; total_s = 0.3; max_s = 0.2 } );
+              Record.Span
+                ( "cell/profile.merge",
+                  { Record.count = 3; total_s = 0.1; max_s = 0.05 } );
+              Record.Monitor
+                ("local_skew", { Record.checks = 10; violations = 0; first = None });
+              Record.Monitor
+                ("agreement", { Record.checks = 5; violations = 2; first = None });
+            ]
+        in
+        let f = Top.frame rep ~path:"test.btrace" in
+        List.iter
+          (fun needle ->
+            check_true (Printf.sprintf "frame mentions %S" needle)
+              (contains f needle))
+          [
+            "csync top — E16"; "seed 7"; "jobs 4"; "cell cell"; "round 3";
+            "events 30"; "scale.spread"; "scale.events_per_round"; "drain";
+            "merge"; "75"; "[ok]   local_skew"; "[FAIL] agreement";
+            "chaos.dropped";
+          ];
+        check_true "drain bar dominates"
+          (contains f "drain        ########################"));
+    t "top frame degrades gracefully on an empty trace" (fun () ->
+        let f = Top.frame (Report.of_records []) ~path:"x" in
+        check_true "header still renders" (contains f "csync top"));
+    t "top watch --once renders a written trace" (fun () ->
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path
+              [ Record.Counter ("cell/scale.events", 3) ];
+            check_true "ok" (Top.watch ~once:true path = Ok ())));
+  ]
+
 let suite =
   json_tests @ registry_tests @ manifest_tests @ report_tests
   @ forward_compat_tests @ monitor_tests @ provenance_tests @ diff_tests
-  @ determinism_tests
+  @ determinism_tests @ btrace_tests @ shard_profile_tests @ top_tests

@@ -230,6 +230,88 @@ let monitored_identity_tests =
             check_int "no violations" 0 viol1));
   ]
 
+(* The observability tentpole's identity: the canonical binary trace of a
+   telemetry-on scale run is byte-identical at any worker count and on
+   either queue backend - and telemetry never perturbs the trajectory. *)
+module Obs = Csync_obs.Registry
+module Record = Csync_obs.Record
+module Btrace = Csync_obs.Btrace
+module Report = Csync_obs.Report
+module Diff = Csync_obs.Diff
+
+let big_model ~n () =
+  let m = Soa.create ~n ~degree:8 ~f:2 ~seed:11 ~dispersion:0.5 () in
+  Soa.crash m 17;
+  Soa.set_pull m 42 0.3;
+  m
+
+let result_key (s : Scale.stats) =
+  (s.Scale.events, s.Scale.checksum, s.Scale.state)
+
+(* Run with telemetry captured; return the result key and the canonical
+   records of the trace. *)
+let captured ~jobs ~rounds ~n () =
+  let reg = Obs.create () in
+  Obs.install reg;
+  let stats =
+    Fun.protect ~finally:Obs.clear_installed (fun () ->
+        Scale.run ~jobs ~rounds (big_model ~n ()))
+  in
+  let records =
+    List.filter_map
+      (fun j -> Result.to_option (Record.of_json j))
+      (Obs.dump reg)
+  in
+  (result_key stats, Record.canonical records)
+
+let btrace_bytes records =
+  let path = Filename.temp_file "csync_scale" ".btrace" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Btrace.write_file path records;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic)))
+
+let trace_identity_tests =
+  [
+    t "canonical binary trace byte-identical: jobs 1/4 x heap/wheel" (fun () ->
+        let capture engine jobs =
+          with_engine_env engine (fun () ->
+              captured ~jobs ~rounds:2 ~n:10_000 ())
+        in
+        let k1, r1 = capture "wheel" 1 in
+        let k4, r4 = capture "wheel" 4 in
+        let kh, rh = capture "heap" 1 in
+        check_true "results identical across jobs" (k1 = k4);
+        check_true "results identical across backends" (k1 = kh);
+        check_true "trace has telemetry" (List.length r1 > 3);
+        let b1 = btrace_bytes r1 in
+        check_true "bytes identical across jobs"
+          (String.equal b1 (btrace_bytes r4));
+        check_true "bytes identical across backends"
+          (String.equal b1 (btrace_bytes rh)));
+    t "telemetry leaves the scale trajectory untouched" (fun () ->
+        let plain = result_key (Scale.run ~jobs:2 ~rounds:2 (big_model ~n:2000 ())) in
+        let traced, _ = captured ~jobs:2 ~rounds:2 ~n:2000 () in
+        check_true "identical" (plain = traced));
+    t "report --diff of captures at different jobs: no differences" (fun () ->
+        let _, r1 = captured ~jobs:1 ~rounds:2 ~n:2000 () in
+        let _, r4 = captured ~jobs:4 ~rounds:2 ~n:2000 () in
+        let buf = Buffer.create 256 in
+        let ppf = Format.formatter_of_buffer buf in
+        Diff.render ppf ~name_a:"jobs1" ~name_b:"jobs4"
+          (Report.of_records r1) (Report.of_records r4);
+        Format.pp_print_flush ppf ();
+        check_true "diff is clean"
+          (Helpers.contains (Buffer.contents buf) "no differences"));
+  ]
+
 let suite =
   List.concat
-    [ sweep_tests; soa_tests; scale_tests; monitored_identity_tests ]
+    [
+      sweep_tests; soa_tests; scale_tests; monitored_identity_tests;
+      trace_identity_tests;
+    ]

@@ -226,6 +226,34 @@ let bench_check =
                (Csync_check.Explorer.run ~jobs:1 (Lazy.force check_scope))));
     ]
 
+(* The fleet collector's steady-state merge cost: 10k records arriving as
+   8 interleaved node streams (10 btrace segments each), decoded through
+   per-node feeds and canonically merged.  Frames are prebuilt so the
+   kernel times decode + merge, not encoding. *)
+let collect_frames =
+  lazy
+    (let streams = 8 and segments = 10 and per_segment = 125 in
+     (* 8 * 10 * 125 = 10_000 records *)
+     let b = Buffer.create 4096 in
+     let frames = ref [] in
+     for seq = 0 to segments - 1 do
+       for src = 0 to streams - 1 do
+         Buffer.clear b;
+         let w = Csync_obs.Btrace.writer_fn (Buffer.add_string b) in
+         for i = 0 to per_segment - 1 do
+           let k = (seq * per_segment) + i in
+           Csync_obs.Btrace.write w
+             (if k land 1 = 0 then Csync_obs.Record.Counter ("scale.events", k)
+              else
+                Csync_obs.Record.Gauge
+                  ("run.skew", float_of_int ((src * 131) + k) *. 1e-6))
+         done;
+         Csync_obs.Btrace.close_writer w;
+         frames := (src, seq, (seq * 1000) + src, Buffer.contents b) :: !frames
+       done
+     done;
+     List.rev !frames)
+
 let bench_obs =
   (* The telemetry invariant in numbers: a counter increment through a
      handle minted from the disabled registry (what every untraced
@@ -271,6 +299,14 @@ let bench_obs =
       Test.make ~name:"monitor-check-enabled"
         (Staged.stage (fun () ->
              Csync_obs.Monitor.Agreement.check mon_on ~time:1.0 ~skew:0.5));
+      Test.make ~name:"collect-merge-10k"
+        (Staged.stage (fun () ->
+             let t = Csync_obs.Collect.create () in
+             List.iter
+               (fun (src, seq, ts_ns, payload) ->
+                 Csync_obs.Collect.frame t ~src ~seq ~ts_ns payload)
+               (Lazy.force collect_frames);
+             ignore (Csync_obs.Collect.merged t)));
     ]
 
 (* The stabilizing recovery wrapper's pass-through cost: [Stabilize.probe]

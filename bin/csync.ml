@@ -873,6 +873,218 @@ let trace_cmd =
         (const run $ quick_arg $ jobs_arg $ seed $ monitor_arg $ tighten_arg
        $ out_arg $ format_arg $ canonical_arg $ target_arg))
 
+(* csync collect *)
+let collect_cmd =
+  let pp_node_stats (s : Csync_obs.Collect.node_stats) =
+    Format.printf
+      "p%-4d frames %-6d records %-7d gaps %-4d lost %-4d resets %-3d errors \
+       %-3d@."
+      s.Csync_obs.Collect.src s.frames s.records s.gaps s.lost s.resets
+      s.errors
+  in
+  let run port out duration snapshot_period max_src =
+    match
+      Csync_runtime.Collector.run ~port ~max_src ~out ~duration
+        ~snapshot_period ()
+    with
+    | exception Unix.Unix_error (e, fn, _) ->
+      `Error (false, Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    | stats, rejected ->
+      List.iter pp_node_stats stats;
+      Format.printf "rejected datagrams: %d@." rejected;
+      Format.printf "wrote %s@." out;
+      `Ok ()
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 17_900
+      & info [ "port" ] ~docv:"PORT" ~doc:"UDP port to listen on (localhost).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fleet.btrace"
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:"Merged fleet trace output path (binary btrace).")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"How long to collect.")
+  in
+  let snap_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "snapshot-period" ] ~docv:"SECONDS"
+          ~doc:
+            "Rewrite the merged trace every $(docv) seconds (atomically, so \
+             csync top --fleet can watch it grow).")
+  in
+  let max_src_arg =
+    Arg.(
+      value & opt int 4095
+      & info [ "max-src" ] ~docv:"N" ~doc:"Largest accepted node id.")
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:
+         "Run the fleet telemetry collector: accept csync-btrace/1 streams \
+          from any number of live nodes concurrently over UDP, tolerate \
+          per-node loss and reconnects, and keep rewriting the canonical \
+          merged fleet trace.  Render the result with csync report --fleet \
+          or watch it with csync top --fleet.")
+    Term.(
+      ret
+        (const run $ port_arg $ out_arg $ duration_arg $ snap_arg $ max_src_arg))
+
+(* csync fleet *)
+let fleet_cmd =
+  let module Live = Csync_runtime.Live in
+  let module Collector = Csync_runtime.Collector in
+  let module Collect = Csync_obs.Collect in
+  let run nodes f duration out base_port period restart seed =
+    match
+      Csync_core.Params.auto ~n:nodes ~f ~rho:1e-4 ~delta:0.025 ~eps:0.0249
+        ~big_p:0.45 ()
+    with
+    | Error errs ->
+      List.iter
+        (fun e -> Format.eprintf "error: %a@." Csync_core.Params.pp_error e)
+        errs;
+      `Error (false, "invalid fleet configuration")
+    | Ok params -> (
+      let gamma = Csync_core.Params.gamma params in
+      let collector = Collector.create ~max_src:(nodes - 1) () in
+      let cport = Collector.port collector in
+      Format.printf "collector on udp port %d; %d nodes, gamma %.3g s@." cport
+        nodes gamma;
+      let stop = Atomic.make false in
+      let collector_thread =
+        Thread.create
+          (fun () ->
+            let last_snap = ref (Unix.gettimeofday ()) in
+            while not (Atomic.get stop) do
+              Collector.poll collector ~timeout:0.1;
+              let now = Unix.gettimeofday () in
+              if now -. !last_snap >= 1.0 then begin
+                last_snap := now;
+                Collector.write_snapshot collector out
+              end
+            done)
+          ()
+      in
+      let live =
+        Live.run_maintenance ~base_port ~seed ~degrade:true
+          ~telemetry_port:cport ~telemetry_period:period ?restart ~params
+          ~duration ()
+      in
+      (* Straggler datagrams from the final emitter flushes. *)
+      Collector.poll collector ~timeout:0.3;
+      Atomic.set stop true;
+      Thread.join collector_thread;
+      Collector.write_snapshot collector out;
+      let stats = Collect.stats (Collector.collect collector) in
+      List.iter
+        (fun (s : Collect.node_stats) ->
+          Format.printf
+            "p%-4d frames %-6d records %-7d gaps %-4d lost %-4d resets %-3d \
+             errors %-3d@."
+            s.Collect.src s.frames s.records s.gaps s.lost s.resets s.errors)
+        stats;
+      Format.printf "rejected datagrams: %d@."
+        (Collector.rejected collector);
+      Collector.close collector;
+      Format.printf "wrote %s (%d records)@." out
+        (Collect.total_records (Collector.collect collector));
+      match Csync_obs.Report.of_file out with
+      | Error e -> `Error (false, e)
+      | Ok t ->
+        let fl = Csync_obs.Report.fleet t in
+        let within = fl.Csync_obs.Report.fleet_max <= gamma in
+        Format.printf
+          "true final skew %.3g s; measured fleet skew %.3g s / gamma %.3g \
+           s: %s@."
+          live.Live.final_skew fl.Csync_obs.Report.fleet_max gamma
+          (if within then "within gamma" else "EXCEEDS gamma");
+        let reconnected =
+          match restart with
+          | None -> true
+          | Some (pid, _, _) -> (
+            match
+              List.find_opt (fun s -> s.Collect.src = pid) stats
+            with
+            | Some s when s.Collect.resets >= 1 ->
+              Format.printf
+                "restart p%d: stream reconnected (%d reset%s), reappeared in \
+                 the merged trace@."
+                pid s.Collect.resets
+                (if s.Collect.resets = 1 then "" else "s");
+              true
+            | _ ->
+              Format.printf "restart p%d: stream NEVER RECONNECTED@." pid;
+              false)
+        in
+        if fl.Csync_obs.Report.fleet_pairs = [] then
+          `Error (false, "no measured skew pairs (run too short?)")
+        else if not within then
+          `Error (false, "measured fleet skew exceeds gamma")
+        else if not reconnected then
+          `Error (false, "restarted node never reconnected")
+        else `Ok ())
+  in
+  let nodes_arg =
+    Arg.(value & opt int 5 & info [ "nodes" ] ~doc:"Fleet size (n).")
+  in
+  let f_arg = Arg.(value & opt int 1 & info [ "f" ] ~doc:"Fault budget.") in
+  let duration_arg =
+    Arg.(
+      value & opt float 9.
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock run length (rounds are P = 0.45 s of local time).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt string "fleet.btrace"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Merged fleet trace path.")
+  in
+  let base_port_arg =
+    Arg.(
+      value & opt int 17_700
+      & info [ "base-port" ] ~docv:"PORT"
+          ~doc:"First node UDP port (node i binds PORT + i).")
+  in
+  let period_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Telemetry flush period.")
+  in
+  let restart_arg =
+    Arg.(
+      value
+      & opt (some (t3 ~sep:',' int float float)) None
+      & info [ "restart" ] ~docv:"PID,STOP,RESUME"
+          ~doc:
+            "Crash node $(i,PID) at $(i,STOP) seconds after the epoch and \
+             restart it at $(i,RESUME) as a fresh process: it rejoins via \
+             Section 9.1 reintegration and its telemetry resumes on a fresh \
+             stream, exercising the collector's reconnect path.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Clock-injection seed.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Loopback fleet smoke: launch live UDP nodes with per-node \
+          telemetry emitters plus the collector, run for a fixed duration \
+          (optionally crashing and restarting one node), write the merged \
+          fleet trace, and check measured pairwise skew against gamma.  \
+          Exits nonzero if the measurement exceeds the bound or a \
+          restarted node never reconnects.")
+    Term.(
+      ret
+        (const run $ nodes_arg $ f_arg $ duration_arg $ out_arg
+       $ base_port_arg $ period_arg $ restart_arg $ seed_arg))
+
 (* csync report *)
 let report_cmd =
   let load file =
@@ -881,22 +1093,29 @@ let report_cmd =
     | Error e -> Error (Printf.sprintf "%s: %s" file e)
     | Ok t -> Ok t
   in
-  let run label diff files =
-    match (diff, files) with
-    | false, [ file ] -> (
+  let run label diff fleet files =
+    match (diff, fleet, files) with
+    | false, false, [ file ] -> (
       match load file with
       | Error e -> `Error (false, e)
       | Ok t ->
         Csync_obs.Report.render ?focus:label Format.std_formatter t;
         `Ok ())
-    | true, [ a; b ] -> (
+    | false, true, [ file ] -> (
+      match load file with
+      | Error e -> `Error (false, e)
+      | Ok t ->
+        Csync_obs.Report.render_fleet Format.std_formatter t;
+        `Ok ())
+    | true, false, [ a; b ] -> (
       match (load a, load b) with
       | Error e, _ | _, Error e -> `Error (false, e)
       | Ok ta, Ok tb ->
         Csync_obs.Diff.render Format.std_formatter ~name_a:a ~name_b:b ta tb;
         `Ok ())
-    | false, _ -> `Error (true, "report renders exactly one FILE")
-    | true, _ -> `Error (true, "--diff aligns exactly two FILEs")
+    | true, true, _ -> `Error (true, "--diff and --fleet are exclusive")
+    | false, _, _ -> `Error (true, "report renders exactly one FILE")
+    | true, _, _ -> `Error (true, "--diff aligns exactly two FILEs")
   in
   let label_arg =
     Arg.(
@@ -916,6 +1135,16 @@ let report_cmd =
     in
     Arg.(value & flag & info [ "diff" ] ~doc)
   in
+  let fleet_arg =
+    let doc =
+      "Render the FILE as a merged fleet trace (from csync collect): \
+       measured pairwise skew from the exchanged-timestamp samples \
+       against the gamma and per-hop kappa envelopes, with a \
+       measured-vs-predicted table, violation lines, and per-node \
+       stream accounting."
+    in
+    Arg.(value & flag & info [ "fleet" ] ~doc)
+  in
   let files_arg =
     Arg.(
       non_empty & pos_all string []
@@ -931,7 +1160,7 @@ let report_cmd =
           message-delay histograms, pool utilization, chaos ledger, monitor \
           verdicts, exploration statistics) - or, with --diff, the \
           differences between two traces.")
-    Term.(ret (const run $ label_arg $ diff_arg $ files_arg))
+    Term.(ret (const run $ label_arg $ diff_arg $ fleet_arg $ files_arg))
 
 (* csync topo *)
 let topo_cmd =
@@ -1058,8 +1287,8 @@ let topo_cmd =
 
 (* csync top *)
 let top_cmd =
-  let run label interval once file =
-    match Csync_obs.Top.watch ?focus:label ~interval ~once file with
+  let run label interval fleet once file =
+    match Csync_obs.Top.watch ?focus:label ~interval ~fleet ~once file with
     | Ok () -> `Ok ()
     | Error e -> `Error (false, e)
   in
@@ -1075,6 +1304,15 @@ let top_cmd =
       value & opt float 1.0
       & info [ "interval" ] ~docv:"SECONDS"
           ~doc:"Refresh period (clamped to >= 0.1s).")
+  in
+  let fleet_arg =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Per-node fleet panel over a merged fleet trace (the file \
+             csync collect keeps rewriting): round, measured skew, stream \
+             frames/gaps, emitter drops, and last-seen per node.")
   in
   let once_arg =
     Arg.(
@@ -1100,7 +1338,8 @@ let top_cmd =
           fault counters, redrawn in place as the capture grows.  Point \
           it at the --out file of a running csync trace, or replay a \
           finished one.")
-    Term.(ret (const run $ label_arg $ interval_arg $ once_arg $ file_arg))
+    Term.(
+      ret (const run $ label_arg $ interval_arg $ fleet_arg $ once_arg $ file_arg))
 
 let main_cmd =
   let doc =
@@ -1109,6 +1348,7 @@ let main_cmd =
   in
   Cmd.group (Cmd.info "csync" ~version:"1.0.0" ~doc)
     [ list_cmd; run_cmd; params_cmd; simulate_cmd; chaos_cmd; check_cmd;
-      export_cmd; bench_cmd; trace_cmd; report_cmd; top_cmd; topo_cmd ]
+      export_cmd; bench_cmd; trace_cmd; report_cmd; top_cmd; topo_cmd;
+      collect_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -69,8 +69,14 @@ let unzigzag n = (n lsr 1) lxor (-(n land 1))
 
 (* ---------- writer ---------- *)
 
+(* The writer is generalized over a sink so the same encoder serves both
+   file output and the fleet emitter's socket stream.  The sink only
+   ever receives *whole frames* (length prefix + payload as one string),
+   so a flush — or a network packet boundary — can never split a record:
+   chunked output concatenates to exactly the one-shot encoding. *)
 type writer = {
-  oc : out_channel;
+  sink : string -> unit;
+  flush_sink : unit -> unit;
   ids : (string, int) Hashtbl.t;
   mutable next_id : int;
   mutable defs : (int * string) list;  (* defined strings, for prefix refs *)
@@ -115,10 +121,11 @@ let put_f64 buf v =
       (Char.chr (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff))
   done
 
-let writer oc =
-  output_string oc magic;
+let writer_fn ?(flush = fun () -> ()) sink =
+  sink magic;
   {
-    oc;
+    sink;
+    flush_sink = flush;
     ids = Hashtbl.create 64;
     next_id = 0;
     defs = [];
@@ -126,17 +133,19 @@ let writer oc =
     pending = 0;
   }
 
+let writer oc = writer_fn ~flush:(fun () -> flush oc) (output_string oc)
+
 (* Frame out a payload buffer.  Flushing every few records bounds how
    stale a tailing reader ([csync top --follow]) can observe the file. *)
 let emit_frame w buf =
-  let head = Buffer.create 5 in
-  put_uvarint head (Buffer.length buf);
-  Buffer.output_buffer w.oc head;
-  Buffer.output_buffer w.oc buf;
+  let frame = Buffer.create (Buffer.length buf + 5) in
+  put_uvarint frame (Buffer.length buf);
+  Buffer.add_buffer frame buf;
+  w.sink (Buffer.contents frame);
   Buffer.clear buf;
   w.pending <- w.pending + 1;
   if w.pending >= flush_period then begin
-    flush w.oc;
+    w.flush_sink ();
     w.pending <- 0
   end
 
@@ -430,7 +439,7 @@ let write w (r : Record.t) =
     put_float_pair w s.total_s s.max_s;
     emit w
 
-let close_writer w = flush w.oc
+let close_writer w = w.flush_sink ()
 
 (* ---------- reader ---------- *)
 
@@ -438,11 +447,13 @@ exception Malformed of string
 
 let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
 
-type reader = {
-  ic : in_channel;
-  mutable strings : string array;
-  mutable nstrings : int;
-}
+(* The intern table is shared between the channel reader and the
+   byte-feed reader; both decode payloads through the same core. *)
+type strtab = { mutable strings : string array; mutable nstrings : int }
+
+let strtab () = { strings = Array.make 64 ""; nstrings = 0 }
+
+type reader = { ic : in_channel; tab : strtab }
 
 (* A record payload never legitimately approaches this; a larger length
    prefix means a corrupt or non-btrace file, and failing early beats
@@ -452,8 +463,7 @@ let max_record_len = 1 lsl 30
 let reader ic =
   let m = Bytes.create (String.length magic) in
   match really_input ic m 0 (String.length magic) with
-  | () when Bytes.to_string m = magic ->
-    Ok { ic; strings = Array.make 64 ""; nstrings = 0 }
+  | () when Bytes.to_string m = magic -> Ok { ic; tab = strtab () }
   | () -> Error "not a csync-btrace/1 file (bad magic)"
   | exception End_of_file -> Error "not a csync-btrace/1 file (truncated magic)"
 
@@ -550,6 +560,121 @@ let g_float_pair c =
     (a, b)
   | e -> malformed "unknown float-pair encoding %d" e
 
+(* Decode one framed payload against an intern table.  [`Again] means
+   the frame carried bookkeeping (a STRDEF, or an unknown tag to skip)
+   rather than a record.  Raises {!Malformed} on corrupt input. *)
+let decode_payload tab payload len =
+  let c = { b = payload; pos = 0 } in
+  let tag = byte c in
+  if tag = tag_strdef then begin
+    let s =
+      match g_uvarint c with
+      | 0 -> rest c
+      | ref_ ->
+        let base = get_string tab (ref_ - 1) in
+        let shared = g_uvarint c in
+        if shared > String.length base then
+          malformed "strdef prefix %d exceeds referenced string" shared;
+        String.sub base 0 shared ^ rest c
+    in
+    add_string tab s;
+    `Again
+  end
+  else if tag = tag_jsonrec then begin
+    let text = Bytes.sub_string payload 1 (len - 1) in
+    match Json.of_string text with
+    | Error e -> malformed "embedded JSON: %s" e
+    | Ok j -> (
+      match Record.of_json j with
+      | Error e -> malformed "embedded record: %s" e
+      | Ok rec_ -> `Record rec_)
+  end
+  else if tag = tag_counter then
+    let name = g_name tab c in
+    `Record (Record.Counter (name, g_varint c))
+  else if tag = tag_gauge then
+    let name = g_name tab c in
+    `Record (Record.Gauge (name, g_f64 c))
+  else if tag = tag_series then begin
+    let name = g_name tab c in
+    let n = g_uvarint c in
+    if n > max_record_len then malformed "implausible series length %d" n;
+    let xs = g_array c n in
+    let ys = g_array c n in
+    `Record (Record.Series (name, xs, ys))
+  end
+  else if tag = tag_hist then begin
+    let name = g_name tab c in
+    let lo, hi = g_float_pair c in
+    let pd = g_uvarint c in
+    let nbins = g_uvarint c in
+    if nbins > max_record_len then malformed "implausible bin count %d" nbins;
+    let counts =
+      match byte c with
+      | e when e = cnt_dense ->
+        let prev = ref 0 in
+        Array.init nbins (fun _ ->
+            prev := !prev + g_varint c;
+            if !prev < 0 then malformed "negative hist bin count";
+            !prev)
+      | e when e = cnt_sparse ->
+        let counts = Array.make nbins 0 in
+        let nonzero = g_uvarint c in
+        let pos = ref 0 in
+        for _ = 1 to nonzero do
+          let gap = g_uvarint c in
+          let v = g_uvarint c in
+          let i = !pos + gap in
+          if i >= nbins then malformed "sparse hist bin out of range";
+          counts.(i) <- v;
+          pos := i + 1
+        done;
+        counts
+      | e -> malformed "unknown hist count encoding %d" e
+    in
+    let underflow = g_uvarint c in
+    let overflow = g_uvarint c in
+    let invalid = g_uvarint c in
+    let total = g_uvarint c in
+    `Record
+      (Record.Hist
+         ( name,
+           {
+             Record.lo;
+             hi;
+             per_decade = (if pd = 0 then None else Some pd);
+             counts;
+             underflow;
+             overflow;
+             invalid;
+             total;
+           } ))
+  end
+  else if tag = tag_span then begin
+    let name = g_name tab c in
+    let count = g_uvarint c in
+    let total_s, max_s = g_float_pair c in
+    `Record (Record.Span (name, { Record.count; total_s; max_s }))
+  end
+  else if tag = tag_monitor then begin
+    let name = get_string tab (g_uvarint c) in
+    let checks = g_uvarint c in
+    let violations = g_uvarint c in
+    let first =
+      match byte c with
+      | 0 -> None
+      | 1 -> (
+        match Json.of_string (rest c) with
+        | Error e -> malformed "monitor first-violation JSON: %s" e
+        | Ok j -> Some j)
+      | f -> malformed "bad monitor first-violation flag %d" f
+    in
+    `Record (Record.Monitor (name, { Record.checks; violations; first }))
+  end
+  else
+    (* unknown tag: length framing lets us skip it *)
+    `Again
+
 (* Read the next record.  [`Truncated] means the file ends mid-record —
    the channel is rewound to the record boundary, so a tailing caller can
    retry after the writer appends more. *)
@@ -582,121 +707,99 @@ let rec next r =
       match really_input r.ic payload 0 len with
       | exception End_of_file -> truncated ()
       | () -> (
-        let c = { b = payload; pos = 0 } in
-        match
-          let tag = byte c in
-          if tag = tag_strdef then begin
-            let s =
-              match g_uvarint c with
-              | 0 -> rest c
-              | ref_ ->
-                let base = get_string r (ref_ - 1) in
-                let shared = g_uvarint c in
-                if shared > String.length base then
-                  malformed "strdef prefix %d exceeds referenced string" shared;
-                String.sub base 0 shared ^ rest c
-            in
-            add_string r s;
-            `Again
-          end
-          else if tag = tag_jsonrec then begin
-            let text = Bytes.sub_string payload 1 (len - 1) in
-            match Json.of_string text with
-            | Error e -> malformed "embedded JSON: %s" e
-            | Ok j -> (
-              match Record.of_json j with
-              | Error e -> malformed "embedded record: %s" e
-              | Ok rec_ -> `Record rec_)
-          end
-          else if tag = tag_counter then
-            let name = g_name r c in
-            `Record (Record.Counter (name, g_varint c))
-          else if tag = tag_gauge then
-            let name = g_name r c in
-            `Record (Record.Gauge (name, g_f64 c))
-          else if tag = tag_series then begin
-            let name = g_name r c in
-            let n = g_uvarint c in
-            if n > max_record_len then malformed "implausible series length %d" n;
-            let xs = g_array c n in
-            let ys = g_array c n in
-            `Record (Record.Series (name, xs, ys))
-          end
-          else if tag = tag_hist then begin
-            let name = g_name r c in
-            let lo, hi = g_float_pair c in
-            let pd = g_uvarint c in
-            let nbins = g_uvarint c in
-            if nbins > max_record_len then malformed "implausible bin count %d" nbins;
-            let counts =
-              match byte c with
-              | e when e = cnt_dense ->
-                let prev = ref 0 in
-                Array.init nbins (fun _ ->
-                    prev := !prev + g_varint c;
-                    if !prev < 0 then malformed "negative hist bin count";
-                    !prev)
-              | e when e = cnt_sparse ->
-                let counts = Array.make nbins 0 in
-                let nonzero = g_uvarint c in
-                let pos = ref 0 in
-                for _ = 1 to nonzero do
-                  let gap = g_uvarint c in
-                  let v = g_uvarint c in
-                  let i = !pos + gap in
-                  if i >= nbins then malformed "sparse hist bin out of range";
-                  counts.(i) <- v;
-                  pos := i + 1
-                done;
-                counts
-              | e -> malformed "unknown hist count encoding %d" e
-            in
-            let underflow = g_uvarint c in
-            let overflow = g_uvarint c in
-            let invalid = g_uvarint c in
-            let total = g_uvarint c in
-            `Record
-              (Record.Hist
-                 ( name,
-                   {
-                     Record.lo;
-                     hi;
-                     per_decade = (if pd = 0 then None else Some pd);
-                     counts;
-                     underflow;
-                     overflow;
-                     invalid;
-                     total;
-                   } ))
-          end
-          else if tag = tag_span then begin
-            let name = g_name r c in
-            let count = g_uvarint c in
-            let total_s, max_s = g_float_pair c in
-            `Record (Record.Span (name, { Record.count; total_s; max_s }))
-          end
-          else if tag = tag_monitor then begin
-            let name = get_string r (g_uvarint c) in
-            let checks = g_uvarint c in
-            let violations = g_uvarint c in
-            let first =
-              match byte c with
-              | 0 -> None
-              | 1 -> (
-                match Json.of_string (rest c) with
-                | Error e -> malformed "monitor first-violation JSON: %s" e
-                | Ok j -> Some j)
-              | f -> malformed "bad monitor first-violation flag %d" f
-            in
-            `Record (Record.Monitor (name, { Record.checks; violations; first }))
-          end
-          else
-            (* unknown tag: length framing lets us skip it *)
-            `Again
-        with
+        match decode_payload r.tab payload len with
         | `Again -> next r
-        | (`Record _ | `Error _) as res -> res
+        | `Record _ as res -> res
         | exception Malformed msg -> `Error msg))
+
+(* ---------- byte-feed reader ---------- *)
+
+(* An incremental reader over an in-memory byte stream: the collector
+   appends each arriving datagram's payload with [feed_bytes] and drains
+   whole records with [feed_next].  Partial records simply [`Await] more
+   bytes; [feed_reset] discards buffered bytes and the intern table, for
+   a node that reconnected with a fresh stream. *)
+type feed = {
+  mutable fb : Bytes.t;
+  mutable fstart : int;  (* consumed prefix *)
+  mutable flen : int;  (* valid bytes from fstart *)
+  mutable ftab : strtab;
+  mutable expect_magic : bool;
+}
+
+let feed () =
+  {
+    fb = Bytes.create 4096;
+    fstart = 0;
+    flen = 0;
+    ftab = strtab ();
+    expect_magic = true;
+  }
+
+let feed_reset f =
+  f.fstart <- 0;
+  f.flen <- 0;
+  f.ftab <- strtab ();
+  f.expect_magic <- true
+
+let feed_bytes f s =
+  let n = String.length s in
+  if f.fstart + f.flen + n > Bytes.length f.fb then begin
+    let need = f.flen + n in
+    let cap =
+      let rec go c = if c >= need then c else go (2 * c) in
+      go (max (Bytes.length f.fb) 64)
+    in
+    let nb = if cap > Bytes.length f.fb then Bytes.create cap else f.fb in
+    Bytes.blit f.fb f.fstart nb 0 f.flen;
+    f.fb <- nb;
+    f.fstart <- 0
+  end;
+  Bytes.blit_string s 0 f.fb (f.fstart + f.flen) n;
+  f.flen <- f.flen + n
+
+let feed_consume f n =
+  f.fstart <- f.fstart + n;
+  f.flen <- f.flen - n;
+  if f.flen = 0 then f.fstart <- 0
+
+let rec feed_next f =
+  if f.expect_magic then
+    if f.flen < String.length magic then `Await
+    else if Bytes.sub_string f.fb f.fstart (String.length magic) = magic
+    then begin
+      feed_consume f (String.length magic);
+      f.expect_magic <- false;
+      feed_next f
+    end
+    else `Error "stream does not start with csync-btrace/1 magic"
+  else
+    (* Parse the length prefix without consuming until the whole record
+       is available. *)
+    let rec scan_len i shift acc =
+      if i >= f.flen then `Await
+      else if shift > 62 then `Error "varint too long"
+      else
+        let b = Char.code (Bytes.get f.fb (f.fstart + i)) in
+        let acc = acc lor ((b land 0x7f) lsl shift) in
+        if b land 0x80 = 0 then `Len (i + 1, acc)
+        else scan_len (i + 1) (shift + 7) acc
+    in
+    match scan_len 0 0 0 with
+    | `Await -> `Await
+    | `Error _ as e -> e
+    | `Len (head, len) ->
+      if len <= 0 || len > max_record_len then
+        `Error (Printf.sprintf "implausible record length %d" len)
+      else if f.flen < head + len then `Await
+      else begin
+        let payload = Bytes.sub f.fb (f.fstart + head) len in
+        feed_consume f (head + len);
+        match decode_payload f.ftab payload len with
+        | `Again -> feed_next f
+        | `Record _ as res -> res
+        | exception Malformed msg -> `Error msg
+      end
 
 (* ---------- convenience ---------- *)
 

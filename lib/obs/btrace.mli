@@ -17,6 +17,14 @@ type writer
 val writer : out_channel -> writer
 (** Writes the magic immediately.  The channel should be in binary mode. *)
 
+val writer_fn : ?flush:(unit -> unit) -> (string -> unit) -> writer
+(** A writer over an arbitrary sink (the fleet emitter's socket stream).
+    The sink receives the magic immediately and then only *whole frames*
+    — a length prefix and its payload as one string — so any chunking of
+    the sink's output concatenates to exactly the one-shot encoding, and
+    a flush can never split a record.  [flush] (default: no-op) runs at
+    the same periodic flush points as the file writer's channel flush. *)
+
 val write : writer -> Record.t -> unit
 (** Appends one record (interning any new name strings first).  The
     channel is flushed every few records, bounding how stale a tailing
@@ -48,6 +56,31 @@ val fold_file :
   string -> init:'a -> f:('a -> Record.t -> 'a) -> ('a, string) result
 (** Stream every record of a file through [f] in constant memory
     (truncation is an error here, unlike {!next}). *)
+
+(** {2 Incremental byte-feed reading}
+
+    For consumers that receive the stream in arbitrary chunks (the fleet
+    collector's datagrams) rather than from a seekable channel. *)
+
+type feed
+(** Buffered undecoded bytes plus the intern table built so far. *)
+
+val feed : unit -> feed
+(** A fresh feed, expecting the btrace magic at the head of the stream. *)
+
+val feed_bytes : feed -> string -> unit
+(** Append a chunk.  Chunk boundaries are arbitrary — mid-varint,
+    mid-record, mid-magic are all fine. *)
+
+val feed_next : feed -> [ `Record of Record.t | `Await | `Error of string ]
+(** Drain the next whole record.  [`Await] means more bytes are needed;
+    call again after {!feed_bytes}.  After an [`Error] the stream is not
+    self-resynchronizing — {!feed_reset} and skip to a known stream
+    restart point. *)
+
+val feed_reset : feed -> unit
+(** Drop buffered bytes and the intern table, and expect the magic
+    again — for a node stream that restarted from scratch. *)
 
 val sniff_file : string -> bool
 (** Whether the file starts with the btrace magic. *)

@@ -1,0 +1,58 @@
+(** Fleet-trace collection: merge per-node [csync-btrace/1] streams,
+    arriving as framed chunks in arbitrary interleaving, into one
+    canonical fleet trace.
+
+    Transport-free: the socket loop (in [lib/runtime]) decodes telemetry
+    datagrams and feeds each one here via {!frame}.  Each node gets its
+    own {!Btrace.feed} — intern tables can never clash across nodes —
+    and each node stream resynchronizes independently: a sequence gap or
+    decode error discards buffered state, and decoding resumes at the
+    next stream restart (a frame whose payload begins with the btrace
+    magic; emitters restart their stream after any drop or reconnect).
+
+    {!merged} is canonical: node records are tagged with a [p<id>]
+    label, sorted by the content-derived key (emitter timestamp, node
+    id, frame seq, record index), prefixed with a synthesized fleet
+    manifest and suffixed with per-node accounting — so the result is
+    byte-identical regardless of per-node stream arrival order. *)
+
+type t
+
+val create : unit -> t
+
+val frame : t -> src:int -> seq:int -> ts_ns:int -> string -> unit
+(** Feed one telemetry frame: [src] the node id, [seq] the node's frame
+    sequence number, [ts_ns] the emitter's monotonic timestamp, and the
+    payload chunk of that node's btrace byte stream.  Out-of-sequence
+    frames are counted and dropped (the stream resyncs at the node's
+    next restart); frames never raise. *)
+
+type node_stats = {
+  src : int;
+  frames : int;  (** frames accepted and fed to the decoder *)
+  records : int;  (** records decoded *)
+  gaps : int;  (** sequence discontinuities *)
+  lost : int;  (** frames missing, summed over gaps *)
+  skipped : int;  (** frames discarded while awaiting a stream restart *)
+  resets : int;
+      (** emitter restarts: sequence regressions at a segment head (a
+          reconnecting node starts a fresh stream at seq 0) *)
+  errors : int;  (** decode errors *)
+  last_seq : int;  (** seq of the last accepted frame, -1 if none *)
+  last_ts_ns : int;  (** emitter monotonic ns of the last accepted frame *)
+}
+
+val stats : t -> node_stats list
+(** Per-node liveness and gap/drop accounting, sorted by node id. *)
+
+val total_records : t -> int
+
+val merged : t -> Record.t list
+(** The canonical fleet trace: fleet manifest (params copied from the
+    lowest-id node's manifest, including its gamma/kappa envelopes),
+    node records tagged [p<id>] in (timestamp, node id, seq, index)
+    order — node manifests become [p<id>/manifest] events — then
+    per-node [collect.*] accounting counters and last-seen gauges. *)
+
+val write_merged : t -> string -> unit
+(** {!merged} serialized with {!Btrace.write_file}. *)

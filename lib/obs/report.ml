@@ -57,7 +57,7 @@ let check_line line =
 let known_manifest_fields =
   [
     "record"; "schema"; "target"; "seed"; "jobs"; "quick"; "params"; "git_rev";
-    "captured_unix";
+    "captured_unix"; "node"; "nodes";
   ]
 
 let manifest_warnings where j =
@@ -584,6 +584,278 @@ let render_residual ppf t =
     section ppf "Gauges";
     List.iter (fun (name, v) -> Format.fprintf ppf "%-48s %g@." name v) t.gauges
   end
+
+(* ---------- fleet: measured vs predicted skew ----------
+
+   A merged fleet trace (built by {!Collect}) carries, per node [p<i>],
+   the series [p<i>/fleet.offset.p<j>]: at each reception on node i of a
+   timestamp from node j, the sample [own_reading - peer_value].  That
+   one-way offset is (true skew i-j) + (transit delay); pairing the two
+   directions cancels the symmetric part of the delay:
+
+     skew(i,j) ~ (offset_ij - offset_ji) / 2
+
+   leaving only delay *asymmetry* as noise, which the median over the
+   converged tail suppresses further.  The bound to compare against is
+   gamma (and per-hop kappa, for gradient topologies) from the fleet
+   manifest — baked in by the emitter, which knows the run's params. *)
+
+type fleet_pair = {
+  node_a : int;
+  node_b : int;
+  pair_samples : int;  (* total samples across both directions *)
+  offset_ab : float;  (* median tail offset measured at a from b *)
+  offset_ba : float;
+  measured : float;  (* |offset_ab - offset_ba| / 2 *)
+}
+
+type fleet = {
+  fleet_nodes : int list;
+  fleet_gamma : float option;
+  fleet_kappa : float option;
+  fleet_pairs : fleet_pair list;
+  fleet_max : float;  (* max measured over pairs, 0 if none *)
+  fleet_unpaired : (int * int) list;  (* directions lacking a reverse *)
+}
+
+let parse_node_label l =
+  if String.length l >= 2 && l.[0] = 'p' then
+    int_of_string_opt (String.sub l 1 (String.length l - 1))
+  else None
+
+let fleet_offset_peer base =
+  let p = "fleet.offset.p" in
+  if starts_with ~prefix:p base then
+    int_of_string_opt
+      (String.sub base (String.length p) (String.length base - String.length p))
+  else None
+
+let median a =
+  let a = Array.copy a in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n land 1 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+(* Early samples predate convergence (nodes start with injected
+   offsets); the converged tail is what the bound speaks about. *)
+let tail_median samples =
+  let n = Array.length samples in
+  if n >= 8 then median (Array.sub samples (n / 2) (n - (n / 2)))
+  else median samples
+
+let fleet t =
+  let dir : (int * int, float list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _, ys) ->
+      let l, base = split_name name in
+      match (parse_node_label l, fleet_offset_peer base) with
+      | Some i, Some j when i <> j ->
+        (* Series records are already time-ordered in the merged trace;
+           accumulate preserving that order. *)
+        let prev = Option.value (Hashtbl.find_opt dir (i, j)) ~default:[] in
+        Hashtbl.replace dir (i, j)
+          (Array.fold_left (fun acc y -> y :: acc) prev ys)
+      | _ -> ())
+    t.series;
+  let directions =
+    Hashtbl.fold (fun k v acc -> (k, Array.of_list (List.rev v)) :: acc) dir []
+    |> List.sort compare
+  in
+  let lookup i j = List.assoc_opt (i, j) directions in
+  let pairs, unpaired =
+    List.fold_left
+      (fun (pairs, unpaired) ((i, j), fwd) ->
+        if i > j then (pairs, unpaired)  (* handled from the (i<j) side *)
+        else
+          match lookup j i with
+          | None -> (pairs, (i, j) :: unpaired)
+          | Some bwd ->
+            let offset_ab = tail_median fwd in
+            let offset_ba = tail_median bwd in
+            let p =
+              {
+                node_a = i;
+                node_b = j;
+                pair_samples = Array.length fwd + Array.length bwd;
+                offset_ab;
+                offset_ba;
+                measured = Float.abs (offset_ab -. offset_ba) /. 2.;
+              }
+            in
+            (p :: pairs, unpaired))
+      ([], [])
+      directions
+  in
+  let unpaired =
+    List.filter (fun (i, j) -> lookup j i = None) unpaired
+    @ List.filter_map
+        (fun ((i, j), _) ->
+          if i > j && lookup j i = None then Some (i, j) else None)
+        directions
+  in
+  let param k =
+    Option.bind t.manifest (fun m ->
+        Option.bind (Json.member "params" m) (fun p ->
+            Option.bind (Json.member k p) Json.to_float))
+  in
+  let nodes =
+    match
+      Option.bind t.manifest (fun m ->
+          Option.bind (Json.member "nodes" m) Json.int_array)
+    with
+    | Some a -> Array.to_list a
+    | None ->
+      List.filter_map
+        (fun l -> parse_node_label l)
+        (labels t)
+      |> List.sort_uniq compare
+  in
+  {
+    fleet_nodes = nodes;
+    fleet_gamma = param "gamma";
+    fleet_kappa = param "kappa";
+    fleet_pairs = List.rev pairs;
+    fleet_max =
+      List.fold_left (fun acc p -> Float.max acc p.measured) 0. pairs;
+    fleet_unpaired = List.sort_uniq compare unpaired;
+  }
+
+(* Emitters re-dump cumulative counters and gauges with every flush, so
+   the current value is the LAST occurrence in trace order — assoc_opt
+   would return the stalest one. *)
+let assoc_last key l =
+  List.fold_left (fun acc (k, v) -> if k = key then Some v else acc) None l
+
+let fleet_node_row t ~latest_ns i =
+  let p = Printf.sprintf "p%d" i in
+  let c name = assoc_last (p ^ "/" ^ name) t.counters in
+  let g name = assoc_last (p ^ "/" ^ name) t.gauges in
+  let int_cell v = match v with Some v -> string_of_int v | None -> "-" in
+  let round =
+    match g "fleet.round" with Some r -> Printf.sprintf "%.0f" r | None -> "-"
+  in
+  let last_seen =
+    match g "collect.last_seen_ns" with
+    | Some ns when latest_ns > 0. ->
+      Printf.sprintf "-%.3fs" (Float.max 0. ((latest_ns -. ns) /. 1e9))
+    | _ -> "-"
+  in
+  [
+    p;
+    round;
+    int_cell (c "collect.frames");
+    int_cell (c "collect.records");
+    int_cell (c "collect.gaps");
+    int_cell (c "collect.lost");
+    int_cell (c "collect.resets");
+    int_cell (c "emit.drops");
+    last_seen;
+  ]
+
+let render_fleet_nodes ppf t f =
+  if f.fleet_nodes <> [] then begin
+    let latest_ns =
+      List.fold_left
+        (fun acc (name, v) ->
+          let _, base = split_name name in
+          if base = "collect.last_seen_ns" then Float.max acc v else acc)
+        0. t.gauges
+    in
+    let table =
+      Table.make ~title:"Fleet nodes"
+        ~columns:
+          [
+            "node"; "round"; "frames"; "records"; "gaps"; "lost"; "resets";
+            "drops"; "last-seen";
+          ]
+        ()
+    in
+    let table =
+      List.fold_left
+        (fun table i -> Table.add_row table (fleet_node_row t ~latest_ns i))
+        table f.fleet_nodes
+    in
+    Table.render ppf table
+  end
+
+let render_fleet ppf t =
+  (match t.manifest with
+  | Some j -> render_manifest ppf j
+  | None -> Format.fprintf ppf "(no manifest record in trace)@.");
+  let f = fleet t in
+  section ppf "Fleet skew: measured vs predicted";
+  if f.fleet_pairs = [] then
+    Format.fprintf ppf "(no paired exchanged-timestamp samples in trace)@."
+  else begin
+    let bound_cell =
+      match f.fleet_gamma with Some g -> Table.cell_e g | None -> "-"
+    in
+    let table =
+      Table.make ~title:"Measured pairwise skew (delay-cancelling pairing)"
+        ~columns:
+          [
+            "pair"; "samples"; "offset a->b"; "offset b->a"; "measured";
+            "bound gamma"; "verdict";
+          ]
+        ()
+    in
+    let table =
+      List.fold_left
+        (fun table p ->
+          let verdict =
+            match f.fleet_gamma with
+            | Some g -> if p.measured <= g then "ok" else "VIOLATION"
+            | None -> "-"
+          in
+          Table.add_row table
+            [
+              Printf.sprintf "p%d-p%d" p.node_a p.node_b;
+              string_of_int p.pair_samples;
+              Table.cell_e p.offset_ab;
+              Table.cell_e p.offset_ba;
+              Table.cell_e p.measured;
+              bound_cell;
+              verdict;
+            ])
+        table f.fleet_pairs
+    in
+    Table.render ppf table;
+    (match f.fleet_gamma with
+    | Some g ->
+      Format.fprintf ppf "@.fleet max measured skew %.3g vs gamma %.3g  %s@."
+        f.fleet_max g
+        (if f.fleet_max <= g then "[within gamma]" else "[EXCEEDS gamma]");
+      List.iter
+        (fun p ->
+          if p.measured > g then
+            Format.fprintf ppf
+              "VIOLATION: pair p%d-p%d measured %.3g > gamma %.3g@." p.node_a
+              p.node_b p.measured g)
+        f.fleet_pairs
+    | None ->
+      Format.fprintf ppf
+        "@.(no gamma in fleet manifest; measured max %.3g unchecked)@."
+        f.fleet_max);
+    match f.fleet_kappa with
+    | Some k ->
+      Format.fprintf ppf
+        "per-hop gradient allowance kappa = %.3g (single-hop pairs are \
+         governed by gamma)@."
+        k
+    | None -> ()
+  end;
+  List.iter
+    (fun (i, j) ->
+      Format.fprintf ppf
+        "(one-way samples p%d<-p%d lack the reverse direction; skew not \
+         computed)@."
+        i j)
+    f.fleet_unpaired;
+  render_fleet_nodes ppf t f;
+  render_monitors ppf t;
+  render_warnings ppf t
 
 let default_focus t =
   match

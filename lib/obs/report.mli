@@ -81,3 +81,42 @@ val render : ?focus:string -> Format.formatter -> t -> unit
     exploration stats, and residual counters/gauges.  [focus] picks the
     cell label for the per-cell sections (default: the first cell with a
     skew series). *)
+
+(** {2 Fleet validation} ([csync report --fleet])
+
+    Analyzes a merged fleet trace (built by {!Collect}): each node
+    [p<i>] ships series [p<i>/fleet.offset.p<j>] of one-way offset
+    samples [own_reading - peer_value].  Pairing the two directions of a
+    link cancels the symmetric part of the transit delay, so
+
+      measured skew(i,j) = |median_tail(off_ij) - median_tail(off_ji)| / 2
+
+    estimates the true clock skew with only delay asymmetry as noise.
+    The γ (and per-hop κ) envelopes come from the fleet manifest, where
+    the emitter baked them in. *)
+
+type fleet_pair = {
+  node_a : int;
+  node_b : int;
+  pair_samples : int;  (** total samples across both directions *)
+  offset_ab : float;  (** median tail offset measured at [a] from [b] *)
+  offset_ba : float;
+  measured : float;  (** [|offset_ab - offset_ba| / 2] *)
+}
+
+type fleet = {
+  fleet_nodes : int list;
+  fleet_gamma : float option;  (** γ from the fleet manifest params *)
+  fleet_kappa : float option;  (** per-hop κ, when the emitter knew one *)
+  fleet_pairs : fleet_pair list;
+  fleet_max : float;  (** max [measured] over pairs, 0 if none *)
+  fleet_unpaired : (int * int) list;
+      (** [(i, j)]: node [i] has samples from [j] but not vice versa *)
+}
+
+val fleet : t -> fleet
+
+val render_fleet : Format.formatter -> t -> unit
+(** The measured-vs-predicted table with per-pair verdicts and explicit
+    [VIOLATION] lines, the per-node liveness/accounting table, monitor
+    verdicts, and reader warnings. *)

@@ -176,6 +176,89 @@ let frame ?focus ?(width = 32) t ~path =
   end;
   Buffer.contents b
 
+(* ---------- fleet panel ---------- *)
+
+(* One row per live node of a merged fleet trace (csync top --fleet):
+   round, worst measured pair skew involving the node, stream
+   accounting, and how far behind the freshest node its stream is. *)
+let fleet_frame ?width:_ t ~path =
+  let f = Report.fleet t in
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pr "csync top — fleet   %d node%s   %s\n"
+    (List.length f.Report.fleet_nodes)
+    (if List.length f.Report.fleet_nodes = 1 then "" else "s")
+    path;
+  (match f.Report.fleet_gamma with
+  | Some g ->
+    pr "max measured skew %.3g / gamma %.3g  %s\n" f.Report.fleet_max g
+      (if f.Report.fleet_max <= g then "[ok]" else "[EXCEEDS]")
+  | None ->
+    if f.Report.fleet_pairs <> [] then
+      pr "max measured skew %.3g (no gamma in manifest)\n" f.Report.fleet_max);
+  Buffer.add_char b '\n';
+  let counters = Report.counters t in
+  let gauges = Report.gauges t in
+  let latest_ns =
+    List.fold_left
+      (fun acc (name, v) ->
+        let _, base = split_name name in
+        if base = "collect.last_seen_ns" then Float.max acc v else acc)
+      0. gauges
+  in
+  let node_skew i =
+    (* Float.max propagates nan, so seed the fold explicitly. *)
+    List.fold_left
+      (fun acc (p : Report.fleet_pair) ->
+        if p.Report.node_a = i || p.Report.node_b = i then
+          if Float.is_nan acc then p.Report.measured
+          else Float.max acc p.Report.measured
+        else acc)
+      nan f.Report.fleet_pairs
+  in
+  pr "%-6s %-7s %-12s %-8s %-8s %-6s %-6s %-7s %s\n" "node" "round" "skew"
+    "frames" "records" "gaps" "drops" "resets" "last-seen";
+  List.iter
+    (fun i ->
+      let p = Printf.sprintf "p%d" i in
+      (* Per-flush re-dumps mean the current value is the last
+         occurrence in trace order, not the first. *)
+      let last key l =
+        List.fold_left (fun acc (k, v) -> if k = key then Some v else acc) None l
+      in
+      let c name = last (p ^ "/" ^ name) counters in
+      let g name = last (p ^ "/" ^ name) gauges in
+      let skew = node_skew i in
+      pr "%-6s %-7s %-12s %-8s %-8s %-6s %-6s %-7s %s\n" p
+        (match g "fleet.round" with
+        | Some r -> Printf.sprintf "%.0f" r
+        | None -> "-")
+        (if Float.is_nan skew then "-" else Printf.sprintf "%.3g" skew)
+        (match c "collect.frames" with Some v -> string_of_int v | None -> "-")
+        (match c "collect.records" with Some v -> string_of_int v | None -> "-")
+        (match c "collect.gaps" with Some v -> string_of_int v | None -> "-")
+        (match c "emit.drops" with Some v -> string_of_int v | None -> "-")
+        (match c "collect.resets" with Some v -> string_of_int v | None -> "-")
+        (match g "collect.last_seen_ns" with
+        | Some ns when latest_ns > 0. ->
+          Printf.sprintf "-%.3fs" (Float.max 0. ((latest_ns -. ns) /. 1e9))
+        | _ -> "-"))
+    f.Report.fleet_nodes;
+  (* monitor lights, shared with the single-process panel *)
+  let mons = Report.monitors t in
+  if mons <> [] then begin
+    Buffer.add_char b '\n';
+    pr "monitors  ";
+    List.iteri
+      (fun i (name, (m : Record.monitor_rec)) ->
+        if i > 0 then pr "   ";
+        if m.violations = 0 then pr "[ok]   %s (%d checks)" name m.checks
+        else pr "[FAIL] %s (%d/%d violations)" name m.violations m.checks)
+      mons;
+    pr "\n"
+  end;
+  Buffer.contents b
+
 (* ---------- the watch loop ---------- *)
 
 let clear_screen = "\027[2J\027[H"
@@ -188,25 +271,26 @@ let load path =
   | Error e -> Error e
   | exception Sys_error e -> Error e
 
-let watch ?focus ?(interval = 1.0) ~once path =
+let watch ?focus ?(interval = 1.0) ?(fleet = false) ~once path =
   let interval = Float.max 0.1 interval in
+  let render t = if fleet then fleet_frame t ~path else frame ?focus t ~path in
   let last = ref None in
   let draw () =
     match load path with
     | Ok t ->
       last := Some t;
-      Some (frame ?focus t ~path)
+      Some (render t)
     | Error e -> (
       match !last with
       | Some t ->
-        Some (frame ?focus t ~path ^ Printf.sprintf "(capture in progress: %s)\n" e)
+        Some (render t ^ Printf.sprintf "(capture in progress: %s)\n" e)
       | None -> Some (Printf.sprintf "%s\nwaiting for trace data: %s\n" path e))
   in
   if once then (
     match load path with
     | Error e -> Error e
     | Ok t ->
-      print_string (frame ?focus t ~path);
+      print_string (render t);
       Ok ())
   else begin
     let rec loop () =

@@ -33,3 +33,28 @@ val decode : max_src:int -> Bytes.t -> len:int -> (int * float, error) result
     verified before the pid range so a corrupted pid field reports
     [Bad_checksum], and [Bad_src] means a well-formed frame from an
     out-of-range sender. *)
+
+(** {2 Telemetry frames}
+
+    The fleet emitter ships chunks of a node's btrace byte stream to the
+    collector with the same defensive posture: distinct magic ["CSYT"],
+    big-endian header [(src, seq, ts_ns)], and a splitmix64-chained
+    checksum over header and payload.  [seq] numbers a node's frames
+    consecutively (loss accounting); [ts_ns] is the emitter's
+    monotonic-clock stamp used as the merge key. *)
+
+val tel_header_size : int
+(** 28 bytes; the payload is the rest of the datagram. *)
+
+val max_tel_payload : int
+(** Per-frame payload cap, well under the UDP datagram ceiling. *)
+
+val encode_tel : src:int -> seq:int -> ts_ns:int -> string -> Bytes.t
+(** @raise Invalid_argument on a negative field or oversized payload. *)
+
+val decode_tel :
+  max_src:int ->
+  Bytes.t ->
+  len:int ->
+  (int * int * int * string, error) result
+(** [(src, seq, ts_ns, payload)].  Same error ordering as {!decode}. *)

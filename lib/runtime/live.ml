@@ -1,9 +1,12 @@
 module Params = Csync_core.Params
 module Maintenance = Csync_core.Maintenance
 module Stabilize = Csync_core.Stabilize
+module Reintegration = Csync_core.Reintegration
+module Gradient = Csync_topo.Gradient
 module Rng = Csync_sim.Rng
 module Plan = Csync_chaos.Plan
 module Injector = Csync_chaos.Injector
+module Json = Csync_obs.Json
 
 type node_report = {
   pid : int;
@@ -27,7 +30,8 @@ type report = {
 }
 
 let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
-    ?active ~(params : Params.t) ~duration ?(stagger = 0.) () =
+    ?active ?telemetry_port ?(telemetry_period = 0.25) ?restart
+    ~(params : Params.t) ~duration ?(stagger = 0.) () =
   let n = params.Params.n in
   let active = match active with None -> List.init n Fun.id | Some a -> a in
   List.iter
@@ -35,6 +39,13 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
       if pid < 0 || pid >= n then
         invalid_arg "Live.run_maintenance: active pid out of range")
     active;
+  (match restart with
+   | None -> ()
+   | Some (pid, stop_at, resume_at) ->
+     if not (List.mem pid active) then
+       invalid_arg "Live.run_maintenance: restart pid not active";
+     if not (0. < stop_at && stop_at < resume_at && resume_at < duration) then
+       invalid_arg "Live.run_maintenance: restart window out of order");
   (match plan with None -> () | Some p -> Plan.validate ~n p);
   let rng = Rng.create seed in
   let epoch = Unix.gettimeofday () +. 0.05 in
@@ -52,6 +63,110 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
   let peers = List.init n (fun pid -> (pid, base_port + pid)) in
   let cfg = Maintenance.config ~stagger ~degrade params in
   let stats = Injector.stats () in
+  (* The emitter bakes the theoretical envelopes into every node
+     manifest so the collector side needs no dependency on the
+     algorithm layer: gamma is the paper's Theorem 16 bound, kappa the
+     per-hop gradient allowance at gain 1 (full midpoint jump). *)
+  let manifest pid =
+    Json.Obj
+      [
+        ("record", Json.Str "manifest");
+        ("schema", Json.Str "csync-trace/1");
+        ("target", Json.Str "live-fleet");
+        ("node", Json.num_of_int pid);
+        ( "params",
+          Json.Obj
+            [
+              ("n", Json.num_of_int n);
+              ("f", Json.num_of_int params.Params.f);
+              ("rho", Json.Num params.Params.rho);
+              ("delta", Json.Num params.Params.delta);
+              ("eps", Json.Num params.Params.eps);
+              ("beta", Json.Num params.Params.beta);
+              ("big_p", Json.Num params.Params.big_p);
+              ("gamma", Json.Num (Params.gamma params));
+              ( "kappa",
+                Json.Num
+                  (Gradient.kappa ~rho:params.Params.rho ~eps:params.Params.eps
+                     ~period:params.Params.big_p ~gain:1.) );
+            ] );
+      ]
+  in
+  (* Latest instance per pid - the restart pid replaces its slot when it
+     comes back.  Each thread writes only its own index; reads happen
+     from the emitter's own thread and after the joins. *)
+  let slots : (Node.t * (unit -> float * int * int * int)) option array =
+    Array.make n None
+  in
+  (* Wire a node instance to its own telemetry emitter: the node's
+     receive tap feeds exchanged-timestamp samples, and just before each
+     flush the emitter polls automaton and socket state into gauges. *)
+  let install pid mk =
+    let em =
+      match telemetry_port with
+      | None -> None
+      | Some port ->
+        let on_flush reg =
+          match slots.(pid) with
+          | None -> ()
+          | Some (node, info) ->
+            let g name v = Csync_obs.Registry.(Gauge.set (gauge reg name) v) in
+            let corr, rounds, _, _ = info () in
+            g "fleet.round" (float_of_int rounds);
+            g "fleet.corr" corr;
+            g "fleet.sent" (float_of_int (Node.messages_sent node));
+            g "fleet.received" (float_of_int (Node.messages_received node));
+            g "fleet.malformed" (float_of_int (Node.malformed node))
+        in
+        Some
+          (Emitter.create ~src:pid ~peers:n ~port ~period:telemetry_period
+             ~on_flush ~manifest:(manifest pid) ())
+    in
+    let tap =
+      Option.map
+        (fun em ~peer ~value ~own -> Emitter.sample em ~peer ~own ~value)
+        em
+    in
+    let node, info = mk ~tap in
+    slots.(pid) <- Some (node, info);
+    (node, em)
+  in
+  let stabilize_node pid clock recv_filter scfg ~tap =
+    let node, reader =
+      Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
+        ~automaton:(Stabilize.automaton ~self_hint:pid scfg) ?recv_filter ?tap
+        ()
+    in
+    ( node,
+      fun () ->
+        let s = reader () in
+        ( Stabilize.corr s,
+          Stabilize.rounds_completed s,
+          Stabilize.corruptions s,
+          Stabilize.breaches s ) )
+  in
+  (* A restarted process has lost its automaton state (CORR included)
+     but kept its hardware clock; it rejoins through the paper's
+     Section 9.1 reintegration - observe f+1 distinct broadcasters,
+     collect one full round, join - then continues as plain
+     maintenance. *)
+  let rejoin_node pid clock recv_filter ~tap =
+    let rcfg = Reintegration.config cfg in
+    let node, reader =
+      Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
+        ~automaton:(Reintegration.automaton ~self_hint:pid rcfg) ?recv_filter
+        ?tap ()
+    in
+    ( node,
+      fun () ->
+        let s = reader () in
+        let rounds =
+          match Reintegration.maintenance_state s with
+          | Some m -> Maintenance.rounds_completed m
+          | None -> 0
+        in
+        (Reintegration.corr s, rounds, 0, 0) )
+  in
   let nodes =
     List.map
       (fun pid ->
@@ -100,23 +215,37 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
           (fun (_, at, severity) ->
             Injector.note_state_corrupt ~stats ~pid ~at ~severity)
           corruption_events;
-        let node, reader =
-          Node.create ~self:pid ~port:(base_port + pid) ~peers ~clock
-            ~automaton:(Stabilize.automaton ~self_hint:pid scfg)
-            ?recv_filter ()
+        let node, em =
+          install pid (stabilize_node pid clock recv_filter scfg)
         in
-        (pid, node, reader, clock))
+        (pid, node, em, clock, recv_filter))
       active
   in
   let until = epoch +. duration in
   let threads =
     List.map
-      (fun (_, node, _, clock) ->
+      (fun (pid, node, em, clock, recv_filter) ->
         Thread.create
           (fun () ->
             (* START when the node's own clock reads T0, per A4. *)
             let start_at = Wall_clock.wall_of clock params.Params.t0 in
-            Node.run node ~start_at ~until)
+            match restart with
+            | Some (rpid, stop_at, resume_at) when rpid = pid ->
+              (* Crash at the stop instant: the run returns, the socket
+                 closes, all automaton state is gone. *)
+              Node.run node ~start_at
+                ~until:(Float.min until (epoch +. stop_at));
+              Option.iter Emitter.close em;
+              let nap = epoch +. resume_at -. Unix.gettimeofday () in
+              if nap > 0. then Thread.delay nap;
+              (* Restart with a fresh emitter stream - from the
+                 collector's side this is the reconnect path. *)
+              let node2, em2 = install pid (rejoin_node pid clock recv_filter) in
+              Node.run node2 ~start_at:(Unix.gettimeofday ()) ~until;
+              Option.iter Emitter.close em2
+            | _ ->
+              Node.run node ~start_at ~until;
+              Option.iter Emitter.close em)
           ())
       nodes
   in
@@ -125,8 +254,14 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
   let obs = Csync_obs.Registry.installed () in
   let reports =
     List.map
-      (fun (pid, node, reader, _clock) ->
-        let state = reader () in
+      (fun (pid, _, _, _clock, _) ->
+        (* The latest instance: for the restarted pid this is the
+           reintegrated one, whose CORR is the value that matters for
+           the final skew. *)
+        let node, info =
+          match slots.(pid) with Some x -> x | None -> assert false
+        in
+        let corr, rounds, corruptions, breaches = info () in
         if Csync_obs.Registry.enabled obs then begin
           let gauge name v =
             Csync_obs.Registry.(
@@ -135,11 +270,11 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
           let received = Node.messages_received node in
           gauge "recv_rate"
             (if duration > 0. then float_of_int received /. duration else 0.);
-          gauge "rounds" (float_of_int (Stabilize.rounds_completed state));
+          gauge "rounds" (float_of_int rounds);
           (* Per-peer liveness: seconds since the last datagram from each
              peer, measured at the end of the run. *)
           List.iter
-            (fun (peer, _, _, _) ->
+            (fun (peer, _, _, _, _) ->
               if peer <> pid then
                 match Node.last_heard node ~peer with
                 | Some at ->
@@ -153,10 +288,10 @@ let run_maintenance ?(base_port = 17_400) ?(seed = 1) ?plan ?(degrade = false)
           pid;
           injected_offset = offsets.(pid);
           injected_rate = rates.(pid);
-          final_corr = Stabilize.corr state;
-          rounds = Stabilize.rounds_completed state;
-          corruptions = Stabilize.corruptions state;
-          breaches = Stabilize.breaches state;
+          final_corr = corr;
+          rounds;
+          corruptions;
+          breaches;
           sent = Node.messages_sent node;
           received = Node.messages_received node;
           malformed = Node.malformed node;

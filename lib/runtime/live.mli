@@ -39,6 +39,9 @@ val run_maintenance :
   ?plan:Csync_chaos.Plan.t ->
   ?degrade:bool ->
   ?active:int list ->
+  ?telemetry_port:int ->
+  ?telemetry_period:float ->
+  ?restart:int * float * float ->
   params:Csync_core.Params.t ->
   duration:float ->
   ?stagger:float ->
@@ -60,5 +63,20 @@ val run_maintenance :
     [degrade] this demonstrates graceful operation of a partial
     deployment, the missing peers showing up only as send errors.
 
-    @raise Invalid_argument on an out-of-range active pid or an invalid
-    plan. *)
+    [telemetry_port] gives every node its own {!Emitter}: an enabled
+    registry plus exchanged-timestamp samples from the node's receive
+    tap, streamed as btrace segments every [telemetry_period] (default
+    0.25 s) seconds to the collector on that localhost UDP port.
+
+    [restart = (pid, stop_at, resume_at)] (seconds after the shared
+    epoch, with [0 < stop_at < resume_at < duration]) crashes [pid] at
+    [stop_at] - thread returns, socket closes, automaton state lost -
+    and restarts it at [resume_at] as a fresh process that rejoins
+    through Section 9.1 reintegration (observe, collect, join) before
+    continuing as plain maintenance; its telemetry resumes on a fresh
+    stream, exercising the collector's reconnect path.  The reported
+    [final_corr]/[rounds] and message counters for that pid cover the
+    restarted instance.  Requires the default [stagger = 0].
+
+    @raise Invalid_argument on an out-of-range active pid, an invalid
+    plan, or a restart window out of order. *)

@@ -2,6 +2,8 @@ module Automaton = Csync_process.Automaton
 
 type filter = now:float -> peer:int -> [ `Deliver | `Drop | `Duplicate ]
 
+type tap = peer:int -> value:float -> own:float -> unit
+
 type t = {
   self : int;
   socket : Unix.file_descr;
@@ -11,6 +13,7 @@ type t = {
   corr : unit -> float;
   send_filter : filter option;
   recv_filter : filter option;
+  tap : tap option;
   mutable timers : (float * float) list; (* (wall deadline, tag), sorted *)
   mutable sent : int;
   mutable received : int;
@@ -24,7 +27,7 @@ type t = {
 let localhost = Unix.inet_addr_loopback
 
 let create (type s) ~self ~port ~peers ~clock
-    ~(automaton : (s, float) Automaton.t) ?send_filter ?recv_filter () =
+    ~(automaton : (s, float) Automaton.t) ?send_filter ?recv_filter ?tap () =
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
   Unix.setsockopt socket Unix.SO_REUSEADDR true;
   Unix.bind socket (Unix.ADDR_INET (localhost, port));
@@ -49,6 +52,7 @@ let create (type s) ~self ~port ~peers ~clock
       corr;
       send_filter;
       recv_filter;
+      tap;
       timers = [];
       sent = 0;
       received = 0;
@@ -158,10 +162,15 @@ let receive_one t =
       in
       match verdict with
       | `Drop -> ()
-      | `Deliver -> deliver_once ()
-      | `Duplicate ->
+      | (`Deliver | `Duplicate) as v ->
+        (* One tap call per datagram accepted by the filter - the
+           telemetry sample is the exchanged-timestamp observation, not
+           the delivery count. *)
+        (match t.tap with
+         | None -> ()
+         | Some f -> f ~peer:src ~value ~own:(Wall_clock.now t.clock));
         deliver_once ();
-        deliver_once ())
+        if v = `Duplicate then deliver_once ())
 
 let run t ~start_at ~until =
   let started = ref false in

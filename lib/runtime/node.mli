@@ -24,6 +24,14 @@ type filter = now:float -> peer:int -> [ `Deliver | `Drop | `Duplicate ]
     and on receive with the (validated) source pid.  Used by the chaos
     layer to impose loss, partitions, and duplication on live runs. *)
 
+type tap = peer:int -> value:float -> own:float -> unit
+(** Passive observation hook, called once per datagram the receive
+    filter lets through (even when the filter duplicates delivery):
+    [value] is the peer's transmitted clock reading, [own] this node's
+    local clock at reception.  The pair is exactly the exchanged-
+    timestamp sample the fleet telemetry emitter streams; the tap must
+    not block. *)
+
 val create :
   self:int ->
   port:int ->
@@ -32,6 +40,7 @@ val create :
   automaton:('s, float) Csync_process.Automaton.t ->
   ?send_filter:filter ->
   ?recv_filter:filter ->
+  ?tap:tap ->
   unit ->
   t * (unit -> 's)
 (** [peers] maps every pid (including self) to its UDP port on

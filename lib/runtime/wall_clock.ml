@@ -1,3 +1,5 @@
+external mono_ns : unit -> int = "csync_mono_ns" [@@noalloc]
+
 type t = { epoch : float; offset : float; rate : float }
 
 let create ?epoch ~offset ~rate () =

@@ -25,3 +25,10 @@ val wall_of : t -> float -> float
 val rate : t -> float
 
 val offset : t -> float
+
+val mono_ns : unit -> int
+(** The host's monotonic clock ([CLOCK_MONOTONIC]) in integer
+    nanoseconds since an unspecified epoch.  Unlike the wall clock it
+    never steps, so telemetry timestamps taken from it stay ordered
+    even if NTP adjusts the host mid-run.  All fleet-telemetry emitter
+    timestamps use this reading. *)

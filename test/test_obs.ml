@@ -1099,7 +1099,223 @@ let top_tests =
             check_true "ok" (Top.watch ~once:true path = Ok ())));
   ]
 
+(* ---------- streaming feed + fleet collection ---------- *)
+
+module Collect = Csync_obs.Collect
+
+(* Encode records the way the fleet emitter does: the sink-based writer
+   producing one self-contained btrace segment (magic + whole frames). *)
+let segment records =
+  let b = Buffer.create 256 in
+  let w = Btrace.writer_fn (Buffer.add_string b) in
+  List.iter (Btrace.write w) records;
+  Btrace.close_writer w;
+  Buffer.contents b
+
+(* Cut [s] into chunks of the given sizes (clamped to >= 1); leftover
+   bytes become one final chunk. *)
+let rec chunks_of sizes s =
+  if String.length s = 0 then []
+  else
+    match sizes with
+    | [] -> [ s ]
+    | k :: rest ->
+      let k = max 1 (min k (String.length s)) in
+      String.sub s 0 k :: chunks_of rest (String.sub s k (String.length s - k))
+
+let drain_feed fd =
+  let rec go acc =
+    match Btrace.feed_next fd with
+    | `Record r -> go (r :: acc)
+    | `Await -> List.rev acc
+    | `Error e -> Alcotest.failf "unexpected feed error: %s" e
+  in
+  go []
+
+let collect_tests =
+  [
+    (* The tentpole streaming property: the sink writer emits only whole
+       frames, so flushing (chunking) at ANY byte boundary concatenates
+       to exactly the one-shot encoding, and the byte-feed reader
+       decodes it identically however the chunks are cut. *)
+    qcheck ~count:100
+      ~name:"chunked encode at arbitrary flush points decodes one-shot"
+      QCheck2.Gen.(
+        pair
+          (list_size (0 -- 12) record_gen)
+          (list_size (0 -- 60) (int_range 1 9)))
+      (fun (records, sizes) ->
+        let seg = segment records in
+        with_tmp ".btrace" (fun path ->
+            Btrace.write_file path records;
+            read_all path = seg)
+        &&
+        let fd = Btrace.feed () in
+        let got =
+          List.concat_map
+            (fun chunk ->
+              Btrace.feed_bytes fd chunk;
+              drain_feed fd)
+            (chunks_of sizes seg)
+        in
+        got = records);
+    t "feed_reset discards a half-written record and the intern table"
+      (fun () ->
+        let recs = [ Record.Counter ("run.a", 1); Record.Gauge ("run.b", 2.) ] in
+        let seg = segment recs in
+        let fd = Btrace.feed () in
+        (* Everything but the trailing bytes: run.b's frame is cut. *)
+        Btrace.feed_bytes fd (String.sub seg 0 (String.length seg - 3));
+        let got = drain_feed fd in
+        check_true "only whole records decoded"
+          (got = [ Record.Counter ("run.a", 1) ]);
+        (* After a reset the feed expects a fresh stream: a new segment
+           re-interning the same names decodes cleanly. *)
+        Btrace.feed_reset fd;
+        Btrace.feed_bytes fd (segment [ Record.Gauge ("run.b", 7.5) ]);
+        check_true "fresh stream decodes after reset"
+          (drain_feed fd = [ Record.Gauge ("run.b", 7.5) ]));
+    t "collector survives a stream dying mid-record" (fun () ->
+        let a = Record.Counter ("run.a", 1)
+        and b = Record.Gauge ("run.b", 2.5)
+        and c = Record.Counter ("run.c", 3) in
+        let seg = segment [ a; b; c ] in
+        (* The stream dies a couple of bytes into [c]'s frames; the
+           emitter restarts from scratch (fresh seq, fresh interns). *)
+        let head = String.sub seg 0 (String.length (segment [ a; b ]) + 2) in
+        let t' = Collect.create () in
+        Collect.frame t' ~src:0 ~seq:0 ~ts_ns:100 head;
+        Collect.frame t' ~src:0 ~seq:0 ~ts_ns:200
+          (segment [ Record.Counter ("run.d", 9) ]);
+        let s = List.hd (Collect.stats t') in
+        check_int "resets" 1 s.Collect.resets;
+        check_int "gaps" 0 s.Collect.gaps;
+        check_int "errors" 0 s.Collect.errors;
+        check_int "whole records survive, the torn one is dropped" 3
+          s.Collect.records;
+        check_true "reconnected stream decodes on a fresh intern table"
+          (List.mem (Record.Counter ("p0/run.d", 9)) (Collect.merged t')));
+    t "a lost frame desyncs a stream only until the next segment head"
+      (fun () ->
+        let seg1 =
+          segment [ Record.Counter ("run.a", 1); Record.Gauge ("run.b", 2.) ]
+        in
+        let k = String.length Btrace.magic + 2 in
+        let f0 = String.sub seg1 0 k in
+        let f1 = String.sub seg1 k (String.length seg1 - k) in
+        let t' = Collect.create () in
+        Collect.frame t' ~src:3 ~seq:0 ~ts_ns:10 f0;
+        (* f1 (seq 1) is lost in transit; a straggler with a later seq
+           must be skipped, not decoded against the torn buffer... *)
+        Collect.frame t' ~src:3 ~seq:3 ~ts_ns:15 f1;
+        (* ...and the next flush's segment head resynchronizes. *)
+        Collect.frame t' ~src:3 ~seq:4 ~ts_ns:20
+          (segment [ Record.Counter ("run.c", 7) ]);
+        let s = List.hd (Collect.stats t') in
+        check_true "gap counted" (s.Collect.gaps >= 1);
+        check_true "lost frames counted" (s.Collect.lost >= 1);
+        check_int "straggler skipped" 1 s.Collect.skipped;
+        check_int "resync decoded the new segment" 1 s.Collect.records;
+        check_int "no resets from loss alone" 0 s.Collect.resets);
+    t "merged fleet trace is canonical across stream arrival orders"
+      (fun () ->
+        (* Two nodes emit the SAME metric names with different values:
+           per-node feeds keep the clashing intern tables apart, and the
+           (ts, src, seq, idx) merge key makes the output byte-identical
+           for any interleaving that preserves per-node frame order. *)
+        let node_frames src v =
+          [
+            (src, 0, 100 + src, segment [ Record.Counter ("run.a", v) ]);
+            ( src,
+              1,
+              300 + src,
+              segment
+                [
+                  Record.Gauge ("net.delay", float_of_int v /. 8.);
+                  Record.Counter ("run.a", v + 1);
+                ] );
+          ]
+        in
+        let f0 = node_frames 0 1 and f1 = node_frames 1 40 in
+        let feed_all frames =
+          let t' = Collect.create () in
+          List.iter
+            (fun (src, seq, ts_ns, p) -> Collect.frame t' ~src ~seq ~ts_ns p)
+            frames;
+          t'
+        in
+        (* node0 first vs perfectly interleaved vs node1 first *)
+        let orders =
+          [
+            f0 @ f1;
+            f1 @ f0;
+            (match (f0, f1) with
+            | [ a0; a1 ], [ b0; b1 ] -> [ b0; a0; a1; b1 ]
+            | _ -> assert false);
+          ]
+        in
+        let bytes_of frames =
+          let t' = feed_all frames in
+          with_tmp ".btrace" (fun path ->
+              Collect.write_merged t' path;
+              read_all path)
+        in
+        (match List.map bytes_of orders with
+        | first :: rest ->
+          List.iteri
+            (fun i b ->
+              check_true
+                (Printf.sprintf "order %d byte-identical" (i + 1))
+                (b = first))
+            rest
+        | [] -> assert false);
+        let m = Collect.merged (feed_all (f0 @ f1)) in
+        check_true "p0 keeps its own values"
+          (List.mem (Record.Counter ("p0/run.a", 1)) m);
+        check_true "p1 keeps its own values"
+          (List.mem (Record.Counter ("p1/run.a", 40)) m);
+        check_true "accounting is appended"
+          (List.mem (Record.Counter ("p1/collect.frames", 2)) m));
+    t "fleet skew pairing cancels the symmetric delay" (fun () ->
+        let xs = Array.init 10 float_of_int in
+        let recs =
+          [
+            Record.Manifest
+              (Json.Obj
+                 [
+                   ("record", Json.Str "manifest");
+                   ("target", Json.Str "fleet");
+                   ("nodes", Json.Arr [ Json.num_of_int 0; Json.num_of_int 1 ]);
+                   ("params", Json.Obj [ ("gamma", Json.Num 0.1) ]);
+                 ]);
+            (* A symmetric 20 ms transit delay plus a true 20 ms skew:
+               p0 sees p1 early by skew+delay, p1 sees p0 late. *)
+            Record.Series ("p0/fleet.offset.p1", xs, Array.make 10 0.03);
+            Record.Series ("p1/fleet.offset.p0", xs, Array.make 10 (-0.01));
+            (* One-directional data must be reported, not silently paired. *)
+            Record.Series ("p0/fleet.offset.p2", xs, Array.make 10 0.5);
+          ]
+        in
+        let r = Report.of_records recs in
+        let f = Report.fleet r in
+        check_true "gamma read from manifest params"
+          (f.Report.fleet_gamma = Some 0.1);
+        (match f.Report.fleet_pairs with
+        | [ p ] ->
+          check_int "pair a" 0 p.Report.node_a;
+          check_int "pair b" 1 p.Report.node_b;
+          check_float "delay cancelled" 0.02 p.Report.measured
+        | ps -> Alcotest.failf "expected 1 pair, got %d" (List.length ps));
+        check_float "fleet max" 0.02 f.Report.fleet_max;
+        check_true "unpaired direction surfaced"
+          (List.mem (0, 2) f.Report.fleet_unpaired);
+        let out = Format.asprintf "%a" Report.render_fleet r in
+        check_true "verdict rendered" (contains out "within gamma");
+        check_true "pair row rendered" (contains out "p0"));
+  ]
+
 let suite =
   json_tests @ registry_tests @ manifest_tests @ report_tests
   @ forward_compat_tests @ monitor_tests @ provenance_tests @ diff_tests
-  @ determinism_tests @ btrace_tests @ shard_profile_tests @ top_tests
+  @ determinism_tests @ btrace_tests @ shard_profile_tests @ collect_tests
+  @ top_tests

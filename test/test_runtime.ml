@@ -5,8 +5,15 @@
 
 module Codec = Csync_runtime.Codec
 module Live = Csync_runtime.Live
+module Wall_clock = Csync_runtime.Wall_clock
+module Emitter = Csync_runtime.Emitter
+module Collector = Csync_runtime.Collector
 module Plan = Csync_chaos.Plan
 module Params = Csync_core.Params
+module Collect = Csync_obs.Collect
+module Report = Csync_obs.Report
+module Record = Csync_obs.Record
+module Json = Csync_obs.Json
 open Helpers
 
 let t name f = Alcotest.test_case name `Quick f
@@ -203,4 +210,175 @@ let live_tests =
           (report.Live.final_skew <= Params.gamma params));
   ]
 
-let suite = codec_tests @ live_tests
+(* ---------- fleet telemetry: clock source, tel frames, streaming ---------- *)
+
+let tel_tests =
+  [
+    t "mono_ns is positive, monotone, and actually advances" (fun () ->
+        let a = Wall_clock.mono_ns () in
+        check_true "positive" (a > 0);
+        let monotone = ref true in
+        let prev = ref a in
+        for _ = 1 to 1_000 do
+          let c = Wall_clock.mono_ns () in
+          if c < !prev then monotone := false;
+          prev := c
+        done;
+        check_true "monotone" !monotone;
+        Thread.delay 0.01;
+        check_true "advances across a sleep"
+          (Wall_clock.mono_ns () - a > 5_000_000));
+    t "telemetry frame roundtrip" (fun () ->
+        let payload = String.init 300 (fun i -> Char.chr (i land 0xff)) in
+        let b = Codec.encode_tel ~src:4 ~seq:17 ~ts_ns:123_456_789_012 payload in
+        check_int "size" (Codec.tel_header_size + 300) (Bytes.length b);
+        match Codec.decode_tel ~max_src:6 b ~len:(Bytes.length b) with
+        | Ok (src, seq, ts_ns, p) ->
+          check_int "src" 4 src;
+          check_int "seq" 17 seq;
+          check_true "ts_ns" (ts_ns = 123_456_789_012);
+          check_true "payload" (p = payload)
+        | Error e -> Alcotest.failf "decode_tel: %a" Codec.pp_error e);
+    t "empty telemetry payload roundtrips" (fun () ->
+        let b = Codec.encode_tel ~src:0 ~seq:0 ~ts_ns:0 "" in
+        check_true "ok"
+          (Codec.decode_tel ~max_src:6 b ~len:(Bytes.length b)
+           = Ok (0, 0, 0, "")));
+    t "any corrupted telemetry byte is caught by the checksum" (fun () ->
+        let b0 = Codec.encode_tel ~src:1 ~seq:2 ~ts_ns:3 "hello" in
+        for i = 4 to Bytes.length b0 - 1 do
+          let b = Bytes.copy b0 in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+          check_true
+            (Printf.sprintf "byte %d" i)
+            (Codec.decode_tel ~max_src:6 b ~len:(Bytes.length b)
+             = Error Codec.Bad_checksum)
+        done);
+    t "truncated telemetry header is a length error" (fun () ->
+        let b = Codec.encode_tel ~src:1 ~seq:2 ~ts_ns:3 "hello" in
+        check_true "truncated"
+          (Codec.decode_tel ~max_src:6 b ~len:10 = Error (Codec.Truncated 10)));
+    t "telemetry with the data-plane magic is rejected" (fun () ->
+        (* The two frame types share a port namespace on loopback; the
+           distinct magic keeps a stray clock frame out of the collector. *)
+        let b = Codec.encode ~src:1 ~value:1.0 in
+        match Codec.decode_tel ~max_src:6 b ~len:(Bytes.length b) with
+        | Error (Codec.Bad_magic | Codec.Truncated _) -> ()
+        | r ->
+          Alcotest.failf "expected rejection, got %s"
+            (match r with Ok _ -> "Ok" | Error _ -> "other error"));
+    t "well-formed telemetry from an out-of-range sender" (fun () ->
+        let b = Codec.encode_tel ~src:50 ~seq:0 ~ts_ns:1 "x" in
+        check_true "bad src"
+          (Codec.decode_tel ~max_src:6 b ~len:(Bytes.length b)
+           = Error (Codec.Bad_src 50)));
+    t "telemetry encode rejects bad fields" (fun () ->
+        check_raises_invalid "src" (fun () ->
+            ignore (Codec.encode_tel ~src:(-1) ~seq:0 ~ts_ns:0 ""));
+        check_raises_invalid "seq" (fun () ->
+            ignore (Codec.encode_tel ~src:0 ~seq:(-1) ~ts_ns:0 ""));
+        check_raises_invalid "ts_ns" (fun () ->
+            ignore (Codec.encode_tel ~src:0 ~seq:0 ~ts_ns:(-1) ""));
+        check_raises_invalid "oversized payload" (fun () ->
+            ignore
+              (Codec.encode_tel ~src:0 ~seq:0 ~ts_ns:0
+                 (String.make (Codec.max_tel_payload + 1) 'x'))));
+    t "emitter streams segments into a loopback collector" (fun () ->
+        let col = Collector.create () in
+        let manifest =
+          Json.Obj
+            [
+              ("record", Json.Str "manifest");
+              ("params", Json.Obj [ ("gamma", Json.Num 0.1) ]);
+            ]
+        in
+        let mk_emitter () =
+          (* A long period so flushes happen only when the test asks. *)
+          Emitter.create ~src:2 ~peers:3 ~port:(Collector.port col)
+            ~period:60. ~manifest ()
+        in
+        let em = mk_emitter () in
+        for i = 1 to 5 do
+          let own = float_of_int i in
+          Emitter.sample em ~peer:0 ~own ~value:(own -. 0.01)
+        done;
+        Emitter.flush em;
+        Collector.poll col ~timeout:0.3;
+        let s = List.hd (Collect.stats (Collector.collect col)) in
+        check_int "stream src" 2 s.Collect.src;
+        check_true "frames arrived" (s.Collect.frames >= 1);
+        check_true "records decoded" (s.Collect.records > 0);
+        check_int "no gaps on loopback" 0 s.Collect.gaps;
+        check_int "emitter dropped nothing" 0 (Emitter.drops em);
+        check_int "nothing rejected" 0 (Collector.rejected col);
+        let m = Collect.merged (Collector.collect col) in
+        check_true "offset samples shipped"
+          (List.exists
+             (function
+               | Record.Series (name, _, ys) ->
+                 name = "p2/fleet.offset.p0" && Array.length ys = 5
+               | _ -> false)
+             m);
+        (* Reconnect: a fresh emitter for the same node restarts its
+           stream at seq 0, which the collector must count as a reset,
+           not a gap. *)
+        Emitter.close em;
+        let em2 = mk_emitter () in
+        Emitter.sample em2 ~peer:1 ~own:1.0 ~value:0.5;
+        Emitter.flush em2;
+        Collector.poll col ~timeout:0.3;
+        let s = List.hd (Collect.stats (Collector.collect col)) in
+        check_true "reconnect counted as a reset" (s.Collect.resets >= 1);
+        check_int "still no gaps" 0 s.Collect.gaps;
+        Emitter.close em2;
+        Collector.close col);
+  ]
+
+let fleet_tests =
+  [
+    Alcotest.test_case "a telemetry fleet streams, restarts, and reports"
+      `Slow (fun () ->
+        (* End-to-end tentpole check: 5 live nodes stream telemetry to a
+           collector while node 2 crashes and rejoins; the merged trace
+           must yield measured pairwise skew within gamma, and the
+           restarted node must reappear as a stream reset. *)
+        let params = live_params ~n:5 ~f:1 in
+        let col = Collector.create () in
+        let stop = Atomic.make false in
+        let poller =
+          Thread.create
+            (fun () ->
+              while not (Atomic.get stop) do
+                Collector.poll col ~timeout:0.1
+              done)
+            ()
+        in
+        let report =
+          Live.run_maintenance ~base_port:17_640 ~params ~degrade:true
+            ~telemetry_port:(Collector.port col) ~telemetry_period:0.15
+            ~restart:(2, 1.8, 3.0) ~duration:5.0 ()
+        in
+        Atomic.set stop true;
+        Thread.join poller;
+        (* One last drain for frames sent during shutdown. *)
+        Collector.poll col ~timeout:0.3;
+        let stats = Collect.stats (Collector.collect col) in
+        check_int "five streams" 5 (List.length stats);
+        let s2 = List.find (fun s -> s.Collect.src = 2) stats in
+        check_true "restarted node reappeared as a reset"
+          (s2.Collect.resets >= 1);
+        let r = Report.of_records (Collect.merged (Collector.collect col)) in
+        let f = Report.fleet r in
+        check_true "pairwise skew measured" (f.Report.fleet_pairs <> []);
+        (match f.Report.fleet_gamma with
+        | Some g ->
+          check_true "measured skew within gamma" (f.Report.fleet_max <= g)
+        | None -> Alcotest.fail "no gamma in the fleet manifest");
+        check_true "true final skew within gamma"
+          (report.Live.final_skew <= Params.gamma params);
+        check_true "all nodes completed rounds"
+          (List.for_all (fun n -> n.Live.rounds >= 2) report.Live.nodes);
+        Collector.close col);
+  ]
+
+let suite = codec_tests @ tel_tests @ live_tests @ fleet_tests
